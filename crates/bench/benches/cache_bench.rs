@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the KN cache policies (ablation for the DAC design
+//! choice: adaptive vs static splits vs shortcut-only).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dinomo_cache::{build_cache, CacheKind, KnCache, ValueLoc};
+
+fn exercise(cache: &mut dyn KnCache, keys: u32, value_len: usize) {
+    for i in 0..keys {
+        let key = format!("key{i:06}").into_bytes();
+        match cache.lookup(&key) {
+            dinomo_cache::CacheLookup::Value(_) => {}
+            dinomo_cache::CacheLookup::Shortcut(loc) => {
+                cache.admit_value(&key, &vec![0u8; value_len], loc);
+            }
+            dinomo_cache::CacheLookup::Miss => {
+                cache.record_miss_cost(3);
+                cache.admit_value(
+                    &key,
+                    &vec![0u8; value_len],
+                    ValueLoc::new(u64::from(i) * 1024, value_len as u32),
+                );
+            }
+        }
+    }
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kn_cache");
+    group.sample_size(20);
+    for (name, kind) in [
+        ("dac", CacheKind::Dac),
+        ("shortcut_only", CacheKind::ShortcutOnly),
+        ("value_only", CacheKind::ValueOnly),
+        ("static_40", CacheKind::StaticFraction(40)),
+    ] {
+        group.bench_function(format!("churn_{name}"), |b| {
+            let mut cache = build_cache(kind, 256 << 10);
+            // Warm up so steady-state eviction/promotion behaviour is measured.
+            exercise(cache.as_mut(), 4_000, 128);
+            b.iter(|| exercise(cache.as_mut(), 2_000, 128));
+        });
+    }
+
+    group.bench_function("dac_hit_path", |b| {
+        let mut cache = build_cache(CacheKind::Dac, 8 << 20);
+        for i in 0..1_000u32 {
+            let key = format!("key{i:06}").into_bytes();
+            cache.on_local_write(&key, &[0u8; 128], ValueLoc::new(u64::from(i), 128));
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 1_000;
+            let key = format!("key{i:06}").into_bytes();
+            std::hint::black_box(cache.lookup(&key))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Micro-benchmarks of the P-CLHT metadata index: local inserts/lookups,
+//! in-place updates, and the one-sided remote lookup path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dinomo_pclht::{Pclht, PclhtConfig};
+use dinomo_pmem::{PmemConfig, PmemPool};
+use dinomo_simnet::Nic;
+use std::sync::Arc;
+
+fn prefilled(n: u64) -> Pclht {
+    let pool = Arc::new(PmemPool::new(PmemConfig::with_capacity(64 << 20)));
+    let table = Pclht::new(pool, PclhtConfig::for_capacity(n as usize * 2)).unwrap();
+    for i in 0..n {
+        table.insert(i, i + 1).unwrap();
+    }
+    table
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pclht");
+    group.sample_size(20);
+
+    group.bench_function("local_get_hit", |b| {
+        let table = prefilled(100_000);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 100_000;
+            std::hint::black_box(table.get_first(i))
+        });
+    });
+
+    group.bench_function("local_insert", |b| {
+        b.iter_batched(
+            || prefilled(1_000),
+            |table| {
+                for i in 1_000u64..2_000 {
+                    table.insert(i, i).unwrap();
+                }
+                table
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("in_place_update", |b| {
+        let table = prefilled(10_000);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 13) % 10_000;
+            std::hint::black_box(table.update(i, |_| true, i + 2))
+        });
+    });
+
+    group.bench_function("remote_get_one_sided", |b| {
+        let table = prefilled(100_000);
+        let nic = Nic::default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 11) % 100_000;
+            std::hint::black_box(table.remote_get(&nic, i, |_| true))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! End-to-end micro-benchmarks of the client operation path for Dinomo and
+//! the Clover baseline (cache-hit reads, writes, and mixed traffic).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dinomo_clover::{CloverConfig, CloverKvs};
+use dinomo_core::{Kvs, KvsConfig, Variant};
+use dinomo_dpm::DpmConfig;
+use dinomo_pclht::PclhtConfig;
+use dinomo_pmem::PmemConfig;
+use dinomo_workload::key_for;
+
+const KEYS: u64 = 5_000;
+const VALUE: usize = 512;
+/// Updates use a smaller payload so long Criterion runs do not exhaust the
+/// simulated PM pool with dead log entries between GC passes.
+const UPDATE_VALUE: usize = 64;
+
+fn dinomo(variant: Variant) -> Kvs {
+    let config = KvsConfig {
+        variant,
+        initial_kns: 4,
+        threads_per_kn: 2,
+        cache_bytes_per_kn: 8 << 20,
+        cache_kind: None,
+        write_batch_ops: 8,
+        dpm: DpmConfig {
+            pool: PmemConfig::with_capacity(512 << 20),
+            segment_bytes: 2 << 20,
+            merge_threads: 2,
+            index: PclhtConfig::for_capacity(KEYS as usize * 2),
+            ..DpmConfig::default()
+        },
+        ..KvsConfig::default()
+    };
+    let kvs = Kvs::new(config).unwrap();
+    let client = kvs.client();
+    for i in 0..KEYS {
+        client.insert(&key_for(i, 8), &vec![1u8; VALUE]).unwrap();
+    }
+    kvs.quiesce().unwrap();
+    kvs
+}
+
+fn clover() -> CloverKvs {
+    let config = CloverConfig {
+        initial_kns: 4,
+        threads_per_kn: 2,
+        cache_bytes_per_kn: 8 << 20,
+        // Clover never reclaims old versions, so give it head-room for the
+        // updates a long Criterion run performs.
+        pool: PmemConfig::with_capacity(768 << 20),
+        ..CloverConfig::default()
+    };
+    let kvs = CloverKvs::new(config).unwrap();
+    let client = kvs.client();
+    for i in 0..KEYS {
+        client.insert(&key_for(i, 8), &vec![1u8; VALUE]).unwrap();
+    }
+    kvs
+}
+
+fn bench_kvs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvs_ops");
+    group.sample_size(15);
+
+    for variant in [Variant::Dinomo, Variant::DinomoS] {
+        let kvs = dinomo(variant);
+        let client = kvs.client();
+        // Warm the caches.
+        for i in 0..KEYS {
+            client.lookup(&key_for(i, 8)).unwrap();
+        }
+        group.bench_function(format!("{}_read", variant.name()), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 31) % KEYS;
+                std::hint::black_box(client.lookup(&key_for(i, 8)).unwrap())
+            });
+        });
+        group.bench_function(format!("{}_update", variant.name()), |b| {
+            let mut i = 0u64;
+            let mut since_gc = 0u64;
+            b.iter(|| {
+                i = (i + 31) % KEYS;
+                since_gc += 1;
+                if since_gc % 50_000 == 0 {
+                    // Reclaim fully-superseded log segments, as the DPM's GC
+                    // thread would do continuously in the real system.
+                    kvs.quiesce().unwrap();
+                    kvs.dpm().run_gc();
+                }
+                client.update(&key_for(i, 8), &vec![2u8; UPDATE_VALUE]).unwrap()
+            });
+        });
+    }
+
+    {
+        let kvs = clover();
+        let client = kvs.client();
+        for i in 0..KEYS {
+            client.lookup(&key_for(i, 8)).unwrap();
+        }
+        group.bench_function("clover_read", |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 31) % KEYS;
+                std::hint::black_box(client.lookup(&key_for(i, 8)).unwrap())
+            });
+        });
+        group.bench_function("clover_update", |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 31) % KEYS;
+                client.update(&key_for(i, 8), &vec![2u8; UPDATE_VALUE]).unwrap()
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kvs);
+criterion_main!(benches);

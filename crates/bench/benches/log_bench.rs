@@ -1,0 +1,86 @@
+//! Micro-benchmarks of the DPM log path: batched appends (the KN write
+//! critical path) and end-to-end write+merge.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dinomo_dpm::{DpmConfig, DpmNode, LogWriter};
+use dinomo_pclht::PclhtConfig;
+use dinomo_pmem::PmemConfig;
+use dinomo_simnet::Nic;
+use std::sync::Arc;
+
+fn dpm() -> Arc<DpmNode> {
+    Arc::new(
+        DpmNode::new(DpmConfig {
+            pool: PmemConfig::with_capacity(256 << 20),
+            segment_bytes: 4 << 20,
+            flush_batch_bytes: 64 << 10,
+            merge_threads: 2,
+            unmerged_segment_threshold: 4,
+            index: PclhtConfig::for_capacity(200_000),
+            inject_media_delay: false,
+        })
+        .unwrap(),
+    )
+}
+
+fn bench_log(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpm_log");
+    group.sample_size(15);
+
+    group.bench_function("append_and_flush_batch_of_64", |b| {
+        let dpm = dpm();
+        let mut writer = LogWriter::new(Arc::clone(&dpm), 0, Nic::default());
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            for i in 0..64u64 {
+                let key = format!("key{:012}", round * 64 + i);
+                writer.append_put(key.as_bytes(), &[0u8; 1024]);
+            }
+            std::hint::black_box(writer.flush().unwrap())
+        });
+    });
+
+    group.bench_function("write_then_merge_1000_entries", |b| {
+        b.iter_batched(
+            dpm,
+            |dpm| {
+                let mut writer = LogWriter::new(Arc::clone(&dpm), 1, Nic::default());
+                for i in 0..1_000u64 {
+                    writer.append_put(format!("key{i:012}").as_bytes(), &[0u8; 256]);
+                    if writer.should_flush() {
+                        writer.flush().unwrap();
+                    }
+                }
+                writer.flush().unwrap();
+                dpm.wait_until_merged(1);
+                dpm
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("remote_read_after_merge", |b| {
+        let dpm = dpm();
+        let nic = Nic::default();
+        let mut writer = LogWriter::new(Arc::clone(&dpm), 2, nic.clone());
+        for i in 0..10_000u64 {
+            writer.append_put(format!("key{i:012}").as_bytes(), &[7u8; 512]);
+            if writer.should_flush() {
+                writer.flush().unwrap();
+            }
+        }
+        writer.flush().unwrap();
+        dpm.wait_until_merged(2);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 17) % 10_000;
+            std::hint::black_box(dpm.remote_read(&nic, format!("key{i:012}").as_bytes()))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_log);
+criterion_main!(benches);

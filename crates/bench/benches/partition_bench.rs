@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the ownership-partitioning metadata: ring lookups and
+//! the cost of a membership change (the operation Dinomo performs instead of
+//! physically reshuffling data).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dinomo_partition::{key_hash, HashRing, OwnershipTable};
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(30);
+
+    group.bench_function("key_hash_8b", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(key_hash(&i.to_be_bytes()))
+        });
+    });
+
+    group.bench_function("ring_owner_lookup_16_nodes", |b| {
+        let mut ring = HashRing::new(64);
+        for n in 0..16 {
+            ring.add_node(n);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(ring.owner(key_hash(&i.to_be_bytes())))
+        });
+    });
+
+    group.bench_function("ownership_owners_with_replication", |b| {
+        let mut table = OwnershipTable::new(64, 8);
+        for n in 0..16 {
+            table.add_kn(n);
+        }
+        for i in 0..16u64 {
+            table.replicate(&i.to_be_bytes(), 4);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(table.owners(&(i % 64).to_be_bytes()))
+        });
+    });
+
+    group.bench_function("add_kn_repartition_plan", |b| {
+        b.iter(|| {
+            let mut before = HashRing::new(64);
+            for n in 0..15 {
+                before.add_node(n);
+            }
+            let mut after = before.clone();
+            after.add_node(15);
+            std::hint::black_box(before.changes_to(&after))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

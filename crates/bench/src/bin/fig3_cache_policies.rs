@@ -1,0 +1,200 @@
+//! Figure 3 + Table 5: comparison of KN cache policies.
+//!
+//! One KVS node, a read-only uniformly-distributed working set covering 5 %
+//! of the loaded keys, and the cache size swept from 1 % to 16 % of the
+//! dataset.  For each policy the harness reports throughput relative to the
+//! no-cache baseline (Figure 3) and network round trips per operation
+//! (Table 5).
+
+use dinomo_bench::harness::{calibrated_cost_model, scale, write_json};
+use dinomo_cache::CacheKind;
+use dinomo_core::{Kvs, KvsConfig, Variant};
+use dinomo_dpm::DpmConfig;
+use dinomo_pclht::PclhtConfig;
+use dinomo_pmem::PmemConfig;
+use dinomo_simnet::{ClusterCostInputs, FabricConfig, ThroughputModel};
+use dinomo_workload::key_for;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct PolicyPoint {
+    policy: String,
+    cache_pct: u32,
+    rts_per_op: f64,
+    hit_ratio: f64,
+    value_hit_ratio: f64,
+    modeled_throughput: f64,
+    speedup_vs_nocache: f64,
+}
+
+fn policies() -> Vec<(&'static str, CacheKind)> {
+    vec![
+        ("NoCache", CacheKind::None),
+        ("ShortcutOnly", CacheKind::ShortcutOnly),
+        ("Static-20%", CacheKind::StaticFraction(20)),
+        ("Static-40%", CacheKind::StaticFraction(40)),
+        ("Static-80%", CacheKind::StaticFraction(80)),
+        ("ValueOnly", CacheKind::ValueOnly),
+        ("DAC", CacheKind::Dac),
+    ]
+}
+
+fn run_policy(
+    kind: CacheKind,
+    cache_bytes: usize,
+    num_keys: u64,
+    value_len: usize,
+    working_set: u64,
+    ops: u64,
+) -> (f64, f64, f64) {
+    // The paper's DAC microbenchmark: one KN, 16 threads, 8 B keys, 64 B
+    // values, read-only over a uniformly-distributed 5 % working set.
+    let dpm = DpmConfig {
+        pool: PmemConfig::with_capacity(num_keys * (value_len as u64 + 64) * 2 + (16 << 20)),
+        segment_bytes: 1 << 20,
+        flush_batch_bytes: 32 << 10,
+        merge_threads: 2,
+        unmerged_segment_threshold: 2,
+        index: PclhtConfig::for_capacity(num_keys as usize),
+        inject_media_delay: false,
+    };
+    let config = KvsConfig {
+        variant: Variant::Dinomo,
+        initial_kns: 1,
+        threads_per_kn: 4,
+        cache_bytes_per_kn: cache_bytes.max(1024),
+        cache_kind: Some(kind),
+        write_batch_ops: 8,
+        dpm,
+        fabric: FabricConfig::default(),
+        ring_vnodes: 32,
+    };
+    let kvs = Kvs::new(config).expect("cluster");
+    let client = kvs.client();
+    for i in 0..num_keys {
+        client.insert(&key_for(i, 8), &vec![(i % 251) as u8; value_len]).unwrap();
+    }
+    kvs.quiesce().unwrap();
+    // Clear the warm-up effects of the load phase.
+    for id in kvs.kn_ids() {
+        kvs.kn(id).unwrap().clear_caches();
+    }
+    let before = kvs.stats();
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for _ in 0..ops {
+        // xorshift over the working set (uniform).
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let id = state % working_set;
+        client.lookup(&key_for(id, 8)).unwrap();
+    }
+    let after = kvs.stats();
+    let delta = dinomo_core::KvsStats {
+        kns: after
+            .kns
+            .iter()
+            .map(|kn| {
+                let b = before.kns.iter().find(|p| p.id == kn.id).copied().unwrap_or_default();
+                kn.since(&b)
+            })
+            .collect(),
+        ..after.clone()
+    };
+    (delta.rts_per_op(), delta.cache_hit_ratio(), delta.value_hit_ratio())
+}
+
+fn main() {
+    let scale = scale();
+    let num_keys = ((60_000.0 * scale) as u64).max(10_000);
+    // Microbenchmark cost constants: a tight read loop over 64 B values is
+    // dominated by network round trips, not request-handling CPU.
+    let value_len = 64usize;
+    let working_set = (num_keys / 20).max(500); // 5 % of the dataset
+    let ops = ((40_000.0 * scale) as u64).max(10_000);
+    let dataset_bytes = num_keys as usize * (value_len + 8);
+    let mut model = calibrated_cost_model();
+    model.kn_base_cpu_ns = 1_500;
+    model.kn_verb_cpu_ns = 300;
+
+    println!("# Figure 3 / Table 5 — cache policy comparison");
+    println!("# dataset: {num_keys} keys x {value_len} B, working set {working_set} keys, {ops} read ops");
+    println!();
+    println!(
+        "{:<14} {:>9} {:>10} {:>10} {:>12} {:>14} {:>12}",
+        "policy", "cache%", "RTs/op", "hit%", "value-hit%", "Mops (model)", "vs NoCache"
+    );
+
+    let mut results: Vec<PolicyPoint> = Vec::new();
+    for cache_pct in [1u32, 2, 4, 8, 16] {
+        let cache_bytes = dataset_bytes * cache_pct as usize / 100;
+        let mut nocache_throughput = None;
+        for (name, kind) in policies() {
+            let (rts, hit, value_hit) = run_policy(
+                kind,
+                cache_bytes,
+                num_keys,
+                value_len,
+                working_set,
+                ops,
+            );
+            let inputs = ClusterCostInputs {
+                num_kns: 1,
+                threads_per_kn: 4,
+                rts_per_op: rts,
+                remote_bytes_per_op: rts * value_len as f64,
+                miss_fraction: 1.0 - hit,
+                write_fraction: 0.0,
+                dpm_merge_capacity_ops: 0.0,
+                metadata_rpcs_per_op: 0.0,
+                metadata_server_capacity_rpcs: 0.0,
+            };
+            // The DAC microbenchmark is latency-bound (a closed loop with one
+            // outstanding request per thread), so throughput follows the
+            // modeled per-operation latency rather than the saturation model.
+            let breakdown = ThroughputModel::cluster_throughput(&model, &inputs);
+            let threads = 4.0;
+            let throughput = threads * 1e9 / breakdown.mean_latency_ns.max(1.0);
+            let baseline = *nocache_throughput.get_or_insert(throughput);
+            let speedup = throughput / baseline;
+            println!(
+                "{:<14} {:>8}% {:>10.2} {:>9.1}% {:>11.1}% {:>14.3} {:>11.2}x",
+                name,
+                cache_pct,
+                rts,
+                hit * 100.0,
+                value_hit * 100.0,
+                throughput / 1e6,
+                speedup
+            );
+            results.push(PolicyPoint {
+                policy: name.to_string(),
+                cache_pct,
+                rts_per_op: rts,
+                hit_ratio: hit,
+                value_hit_ratio: value_hit,
+                modeled_throughput: throughput,
+                speedup_vs_nocache: speedup,
+            });
+        }
+        println!();
+    }
+    write_json("fig3_table5_cache_policies", &results);
+
+    // Table 5 view: RTs/op per policy per cache size.
+    println!("# Table 5 — RTs per operation");
+    println!("{:<8} {}", "cache%", policies().iter().map(|(n, _)| format!("{n:>14}")).collect::<String>());
+    for cache_pct in [1u32, 2, 4, 8, 16] {
+        let row: String = policies()
+            .iter()
+            .map(|(name, _)| {
+                let p = results
+                    .iter()
+                    .find(|r| r.cache_pct == cache_pct && r.policy == *name)
+                    .unwrap();
+                format!("{:>14.2}", p.rts_per_op)
+            })
+            .collect();
+        println!("{:<8} {row}", format!("{cache_pct}%"));
+    }
+}

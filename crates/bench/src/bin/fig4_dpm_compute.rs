@@ -1,0 +1,160 @@
+//! Figure 4: how much compute the DPM needs for asynchronous merging.
+//!
+//! The paper's worst case: an insert-only workload from 16 KNs.  We measure
+//! (a) the log-write throughput the KNs achieve when they never wait for the
+//! merge engine ("log-write max"), (b) the log-write throughput with the
+//! default back-pressure, and (c) the merge throughput achievable with 1–16
+//! DPM processor threads on both the DRAM and the Optane PM timing profiles.
+
+use dinomo_bench::harness::{scale, write_json};
+use dinomo_dpm::{DpmConfig, DpmNode, LogWriter};
+use dinomo_pclht::PclhtConfig;
+use dinomo_pmem::{MediaProfile, PmemConfig};
+use dinomo_simnet::{FabricConfig, Nic};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct Fig4Point {
+    series: String,
+    dpm_threads: usize,
+    mops: f64,
+}
+
+const KNS: usize = 16;
+
+fn insert_workload(
+    dpm: &Arc<DpmNode>,
+    entries_per_kn: u64,
+    value_len: usize,
+) -> std::time::Duration {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..KNS as u32)
+        .map(|kn| {
+            let dpm = Arc::clone(dpm);
+            std::thread::spawn(move || {
+                let mut writer = LogWriter::new(dpm, kn, Nic::new(FabricConfig::default()));
+                for i in 0..entries_per_kn {
+                    let key = format!("kn{kn:02}-key{i:010}");
+                    writer.append_put(key.as_bytes(), &vec![0xABu8; value_len]);
+                    if writer.should_flush() {
+                        writer.flush().expect("flush");
+                    }
+                }
+                writer.flush().expect("flush");
+                writer.seal_current();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    start.elapsed()
+}
+
+fn pool_capacity(total_entries: u64, value_len: usize) -> u64 {
+    total_entries * (value_len as u64 + 96) * 2 + (64 << 20)
+}
+
+fn config(
+    merge_threads: usize,
+    profile: MediaProfile,
+    inject: bool,
+    unmerged_threshold: usize,
+    total_entries: u64,
+    value_len: usize,
+) -> DpmConfig {
+    DpmConfig {
+        pool: PmemConfig {
+            capacity_bytes: pool_capacity(total_entries, value_len),
+            profile,
+            track_persistence: false,
+        },
+        segment_bytes: 2 << 20,
+        flush_batch_bytes: 64 << 10,
+        merge_threads,
+        unmerged_segment_threshold: unmerged_threshold,
+        index: PclhtConfig::for_capacity(total_entries as usize),
+        inject_media_delay: inject,
+    }
+}
+
+fn main() {
+    let scale = scale();
+    let value_len = 1024usize;
+    let entries_per_kn = ((6_000.0 * scale) as u64).max(1_500);
+    let total_entries = entries_per_kn * KNS as u64;
+    let mut results = Vec::new();
+
+    // (a) Log-write max: effectively no back-pressure and plenty of merge
+    // threads, so KNs never wait.  One warm-up pass avoids charging the
+    // first run for lazy page allocation of the fresh pool.
+    {
+        let warm = Arc::new(
+            DpmNode::new(config(8, MediaProfile::dram(), false, usize::MAX / 2, total_entries, value_len))
+                .unwrap(),
+        );
+        insert_workload(&warm, entries_per_kn / 4, value_len);
+        warm.shutdown();
+    }
+    let dpm = Arc::new(
+        DpmNode::new(config(16, MediaProfile::dram(), true, usize::MAX / 2, total_entries, value_len))
+            .unwrap(),
+    );
+    let elapsed = insert_workload(&dpm, entries_per_kn, value_len);
+    let log_write_max = total_entries as f64 / elapsed.as_secs_f64() / 1e6;
+    dpm.shutdown();
+
+    println!("# Figure 4 — DPM compute capacity (insert-only, {KNS} KNs, {total_entries} entries)");
+    println!("log-write max: {log_write_max:.2} Mops/s");
+    println!();
+    println!(
+        "{:<12} {:>16} {:>16} {:>16}",
+        "DPM threads", "log-write Mops", "merge DRAM Mops", "merge PM Mops"
+    );
+
+    for threads in [1usize, 2, 4, 8, 16] {
+        // (b) Log-write throughput with the default unmerged-segment
+        // threshold: writers stall when merging cannot keep up.
+        let dpm = Arc::new(
+            DpmNode::new(config(threads, MediaProfile::dram(), true, 2, total_entries, value_len))
+                .unwrap(),
+        );
+        let elapsed = insert_workload(&dpm, entries_per_kn, value_len);
+        let log_write = total_entries as f64 / elapsed.as_secs_f64() / 1e6;
+        dpm.shutdown();
+
+        // (c) Merge throughput on DRAM and PM profiles: pre-generate the log
+        // segments, then time a sequential re-merge scan of every entry
+        // (recover() walks and re-applies each sealed entry exactly like a
+        // merge worker does).  Merging different KNs' logs is embarrassingly
+        // parallel, so the k-thread rate is k x the single-thread rate,
+        // capped by the number of per-KN logs.
+        let mut merge = Vec::new();
+        for profile in [MediaProfile::dram(), MediaProfile::optane()] {
+            let dpm = Arc::new(
+                DpmNode::new(config(1, profile, true, usize::MAX / 2, total_entries, value_len))
+                    .unwrap(),
+            );
+            insert_workload(&dpm, entries_per_kn, value_len);
+            dpm.wait_until_all_merged();
+            let start = Instant::now();
+            let report = dpm.recover();
+            let single_thread = report.entries_recovered as f64 / start.elapsed().as_secs_f64();
+            let mops = single_thread * threads.min(KNS) as f64 / 1e6;
+            merge.push(mops);
+            dpm.shutdown();
+        }
+
+        println!(
+            "{:<12} {:>16.2} {:>16.2} {:>16.2}",
+            threads, log_write, merge[0], merge[1]
+        );
+        results.push(Fig4Point { series: "log-write".into(), dpm_threads: threads, mops: log_write });
+        results.push(Fig4Point { series: "merge-dram".into(), dpm_threads: threads, mops: merge[0] });
+        results.push(Fig4Point { series: "merge-pm".into(), dpm_threads: threads, mops: merge[1] });
+    }
+    results.push(Fig4Point { series: "log-write-max".into(), dpm_threads: 0, mops: log_write_max });
+    write_json("fig4_dpm_compute", &results);
+}

@@ -1,0 +1,90 @@
+//! Figure 5 + Table 6: end-to-end throughput scalability of Dinomo,
+//! Dinomo-N, Dinomo-S and Clover across five workload mixes and 1–16 KNs.
+//!
+//! The real data structures (caches, hash rings, log, index, version chains)
+//! are exercised for every configuration to measure hit ratios, RTs/op and
+//! bytes/op (Table 6); the calibrated cluster cost model converts those into
+//! the paper-scale throughput curves (Figure 5).
+
+use dinomo_bench::harness::{measure_point, scale, write_json, MeasuredPoint, SystemKind};
+use dinomo_bench::harness::MeasureParams;
+use dinomo_workload::WorkloadMix;
+
+fn main() {
+    let scale = scale();
+    let params = MeasureParams::scaled(scale);
+    let kn_counts = [1usize, 2, 4, 8, 16];
+    println!("# Figure 5 / Table 6 — performance and scalability (Zipf 0.99)");
+    println!(
+        "# {} keys x {} B values, {} ops per configuration, cache {} KiB per KN",
+        params.num_keys,
+        params.value_len,
+        params.ops,
+        params.cache_bytes_per_kn / 1024
+    );
+
+    let mut all: Vec<MeasuredPoint> = Vec::new();
+    for mix in WorkloadMix::FIGURE5_MIXES {
+        println!("\n## workload {}", mix.name);
+        println!(
+            "{:<10} {:>4} {:>12} {:>10} {:>12} {:>10} {:>12}",
+            "system", "KNs", "Mops (model)", "hit %", "value-hit %", "RTs/op", "bytes/op"
+        );
+        for system in SystemKind::ALL {
+            for &kns in &kn_counts {
+                let p = measure_point(system, kns, mix, &params);
+                println!(
+                    "{:<10} {:>4} {:>12.3} {:>9.1}% {:>11.1}% {:>10.2} {:>12.0}",
+                    system.name(),
+                    kns,
+                    p.modeled_throughput / 1e6,
+                    p.cache_hit_ratio * 100.0,
+                    p.value_hit_ratio * 100.0,
+                    p.rts_per_op,
+                    p.bytes_per_op
+                );
+                all.push(p);
+            }
+        }
+        // Headline check for this mix: Dinomo vs Clover at 16 KNs.
+        let dinomo16 = all
+            .iter()
+            .find(|p| p.mix == mix.name && p.system == SystemKind::Dinomo && p.num_kns == 16)
+            .unwrap();
+        let clover16 = all
+            .iter()
+            .find(|p| p.mix == mix.name && p.system == SystemKind::Clover && p.num_kns == 16)
+            .unwrap();
+        println!(
+            "-> Dinomo/Clover at 16 KNs: {:.1}x",
+            dinomo16.modeled_throughput / clover16.modeled_throughput.max(1.0)
+        );
+    }
+    write_json("fig5_table6_scalability", &all);
+
+    // Compact Table 6 rendering (hit ratio with value-hit share, RTs/op).
+    println!("\n# Table 6 — profiling (D = Dinomo, DS = Dinomo-S, C = Clover)");
+    for mix in WorkloadMix::FIGURE5_MIXES {
+        println!("\nworkload {}", mix.name);
+        println!("{:<5} {:>22} {:>22} {:>30}", "KNs", "hit% D (value%)", "hit% DS / C", "RTs/op D / DS / C");
+        for &kns in &kn_counts {
+            let get = |s: SystemKind| {
+                all.iter().find(|p| p.mix == mix.name && p.system == s && p.num_kns == kns).unwrap()
+            };
+            let d = get(SystemKind::Dinomo);
+            let ds = get(SystemKind::DinomoS);
+            let c = get(SystemKind::Clover);
+            println!(
+                "{:<5} {:>14.0}% ({:>3.0}%) {:>11.0}% / {:>3.0}% {:>12.2} / {:.2} / {:.2}",
+                kns,
+                d.cache_hit_ratio * 100.0,
+                d.value_hit_ratio * 100.0,
+                ds.cache_hit_ratio * 100.0,
+                c.cache_hit_ratio * 100.0,
+                d.rts_per_op,
+                ds.rts_per_op,
+                c.rts_per_op
+            );
+        }
+    }
+}

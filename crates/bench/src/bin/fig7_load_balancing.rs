@@ -1,0 +1,146 @@
+//! Figure 7: load balancing under a highly-skewed workload.
+//!
+//! The workload switches from low skew (Zipf 0.5) to high skew (Zipf 2.0);
+//! a handful of hot keys then overload their owner KNs.  Dinomo's M-node
+//! detects the hot keys and selectively replicates them across the cluster;
+//! Dinomo-N cannot (no selective replication) and Clover already shares
+//! everything but pays consistency costs.  The timeline reports throughput,
+//! latencies and the normalised standard deviation of per-node load.
+
+use dinomo_bench::harness::{scale, write_json};
+use dinomo_cluster::{
+    DriverConfig, ElasticKvs, EventKind, PolicyEngine, ScriptedEvent, SimulationDriver, SloConfig,
+    TimelineRow,
+};
+use dinomo_clover::{CloverConfig, CloverKvs};
+use dinomo_core::{Kvs, KvsConfig, Variant};
+use dinomo_dpm::DpmConfig;
+use dinomo_pclht::PclhtConfig;
+use dinomo_pmem::PmemConfig;
+use dinomo_simnet::FabricConfig;
+use dinomo_workload::{KeyDistribution, WorkloadConfig, WorkloadMix};
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Debug, Serialize)]
+struct SystemTimeline {
+    system: String,
+    rows: Vec<TimelineRow>,
+}
+
+const KNS: usize = 8;
+
+fn build_dinomo(variant: Variant, num_keys: u64, value_len: usize) -> Arc<dyn ElasticKvs> {
+    let config = KvsConfig {
+        variant,
+        initial_kns: KNS,
+        threads_per_kn: 2,
+        cache_bytes_per_kn: (num_keys as usize * value_len) / 32,
+        cache_kind: None,
+        write_batch_ops: 8,
+        dpm: DpmConfig {
+            pool: PmemConfig::with_capacity(num_keys * (value_len as u64 + 96) * 8 + (64 << 20)),
+            segment_bytes: 1 << 20,
+            merge_threads: 2,
+            index: PclhtConfig::for_capacity(num_keys as usize * 2),
+            ..DpmConfig::default()
+        },
+        fabric: FabricConfig::with_injected_delay(1),
+        ring_vnodes: 64,
+    };
+    Arc::new(Kvs::new(config).expect("cluster"))
+}
+
+fn build_clover(num_keys: u64, value_len: usize) -> Arc<dyn ElasticKvs> {
+    let config = CloverConfig {
+        initial_kns: KNS,
+        threads_per_kn: 2,
+        cache_bytes_per_kn: (num_keys as usize * value_len) / 32,
+        pool: PmemConfig::with_capacity(num_keys * (value_len as u64 + 96) * 16 + (64 << 20)),
+        fabric: FabricConfig::with_injected_delay(1),
+        ..CloverConfig::default()
+    };
+    Arc::new(CloverKvs::new(config).expect("cluster"))
+}
+
+fn main() {
+    let scale = scale();
+    let num_keys = ((4_000.0 * scale) as u64).max(1_000);
+    let value_len = 256usize;
+    let epochs = ((30.0 * scale) as usize).clamp(20, 90);
+    let switch_at = epochs / 5;
+
+    let workload = WorkloadConfig {
+        num_keys,
+        key_len: 8,
+        value_len,
+        mix: WorkloadMix::WRITE_HEAVY_UPDATE,
+        distribution: KeyDistribution::LOW_SKEW,
+        seed: 7,
+    };
+    let slo = SloConfig {
+        avg_latency_ms: 0.10,
+        tail_latency_ms: 1.0,
+        overutil_lower_bound: 0.60,
+        underutil_upper_bound: 0.0, // never remove nodes in this experiment
+        hot_sigma: 3.0,
+        cold_sigma: 1.0,
+        grace_epochs: 2,
+        max_nodes: KNS,
+        min_nodes: KNS,
+    };
+    let events =
+        vec![ScriptedEvent { at_epoch: switch_at, event: EventKind::SetDistribution(KeyDistribution::HIGH_SKEW) }];
+
+    println!("# Figure 7 — load balancing (switch to Zipf 2.0 at epoch {switch_at}, {KNS} KNs)");
+    let mut outputs = Vec::new();
+    let systems: Vec<(String, Arc<dyn ElasticKvs>)> = vec![
+        ("dinomo".into(), build_dinomo(Variant::Dinomo, num_keys, value_len)),
+        ("dinomo-n".into(), build_dinomo(Variant::DinomoN, num_keys, value_len)),
+        ("clover".into(), build_clover(num_keys, value_len)),
+    ];
+    for (name, store) in systems {
+        let driver = SimulationDriver::new(
+            store,
+            DriverConfig {
+                epoch_ms: 150,
+                total_epochs: epochs,
+                max_clients: 6,
+                initial_clients: 6,
+                workload,
+                preload: true,
+                key_sample_every: 4,
+            },
+        )
+        .with_policy(PolicyEngine::new(slo));
+        let rows = driver.run(&events);
+        println!("\n## {name}");
+        println!(
+            "{:<6} {:>10} {:>10} {:>10} {:>10} {:>11}  actions",
+            "epoch", "kops/s", "avg ms", "p99 ms", "load std", "replicated"
+        );
+        for r in &rows {
+            println!(
+                "{:<6} {:>10.1} {:>10.3} {:>10.3} {:>10.2} {:>11}  {}",
+                r.epoch,
+                r.throughput / 1e3,
+                r.avg_latency_ms,
+                r.p99_latency_ms,
+                r.load_imbalance,
+                r.replicated_keys,
+                r.actions.join("; ")
+            );
+        }
+        let skewed_rows: Vec<&TimelineRow> = rows.iter().filter(|r| r.epoch > switch_at).collect();
+        let first_skewed = skewed_rows.first().map(|r| r.throughput).unwrap_or(0.0);
+        let last = skewed_rows.last().map(|r| r.throughput).unwrap_or(0.0);
+        println!(
+            "-> throughput right after skew switch: {:.1} kops/s, at the end: {:.1} kops/s, replicated keys: {}",
+            first_skewed / 1e3,
+            last / 1e3,
+            rows.last().map(|r| r.replicated_keys).unwrap_or(0)
+        );
+        outputs.push(SystemTimeline { system: name, rows });
+    }
+    write_json("fig7_load_balancing", &outputs);
+}

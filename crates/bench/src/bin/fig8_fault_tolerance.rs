@@ -1,0 +1,133 @@
+//! Figure 8: tolerating a KVS-node failure.
+//!
+//! A moderately-skewed 50/50 workload runs against a fixed cluster; one KN is
+//! killed partway through.  Dinomo merges the failed node's pending logs and
+//! repartitions ownership (sub-second); Dinomo-N must physically reshuffle
+//! data (long throughput dip); Clover only updates membership.
+
+use dinomo_bench::harness::{scale, write_json};
+use dinomo_cluster::{
+    DriverConfig, ElasticKvs, EventKind, ScriptedEvent, SimulationDriver, TimelineRow,
+};
+use dinomo_clover::{CloverConfig, CloverKvs};
+use dinomo_core::{Kvs, KvsConfig, Variant};
+use dinomo_dpm::DpmConfig;
+use dinomo_pclht::PclhtConfig;
+use dinomo_pmem::PmemConfig;
+use dinomo_simnet::FabricConfig;
+use dinomo_workload::{KeyDistribution, WorkloadConfig, WorkloadMix};
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Debug, Serialize)]
+struct SystemTimeline {
+    system: String,
+    rows: Vec<TimelineRow>,
+}
+
+const KNS: usize = 8;
+
+fn build_dinomo(variant: Variant, num_keys: u64, value_len: usize) -> Arc<dyn ElasticKvs> {
+    let config = KvsConfig {
+        variant,
+        initial_kns: KNS,
+        threads_per_kn: 2,
+        cache_bytes_per_kn: (num_keys as usize * value_len) / 32,
+        cache_kind: None,
+        write_batch_ops: 8,
+        dpm: DpmConfig {
+            pool: PmemConfig::with_capacity(num_keys * (value_len as u64 + 96) * 8 + (64 << 20)),
+            segment_bytes: 1 << 20,
+            merge_threads: 2,
+            index: PclhtConfig::for_capacity(num_keys as usize * 2),
+            ..DpmConfig::default()
+        },
+        fabric: FabricConfig::with_injected_delay(1),
+        ring_vnodes: 64,
+    };
+    Arc::new(Kvs::new(config).expect("cluster"))
+}
+
+fn build_clover(num_keys: u64, value_len: usize) -> Arc<dyn ElasticKvs> {
+    let config = CloverConfig {
+        initial_kns: KNS,
+        threads_per_kn: 2,
+        cache_bytes_per_kn: (num_keys as usize * value_len) / 32,
+        pool: PmemConfig::with_capacity(num_keys * (value_len as u64 + 96) * 16 + (64 << 20)),
+        fabric: FabricConfig::with_injected_delay(1),
+        ..CloverConfig::default()
+    };
+    Arc::new(CloverKvs::new(config).expect("cluster"))
+}
+
+fn main() {
+    let scale = scale();
+    let num_keys = ((4_000.0 * scale) as u64).max(1_000);
+    let value_len = 256usize;
+    let epochs = ((24.0 * scale) as usize).clamp(16, 80);
+    let fail_at = epochs / 3;
+
+    let workload = WorkloadConfig {
+        num_keys,
+        key_len: 8,
+        value_len,
+        mix: WorkloadMix::WRITE_HEAVY_UPDATE,
+        distribution: KeyDistribution::MODERATE_SKEW,
+        seed: 8,
+    };
+    let events = vec![ScriptedEvent { at_epoch: fail_at, event: EventKind::FailRandomNode }];
+
+    println!("# Figure 8 — KN failure at epoch {fail_at} ({KNS} KNs)");
+    let mut outputs = Vec::new();
+    let systems: Vec<(String, Arc<dyn ElasticKvs>)> = vec![
+        ("dinomo".into(), build_dinomo(Variant::Dinomo, num_keys, value_len)),
+        ("dinomo-n".into(), build_dinomo(Variant::DinomoN, num_keys, value_len)),
+        ("clover".into(), build_clover(num_keys, value_len)),
+    ];
+    for (name, store) in systems {
+        let driver = SimulationDriver::new(
+            store,
+            DriverConfig {
+                epoch_ms: 150,
+                total_epochs: epochs,
+                max_clients: 6,
+                initial_clients: 6,
+                workload,
+                preload: true,
+                key_sample_every: 8,
+            },
+        );
+        let rows = driver.run(&events);
+        println!("\n## {name}");
+        println!("{:<6} {:>10} {:>10} {:>6}  actions", "epoch", "kops/s", "p99 ms", "KNs");
+        for r in &rows {
+            println!(
+                "{:<6} {:>10.1} {:>10.3} {:>6}  {}",
+                r.epoch,
+                r.throughput / 1e3,
+                r.p99_latency_ms,
+                r.num_nodes,
+                r.actions.join("; ")
+            );
+        }
+        let before: f64 = rows[..fail_at].iter().map(|r| r.throughput).sum::<f64>() / fail_at as f64;
+        let dip = rows
+            .iter()
+            .skip(fail_at)
+            .map(|r| r.throughput)
+            .fold(f64::INFINITY, f64::min);
+        let after: f64 = rows[fail_at + 1..].iter().map(|r| r.throughput).sum::<f64>()
+            / (rows.len() - fail_at - 1) as f64;
+        let zero_epochs = rows.iter().skip(fail_at).filter(|r| r.ops == 0).count();
+        println!(
+            "-> avg before: {:.1} kops/s, worst epoch after failure: {:.1} kops/s ({:.0}% of before), avg after: {:.1} kops/s, zero-throughput epochs: {}",
+            before / 1e3,
+            dip / 1e3,
+            100.0 * dip / before.max(1.0),
+            after / 1e3,
+            zero_epochs
+        );
+        outputs.push(SystemTimeline { system: name, rows });
+    }
+    write_json("fig8_fault_tolerance", &outputs);
+}

@@ -1,0 +1,29 @@
+//! # dinomo-bench — the paper-reproduction harness
+//!
+//! One binary per table/figure of the paper's evaluation section (run them
+//! with `cargo run -p dinomo-bench --release --bin <name>`):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig3_cache_policies` | Figure 3 (cache-policy throughput) + Table 5 (RTs/op) |
+//! | `fig4_dpm_compute`    | Figure 4 (log-write vs merge throughput, DRAM vs PM) |
+//! | `fig5_scalability`    | Figure 5 (throughput scalability) + Table 6 (profiling) |
+//! | `fig6_elasticity`     | Figure 6 (auto-scaling timeline) |
+//! | `fig7_load_balancing` | Figure 7 (selective replication under high skew) |
+//! | `fig8_fault_tolerance`| Figure 8 (KN failure timeline) |
+//!
+//! All binaries accept the `DINOMO_SCALE` environment variable (default
+//! `1.0`): the default scale finishes in minutes on a laptop; larger values
+//! move the experiments toward the paper's full-size parameters.  Each binary
+//! prints its table to stdout and writes a JSON artifact under
+//! `target/bench-results/` for EXPERIMENTS.md.
+//!
+//! Component micro-benchmarks (Criterion) live under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{
+    calibrated_cost_model, measure_point, scale, write_json, MeasuredPoint, SystemKind,
+};

@@ -1,0 +1,161 @@
+//! A small LRU-ordered map used for value entries.
+//!
+//! Keys are byte strings; each entry carries a caller-defined payload.
+//! Recency is tracked with a monotonically increasing tick and a `BTreeMap`
+//! from tick to key, giving `O(log n)` touch and eviction — plenty for cache
+//! sizes in the tens of thousands of entries while keeping the code simple
+//! and allocation-light.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// An LRU-ordered map from byte-string keys to `V`.
+#[derive(Debug)]
+pub struct LruMap<V> {
+    entries: HashMap<Vec<u8>, (V, u64)>,
+    order: BTreeMap<u64, Vec<u8>>,
+    tick: u64,
+}
+
+impl<V> Default for LruMap<V> {
+    fn default() -> Self {
+        LruMap { entries: HashMap::new(), order: BTreeMap::new(), tick: 0 }
+    }
+}
+
+impl<V> LruMap<V> {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` if `key` is present (does not touch recency).
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Get without touching recency.
+    pub fn peek(&self, key: &[u8]) -> Option<&V> {
+        self.entries.get(key).map(|(v, _)| v)
+    }
+
+    /// Get, marking the entry most-recently used.
+    pub fn get(&mut self, key: &[u8]) -> Option<&mut V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(key) {
+            Some((v, old_tick)) => {
+                self.order.remove(old_tick);
+                self.order.insert(tick, key.to_vec());
+                *old_tick = tick;
+                Some(v)
+            }
+            None => None,
+        }
+    }
+
+    /// Insert or replace, marking the entry most-recently used. Returns the
+    /// previous payload if any.
+    pub fn insert(&mut self, key: &[u8], value: V) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        let prev = self.entries.insert(key.to_vec(), (value, tick));
+        if let Some((_, old_tick)) = &prev {
+            self.order.remove(old_tick);
+        }
+        self.order.insert(tick, key.to_vec());
+        prev.map(|(v, _)| v)
+    }
+
+    /// Remove an entry.
+    pub fn remove(&mut self, key: &[u8]) -> Option<V> {
+        let (v, tick) = self.entries.remove(key)?;
+        self.order.remove(&tick);
+        Some(v)
+    }
+
+    /// Key of the least-recently-used entry.
+    pub fn lru_key(&self) -> Option<&[u8]> {
+        self.order.values().next().map(|k| k.as_slice())
+    }
+
+    /// Remove and return the least-recently-used entry.
+    pub fn pop_lru(&mut self) -> Option<(Vec<u8>, V)> {
+        let (&tick, _) = self.order.iter().next()?;
+        let key = self.order.remove(&tick)?;
+        let (v, _) = self.entries.remove(&key)?;
+        Some((key, v))
+    }
+
+    /// Iterate over all `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<u8>, &V)> {
+        self.entries.iter().map(|(k, (v, _))| (k, v))
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m = LruMap::new();
+        assert!(m.is_empty());
+        m.insert(b"a", 1);
+        m.insert(b"b", 2);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(b"a"), Some(&mut 1));
+        assert_eq!(m.peek(b"b"), Some(&2));
+        assert_eq!(m.remove(b"a"), Some(1));
+        assert!(!m.contains(b"a"));
+    }
+
+    #[test]
+    fn eviction_order_is_lru() {
+        let mut m = LruMap::new();
+        m.insert(b"a", 1);
+        m.insert(b"b", 2);
+        m.insert(b"c", 3);
+        // Touch "a" so "b" becomes LRU.
+        m.get(b"a");
+        assert_eq!(m.lru_key(), Some(b"b".as_slice()));
+        assert_eq!(m.pop_lru(), Some((b"b".to_vec(), 2)));
+        assert_eq!(m.pop_lru(), Some((b"c".to_vec(), 3)));
+        assert_eq!(m.pop_lru(), Some((b"a".to_vec(), 1)));
+        assert_eq!(m.pop_lru(), None);
+    }
+
+    #[test]
+    fn reinsert_updates_value_and_recency() {
+        let mut m = LruMap::new();
+        m.insert(b"a", 1);
+        m.insert(b"b", 2);
+        assert_eq!(m.insert(b"a", 10), Some(1));
+        assert_eq!(m.lru_key(), Some(b"b".as_slice()));
+        assert_eq!(m.peek(b"a"), Some(&10));
+    }
+
+    #[test]
+    fn clear_empties_both_structures() {
+        let mut m = LruMap::new();
+        m.insert(b"a", 1);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.pop_lru(), None);
+    }
+}

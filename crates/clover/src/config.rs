@@ -1,0 +1,77 @@
+//! Clover configuration.
+
+use dinomo_pmem::PmemConfig;
+use dinomo_simnet::FabricConfig;
+
+/// Configuration of a [`crate::CloverKvs`] cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct CloverConfig {
+    /// Number of KVS nodes at start-up.
+    pub initial_kns: usize,
+    /// Worker threads (shards) per KVS node.
+    pub threads_per_kn: usize,
+    /// DRAM budget per KVS node for the shortcut cache, in bytes.
+    pub cache_bytes_per_kn: usize,
+    /// Backing PM pool configuration.
+    pub pool: PmemConfig,
+    /// Simulated fabric configuration.
+    pub fabric: FabricConfig,
+    /// Worker threads on the metadata server (the paper's setup uses 4
+    /// workers plus an epoch thread and a GC thread).
+    pub metadata_server_threads: usize,
+    /// Modeled service time per metadata-server RPC, nanoseconds.
+    pub metadata_service_ns: u64,
+    /// How many writes a KN can perform from one pre-allocated space lease
+    /// before asking the metadata server for more.
+    pub allocation_lease_ops: usize,
+}
+
+impl Default for CloverConfig {
+    fn default() -> Self {
+        CloverConfig {
+            initial_kns: 1,
+            threads_per_kn: 8,
+            cache_bytes_per_kn: 64 << 20,
+            pool: PmemConfig::default(),
+            fabric: FabricConfig::default(),
+            metadata_server_threads: 4,
+            metadata_service_ns: 8_000,
+            allocation_lease_ops: 64,
+        }
+    }
+}
+
+impl CloverConfig {
+    /// Small configuration for unit tests.
+    pub fn small_for_tests() -> Self {
+        CloverConfig {
+            initial_kns: 2,
+            threads_per_kn: 2,
+            cache_bytes_per_kn: 256 << 10,
+            pool: PmemConfig { capacity_bytes: 16 << 20, ..PmemConfig::default() },
+            ..CloverConfig::default()
+        }
+    }
+
+    /// Modeled aggregate RPC capacity of the metadata server, RPCs/second.
+    pub fn metadata_capacity_rpcs(&self) -> f64 {
+        if self.metadata_service_ns == 0 {
+            return f64::INFINITY;
+        }
+        self.metadata_server_threads as f64 * 1e9 / self.metadata_service_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_capacity_scales_with_threads() {
+        let mut c = CloverConfig::default();
+        let base = c.metadata_capacity_rpcs();
+        c.metadata_server_threads = 8;
+        assert!(c.metadata_capacity_rpcs() > base * 1.9);
+        assert!((base - 500_000.0).abs() < 1.0);
+    }
+}

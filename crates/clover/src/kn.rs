@@ -1,0 +1,270 @@
+//! A Clover KVS node: shared-everything access, shortcut-only cache, version
+//! chain walks on stale pointers.
+
+use crate::config::CloverConfig;
+use crate::metadata::MetadataServer;
+use crate::version::{link_version, read_version, version_size, write_version};
+use dinomo_cache::{build_cache, CacheKind, CacheLookup, CacheStats, KnCache, ValueLoc};
+use dinomo_core::{KnStats, KvsError, Result};
+use dinomo_pmem::{PmAddr, PmemPool};
+use dinomo_simnet::Nic;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Shard {
+    cache: Box<dyn KnCache>,
+    /// Remaining writes covered by the current space-allocation lease.
+    lease_remaining: usize,
+}
+
+/// A Clover KVS node.
+pub struct CloverKn {
+    id: u32,
+    nic: Nic,
+    pool: Arc<PmemPool>,
+    metadata: Arc<MetadataServer>,
+    shards: Vec<Mutex<Shard>>,
+    lease_ops: usize,
+    failed: AtomicBool,
+    ops: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    busy_ns: AtomicU64,
+    chain_hops: AtomicU64,
+}
+
+impl std::fmt::Debug for CloverKn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloverKn").field("id", &self.id).finish()
+    }
+}
+
+impl CloverKn {
+    /// Build a node.
+    pub fn new(
+        id: u32,
+        config: &CloverConfig,
+        pool: Arc<PmemPool>,
+        metadata: Arc<MetadataServer>,
+    ) -> Self {
+        let nic = Nic::new(config.fabric);
+        let per_shard = config.cache_bytes_per_kn / config.threads_per_kn.max(1);
+        let shards = (0..config.threads_per_kn.max(1))
+            .map(|_| {
+                Mutex::new(Shard {
+                    cache: build_cache(CacheKind::ShortcutOnly, per_shard),
+                    lease_remaining: 0,
+                })
+            })
+            .collect();
+        CloverKn {
+            id,
+            nic,
+            pool,
+            metadata,
+            shards,
+            lease_ops: config.allocation_lease_ops.max(1),
+            failed: AtomicBool::new(false),
+            ops: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            chain_hops: AtomicU64::new(0),
+        }
+    }
+
+    /// Node id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Simulate a fail-stop crash (drops cached state, stops serving).
+    pub fn fail(&self) {
+        self.failed.store(true, Ordering::Release);
+        for s in &self.shards {
+            s.lock().cache.clear();
+        }
+    }
+
+    /// `true` once failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    fn check_available(&self) -> Result<()> {
+        if self.is_failed() {
+            Err(KvsError::NodeFailed)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn shard_for(&self, key: &[u8]) -> &Mutex<Shard> {
+        let h = dinomo_partition::key_hash(key) as usize;
+        &self.shards[h % self.shards.len()]
+    }
+
+    /// Walk a version chain to its tail, counting one RT (sized by the bytes
+    /// actually transferred) per hop.
+    fn walk_to_tail(&self, mut addr: PmAddr) -> (PmAddr, crate::version::Version) {
+        loop {
+            let v = read_version(&self.pool, addr);
+            let transferred = 16 + v.key.len() + v.value.as_ref().map_or(0, Vec::len);
+            self.nic.one_sided_read(transferred);
+            if v.next.is_null() {
+                return (addr, v);
+            }
+            self.chain_hops.fetch_add(1, Ordering::Relaxed);
+            addr = v.next;
+        }
+    }
+
+    /// `lookup(key)`. Any node can serve any key (shared everything).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.check_available()?;
+        let start = Instant::now();
+        let mut shard = self.shard_for(key).lock();
+        let start_addr = match shard.cache.lookup(key) {
+            CacheLookup::Shortcut(loc) => Some(PmAddr(loc.addr)),
+            CacheLookup::Value(_) => unreachable!("clover caches are shortcut-only"),
+            CacheLookup::Miss => self.metadata.lookup(&self.nic, key),
+        };
+        let result = match start_addr {
+            None => None,
+            Some(addr) => {
+                let (tail_addr, tail) = self.walk_to_tail(addr);
+                if tail.key != key {
+                    // Hash-sharded cache collision with a deleted key; treat
+                    // as missing.
+                    None
+                } else {
+                    shard
+                        .cache
+                        .admit_shortcut(key, ValueLoc { addr: tail_addr.0, len: 256 });
+                    tail.value
+                }
+            }
+        };
+        drop(shard);
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok(result)
+    }
+
+    fn write_new_version(&self, key: &[u8], value: Option<&[u8]>) -> Result<PmAddr> {
+        let size = version_size(key.len(), value.map_or(0, <[u8]>::len));
+        let addr = self.pool.alloc(size).map_err(KvsError::from)?;
+        write_version(&self.pool, key, value, addr).map_err(KvsError::from)?;
+        // The version itself is written with one one-sided RDMA write.
+        self.nic.one_sided_write(size as usize);
+        Ok(addr)
+    }
+
+    fn put_internal(&self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
+        let start = Instant::now();
+        let mut shard = self.shard_for(key).lock();
+        // Space allocation lease: every `lease_ops` writes cost one RPC.
+        if shard.lease_remaining == 0 {
+            self.metadata.allocation_lease(&self.nic);
+            shard.lease_remaining = self.lease_ops;
+        }
+        shard.lease_remaining -= 1;
+        let new_version = self.write_new_version(key, value)?;
+
+        // Find the current tail: start from the cached shortcut if present,
+        // otherwise ask the metadata server.
+        let head = match shard.cache.lookup(key) {
+            CacheLookup::Shortcut(loc) => Some(PmAddr(loc.addr)),
+            _ => self.metadata.lookup(&self.nic, key),
+        };
+        match head {
+            None => {
+                // Brand-new key: register it with the metadata server.
+                if !self.metadata.register(&self.nic, key, new_version) {
+                    // Lost the race: someone registered it first; link onto
+                    // their chain instead.
+                    if let Some(head) = self.metadata.lookup(&self.nic, key) {
+                        self.link_at_tail(head, new_version);
+                    }
+                }
+            }
+            Some(head) => {
+                self.link_at_tail(head, new_version);
+            }
+        }
+        shard
+            .cache
+            .admit_shortcut(key, ValueLoc { addr: new_version.0, len: 256 });
+        drop(shard);
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn link_at_tail(&self, start: PmAddr, new_version: PmAddr) {
+        let mut tail = start;
+        loop {
+            let (tail_addr, _) = self.walk_to_tail(tail);
+            self.nic.one_sided_cas();
+            match link_version(&self.pool, tail_addr, new_version) {
+                Ok(()) => return,
+                Err(actual_next) => {
+                    // Someone else appended concurrently; continue from them.
+                    tail = actual_next;
+                }
+            }
+        }
+    }
+
+    /// `insert(key, value)` / `update(key, value)`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.check_available()?;
+        self.put_internal(key, Some(value))
+    }
+
+    /// `delete(key)` (appends a tombstone version and unregisters the key).
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.check_available()?;
+        self.put_internal(key, None)?;
+        self.metadata.remove(&self.nic, key);
+        let mut shard = self.shard_for(key).lock();
+        shard.cache.invalidate(key);
+        Ok(())
+    }
+
+    /// Total version-chain hops performed by this node (a direct measure of
+    /// the consistency overhead of sharing).
+    pub fn chain_hops(&self) -> u64 {
+        self.chain_hops.load(Ordering::Relaxed)
+    }
+
+    /// Statistics in the same shape as Dinomo's nodes, so the harness can
+    /// tabulate both systems side by side.
+    pub fn stats(&self) -> KnStats {
+        let mut cache = CacheStats::default();
+        for s in &self.shards {
+            let cs = s.lock().cache.stats();
+            cache.shortcut_hits += cs.shortcut_hits;
+            cache.value_hits += cs.value_hits;
+            cache.misses += cs.misses;
+            cache.evictions += cs.evictions;
+            cache.bytes_used += cs.bytes_used;
+            cache.capacity_bytes += cs.capacity_bytes;
+            cache.shortcut_entries += cs.shortcut_entries;
+        }
+        KnStats {
+            id: self.id,
+            ops: self.ops.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            rejected: 0,
+            cache,
+            nic: self.nic.snapshot(),
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! The Clover cluster and its client.
+
+use crate::config::CloverConfig;
+use crate::kn::CloverKn;
+use crate::metadata::MetadataServer;
+use crate::version::read_version;
+use dinomo_core::{KvsError, KvsStats, Result};
+use dinomo_pmem::PmemPool;
+use dinomo_simnet::Nic;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The Clover cluster: a shared PM pool, a metadata server, and a set of
+/// interchangeable KVS nodes.
+#[derive(Debug, Clone)]
+pub struct CloverKvs {
+    inner: Arc<CloverInner>,
+}
+
+#[derive(Debug)]
+struct CloverInner {
+    config: CloverConfig,
+    pool: Arc<PmemPool>,
+    metadata: Arc<MetadataServer>,
+    kns: RwLock<BTreeMap<u32, Arc<CloverKn>>>,
+    next_id: AtomicU32,
+}
+
+impl CloverKvs {
+    /// Build a cluster with `config.initial_kns` nodes.
+    pub fn new(config: CloverConfig) -> Result<Self> {
+        let pool = Arc::new(PmemPool::new(config.pool));
+        let metadata = Arc::new(MetadataServer::new(
+            Nic::new(config.fabric),
+            config.metadata_server_threads,
+            config.metadata_service_ns,
+        ));
+        let inner = Arc::new(CloverInner {
+            config,
+            pool,
+            metadata,
+            kns: RwLock::new(BTreeMap::new()),
+            next_id: AtomicU32::new(0),
+        });
+        let kvs = CloverKvs { inner };
+        for _ in 0..config.initial_kns.max(1) {
+            kvs.add_kn();
+        }
+        Ok(kvs)
+    }
+
+    /// The configuration this cluster was built with.
+    pub fn config(&self) -> &CloverConfig {
+        &self.inner.config
+    }
+
+    /// The metadata server (exposed for the harness's capacity model).
+    pub fn metadata_server(&self) -> &Arc<MetadataServer> {
+        &self.inner.metadata
+    }
+
+    /// A new client handle.
+    pub fn client(&self) -> CloverClient {
+        CloverClient { inner: Arc::clone(&self.inner), rr: AtomicUsize::new(0) }
+    }
+
+    /// Number of live nodes.
+    pub fn num_kns(&self) -> usize {
+        self.inner.kns.read().len()
+    }
+
+    /// Node identifiers.
+    pub fn kn_ids(&self) -> Vec<u32> {
+        self.inner.kns.read().keys().copied().collect()
+    }
+
+    /// Add a node. Shared-everything makes this trivial: no data or metadata
+    /// moves, the client simply starts spreading requests over one more node.
+    pub fn add_kn(&self) -> u32 {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let kn = Arc::new(CloverKn::new(
+            id,
+            &self.inner.config,
+            Arc::clone(&self.inner.pool),
+            Arc::clone(&self.inner.metadata),
+        ));
+        self.inner.kns.write().insert(id, kn);
+        id
+    }
+
+    /// Remove a node.
+    pub fn remove_kn(&self, id: u32) -> Result<()> {
+        if self.num_kns() <= 1 {
+            return Err(KvsError::NoNodes);
+        }
+        self.inner.kns.write().remove(&id).map(|_| ()).ok_or(KvsError::NoNodes)
+    }
+
+    /// Simulate a fail-stop node failure. Clover only needs to update the
+    /// cluster membership; clients retry on another node after a timeout.
+    pub fn fail_kn(&self, id: u32) -> Result<()> {
+        let node = self.inner.kns.read().get(&id).cloned().ok_or(KvsError::NoNodes)?;
+        node.fail();
+        self.inner.kns.write().remove(&id);
+        Ok(())
+    }
+
+    /// Run one garbage-collection pass on the metadata server: compact every
+    /// chain head to its current tail so future misses do not walk stale
+    /// versions.
+    pub fn run_gc(&self) -> usize {
+        let mut compacted = 0;
+        for (key, head) in self.inner.metadata.snapshot() {
+            let mut addr = head;
+            let mut hops = 0;
+            loop {
+                let v = read_version(&self.inner.pool, addr);
+                if v.next.is_null() {
+                    break;
+                }
+                addr = v.next;
+                hops += 1;
+            }
+            if hops > 0 {
+                self.inner.metadata.compact_head(&key, addr);
+                compacted += 1;
+            }
+        }
+        self.inner.metadata.note_gc();
+        compacted
+    }
+
+    /// Total version-chain hops across all nodes.
+    pub fn total_chain_hops(&self) -> u64 {
+        self.inner.kns.read().values().map(|k| k.chain_hops()).sum()
+    }
+
+    /// Cluster statistics in the same shape as Dinomo's.
+    pub fn stats(&self) -> KvsStats {
+        KvsStats {
+            kns: self.inner.kns.read().values().map(|k| k.stats()).collect(),
+            dpm: dinomo_dpm::DpmStats::default(),
+            ownership_version: 0,
+        }
+    }
+}
+
+/// A Clover client: spreads requests round-robin over all nodes (any node can
+/// serve any key) and retries on another node when one fails.
+#[derive(Debug)]
+pub struct CloverClient {
+    inner: Arc<CloverInner>,
+    rr: AtomicUsize,
+}
+
+impl CloverClient {
+    fn pick(&self) -> Result<Arc<CloverKn>> {
+        let kns = self.inner.kns.read();
+        if kns.is_empty() {
+            return Err(KvsError::NoNodes);
+        }
+        let idx = self.rr.fetch_add(1, Ordering::Relaxed) % kns.len();
+        Ok(kns.values().nth(idx).expect("index in range").clone())
+    }
+
+    fn run<T>(&self, mut op: impl FnMut(&CloverKn) -> Result<T>) -> Result<T> {
+        for _ in 0..64 {
+            let kn = self.pick()?;
+            match op(&kn) {
+                Err(KvsError::NodeFailed) => continue,
+                other => return other,
+            }
+        }
+        Err(KvsError::RoutingRetriesExhausted)
+    }
+
+    /// `insert(key, value)`.
+    pub fn insert(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.run(|kn| kn.put(key, value))
+    }
+
+    /// `update(key, value)`.
+    pub fn update(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.run(|kn| kn.put(key, value))
+    }
+
+    /// `lookup(key)`.
+    pub fn lookup(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.run(|kn| kn.get(key))
+    }
+
+    /// `delete(key)`.
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.run(|kn| kn.delete(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinomo_workload::key_for;
+
+    fn cluster() -> CloverKvs {
+        CloverKvs::new(CloverConfig::small_for_tests()).unwrap()
+    }
+
+    #[test]
+    fn basic_crud() {
+        let kvs = cluster();
+        let client = kvs.client();
+        client.insert(b"a", b"1").unwrap();
+        client.insert(b"b", b"2").unwrap();
+        assert_eq!(client.lookup(b"a").unwrap(), Some(b"1".to_vec()));
+        client.update(b"a", b"1b").unwrap();
+        assert_eq!(client.lookup(b"a").unwrap(), Some(b"1b".to_vec()));
+        client.delete(b"a").unwrap();
+        assert_eq!(client.lookup(b"a").unwrap(), None);
+        assert_eq!(client.lookup(b"b").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(client.lookup(b"c").unwrap(), None);
+    }
+
+    #[test]
+    fn any_node_serves_any_key() {
+        let kvs = cluster();
+        let client = kvs.client();
+        for i in 0..100u64 {
+            client.insert(&key_for(i, 8), &[i as u8; 32]).unwrap();
+        }
+        // Read every key directly on every node.
+        for id in kvs.kn_ids() {
+            let kn = kvs.inner.kns.read().get(&id).cloned().unwrap();
+            for i in (0..100u64).step_by(11) {
+                assert_eq!(kn.get(&key_for(i, 8)).unwrap(), Some(vec![i as u8; 32]));
+            }
+        }
+    }
+
+    #[test]
+    fn stale_shortcuts_cause_chain_walks() {
+        let kvs = cluster();
+        let client = kvs.client();
+        client.insert(b"hot", b"v0").unwrap();
+        // Warm both nodes' caches.
+        for _ in 0..4 {
+            client.lookup(b"hot").unwrap();
+        }
+        let hops_before = kvs.total_chain_hops();
+        // Update through one node, then read through the other: the stale
+        // shortcut forces a chain walk.
+        for i in 0..10u8 {
+            client.update(b"hot", &[i; 8]).unwrap();
+            assert_eq!(client.lookup(b"hot").unwrap(), Some(vec![i; 8]));
+        }
+        assert!(kvs.total_chain_hops() > hops_before, "expected version-chain walks");
+        // GC compacts the chains so later misses start from the tail.
+        let compacted = kvs.run_gc();
+        assert!(compacted >= 1);
+        assert_eq!(client.lookup(b"hot").unwrap(), Some(vec![9u8; 8]));
+    }
+
+    #[test]
+    fn metadata_server_sees_inserts_and_misses() {
+        let kvs = cluster();
+        let client = kvs.client();
+        for i in 0..50u64 {
+            client.insert(&key_for(i, 8), &[0u8; 16]).unwrap();
+        }
+        let rpcs = kvs.metadata_server().rpcs_served();
+        assert!(rpcs >= 50, "every new key registers through the metadata server ({rpcs})");
+        assert_eq!(kvs.metadata_server().len(), 50);
+    }
+
+    #[test]
+    fn membership_changes_are_lightweight() {
+        let kvs = cluster();
+        let client = kvs.client();
+        for i in 0..50u64 {
+            client.insert(&key_for(i, 8), &[1u8; 16]).unwrap();
+        }
+        let added = kvs.add_kn();
+        assert_eq!(kvs.num_kns(), 3);
+        for i in 0..50u64 {
+            assert_eq!(client.lookup(&key_for(i, 8)).unwrap(), Some(vec![1u8; 16]));
+        }
+        kvs.fail_kn(added).unwrap();
+        assert_eq!(kvs.num_kns(), 2);
+        for i in 0..50u64 {
+            assert_eq!(client.lookup(&key_for(i, 8)).unwrap(), Some(vec![1u8; 16]));
+        }
+        let last_removable = kvs.kn_ids()[0];
+        kvs.remove_kn(last_removable).unwrap();
+        assert!(kvs.remove_kn(kvs.kn_ids()[0]).is_err(), "cannot remove the last node");
+    }
+
+    #[test]
+    fn stats_shape_matches_dinomo() {
+        let kvs = cluster();
+        let client = kvs.client();
+        for i in 0..20u64 {
+            client.insert(&key_for(i, 8), &[0u8; 64]).unwrap();
+            client.lookup(&key_for(i, 8)).unwrap();
+        }
+        let stats = kvs.stats();
+        assert_eq!(stats.kns.len(), 2);
+        assert_eq!(stats.total_ops(), 40);
+        assert!(stats.rts_per_op() > 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Clover's metadata server.
+//!
+//! Inserts of new keys, cache misses and space allocation all go through this
+//! server (two-sided RPCs).  It keeps the key → chain-head mapping in its own
+//! DRAM, runs with a small fixed number of worker threads, and is the
+//! component whose CPU saturates first as KVS nodes are added — the cause of
+//! Clover's flat scaling curve in Figure 5.
+
+use dinomo_pmem::PmAddr;
+use dinomo_simnet::Nic;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The metadata server.
+#[derive(Debug)]
+pub struct MetadataServer {
+    /// Server-side NIC (RPC responses are accounted here).
+    nic: Nic,
+    index: Mutex<HashMap<Vec<u8>, PmAddr>>,
+    rpcs: AtomicU64,
+    service_ns: u64,
+    threads: usize,
+    gc_runs: AtomicU64,
+}
+
+impl MetadataServer {
+    /// Create a metadata server with `threads` workers and the given modeled
+    /// per-RPC service time.
+    pub fn new(nic: Nic, threads: usize, service_ns: u64) -> Self {
+        MetadataServer {
+            nic,
+            index: Mutex::new(HashMap::new()),
+            rpcs: AtomicU64::new(0),
+            service_ns,
+            threads: threads.max(1),
+            gc_runs: AtomicU64::new(0),
+        }
+    }
+
+    fn account_rpc(&self, client_nic: &Nic) {
+        self.rpcs.fetch_add(1, Ordering::Relaxed);
+        client_nic.rpc(64, 64);
+        // The server spends CPU on the request; model it as extra time on the
+        // server's NIC budget so the cost model can account for saturation.
+        self.nic.account_extra_ns(self.service_ns);
+    }
+
+    /// Total RPCs served.
+    pub fn rpcs_served(&self) -> u64 {
+        self.rpcs.load(Ordering::Relaxed)
+    }
+
+    /// Modeled capacity in RPCs/second.
+    pub fn capacity_rpcs_per_sec(&self) -> f64 {
+        if self.service_ns == 0 {
+            f64::INFINITY
+        } else {
+            self.threads as f64 * 1e9 / self.service_ns as f64
+        }
+    }
+
+    /// Number of keys tracked.
+    pub fn len(&self) -> usize {
+        self.index.lock().len()
+    }
+
+    /// `true` if no keys are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// RPC: look up the chain head for `key`.
+    pub fn lookup(&self, client_nic: &Nic, key: &[u8]) -> Option<PmAddr> {
+        self.account_rpc(client_nic);
+        self.index.lock().get(key).copied()
+    }
+
+    /// RPC: register a brand-new key with its first version.
+    /// Returns `false` if the key already existed (the caller then links onto
+    /// the existing chain instead).
+    pub fn register(&self, client_nic: &Nic, key: &[u8], head: PmAddr) -> bool {
+        self.account_rpc(client_nic);
+        let mut index = self.index.lock();
+        if index.contains_key(key) {
+            return false;
+        }
+        index.insert(key.to_vec(), head);
+        true
+    }
+
+    /// RPC: remove a key (after a delete has been applied).
+    pub fn remove(&self, client_nic: &Nic, key: &[u8]) -> Option<PmAddr> {
+        self.account_rpc(client_nic);
+        self.index.lock().remove(key)
+    }
+
+    /// RPC: grant a space-allocation lease (the actual allocation happens on
+    /// the shared pool; the RPC models the coordination cost).
+    pub fn allocation_lease(&self, client_nic: &Nic) {
+        self.account_rpc(client_nic);
+    }
+
+    /// Local (server-side) update of a chain head, used by the GC thread when
+    /// it compacts chains.
+    pub fn compact_head(&self, key: &[u8], new_head: PmAddr) {
+        self.index.lock().insert(key.to_vec(), new_head);
+    }
+
+    /// All (key, head) pairs — used by the GC pass.
+    pub fn snapshot(&self) -> Vec<(Vec<u8>, PmAddr)> {
+        self.index.lock().iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Record that a GC pass ran.
+    pub fn note_gc(&self) {
+        self.gc_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of GC passes.
+    pub fn gc_runs(&self) -> u64 {
+        self.gc_runs.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinomo_simnet::FabricConfig;
+
+    #[test]
+    fn register_lookup_remove() {
+        let ms = MetadataServer::new(Nic::new(FabricConfig::default()), 4, 2_000);
+        let client = Nic::new(FabricConfig::default());
+        assert!(ms.register(&client, b"a", PmAddr(64)));
+        assert!(!ms.register(&client, b"a", PmAddr(128)), "double register must fail");
+        assert_eq!(ms.lookup(&client, b"a"), Some(PmAddr(64)));
+        assert_eq!(ms.lookup(&client, b"b"), None);
+        assert_eq!(ms.remove(&client, b"a"), Some(PmAddr(64)));
+        assert!(ms.is_empty());
+        assert_eq!(ms.rpcs_served(), 5);
+        assert_eq!(client.snapshot().rpcs, 5);
+    }
+
+    #[test]
+    fn capacity_model() {
+        let ms = MetadataServer::new(Nic::default(), 4, 2_000);
+        assert!((ms.capacity_rpcs_per_sec() - 2_000_000.0).abs() < 1.0);
+    }
+}

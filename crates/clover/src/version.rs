@@ -1,0 +1,132 @@
+//! Version-chain encoding in DPM.
+//!
+//! Each write creates a new immutable version:
+//!
+//! ```text
+//! offset  0: u64 next      (address of the *newer* version, 0 = latest)
+//! offset  8: u32 key_len
+//! offset 12: u32 val_len   (u32::MAX encodes a delete tombstone)
+//! offset 16: key bytes
+//! offset 16 + key_len: value bytes
+//! ```
+//!
+//! Writers append a version and link it with a one-sided CAS on the previous
+//! tail's `next` word; readers holding a stale pointer follow `next` links
+//! until they reach the latest version (each hop is one round trip).
+
+use dinomo_pmem::{PmAddr, PmemError, PmemPool};
+
+/// Sentinel `val_len` marking a tombstone.
+pub const TOMBSTONE: u32 = u32::MAX;
+const HEADER: u64 = 16;
+
+/// Total bytes a version occupies.
+pub fn version_size(key_len: usize, val_len: usize) -> u64 {
+    (HEADER + key_len as u64 + val_len as u64).next_multiple_of(8)
+}
+
+/// Write a new (unlinked) version and return its address.
+pub fn write_version(
+    pool: &PmemPool,
+    key: &[u8],
+    value: Option<&[u8]>,
+    at: PmAddr,
+) -> Result<(), PmemError> {
+    let val_len = match value {
+        Some(v) => v.len() as u32,
+        None => TOMBSTONE,
+    };
+    let mut buf = Vec::with_capacity(version_size(key.len(), value.map_or(0, <[u8]>::len)) as usize);
+    buf.extend_from_slice(&0u64.to_le_bytes());
+    buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&val_len.to_le_bytes());
+    buf.extend_from_slice(key);
+    if let Some(v) = value {
+        buf.extend_from_slice(v);
+    }
+    pool.write_bytes(at, &buf);
+    pool.persist(at, buf.len() as u64);
+    pool.drain();
+    Ok(())
+}
+
+/// A decoded version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Version {
+    /// Address of the newer version (null = this is the latest).
+    pub next: PmAddr,
+    /// The key stored in this version.
+    pub key: Vec<u8>,
+    /// The value (`None` for tombstones).
+    pub value: Option<Vec<u8>>,
+}
+
+/// Decode the version stored at `addr`.
+pub fn read_version(pool: &PmemPool, addr: PmAddr) -> Version {
+    let next = PmAddr(pool.read_u64(addr));
+    let mut meta = [0u8; 8];
+    pool.read_bytes(addr.offset(8), &mut meta);
+    let key_len = u32::from_le_bytes(meta[0..4].try_into().unwrap()) as usize;
+    let val_len = u32::from_le_bytes(meta[4..8].try_into().unwrap());
+    let mut key = vec![0u8; key_len];
+    pool.read_bytes(addr.offset(HEADER), &mut key);
+    let value = if val_len == TOMBSTONE {
+        None
+    } else {
+        let mut v = vec![0u8; val_len as usize];
+        pool.read_bytes(addr.offset(HEADER + key_len as u64), &mut v);
+        Some(v)
+    };
+    Version { next, key, value }
+}
+
+/// Link `new_version` after the version at `tail` (CAS on its `next` word).
+/// Returns `Err(actual_next)` if `tail` already has a successor.
+pub fn link_version(pool: &PmemPool, tail: PmAddr, new_version: PmAddr) -> Result<(), PmAddr> {
+    match pool.cas_u64(tail, 0, new_version.0) {
+        Ok(_) => {
+            pool.persist(tail, 8);
+            Ok(())
+        }
+        Err(actual) => Err(PmAddr(actual)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinomo_pmem::PmemConfig;
+
+    #[test]
+    fn version_round_trip_and_chaining() {
+        let pool = PmemPool::new(PmemConfig::small_for_tests());
+        let a = pool.alloc(version_size(3, 5)).unwrap();
+        let b = pool.alloc(version_size(3, 5)).unwrap();
+        write_version(&pool, b"key", Some(b"val-1"), a).unwrap();
+        write_version(&pool, b"key", Some(b"val-2"), b).unwrap();
+        assert_eq!(read_version(&pool, a).value, Some(b"val-1".to_vec()));
+        // Link b after a.
+        link_version(&pool, a, b).unwrap();
+        let va = read_version(&pool, a);
+        assert_eq!(va.next, b);
+        // A second link attempt on the same tail fails and reports the winner.
+        let c = pool.alloc(version_size(3, 5)).unwrap();
+        write_version(&pool, b"key", Some(b"val-3"), c).unwrap();
+        assert_eq!(link_version(&pool, a, c), Err(b));
+        // Linking after the real tail succeeds.
+        link_version(&pool, b, c).unwrap();
+        let latest = read_version(&pool, c);
+        assert!(latest.next.is_null());
+        assert_eq!(latest.value, Some(b"val-3".to_vec()));
+    }
+
+    #[test]
+    fn tombstones_have_no_value() {
+        let pool = PmemPool::new(PmemConfig::small_for_tests());
+        let a = pool.alloc(version_size(4, 0)).unwrap();
+        write_version(&pool, b"gone", None, a).unwrap();
+        let v = read_version(&pool, a);
+        assert_eq!(v.key, b"gone");
+        assert_eq!(v.value, None);
+    }
+}

@@ -1,0 +1,511 @@
+//! Closed-loop experiment driver for the timeline experiments (Figures 6–8).
+//!
+//! The driver plays the role of the paper's client nodes *and* of the M-node:
+//! client threads issue a closed-loop workload against the store, and once
+//! per monitoring epoch the driver collects latency/occupancy/key-frequency
+//! statistics, lets the [`PolicyEngine`] decide on reconfigurations, applies
+//! them, and appends a [`TimelineRow`] to the experiment's output.
+
+use crate::policy::{EpochObservation, PolicyAction, PolicyEngine};
+use crate::store::ElasticKvs;
+use dinomo_workload::{KeyDistribution, WorkloadConfig, WorkloadGenerator, WorkloadMix};
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Driver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverConfig {
+    /// Length of one monitoring epoch in milliseconds.
+    pub epoch_ms: u64,
+    /// Number of epochs to run.
+    pub total_epochs: usize,
+    /// Number of client threads to spawn (the maximum the script can enable).
+    pub max_clients: usize,
+    /// Client threads active at the start.
+    pub initial_clients: usize,
+    /// The workload description (key count, value size, mix, skew, seed).
+    pub workload: WorkloadConfig,
+    /// Whether to load the key space before the measurement phase.
+    pub preload: bool,
+    /// Sample one in this many operations for key-frequency tracking.
+    pub key_sample_every: usize,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            epoch_ms: 100,
+            total_epochs: 10,
+            max_clients: 4,
+            initial_clients: 1,
+            workload: WorkloadConfig::default(),
+            preload: true,
+            key_sample_every: 8,
+        }
+    }
+}
+
+/// A change the experiment script applies at the start of an epoch.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// Change the number of active client threads (load increase/decrease).
+    SetClients(usize),
+    /// Switch the key-popularity distribution (e.g. Zipf 0.5 → 2.0).
+    SetDistribution(KeyDistribution),
+    /// Switch the request mix.
+    SetMix(WorkloadMix),
+    /// Fail a specific node.
+    FailNode(u32),
+    /// Fail whichever node currently has the lowest id.
+    FailRandomNode,
+    /// Add a node outside of the policy engine's control.
+    AddNode,
+}
+
+/// A scripted event bound to an epoch.
+#[derive(Debug, Clone)]
+pub struct ScriptedEvent {
+    /// Epoch (0-based) at whose start the event fires.
+    pub at_epoch: usize,
+    /// What happens.
+    pub event: EventKind,
+}
+
+/// One epoch of the timeline (one point on the x-axis of Figures 6–8).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimelineRow {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Elapsed simulated-experiment time at the end of the epoch, seconds.
+    pub seconds: f64,
+    /// Operations completed during the epoch.
+    pub ops: u64,
+    /// Throughput in operations/second.
+    pub throughput: f64,
+    /// Mean latency over the epoch, milliseconds.
+    pub avg_latency_ms: f64,
+    /// 99th-percentile latency over the epoch, milliseconds.
+    pub p99_latency_ms: f64,
+    /// Live KVS nodes at the end of the epoch.
+    pub num_nodes: usize,
+    /// Normalised standard deviation of per-node load during the epoch.
+    pub load_imbalance: f64,
+    /// Active client threads during the epoch.
+    pub active_clients: usize,
+    /// Number of keys currently selectively replicated.
+    pub replicated_keys: usize,
+    /// Human-readable record of events and policy actions this epoch.
+    pub actions: Vec<String>,
+}
+
+#[derive(Debug, Default)]
+struct EpochSamples {
+    latencies_ns: Vec<u64>,
+    key_counts: HashMap<Vec<u8>, u64>,
+    errors: u64,
+}
+
+struct SharedState {
+    stop: AtomicBool,
+    active_clients: AtomicUsize,
+    workload: RwLock<WorkloadConfig>,
+    workload_version: AtomicU64,
+    ops: AtomicU64,
+    samples: Mutex<EpochSamples>,
+    key_sample_every: usize,
+}
+
+/// The experiment driver. See the module docs.
+pub struct SimulationDriver {
+    store: Arc<dyn ElasticKvs>,
+    config: DriverConfig,
+    policy: Option<PolicyEngine>,
+}
+
+impl SimulationDriver {
+    /// Create a driver for `store`.
+    pub fn new(store: Arc<dyn ElasticKvs>, config: DriverConfig) -> Self {
+        SimulationDriver { store, config, policy: None }
+    }
+
+    /// Attach an M-node policy engine (without one, only scripted events
+    /// drive reconfiguration).
+    pub fn with_policy(mut self, engine: PolicyEngine) -> Self {
+        self.policy = Some(engine);
+        self
+    }
+
+    /// Load the key space (the paper's load phase).
+    pub fn preload(&self) {
+        let session = self.store.session();
+        let generator = WorkloadGenerator::new(self.config.workload);
+        for (key, value) in generator.load_phase() {
+            let _ = session.execute(&dinomo_workload::Operation::Insert(key, value));
+        }
+        self.store.maintenance();
+    }
+
+    /// Run the experiment and return one row per epoch.
+    pub fn run(&self, events: &[ScriptedEvent]) -> Vec<TimelineRow> {
+        if self.config.preload {
+            self.preload();
+        }
+        let shared = Arc::new(SharedState {
+            stop: AtomicBool::new(false),
+            active_clients: AtomicUsize::new(self.config.initial_clients.min(self.config.max_clients)),
+            workload: RwLock::new(self.config.workload),
+            workload_version: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+            samples: Mutex::new(EpochSamples::default()),
+            key_sample_every: self.config.key_sample_every.max(1),
+        });
+
+        let mut handles = Vec::new();
+        for client_idx in 0..self.config.max_clients {
+            let shared = Arc::clone(&shared);
+            let store = Arc::clone(&self.store);
+            handles.push(std::thread::spawn(move || client_loop(client_idx, &store, &shared)));
+        }
+
+        let mut rows = Vec::with_capacity(self.config.total_epochs);
+        let mut replicated: HashMap<Vec<u8>, usize> = HashMap::new();
+        let mut epochs_since_action = usize::MAX / 2;
+        let mut prev_stats = self.store.stats();
+        let epoch = Duration::from_millis(self.config.epoch_ms);
+        let start = Instant::now();
+
+        for epoch_idx in 0..self.config.total_epochs {
+            let mut actions: Vec<String> = Vec::new();
+            // Scripted events fire at the start of the epoch.
+            for ev in events.iter().filter(|e| e.at_epoch == epoch_idx) {
+                actions.push(self.apply_event(&ev.event, &shared));
+            }
+
+            let ops_before = shared.ops.load(Ordering::Relaxed);
+            std::thread::sleep(epoch);
+            let ops_after = shared.ops.load(Ordering::Relaxed);
+            let samples = std::mem::take(&mut *shared.samples.lock());
+
+            // Epoch statistics.
+            let stats = self.store.stats();
+            let (avg_ms, p99_ms) = latency_stats(&samples.latencies_ns);
+            let ops = ops_after - ops_before;
+            let elapsed_epoch = epoch.as_secs_f64();
+            let node_ids = self.store.node_ids();
+            let occupancy: Vec<(u32, f64)> = stats
+                .kns
+                .iter()
+                .map(|kn| {
+                    let before = prev_stats.kns.iter().find(|p| p.id == kn.id).copied().unwrap_or_default();
+                    (kn.id, kn.since(&before).occupancy(epoch.as_nanos() as u64))
+                })
+                .collect();
+            let load_imbalance = {
+                let delta = dinomo_core::KvsStats {
+                    kns: stats
+                        .kns
+                        .iter()
+                        .map(|kn| {
+                            let before = prev_stats
+                                .kns
+                                .iter()
+                                .find(|p| p.id == kn.id)
+                                .copied()
+                                .unwrap_or_default();
+                            kn.since(&before)
+                        })
+                        .collect(),
+                    ..Default::default()
+                };
+                delta.load_imbalance()
+            };
+            prev_stats = stats;
+
+            // The M-node applies its policy.
+            if let Some(engine) = &self.policy {
+                let obs = EpochObservation {
+                    avg_latency_ms: avg_ms,
+                    p99_latency_ms: p99_ms,
+                    occupancy: occupancy.clone(),
+                    key_frequencies: samples.key_counts,
+                    replicated_keys: replicated.iter().map(|(k, f)| (k.clone(), *f)).collect(),
+                    supports_replication: self.store.supports_selective_replication(),
+                    epochs_since_last_action: epochs_since_action,
+                };
+                let decisions = engine.decide(&obs);
+                if decisions.is_empty() {
+                    epochs_since_action = epochs_since_action.saturating_add(1);
+                } else {
+                    epochs_since_action = 0;
+                }
+                for action in decisions {
+                    actions.push(self.apply_action(&action, &mut replicated));
+                }
+            }
+
+            self.store.maintenance();
+            rows.push(TimelineRow {
+                epoch: epoch_idx,
+                seconds: start.elapsed().as_secs_f64(),
+                ops,
+                throughput: ops as f64 / elapsed_epoch,
+                avg_latency_ms: avg_ms,
+                p99_latency_ms: p99_ms,
+                num_nodes: node_ids.len(),
+                load_imbalance,
+                active_clients: shared.active_clients.load(Ordering::Relaxed),
+                replicated_keys: replicated.len(),
+                actions,
+            });
+        }
+
+        shared.stop.store(true, Ordering::Release);
+        for h in handles {
+            let _ = h.join();
+        }
+        rows
+    }
+
+    fn apply_event(&self, event: &EventKind, shared: &SharedState) -> String {
+        match event {
+            EventKind::SetClients(n) => {
+                shared.active_clients.store((*n).min(self.config.max_clients), Ordering::Release);
+                format!("load: {n} clients")
+            }
+            EventKind::SetDistribution(dist) => {
+                shared.workload.write().distribution = *dist;
+                shared.workload_version.fetch_add(1, Ordering::Release);
+                format!("workload: distribution -> {dist:?}")
+            }
+            EventKind::SetMix(mix) => {
+                shared.workload.write().mix = *mix;
+                shared.workload_version.fetch_add(1, Ordering::Release);
+                format!("workload: mix -> {}", mix.name)
+            }
+            EventKind::FailNode(id) => {
+                let _ = self.store.fail_node(*id);
+                format!("failure injected: node {id}")
+            }
+            EventKind::FailRandomNode => {
+                let id = self.store.node_ids().into_iter().next();
+                if let Some(id) = id {
+                    let _ = self.store.fail_node(id);
+                    format!("failure injected: node {id}")
+                } else {
+                    "failure skipped: no nodes".to_string()
+                }
+            }
+            EventKind::AddNode => match self.store.add_node() {
+                Ok(id) => format!("scripted add: node {id}"),
+                Err(e) => format!("scripted add failed: {e}"),
+            },
+        }
+    }
+
+    fn apply_action(
+        &self,
+        action: &PolicyAction,
+        replicated: &mut HashMap<Vec<u8>, usize>,
+    ) -> String {
+        match action {
+            PolicyAction::AddNode => match self.store.add_node() {
+                Ok(id) => format!("policy: add node {id}"),
+                Err(e) => format!("policy: add node failed: {e}"),
+            },
+            PolicyAction::RemoveNode(id) => match self.store.remove_node(*id) {
+                Ok(()) => format!("policy: remove node {id}"),
+                Err(e) => format!("policy: remove node {id} failed: {e}"),
+            },
+            PolicyAction::ReplicateKey(key, factor) => {
+                match self.store.replicate_key(key, *factor) {
+                    Ok(()) => {
+                        replicated.insert(key.clone(), *factor);
+                        format!("policy: replicate key x{factor}")
+                    }
+                    Err(e) => format!("policy: replicate failed: {e}"),
+                }
+            }
+            PolicyAction::DereplicateKey(key) => match self.store.dereplicate_key(key) {
+                Ok(()) => {
+                    replicated.remove(key);
+                    "policy: dereplicate key".to_string()
+                }
+                Err(e) => format!("policy: dereplicate failed: {e}"),
+            },
+        }
+    }
+}
+
+fn client_loop(client_idx: usize, store: &Arc<dyn ElasticKvs>, shared: &Arc<SharedState>) {
+    let session = store.session();
+    let mut workload_version = shared.workload_version.load(Ordering::Acquire);
+    let mut config = *shared.workload.read();
+    config.seed = config.seed.wrapping_add(client_idx as u64 * 7919);
+    let mut generator = WorkloadGenerator::new(config);
+    let mut local_latencies: Vec<u64> = Vec::with_capacity(256);
+    let mut local_keys: Vec<Vec<u8>> = Vec::new();
+    let mut op_count: usize = 0;
+
+    while !shared.stop.load(Ordering::Acquire) {
+        if client_idx >= shared.active_clients.load(Ordering::Acquire) {
+            flush_samples(shared, &mut local_latencies, &mut local_keys, 0);
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        let current_version = shared.workload_version.load(Ordering::Acquire);
+        if current_version != workload_version {
+            workload_version = current_version;
+            let mut c = *shared.workload.read();
+            c.seed = c.seed.wrapping_add(client_idx as u64 * 7919);
+            generator = WorkloadGenerator::new(c);
+        }
+        let op = generator.next_op();
+        let start = Instant::now();
+        let result = session.execute(&op);
+        let latency = start.elapsed().as_nanos() as u64;
+        local_latencies.push(latency);
+        op_count += 1;
+        if op_count % shared.key_sample_every == 0 {
+            local_keys.push(op.key().to_vec());
+        }
+        shared.ops.fetch_add(1, Ordering::Relaxed);
+        let errors = u64::from(result.is_err());
+        if local_latencies.len() >= 128 {
+            flush_samples(shared, &mut local_latencies, &mut local_keys, errors);
+        }
+    }
+    flush_samples(shared, &mut local_latencies, &mut local_keys, 0);
+}
+
+fn flush_samples(
+    shared: &SharedState,
+    latencies: &mut Vec<u64>,
+    keys: &mut Vec<Vec<u8>>,
+    errors: u64,
+) {
+    if latencies.is_empty() && keys.is_empty() && errors == 0 {
+        return;
+    }
+    let mut samples = shared.samples.lock();
+    samples.latencies_ns.append(latencies);
+    for k in keys.drain(..) {
+        *samples.key_counts.entry(k).or_insert(0) += 1;
+    }
+    samples.errors += errors;
+}
+
+fn latency_stats(latencies_ns: &[u64]) -> (f64, f64) {
+    if latencies_ns.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut sorted = latencies_ns.to_vec();
+    sorted.sort_unstable();
+    let avg = sorted.iter().sum::<u64>() as f64 / sorted.len() as f64 / 1e6;
+    let p99_idx = ((sorted.len() as f64 * 0.99).ceil() as usize).saturating_sub(1);
+    let p99 = sorted[p99_idx.min(sorted.len() - 1)] as f64 / 1e6;
+    (avg, p99)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::SloConfig;
+    use dinomo_core::{Kvs, KvsConfig};
+
+    fn small_workload() -> WorkloadConfig {
+        WorkloadConfig {
+            num_keys: 200,
+            value_len: 64,
+            mix: WorkloadMix::WRITE_HEAVY_UPDATE,
+            distribution: KeyDistribution::MODERATE_SKEW,
+            seed: 1,
+            key_len: 8,
+        }
+    }
+
+    #[test]
+    fn timeline_runs_and_reports_throughput() {
+        let kvs = Arc::new(Kvs::new(KvsConfig::small_for_tests()).unwrap());
+        let driver = SimulationDriver::new(
+            kvs,
+            DriverConfig {
+                epoch_ms: 30,
+                total_epochs: 4,
+                max_clients: 2,
+                initial_clients: 1,
+                workload: small_workload(),
+                preload: true,
+                key_sample_every: 4,
+            },
+        );
+        let rows = driver.run(&[]);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().map(|r| r.ops).sum::<u64>() > 0, "clients made no progress");
+        assert!(rows.iter().all(|r| r.num_nodes == 2));
+        assert!(rows.iter().any(|r| r.avg_latency_ms > 0.0));
+    }
+
+    #[test]
+    fn scripted_events_change_load_and_membership() {
+        let kvs = Arc::new(Kvs::new(KvsConfig::small_for_tests()).unwrap());
+        let driver = SimulationDriver::new(
+            Arc::clone(&kvs) as Arc<dyn ElasticKvs>,
+            DriverConfig {
+                epoch_ms: 30,
+                total_epochs: 5,
+                max_clients: 2,
+                initial_clients: 1,
+                workload: small_workload(),
+                preload: true,
+                key_sample_every: 4,
+            },
+        );
+        let events = vec![
+            ScriptedEvent { at_epoch: 1, event: EventKind::SetClients(2) },
+            ScriptedEvent { at_epoch: 2, event: EventKind::AddNode },
+            ScriptedEvent { at_epoch: 3, event: EventKind::FailRandomNode },
+        ];
+        let rows = driver.run(&events);
+        assert_eq!(rows[1].active_clients, 2);
+        assert!(rows[2].num_nodes >= 3, "scripted AddNode should grow the cluster");
+        assert!(rows[4].num_nodes < rows[2].num_nodes, "failure should shrink the cluster");
+        assert!(rows.iter().any(|r| !r.actions.is_empty()));
+    }
+
+    #[test]
+    fn policy_engine_can_autoscale_under_pressure() {
+        let kvs = Arc::new(Kvs::new(KvsConfig::small_for_tests()).unwrap());
+        // Absurdly tight SLO so any load triggers the add-node rule.
+        let slo = SloConfig {
+            avg_latency_ms: 0.000001,
+            tail_latency_ms: 0.000001,
+            overutil_lower_bound: 0.0,
+            grace_epochs: 1,
+            max_nodes: 3,
+            ..SloConfig::default()
+        };
+        let driver = SimulationDriver::new(
+            Arc::clone(&kvs) as Arc<dyn ElasticKvs>,
+            DriverConfig {
+                epoch_ms: 30,
+                total_epochs: 6,
+                max_clients: 2,
+                initial_clients: 2,
+                workload: small_workload(),
+                preload: true,
+                key_sample_every: 4,
+            },
+        )
+        .with_policy(PolicyEngine::new(slo));
+        let rows = driver.run(&[]);
+        assert!(
+            rows.last().unwrap().num_nodes > 2,
+            "policy should have added a node: {:?}",
+            rows.iter().map(|r| (r.num_nodes, r.actions.clone())).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! # dinomo-cluster — the control plane
+//!
+//! The paper's monitoring/management node (M-node) watches the cluster and
+//! triggers reconfigurations: adding or removing KVS nodes when latency SLOs
+//! are violated or nodes sit idle, selectively replicating hot keys when a
+//! skewed workload overloads a single owner, and recovering from KVS-node
+//! failures (§3.5, Table 4).  This crate implements that control plane plus
+//! the closed-loop experiment driver used for the timeline figures
+//! (Figures 6–8):
+//!
+//! * [`ElasticKvs`] / [`KvSession`] — a uniform interface over the Dinomo
+//!   variants and the Clover baseline so the same driver and policy engine
+//!   can exercise all of them;
+//! * [`SloConfig`] / [`PolicyEngine`] — the Table 4 policy rules (latency
+//!   SLOs, over/under-utilization occupancy bounds, key hotness/coldness
+//!   bounds, grace periods);
+//! * [`SimulationDriver`] — closed-loop client threads, per-epoch statistics
+//!   (throughput, average and p99 latency, per-node load), scripted load and
+//!   skew changes, failure injection, and application of the policy engine's
+//!   decisions.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod policy;
+pub mod store;
+
+pub use driver::{DriverConfig, EventKind, ScriptedEvent, SimulationDriver, TimelineRow};
+pub use policy::{EpochObservation, PolicyAction, PolicyEngine, SloConfig};
+pub use store::{ElasticKvs, KvSession};

@@ -1,0 +1,243 @@
+//! A uniform interface over the systems under test.
+
+use dinomo_core::{Kvs, KvsStats, Result};
+use dinomo_workload::Operation;
+
+/// A per-thread session (client handle) against a store.
+pub trait KvSession: Send {
+    /// Execute one operation, returning the read value for lookups.
+    fn execute(&self, op: &Operation) -> Result<Option<Vec<u8>>>;
+}
+
+/// The cluster-level interface the control plane needs from a store.
+pub trait ElasticKvs: Send + Sync {
+    /// Short system name ("dinomo", "dinomo-n", "clover", ...).
+    fn name(&self) -> String;
+
+    /// Open a new client session.
+    fn session(&self) -> Box<dyn KvSession>;
+
+    /// Identifiers of the live KVS nodes.
+    fn node_ids(&self) -> Vec<u32>;
+
+    /// Add a KVS node; returns its id.
+    fn add_node(&self) -> Result<u32>;
+
+    /// Remove a KVS node.
+    fn remove_node(&self, id: u32) -> Result<()>;
+
+    /// Fail a KVS node (fail-stop) and run the system's recovery path.
+    fn fail_node(&self, id: u32) -> Result<()>;
+
+    /// Share ownership of a hot key across `factor` nodes, if the system
+    /// supports selective replication.
+    fn replicate_key(&self, key: &[u8], factor: usize) -> Result<()>;
+
+    /// Collapse a replicated key back to one owner.
+    fn dereplicate_key(&self, key: &[u8]) -> Result<()>;
+
+    /// `true` if the system can act on replicate/dereplicate requests.
+    fn supports_selective_replication(&self) -> bool;
+
+    /// Current replication factor of a key (1 if not replicated).
+    fn replication_factor(&self, key: &[u8]) -> usize;
+
+    /// Cluster statistics (cumulative counters).
+    fn stats(&self) -> KvsStats;
+
+    /// Flush buffered writes / run background maintenance (called between
+    /// epochs by the driver).
+    fn maintenance(&self);
+}
+
+// ------------------------------------------------------------------ Dinomo
+
+struct DinomoSession {
+    client: dinomo_core::KvsClient,
+}
+
+impl KvSession for DinomoSession {
+    fn execute(&self, op: &Operation) -> Result<Option<Vec<u8>>> {
+        match op {
+            Operation::Read(k) => self.client.lookup(k),
+            Operation::Update(k, v) => self.client.update(k, v).map(|()| None),
+            Operation::Insert(k, v) => self.client.insert(k, v).map(|()| None),
+            Operation::Delete(k) => self.client.delete(k).map(|()| None),
+        }
+    }
+}
+
+impl ElasticKvs for Kvs {
+    fn name(&self) -> String {
+        self.config().variant.name().to_string()
+    }
+
+    fn session(&self) -> Box<dyn KvSession> {
+        Box::new(DinomoSession { client: self.client() })
+    }
+
+    fn node_ids(&self) -> Vec<u32> {
+        self.kn_ids()
+    }
+
+    fn add_node(&self) -> Result<u32> {
+        self.add_kn()
+    }
+
+    fn remove_node(&self, id: u32) -> Result<()> {
+        self.remove_kn(id)
+    }
+
+    fn fail_node(&self, id: u32) -> Result<()> {
+        self.fail_kn(id)
+    }
+
+    fn replicate_key(&self, key: &[u8], factor: usize) -> Result<()> {
+        self.replicate_key(key, factor).map(|_| ())
+    }
+
+    fn dereplicate_key(&self, key: &[u8]) -> Result<()> {
+        self.dereplicate_key(key)
+    }
+
+    fn supports_selective_replication(&self) -> bool {
+        self.config().variant.supports_selective_replication()
+    }
+
+    fn replication_factor(&self, key: &[u8]) -> usize {
+        self.ownership().read().replication_factor(key)
+    }
+
+    fn stats(&self) -> KvsStats {
+        Kvs::stats(self)
+    }
+
+    fn maintenance(&self) {
+        let _ = self.flush_all();
+        self.dpm().run_gc();
+    }
+}
+
+// ------------------------------------------------------------------ Clover
+
+struct CloverSession {
+    client: dinomo_clover::CloverClient,
+}
+
+impl KvSession for CloverSession {
+    fn execute(&self, op: &Operation) -> Result<Option<Vec<u8>>> {
+        match op {
+            Operation::Read(k) => self.client.lookup(k),
+            Operation::Update(k, v) => self.client.update(k, v).map(|()| None),
+            Operation::Insert(k, v) => self.client.insert(k, v).map(|()| None),
+            Operation::Delete(k) => self.client.delete(k).map(|()| None),
+        }
+    }
+}
+
+impl ElasticKvs for dinomo_clover::CloverKvs {
+    fn name(&self) -> String {
+        "clover".to_string()
+    }
+
+    fn session(&self) -> Box<dyn KvSession> {
+        Box::new(CloverSession { client: self.client() })
+    }
+
+    fn node_ids(&self) -> Vec<u32> {
+        self.kn_ids()
+    }
+
+    fn add_node(&self) -> Result<u32> {
+        Ok(self.add_kn())
+    }
+
+    fn remove_node(&self, id: u32) -> Result<()> {
+        self.remove_kn(id)
+    }
+
+    fn fail_node(&self, id: u32) -> Result<()> {
+        self.fail_kn(id)
+    }
+
+    fn replicate_key(&self, _key: &[u8], _factor: usize) -> Result<()> {
+        // Clover is shared-everything: every node already serves every key.
+        Ok(())
+    }
+
+    fn dereplicate_key(&self, _key: &[u8]) -> Result<()> {
+        Ok(())
+    }
+
+    fn supports_selective_replication(&self) -> bool {
+        false
+    }
+
+    fn replication_factor(&self, _key: &[u8]) -> usize {
+        1
+    }
+
+    fn stats(&self) -> KvsStats {
+        CloverKvs_stats(self)
+    }
+
+    fn maintenance(&self) {
+        self.run_gc();
+    }
+}
+
+// Free function to avoid the method-name collision with the inherent
+// `CloverKvs::stats`.
+#[allow(non_snake_case)]
+fn CloverKvs_stats(kvs: &dinomo_clover::CloverKvs) -> KvsStats {
+    kvs.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinomo_clover::{CloverConfig, CloverKvs};
+    use dinomo_core::KvsConfig;
+
+    fn ops() -> Vec<Operation> {
+        vec![
+            Operation::Insert(b"k1".to_vec(), b"v1".to_vec()),
+            Operation::Read(b"k1".to_vec()),
+            Operation::Update(b"k1".to_vec(), b"v2".to_vec()),
+            Operation::Read(b"k1".to_vec()),
+            Operation::Delete(b"k1".to_vec()),
+            Operation::Read(b"k1".to_vec()),
+        ]
+    }
+
+    fn exercise(store: &dyn ElasticKvs) {
+        let session = store.session();
+        let results: Vec<_> = ops().iter().map(|op| session.execute(op).unwrap()).collect();
+        assert_eq!(results[1], Some(b"v1".to_vec()));
+        assert_eq!(results[3], Some(b"v2".to_vec()));
+        assert_eq!(results[5], None);
+        assert!(!store.node_ids().is_empty());
+        store.maintenance();
+        assert!(store.stats().total_ops() >= 6);
+        assert_eq!(store.replication_factor(b"k1"), 1);
+    }
+
+    #[test]
+    fn dinomo_implements_the_trait() {
+        let kvs = Kvs::new(KvsConfig::small_for_tests()).unwrap();
+        exercise(&kvs);
+        assert_eq!(ElasticKvs::name(&kvs), "dinomo");
+        assert!(kvs.supports_selective_replication());
+        let added = ElasticKvs::add_node(&kvs).unwrap();
+        assert!(kvs.node_ids().contains(&added));
+    }
+
+    #[test]
+    fn clover_implements_the_trait() {
+        let kvs = CloverKvs::new(CloverConfig::small_for_tests()).unwrap();
+        exercise(&kvs);
+        assert_eq!(ElasticKvs::name(&kvs), "clover");
+        assert!(!kvs.supports_selective_replication());
+        ElasticKvs::replicate_key(&kvs, b"k1", 4).unwrap();
+    }
+}

@@ -1,0 +1,113 @@
+//! The client library.
+//!
+//! Clients cache the ownership metadata they obtain from a routing node and
+//! talk directly to the owner KVS node for every request.  When the mapping
+//! changes (reconfiguration, failure, replication), the contacted node
+//! rejects the request and the client refreshes its cached metadata — exactly
+//! the flow §3.1/§3.4 describe.
+
+use crate::error::KvsError;
+use crate::kn::KnNode;
+use crate::kvs::KvsInner;
+use crate::Result;
+use dinomo_partition::{KnId, OwnershipTable};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Maximum routing retries before a request is failed back to the caller.
+const MAX_RETRIES: usize = 100;
+
+/// A client handle. Create one per application thread with
+/// [`crate::Kvs::client`]; handles are independent and each caches its own
+/// routing metadata.
+#[derive(Debug)]
+pub struct KvsClient {
+    kvs: Arc<KvsInner>,
+    cached: Mutex<OwnershipTable>,
+    replica_rr: AtomicUsize,
+}
+
+impl KvsClient {
+    pub(crate) fn new(kvs: Arc<KvsInner>) -> Self {
+        let cached = kvs.ownership.read().clone();
+        KvsClient { kvs, cached: Mutex::new(cached), replica_rr: AtomicUsize::new(0) }
+    }
+
+    /// Version of the routing metadata this client currently holds.
+    pub fn cached_ownership_version(&self) -> u64 {
+        self.cached.lock().version()
+    }
+
+    /// Refresh routing metadata from a routing node.
+    pub fn refresh_routing(&self) {
+        *self.cached.lock() = self.kvs.ownership.read().clone();
+    }
+
+    fn pick_owner(&self, key: &[u8]) -> Result<KnId> {
+        let cached = self.cached.lock();
+        let owners = cached.owners(key);
+        if owners.is_empty() {
+            return Err(KvsError::NoNodes);
+        }
+        // Round-robin across owners so replicated hot keys spread their load.
+        let idx = self.replica_rr.fetch_add(1, Ordering::Relaxed) % owners.len();
+        Ok(owners[idx])
+    }
+
+    fn node(&self, id: KnId) -> Option<Arc<KnNode>> {
+        self.kvs.kns.read().get(&id).cloned()
+    }
+
+    /// Route an operation to the key's owner, refreshing stale routing
+    /// metadata and retrying when a node rejects the request, is
+    /// reconfiguring, or has failed (requests "time out" and are retried, as
+    /// in the paper's failure handling).
+    fn run<T: std::fmt::Debug>(
+        &self,
+        key: &[u8],
+        mut op: impl FnMut(&KnNode) -> Result<T>,
+    ) -> Result<T> {
+        for attempt in 0..MAX_RETRIES {
+            let owner = self.pick_owner(key)?;
+            let result = match self.node(owner) {
+                Some(node) => op(&node),
+                None => Err(KvsError::NodeFailed),
+            };
+            match result {
+                Err(KvsError::NotOwner { .. })
+                | Err(KvsError::NodeFailed)
+                | Err(KvsError::Reconfiguring) => {
+                    self.refresh_routing();
+                    if attempt > 10 {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    continue;
+                }
+                other => return other,
+            }
+        }
+        Err(KvsError::RoutingRetriesExhausted)
+    }
+
+    /// `insert(key, value)`.
+    pub fn insert(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.run(key, |kn| kn.put(key, value))
+    }
+
+    /// `update(key, value)`.
+    pub fn update(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.run(key, |kn| kn.put(key, value))
+    }
+
+    /// `lookup(key)`.
+    pub fn lookup(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.run(key, |kn| kn.get(key))
+    }
+
+    /// `delete(key)`.
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.run(key, |kn| kn.delete(key))
+    }
+}

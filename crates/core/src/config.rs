@@ -1,0 +1,143 @@
+//! KVS configuration.
+
+use dinomo_cache::CacheKind;
+use dinomo_dpm::DpmConfig;
+use dinomo_simnet::FabricConfig;
+
+/// Which of the paper's systems to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Full Dinomo: ownership partitioning, DAC, selective replication.
+    Dinomo,
+    /// Dinomo with a shortcut-only cache (the paper's Dinomo-S).
+    DinomoS,
+    /// Shared-nothing Dinomo (the paper's Dinomo-N, standing in for
+    /// AsymNVM): data/metadata are partitioned per KN, so reconfiguration
+    /// physically copies data and selective replication is unavailable.
+    DinomoN,
+}
+
+impl Variant {
+    /// Short name used in benchmark output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::Dinomo => "dinomo",
+            Variant::DinomoS => "dinomo-s",
+            Variant::DinomoN => "dinomo-n",
+        }
+    }
+
+    /// The cache policy this variant uses unless overridden.
+    pub fn default_cache(&self) -> CacheKind {
+        match self {
+            Variant::Dinomo | Variant::DinomoN => CacheKind::Dac,
+            Variant::DinomoS => CacheKind::ShortcutOnly,
+        }
+    }
+
+    /// `true` if this variant supports selective replication of hot keys.
+    pub fn supports_selective_replication(&self) -> bool {
+        matches!(self, Variant::Dinomo | Variant::DinomoS)
+    }
+
+    /// `true` if membership changes require physically copying data
+    /// (shared-nothing architectures).
+    pub fn requires_data_reshuffle(&self) -> bool {
+        matches!(self, Variant::DinomoN)
+    }
+}
+
+/// Configuration of a [`crate::Kvs`] cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct KvsConfig {
+    /// Which system to build.
+    pub variant: Variant,
+    /// Number of KVS nodes at start-up.
+    pub initial_kns: usize,
+    /// Worker threads (shards) per KVS node.
+    pub threads_per_kn: usize,
+    /// DRAM cache budget per KVS node, in bytes (the paper uses 1 GB,
+    /// ≈1 % of the DPM pool).
+    pub cache_bytes_per_kn: usize,
+    /// Cache policy; `None` uses the variant's default.
+    pub cache_kind: Option<CacheKind>,
+    /// Number of writes a KN thread batches into one one-sided log write.
+    pub write_batch_ops: usize,
+    /// DPM configuration.
+    pub dpm: DpmConfig,
+    /// Simulated fabric configuration.
+    pub fabric: FabricConfig,
+    /// Virtual nodes per KN on the consistent-hashing ring.
+    pub ring_vnodes: u32,
+}
+
+impl Default for KvsConfig {
+    fn default() -> Self {
+        KvsConfig {
+            variant: Variant::Dinomo,
+            initial_kns: 1,
+            threads_per_kn: 8,
+            cache_bytes_per_kn: 64 << 20,
+            cache_kind: None,
+            write_batch_ops: 8,
+            dpm: DpmConfig::default(),
+            fabric: FabricConfig::default(),
+            ring_vnodes: 64,
+        }
+    }
+}
+
+impl KvsConfig {
+    /// A small, fast configuration for unit tests.
+    pub fn small_for_tests() -> Self {
+        KvsConfig {
+            initial_kns: 2,
+            threads_per_kn: 2,
+            cache_bytes_per_kn: 256 << 10,
+            write_batch_ops: 4,
+            dpm: DpmConfig::small_for_tests(),
+            ..KvsConfig::default()
+        }
+    }
+
+    /// Same configuration but for a different variant.
+    pub fn with_variant(mut self, variant: Variant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Effective cache policy.
+    pub fn effective_cache_kind(&self) -> CacheKind {
+        self.cache_kind.unwrap_or_else(|| self.variant.default_cache())
+    }
+
+    /// Cache budget per shard (thread) in bytes.
+    pub fn cache_bytes_per_shard(&self) -> usize {
+        self.cache_bytes_per_kn / self.threads_per_kn.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_properties() {
+        assert_eq!(Variant::Dinomo.default_cache(), CacheKind::Dac);
+        assert_eq!(Variant::DinomoS.default_cache(), CacheKind::ShortcutOnly);
+        assert!(Variant::Dinomo.supports_selective_replication());
+        assert!(!Variant::DinomoN.supports_selective_replication());
+        assert!(Variant::DinomoN.requires_data_reshuffle());
+        assert!(!Variant::Dinomo.requires_data_reshuffle());
+        assert_eq!(Variant::DinomoN.name(), "dinomo-n");
+    }
+
+    #[test]
+    fn cache_kind_override() {
+        let mut c = KvsConfig::default();
+        assert_eq!(c.effective_cache_kind(), CacheKind::Dac);
+        c.cache_kind = Some(CacheKind::ValueOnly);
+        assert_eq!(c.effective_cache_kind(), CacheKind::ValueOnly);
+        assert_eq!(c.cache_bytes_per_shard(), c.cache_bytes_per_kn / c.threads_per_kn);
+    }
+}

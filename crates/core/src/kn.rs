@@ -1,0 +1,416 @@
+//! The KVS node (KN): per-thread shards, DAC cache, log writer, unmerged-log
+//! tracking, and the request paths of §3.6.
+
+use crate::config::{KvsConfig, Variant};
+use crate::error::KvsError;
+use crate::stats::KnStats;
+use crate::Result;
+use dinomo_cache::{build_cache, CacheLookup, CacheStats, KnCache, ValueLoc};
+use dinomo_dpm::{BloomFilter, DpmNode, LogOp, LogWriter};
+use dinomo_partition::{KnId, OwnershipTable};
+use dinomo_pmem::PmAddr;
+use dinomo_simnet::Nic;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// State of a write that is durable (or buffered) but may not yet be merged
+/// into the DPM metadata index.
+#[derive(Debug, Clone)]
+enum Unmerged {
+    /// Buffered in the log writer, not yet flushed. We keep the bytes so
+    /// reads on this KN see the write immediately.
+    Pending(Vec<u8>),
+    /// Flushed (durable) at this location, waiting for the merge engine.
+    Committed { addr: PmAddr, len: u32 },
+    /// A buffered or flushed delete.
+    Deleted,
+}
+
+/// One worker-thread shard of a KVS node: its cache partition, log writer and
+/// unmerged-write tracking (§4: "un-merged log segments are cached in the KNs
+/// that wrote them", with Bloom filters for membership checks).
+struct Shard {
+    cache: Box<dyn KnCache>,
+    writer: LogWriter,
+    unmerged: HashMap<Vec<u8>, Unmerged>,
+    bloom: BloomFilter,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("cache", &self.cache.name())
+            .field("unmerged", &self.unmerged.len())
+            .finish()
+    }
+}
+
+/// A KVS node.
+#[derive(Debug)]
+pub struct KnNode {
+    id: KnId,
+    variant: Variant,
+    nic: Nic,
+    dpm: Arc<DpmNode>,
+    ownership: Arc<RwLock<OwnershipTable>>,
+    shards: Vec<Mutex<Shard>>,
+    write_batch_ops: usize,
+    failed: AtomicBool,
+    reconfiguring: AtomicBool,
+    ops: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    rejected: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+impl KnNode {
+    /// Build a KVS node and its shards.
+    pub fn new(
+        id: KnId,
+        config: &KvsConfig,
+        dpm: Arc<DpmNode>,
+        ownership: Arc<RwLock<OwnershipTable>>,
+    ) -> Self {
+        let nic = Nic::new(config.fabric);
+        let shards = (0..config.threads_per_kn.max(1))
+            .map(|_| {
+                Mutex::new(Shard {
+                    cache: build_cache(config.effective_cache_kind(), config.cache_bytes_per_shard()),
+                    writer: LogWriter::new(Arc::clone(&dpm), id, nic.clone()),
+                    unmerged: HashMap::new(),
+                    bloom: BloomFilter::new(4096),
+                })
+            })
+            .collect();
+        KnNode {
+            id,
+            variant: config.variant,
+            nic,
+            dpm,
+            ownership,
+            shards,
+            write_batch_ops: config.write_batch_ops.max(1),
+            failed: AtomicBool::new(false),
+            reconfiguring: AtomicBool::new(false),
+            ops: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Node id.
+    pub fn id(&self) -> KnId {
+        self.id
+    }
+
+    /// The node's NIC (for round-trip accounting in tests and benches).
+    pub fn nic(&self) -> &Nic {
+        &self.nic
+    }
+
+    /// `true` once the node has been failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    /// Simulate a fail-stop crash: the node stops serving and its DRAM
+    /// contents (caches, unmerged-write tracking) are lost.
+    pub fn fail(&self) {
+        self.failed.store(true, Ordering::Release);
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.cache.clear();
+            s.unmerged.clear();
+            s.bloom.clear();
+        }
+    }
+
+    /// Mark the node unavailable while it participates in a reconfiguration
+    /// (step 2 of §3.5) or available again (step 5).
+    pub fn set_reconfiguring(&self, on: bool) {
+        self.reconfiguring.store(on, Ordering::Release);
+    }
+
+    fn check_available(&self) -> Result<()> {
+        if self.failed.load(Ordering::Acquire) {
+            return Err(KvsError::NodeFailed);
+        }
+        if self.reconfiguring.load(Ordering::Acquire) {
+            return Err(KvsError::Reconfiguring);
+        }
+        Ok(())
+    }
+
+    fn check_ownership(&self, key: &[u8]) -> Result<u32> {
+        let table = self.ownership.read();
+        if !table.is_owner(self.id, key) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(KvsError::NotOwner { current_version: table.version() });
+        }
+        Ok(table.thread_of(self.id, key).unwrap_or(0))
+    }
+
+    fn shard_for(&self, thread: u32) -> &Mutex<Shard> {
+        &self.shards[thread as usize % self.shards.len()]
+    }
+
+    fn is_replicated(&self, key: &[u8]) -> bool {
+        self.variant.supports_selective_replication() && self.ownership.read().is_replicated(key)
+    }
+
+    // ------------------------------------------------------------- reads
+
+    /// `lookup(key)`.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.check_available()?;
+        let thread = self.check_ownership(key)?;
+        let start = Instant::now();
+        let result = if self.is_replicated(key) {
+            self.get_shared(key)
+        } else {
+            self.get_owned(key, thread)
+        };
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        result
+    }
+
+    fn get_owned(&self, key: &[u8], thread: u32) -> Result<Option<Vec<u8>>> {
+        let mut shard = self.shard_for(thread).lock();
+        match shard.cache.lookup(key) {
+            CacheLookup::Value(v) => return Ok(Some(v)),
+            CacheLookup::Shortcut(loc) => {
+                let value = self.dpm.read_value_at(&self.nic, PmAddr(loc.addr), loc.len);
+                shard.cache.admit_value(key, &value, loc);
+                return Ok(Some(value));
+            }
+            CacheLookup::Miss => {}
+        }
+        // Check the KN's own unmerged writes before going to the index.
+        if shard.bloom.may_contain(key) {
+            match shard.unmerged.get(key).cloned() {
+                Some(Unmerged::Pending(v)) => return Ok(Some(v)),
+                Some(Unmerged::Committed { addr, len }) => {
+                    let value = self.dpm.read_value_at(&self.nic, addr, len);
+                    let loc = ValueLoc { addr: addr.0, len };
+                    shard.cache.admit_value(key, &value, loc);
+                    return Ok(Some(value));
+                }
+                Some(Unmerged::Deleted) => return Ok(None),
+                None => {}
+            }
+        }
+        // Full miss: traverse the metadata index remotely.
+        let lookup = self.dpm.remote_read(&self.nic, key);
+        shard.cache.record_miss_cost(lookup.rts);
+        match (&lookup.value, lookup.value_loc) {
+            (Some(value), Some((addr, len))) => {
+                if !lookup.indirect {
+                    shard.cache.admit_value(key, value, ValueLoc { addr: addr.0, len });
+                }
+                Ok(Some(value.clone()))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Read of a selectively-replicated key: indirection cell then value, as
+    /// in §3.4 ("A KN reading a shared key has to first read the indirect
+    /// pointer and then read the value").
+    fn get_shared(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let Some(cell) = self.dpm.indirect_cell_of(key) else {
+            // Replication was requested but the cell is not installed yet;
+            // fall back to the ordinary path on shard 0.
+            return self.get_owned(key, 0);
+        };
+        let Some(entry_loc) = self.dpm.remote_read_indirect(&self.nic, cell) else {
+            return Ok(None);
+        };
+        self.nic.one_sided_read(entry_loc.len() as usize);
+        let entry = dinomo_dpm::entry::decode_entry(self.dpm.pool(), entry_loc.addr(), entry_loc.len());
+        Ok(entry.filter(|e| e.key == key).map(|e| e.read_value(self.dpm.pool())))
+    }
+
+    // ------------------------------------------------------------ writes
+
+    /// `insert(key, value)` / `update(key, value)`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.check_available()?;
+        let thread = self.check_ownership(key)?;
+        let start = Instant::now();
+        let result = if self.is_replicated(key) {
+            self.put_shared(key, value, thread)
+        } else {
+            self.put_owned(key, value, thread)
+        };
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        result
+    }
+
+    fn put_owned(&self, key: &[u8], value: &[u8], thread: u32) -> Result<()> {
+        let mut shard = self.shard_for(thread).lock();
+        shard.writer.append_put(key, value);
+        shard.cache.invalidate(key);
+        shard.unmerged.insert(key.to_vec(), Unmerged::Pending(value.to_vec()));
+        shard.bloom.insert(key);
+        if shard.writer.buffered_entries() >= self.write_batch_ops {
+            Self::flush_shard(&self.dpm, self.id, &mut shard)?;
+        }
+        Ok(())
+    }
+
+    /// Update of a selectively-replicated key: log the value, then CAS the
+    /// indirection cell to the new entry.
+    fn put_shared(&self, key: &[u8], value: &[u8], thread: u32) -> Result<()> {
+        let mut shard = self.shard_for(thread).lock();
+        shard.cache.invalidate(key);
+        shard.writer.append_put(key, value);
+        let commits = shard.writer.flush()?;
+        let new_loc = commits
+            .iter()
+            .rev()
+            .find(|c| c.key == key)
+            .expect("flushed batch must contain the appended key")
+            .entry_loc;
+        // Earlier entries in the same batch are handled by the merge engine;
+        // this key is made visible by swinging the cell.
+        drop(shard);
+        let Some(cell) = self.dpm.indirect_cell_of(key) else {
+            // Replication raced with de-replication; the merge engine will
+            // make the logged entry visible through the index.
+            return Ok(());
+        };
+        loop {
+            let Some(current) = self.dpm.remote_read_indirect(&self.nic, cell) else {
+                return Ok(());
+            };
+            match self.dpm.cas_indirect(&self.nic, cell, current, new_loc) {
+                Ok(()) => return Ok(()),
+                Err(_actual) => continue,
+            }
+        }
+    }
+
+    /// `delete(key)`.
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.check_available()?;
+        let thread = self.check_ownership(key)?;
+        let start = Instant::now();
+        let mut shard = self.shard_for(thread).lock();
+        shard.writer.append_delete(key);
+        shard.cache.invalidate(key);
+        shard.unmerged.insert(key.to_vec(), Unmerged::Deleted);
+        shard.bloom.insert(key);
+        if shard.writer.buffered_entries() >= self.write_batch_ops {
+            Self::flush_shard(&self.dpm, self.id, &mut shard)?;
+        }
+        drop(shard);
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn flush_shard(dpm: &Arc<DpmNode>, kn: KnId, shard: &mut Shard) -> Result<()> {
+        let commits = shard.writer.flush()?;
+        // A key may appear several times in one batch; only its *last* put
+        // location is current, so index the batch by key first.
+        let mut last_put: HashMap<&[u8], &dinomo_dpm::CommittedWrite> = HashMap::new();
+        for c in &commits {
+            if c.op == LogOp::Put {
+                last_put.insert(c.key.as_slice(), c);
+            }
+        }
+        for (key, c) in last_put {
+            // Only keys whose newest program-order state is still this put
+            // (i.e. not deleted later in the same batch) are refreshed.
+            if let Some(Unmerged::Pending(v)) = shard.unmerged.get(key) {
+                let loc = ValueLoc { addr: c.value_addr.0, len: c.value_len };
+                shard.cache.on_local_write(key, v, loc);
+                shard
+                    .unmerged
+                    .insert(c.key.clone(), Unmerged::Committed { addr: c.value_addr, len: c.value_len });
+            }
+        }
+        // Once everything this shard ever flushed has been merged, the index
+        // is authoritative and the unmerged tracking can be dropped.
+        if !commits.is_empty()
+            && shard.writer.buffered_entries() == 0
+            && dpm.unmerged_segments(kn) == 0
+        {
+            shard.unmerged.clear();
+            shard.bloom.clear();
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------- maintenance hooks
+
+    /// Flush every shard's buffered writes to DPM (bounding write latency;
+    /// also used before reconfiguration so pending logs can be merged).
+    pub fn flush_pending_writes(&self) -> Result<()> {
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            Self::flush_shard(&self.dpm, self.id, &mut s)?;
+        }
+        Ok(())
+    }
+
+    /// Empty the node's caches (the "current owner empties its cache" step
+    /// of the reconfiguration protocol).
+    pub fn clear_caches(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.cache.clear();
+        }
+    }
+
+    /// Drop all local state for a specific key (used when a key becomes
+    /// selectively replicated or de-replicated, at which point the DPM —
+    /// whose pending logs have been merged — is authoritative for it).
+    pub fn invalidate_key(&self, key: &[u8]) {
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.cache.invalidate(key);
+            s.unmerged.remove(key);
+        }
+    }
+
+    /// Aggregate statistics for this node.
+    pub fn stats(&self) -> KnStats {
+        let mut cache = CacheStats::default();
+        for shard in &self.shards {
+            let s = shard.lock();
+            let cs = s.cache.stats();
+            cache.value_hits += cs.value_hits;
+            cache.shortcut_hits += cs.shortcut_hits;
+            cache.misses += cs.misses;
+            cache.promotions += cs.promotions;
+            cache.demotions += cs.demotions;
+            cache.evictions += cs.evictions;
+            cache.bytes_used += cs.bytes_used;
+            cache.capacity_bytes += cs.capacity_bytes;
+            cache.value_entries += cs.value_entries;
+            cache.shortcut_entries += cs.shortcut_entries;
+        }
+        KnStats {
+            id: self.id,
+            ops: self.ops.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            cache,
+            nic: self.nic.snapshot(),
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! Cluster assembly: the shared DPM, the set of KVS nodes, the ownership
+//! table, and the reconfiguration protocol of §3.5.
+
+use crate::config::{KvsConfig, Variant};
+use crate::error::KvsError;
+use crate::kn::KnNode;
+use crate::stats::KvsStats;
+use crate::{KvsClient, Result};
+use dinomo_dpm::{entry::decode_entry, DpmNode, LogWriter, PackedLoc};
+use dinomo_partition::{KnId, OwnershipTable};
+use dinomo_simnet::Nic;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The Dinomo cluster (data plane + the mechanisms the control plane drives).
+///
+/// `Kvs` is cheap to clone; clones share the same cluster.
+#[derive(Debug, Clone)]
+pub struct Kvs {
+    inner: Arc<KvsInner>,
+}
+
+#[derive(Debug)]
+pub(crate) struct KvsInner {
+    pub(crate) config: KvsConfig,
+    pub(crate) dpm: Arc<DpmNode>,
+    pub(crate) ownership: Arc<RwLock<OwnershipTable>>,
+    pub(crate) kns: RwLock<BTreeMap<KnId, Arc<KnNode>>>,
+    next_kn_id: AtomicU32,
+    reconfigurations: AtomicU64,
+    bytes_reshuffled: AtomicU64,
+}
+
+impl Kvs {
+    /// Build a cluster with `config.initial_kns` KVS nodes.
+    pub fn new(config: KvsConfig) -> Result<Self> {
+        let dpm = Arc::new(DpmNode::new(config.dpm)?);
+        let ownership = Arc::new(RwLock::new(OwnershipTable::new(
+            config.ring_vnodes,
+            config.threads_per_kn as u32,
+        )));
+        let inner = Arc::new(KvsInner {
+            config,
+            dpm,
+            ownership,
+            kns: RwLock::new(BTreeMap::new()),
+            next_kn_id: AtomicU32::new(0),
+            reconfigurations: AtomicU64::new(0),
+            bytes_reshuffled: AtomicU64::new(0),
+        });
+        let kvs = Kvs { inner };
+        for _ in 0..config.initial_kns.max(1) {
+            kvs.add_kn()?;
+        }
+        Ok(kvs)
+    }
+
+    /// The configuration the cluster was built with.
+    pub fn config(&self) -> &KvsConfig {
+        &self.inner.config
+    }
+
+    /// The shared DPM node.
+    pub fn dpm(&self) -> &Arc<DpmNode> {
+        &self.inner.dpm
+    }
+
+    /// The shared ownership table (the routing nodes' view).
+    pub fn ownership(&self) -> Arc<RwLock<OwnershipTable>> {
+        Arc::clone(&self.inner.ownership)
+    }
+
+    /// A new client handle (each client caches routing metadata).
+    pub fn client(&self) -> KvsClient {
+        KvsClient::new(Arc::clone(&self.inner))
+    }
+
+    /// Identifiers of the live KVS nodes.
+    pub fn kn_ids(&self) -> Vec<KnId> {
+        self.inner.kns.read().keys().copied().collect()
+    }
+
+    /// Number of live KVS nodes.
+    pub fn num_kns(&self) -> usize {
+        self.inner.kns.read().len()
+    }
+
+    /// Handle to one KVS node.
+    pub fn kn(&self, id: KnId) -> Option<Arc<KnNode>> {
+        self.inner.kns.read().get(&id).cloned()
+    }
+
+    /// Total number of reconfigurations (membership or replication changes).
+    pub fn reconfigurations(&self) -> u64 {
+        self.inner.reconfigurations.load(Ordering::Relaxed)
+    }
+
+    /// Bytes physically copied by shared-nothing (Dinomo-N) reshuffles.
+    pub fn bytes_reshuffled(&self) -> u64 {
+        self.inner.bytes_reshuffled.load(Ordering::Relaxed)
+    }
+
+    // ----------------------------------------------------- reconfiguration
+
+    /// Add a KVS node and repartition ownership onto it (§3.5 steps 1–7).
+    /// Returns the new node's id.
+    pub fn add_kn(&self) -> Result<KnId> {
+        let new_id = self.inner.next_kn_id.fetch_add(1, Ordering::Relaxed);
+        let old_table = self.inner.ownership.read().clone();
+        let mut new_table = old_table.clone();
+        new_table.add_kn(new_id);
+
+        // Step 1: the KNs whose ranges move are those that currently own
+        // ranges the new node takes over — with consistent hashing that is
+        // potentially every existing node.
+        let affected: Vec<Arc<KnNode>> = {
+            let changes = old_table.global_ring().changes_to(new_table.global_ring());
+            let losers: Vec<KnId> =
+                changes.iter().filter_map(|c| c.from).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+            let kns = self.inner.kns.read();
+            losers.iter().filter_map(|id| kns.get(id).cloned()).collect()
+        };
+
+        // Step 2: the participating KNs become unavailable.
+        for kn in &affected {
+            kn.set_reconfiguring(true);
+        }
+        // Step 3: their pending logs are merged synchronously.
+        for kn in &affected {
+            kn.flush_pending_writes()?;
+            self.inner.dpm.wait_until_merged(kn.id());
+        }
+        // Shared-nothing variant: physically reshuffle the data that changes
+        // owner (this is exactly the cost Dinomo's ownership partitioning
+        // avoids).
+        if self.inner.config.variant.requires_data_reshuffle() {
+            self.reshuffle_data(&old_table, &new_table)?;
+        }
+
+        // Step 4/5: build the new node, install the new mapping, reopen.
+        let node = Arc::new(KnNode::new(
+            new_id,
+            &self.inner.config,
+            Arc::clone(&self.inner.dpm),
+            Arc::clone(&self.inner.ownership),
+        ));
+        self.inner.kns.write().insert(new_id, node);
+        *self.inner.ownership.write() = new_table;
+        for kn in &affected {
+            // The previous owners empty their caches for the moved ranges.
+            kn.clear_caches();
+            kn.set_reconfiguring(false);
+        }
+        // Steps 6/7 (asynchronously updating remaining KNs and RNs) are
+        // immediate here because all components share the ownership table.
+        self.persist_policy_metadata()?;
+        self.inner.reconfigurations.fetch_add(1, Ordering::Relaxed);
+        Ok(new_id)
+    }
+
+    /// Remove an (under-utilized) KVS node, handing its ranges to the rest of
+    /// the cluster.
+    pub fn remove_kn(&self, id: KnId) -> Result<()> {
+        let node = self.kn(id).ok_or(KvsError::NoNodes)?;
+        if self.num_kns() <= 1 {
+            return Err(KvsError::NoNodes);
+        }
+        let old_table = self.inner.ownership.read().clone();
+        let mut new_table = old_table.clone();
+        new_table.remove_kn(id);
+
+        node.set_reconfiguring(true);
+        node.flush_pending_writes()?;
+        self.inner.dpm.wait_until_merged(id);
+        if self.inner.config.variant.requires_data_reshuffle() {
+            self.reshuffle_data(&old_table, &new_table)?;
+        }
+        node.clear_caches();
+        *self.inner.ownership.write() = new_table;
+        self.inner.kns.write().remove(&id);
+        self.persist_policy_metadata()?;
+        self.inner.reconfigurations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Simulate a fail-stop KVS-node failure and run the recovery protocol:
+    /// merge the failed node's pending logs, repartition ownership among the
+    /// alive nodes, and (for shared-nothing variants) reshuffle its data.
+    pub fn fail_kn(&self, id: KnId) -> Result<()> {
+        let node = self.kn(id).ok_or(KvsError::NoNodes)?;
+        node.fail();
+        let old_table = self.inner.ownership.read().clone();
+        let mut new_table = old_table.clone();
+        new_table.remove_kn(id);
+
+        // The M-node has the pending log segments of the failed KN merged
+        // before the partitions are handed to new owners.
+        self.inner.dpm.merge_pending_for_kn(id);
+        if self.inner.config.variant.requires_data_reshuffle() {
+            self.reshuffle_data(&old_table, &new_table)?;
+        }
+        *self.inner.ownership.write() = new_table;
+        self.inner.kns.write().remove(&id);
+        self.persist_policy_metadata()?;
+        self.inner.reconfigurations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Share the ownership of a hot key across `factor` nodes (selective
+    /// replication).  Installs the indirection cell in DPM and invalidates
+    /// the primary owner's cached copy.
+    pub fn replicate_key(&self, key: &[u8], factor: usize) -> Result<Vec<KnId>> {
+        if !self.inner.config.variant.supports_selective_replication() {
+            return Err(KvsError::Reconfiguring);
+        }
+        // Make sure the key's latest value is merged so the indirection cell
+        // picks up the current entry.
+        if let Some(primary) = self.inner.ownership.read().primary_owner(key) {
+            if let Some(kn) = self.kn(primary) {
+                kn.flush_pending_writes()?;
+                self.inner.dpm.wait_until_merged(primary);
+            }
+        }
+        self.inner.dpm.make_indirect(key)?;
+        let owners = self.inner.ownership.write().replicate(key, factor);
+        for kn in self.inner.kns.read().values() {
+            kn.invalidate_key(key);
+        }
+        self.persist_policy_metadata()?;
+        self.inner.reconfigurations.fetch_add(1, Ordering::Relaxed);
+        Ok(owners)
+    }
+
+    /// Collapse a previously replicated key back to a single owner.
+    pub fn dereplicate_key(&self, key: &[u8]) -> Result<()> {
+        for kn in self.inner.kns.read().values() {
+            kn.invalidate_key(key);
+        }
+        self.inner.ownership.write().dereplicate(key);
+        self.inner.dpm.remove_indirect(key);
+        self.persist_policy_metadata()?;
+        self.inner.reconfigurations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Flush buffered writes on every node (used by drivers at epoch
+    /// boundaries and before shutdown).
+    pub fn flush_all(&self) -> Result<()> {
+        let kns: Vec<Arc<KnNode>> = self.inner.kns.read().values().cloned().collect();
+        for kn in kns {
+            if !kn.is_failed() {
+                kn.flush_pending_writes()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Wait until the DPM has merged every outstanding log segment.
+    pub fn quiesce(&self) -> Result<()> {
+        self.flush_all()?;
+        self.inner.dpm.wait_until_all_merged();
+        Ok(())
+    }
+
+    /// Persist the ownership/replication metadata to DPM so failed routing
+    /// nodes or KNs can rebuild their soft state (§3.5 "Fault tolerance").
+    pub fn persist_policy_metadata(&self) -> Result<()> {
+        let table = self.inner.ownership.read();
+        let blob = serde_json::to_vec(&*table).unwrap_or_default();
+        self.inner.dpm.put_metadata("ownership-table", &blob)?;
+        Ok(())
+    }
+
+    /// Recover the ownership/replication metadata previously persisted with
+    /// [`Kvs::persist_policy_metadata`].
+    pub fn recover_policy_metadata(&self) -> Option<OwnershipTable> {
+        let blob = self.inner.dpm.get_metadata("ownership-table")?;
+        serde_json::from_slice(&blob).ok()
+    }
+
+    /// Cluster-wide statistics.
+    pub fn stats(&self) -> KvsStats {
+        KvsStats {
+            kns: self.inner.kns.read().values().map(|k| k.stats()).collect(),
+            dpm: self.inner.dpm.stats(),
+            ownership_version: self.inner.ownership.read().version(),
+        }
+    }
+
+    /// Shared-nothing data reorganization: every key whose owner changes is
+    /// physically re-written through the new owner's log.  This is the
+    /// expensive step that Dinomo's ownership partitioning eliminates.
+    fn reshuffle_data(&self, old: &OwnershipTable, new: &OwnershipTable) -> Result<()> {
+        debug_assert_eq!(self.inner.config.variant, Variant::DinomoN);
+        // Collect the moved keys first (the index cannot be mutated while we
+        // iterate it).
+        let mut moved: Vec<(Vec<u8>, Vec<u8>, KnId)> = Vec::new();
+        let pool = self.inner.dpm.pool();
+        self.inner.dpm.index().for_each(|_tag, raw| {
+            let loc = PackedLoc::from_raw(raw);
+            if loc.is_indirect() {
+                return;
+            }
+            if let Some(entry) = decode_entry(pool, loc.addr(), loc.len()) {
+                let old_owner = old.primary_owner(&entry.key);
+                let new_owner = new.primary_owner(&entry.key);
+                if let (Some(o), Some(n)) = (old_owner, new_owner) {
+                    if o != n {
+                        moved.push((entry.key.clone(), entry.read_value(pool), n));
+                    }
+                }
+            }
+        });
+        if moved.is_empty() {
+            return Ok(());
+        }
+        // Re-log every moved pair through a writer owned by its new owner.
+        let nic = Nic::new(self.inner.config.fabric);
+        let mut writers: BTreeMap<KnId, LogWriter> = BTreeMap::new();
+        let mut bytes = 0u64;
+        for (key, value, new_owner) in moved {
+            bytes += (key.len() + value.len()) as u64;
+            let w = writers
+                .entry(new_owner)
+                .or_insert_with(|| LogWriter::new(Arc::clone(&self.inner.dpm), new_owner, nic.clone()));
+            w.append_put(&key, &value);
+            if w.should_flush() {
+                w.flush()?;
+            }
+        }
+        for (_, mut w) in writers {
+            w.flush()?;
+            w.seal_current();
+        }
+        self.inner.dpm.wait_until_all_merged();
+        self.inner.bytes_reshuffled.fetch_add(bytes, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinomo_workload::key_for;
+
+    fn cluster(variant: Variant) -> Kvs {
+        Kvs::new(KvsConfig::small_for_tests().with_variant(variant)).unwrap()
+    }
+
+    #[test]
+    fn basic_crud_through_client() {
+        let kvs = cluster(Variant::Dinomo);
+        let client = kvs.client();
+        client.insert(b"alpha", b"1").unwrap();
+        client.insert(b"beta", b"2").unwrap();
+        assert_eq!(client.lookup(b"alpha").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(client.lookup(b"beta").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(client.lookup(b"gamma").unwrap(), None);
+        client.update(b"alpha", b"1b").unwrap();
+        assert_eq!(client.lookup(b"alpha").unwrap(), Some(b"1b".to_vec()));
+        client.delete(b"alpha").unwrap();
+        assert_eq!(client.lookup(b"alpha").unwrap(), None);
+        assert_eq!(client.lookup(b"beta").unwrap(), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn many_keys_across_kns_and_shards() {
+        let kvs = cluster(Variant::Dinomo);
+        let client = kvs.client();
+        for i in 0..500u64 {
+            client.insert(&key_for(i, 8), format!("value-{i}").as_bytes()).unwrap();
+        }
+        kvs.quiesce().unwrap();
+        for i in 0..500u64 {
+            assert_eq!(
+                client.lookup(&key_for(i, 8)).unwrap(),
+                Some(format!("value-{i}").into_bytes()),
+                "key {i}"
+            );
+        }
+        let stats = kvs.stats();
+        assert_eq!(stats.kns.len(), 2);
+        // Both KNs served a reasonable share of the requests.
+        for kn in &stats.kns {
+            assert!(kn.ops > 100, "kn {} only served {} ops", kn.id, kn.ops);
+        }
+    }
+
+    #[test]
+    fn all_variants_serve_reads_and_writes() {
+        for variant in [Variant::Dinomo, Variant::DinomoS, Variant::DinomoN] {
+            let kvs = cluster(variant);
+            let client = kvs.client();
+            for i in 0..100u64 {
+                client.insert(&key_for(i, 8), &[i as u8; 64]).unwrap();
+            }
+            for i in 0..100u64 {
+                assert_eq!(
+                    client.lookup(&key_for(i, 8)).unwrap(),
+                    Some(vec![i as u8; 64]),
+                    "{} key {i}",
+                    variant.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_kn_preserves_data_and_moves_ownership() {
+        let kvs = cluster(Variant::Dinomo);
+        let client = kvs.client();
+        for i in 0..300u64 {
+            client.insert(&key_for(i, 8), &[1u8; 32]).unwrap();
+        }
+        let before_version = kvs.ownership().read().version();
+        let new_id = kvs.add_kn().unwrap();
+        assert_eq!(kvs.num_kns(), 3);
+        assert!(kvs.ownership().read().version() > before_version);
+        assert!(kvs.kn_ids().contains(&new_id));
+        for i in 0..300u64 {
+            assert_eq!(client.lookup(&key_for(i, 8)).unwrap(), Some(vec![1u8; 32]), "key {i}");
+        }
+        // The new node ends up owning some keys and serving requests.
+        let new_kn_ops = kvs.kn(new_id).unwrap().stats().ops;
+        assert!(new_kn_ops > 0, "new KN never served a request");
+        // Dinomo never physically copies data on reconfiguration.
+        assert_eq!(kvs.bytes_reshuffled(), 0);
+    }
+
+    #[test]
+    fn dinomo_n_reshuffles_data_on_membership_change() {
+        let kvs = cluster(Variant::DinomoN);
+        let client = kvs.client();
+        for i in 0..200u64 {
+            client.insert(&key_for(i, 8), &[7u8; 64]).unwrap();
+        }
+        kvs.quiesce().unwrap();
+        kvs.add_kn().unwrap();
+        assert!(kvs.bytes_reshuffled() > 0, "shared-nothing must copy data");
+        for i in 0..200u64 {
+            assert_eq!(client.lookup(&key_for(i, 8)).unwrap(), Some(vec![7u8; 64]));
+        }
+    }
+
+    #[test]
+    fn remove_kn_keeps_data_available() {
+        let kvs = cluster(Variant::Dinomo);
+        let client = kvs.client();
+        for i in 0..200u64 {
+            client.insert(&key_for(i, 8), &[9u8; 16]).unwrap();
+        }
+        let victim = kvs.kn_ids()[0];
+        kvs.remove_kn(victim).unwrap();
+        assert_eq!(kvs.num_kns(), 1);
+        for i in 0..200u64 {
+            assert_eq!(client.lookup(&key_for(i, 8)).unwrap(), Some(vec![9u8; 16]), "key {i}");
+        }
+        // Removing the last node is refused.
+        let last = kvs.kn_ids()[0];
+        assert!(matches!(kvs.remove_kn(last), Err(KvsError::NoNodes)));
+    }
+
+    #[test]
+    fn failed_kn_data_remains_readable_after_recovery() {
+        let kvs = cluster(Variant::Dinomo);
+        let client = kvs.client();
+        for i in 0..200u64 {
+            client.insert(&key_for(i, 8), &[3u8; 32]).unwrap();
+        }
+        // Make sure everything is durable in the log before the crash (the
+        // client-visible guarantee covers flushed writes).
+        kvs.flush_all().unwrap();
+        let victim = kvs.kn_ids()[0];
+        kvs.fail_kn(victim).unwrap();
+        assert_eq!(kvs.num_kns(), 1);
+        for i in 0..200u64 {
+            assert_eq!(client.lookup(&key_for(i, 8)).unwrap(), Some(vec![3u8; 32]), "key {i}");
+        }
+        // The failed node rejects requests.
+        assert!(kvs.kn(victim).is_none());
+    }
+
+    #[test]
+    fn selective_replication_shares_ownership() {
+        let kvs = cluster(Variant::Dinomo);
+        let client = kvs.client();
+        client.insert(b"hotkey", b"v0").unwrap();
+        let owners = kvs.replicate_key(b"hotkey", 2).unwrap();
+        assert_eq!(owners.len(), 2);
+        assert!(kvs.ownership().read().is_replicated(b"hotkey"));
+        // Reads and writes still linearize through the indirection cell.
+        assert_eq!(client.lookup(b"hotkey").unwrap(), Some(b"v0".to_vec()));
+        client.update(b"hotkey", b"v1").unwrap();
+        assert_eq!(client.lookup(b"hotkey").unwrap(), Some(b"v1".to_vec()));
+        // Every owner can serve the key directly.
+        for owner in owners {
+            let kn = kvs.kn(owner).unwrap();
+            assert_eq!(kn.get(b"hotkey").unwrap(), Some(b"v1".to_vec()));
+        }
+        kvs.dereplicate_key(b"hotkey").unwrap();
+        assert!(!kvs.ownership().read().is_replicated(b"hotkey"));
+        assert_eq!(client.lookup(b"hotkey").unwrap(), Some(b"v1".to_vec()));
+        client.update(b"hotkey", b"v2").unwrap();
+        assert_eq!(client.lookup(b"hotkey").unwrap(), Some(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn dinomo_n_rejects_selective_replication() {
+        let kvs = cluster(Variant::DinomoN);
+        let client = kvs.client();
+        client.insert(b"hot", b"v").unwrap();
+        assert!(kvs.replicate_key(b"hot", 2).is_err());
+    }
+
+    #[test]
+    fn policy_metadata_round_trips_through_dpm() {
+        let kvs = cluster(Variant::Dinomo);
+        let client = kvs.client();
+        client.insert(b"hot", b"v").unwrap();
+        kvs.replicate_key(b"hot", 2).unwrap();
+        let recovered = kvs.recover_policy_metadata().expect("metadata must be persisted");
+        assert_eq!(recovered.version(), kvs.ownership().read().version());
+        assert!(recovered.is_replicated(b"hot"));
+    }
+
+    #[test]
+    fn stats_reflect_activity() {
+        let kvs = cluster(Variant::Dinomo);
+        let client = kvs.client();
+        for i in 0..50u64 {
+            client.insert(&key_for(i, 8), &[0u8; 128]).unwrap();
+        }
+        for _ in 0..3 {
+            for i in 0..50u64 {
+                client.lookup(&key_for(i, 8)).unwrap();
+            }
+        }
+        let stats = kvs.stats();
+        assert_eq!(stats.total_ops(), 200);
+        assert!(stats.cache_hit_ratio() > 0.5, "hit ratio {}", stats.cache_hit_ratio());
+        assert!(stats.rts_per_op() < 2.0);
+        assert!(stats.dpm.entries_merged > 0 || stats.dpm.segments_allocated > 0);
+    }
+}

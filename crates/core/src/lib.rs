@@ -1,0 +1,46 @@
+//! # dinomo-core — the Dinomo key-value store
+//!
+//! This crate assembles the substrates (simulated fabric, PM pool, P-CLHT
+//! index, DPM log/merge engine, DAC cache, ownership partitioning) into the
+//! key-value store the paper describes, together with its two ablation
+//! variants:
+//!
+//! * **Dinomo** — ownership partitioning + DAC + selective replication;
+//! * **Dinomo-S** — identical but with a shortcut-only cache (isolates the
+//!   benefit of DAC);
+//! * **Dinomo-N** — shared-nothing: data and metadata are partitioned, so
+//!   membership changes physically reshuffle data (isolates the benefit of
+//!   sharing data in DPM while partitioning only ownership).
+//!
+//! The public API mirrors the paper's §3: `insert`, `update`, `lookup` and
+//! `delete` over variable-sized keys and values ([`KvsClient`]), plus the
+//! control-plane entry points the monitoring/management node uses:
+//! [`Kvs::add_kn`], [`Kvs::remove_kn`], [`Kvs::fail_kn`],
+//! [`Kvs::replicate_key`] and [`Kvs::dereplicate_key`].
+//!
+//! ```
+//! use dinomo_core::{Kvs, KvsConfig};
+//!
+//! let kvs = Kvs::new(KvsConfig::small_for_tests()).unwrap();
+//! let client = kvs.client();
+//! client.insert(b"hello", b"world").unwrap();
+//! assert_eq!(client.lookup(b"hello").unwrap(), Some(b"world".to_vec()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod error;
+pub mod kn;
+pub mod kvs;
+pub mod stats;
+
+pub use client::KvsClient;
+pub use config::{KvsConfig, Variant};
+pub use error::KvsError;
+pub use kvs::Kvs;
+pub use stats::{KnStats, KvsStats};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, KvsError>;

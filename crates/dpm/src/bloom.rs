@@ -1,0 +1,120 @@
+//! A small Bloom filter.
+//!
+//! KVS nodes keep their *unmerged* log segments cached locally and must check
+//! them on every cache miss before falling back to the DPM index (§4 of the
+//! paper: "Dinomo implements Bloom filters atop cached log segments for quick
+//! membership queries").  This filter answers "might this key be in the
+//! cached segment?" with no false negatives.
+
+/// A fixed-size Bloom filter over byte-string keys.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    hashes: u32,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Create a filter sized for `expected_items` with roughly a 1 % false
+    /// positive rate.
+    pub fn new(expected_items: usize) -> Self {
+        // ~9.6 bits/item and 7 hash functions give ~1% FPR.
+        let num_bits = ((expected_items.max(8)) as u64 * 10).next_power_of_two();
+        BloomFilter {
+            bits: vec![0u64; (num_bits / 64) as usize],
+            num_bits,
+            hashes: 7,
+            inserted: 0,
+        }
+    }
+
+    fn hash2(key: &[u8]) -> (u64, u64) {
+        let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h2: u64 = 0x9E37_79B9_7F4A_7C15;
+        for &b in key {
+            h1 = (h1 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            h2 = h2.wrapping_add(u64::from(b)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+            h2 ^= h2 >> 29;
+        }
+        (h1, h2 | 1)
+    }
+
+    /// Add a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let (h1, h2) = Self::hash2(key);
+        for i in 0..self.hashes {
+            let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// `false` means the key is definitely absent; `true` means it may be
+    /// present.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let (h1, h2) = Self::hash2(key);
+        for i in 0..self.hashes {
+            let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits;
+            if self.bits[(bit / 64) as usize] & (1 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Number of keys inserted.
+    pub fn len(&self) -> u64 {
+        self.inserted
+    }
+
+    /// `true` if nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.inserted == 0
+    }
+
+    /// Reset the filter.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+        self.inserted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1_000);
+        for i in 0..1_000u32 {
+            f.insert(format!("key{i}").as_bytes());
+        }
+        for i in 0..1_000u32 {
+            assert!(f.may_contain(format!("key{i}").as_bytes()));
+        }
+        assert_eq!(f.len(), 1_000);
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut f = BloomFilter::new(1_000);
+        for i in 0..1_000u32 {
+            f.insert(format!("key{i}").as_bytes());
+        }
+        let fp = (10_000..20_000u32)
+            .filter(|i| f.may_contain(format!("key{i}").as_bytes()))
+            .count();
+        assert!(fp < 500, "false positive rate too high: {fp}/10000");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = BloomFilter::new(16);
+        f.insert(b"a");
+        assert!(f.may_contain(b"a"));
+        f.clear();
+        assert!(!f.may_contain(b"a"));
+        assert!(f.is_empty());
+    }
+}

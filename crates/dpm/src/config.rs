@@ -1,0 +1,91 @@
+//! DPM node configuration.
+
+use dinomo_pclht::PclhtConfig;
+use dinomo_pmem::PmemConfig;
+
+/// Configuration of a [`crate::DpmNode`].
+#[derive(Debug, Clone, Copy)]
+pub struct DpmConfig {
+    /// Configuration of the backing persistent-memory pool.
+    pub pool: PmemConfig,
+    /// Size of each log segment. The paper uses 8 MB; tests use much smaller
+    /// segments to exercise segment roll-over cheaply.
+    pub segment_bytes: u64,
+    /// KN-side batch threshold: a [`crate::LogWriter`] flushes automatically
+    /// once this many bytes are buffered.
+    pub flush_batch_bytes: usize,
+    /// Number of DPM processor threads dedicated to merging (the paper finds
+    /// 4 sufficient for 16 KNs on DRAM).
+    pub merge_threads: usize,
+    /// A KN blocks once it has this many sealed-but-unmerged segments
+    /// (default 2, per §4).
+    pub unmerged_segment_threshold: usize,
+    /// Metadata-index configuration.
+    pub index: PclhtConfig,
+    /// When `true`, merge workers busy-wait for the modeled media cost of
+    /// each merge (used by the Figure 4 harness to contrast DRAM and PM).
+    pub inject_media_delay: bool,
+}
+
+impl Default for DpmConfig {
+    fn default() -> Self {
+        DpmConfig {
+            pool: PmemConfig::default(),
+            segment_bytes: 8 << 20,
+            flush_batch_bytes: 64 << 10,
+            merge_threads: 4,
+            unmerged_segment_threshold: 2,
+            index: PclhtConfig::default(),
+            inject_media_delay: false,
+        }
+    }
+}
+
+impl DpmConfig {
+    /// A small configuration for unit tests: tiny pool, tiny segments, a
+    /// single merge thread, and persistence tracking enabled.
+    pub fn small_for_tests() -> Self {
+        DpmConfig {
+            pool: PmemConfig { capacity_bytes: 16 << 20, track_persistence: false, ..PmemConfig::default() },
+            segment_bytes: 32 << 10,
+            flush_batch_bytes: 4 << 10,
+            merge_threads: 1,
+            unmerged_segment_threshold: 2,
+            index: PclhtConfig { initial_buckets: 256, ..PclhtConfig::default() },
+            inject_media_delay: false,
+        }
+    }
+
+    /// Scale the pool and index for roughly `expected_keys` keys of
+    /// `value_len` bytes each (plus slack for updates).
+    pub fn sized_for(expected_keys: u64, value_len: usize, slack_factor: f64) -> Self {
+        let entry = (value_len as u64 + 64).next_multiple_of(8);
+        let bytes = ((expected_keys * entry) as f64 * slack_factor.max(1.2)) as u64 + (64 << 20);
+        DpmConfig {
+            pool: PmemConfig::with_capacity(bytes),
+            index: PclhtConfig::for_capacity(expected_keys as usize * 2),
+            ..DpmConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DpmConfig::default();
+        assert_eq!(c.segment_bytes, 8 << 20);
+        assert_eq!(c.merge_threads, 4);
+        assert_eq!(c.unmerged_segment_threshold, 2);
+    }
+
+    #[test]
+    fn sized_for_scales_with_dataset() {
+        let small = DpmConfig::sized_for(1_000, 64, 1.5);
+        let big = DpmConfig::sized_for(1_000_000, 1024, 1.5);
+        assert!(big.pool.capacity_bytes > small.pool.capacity_bytes);
+        assert!(big.index.initial_buckets > small.index.initial_buckets);
+    }
+}

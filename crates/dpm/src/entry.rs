@@ -1,0 +1,245 @@
+//! Log-entry encoding.
+//!
+//! A log entry is written by a KVS node into its exclusive segment and later
+//! parsed by a DPM processor thread during merging (and by the recovery
+//! path).  Layout (8-byte aligned):
+//!
+//! ```text
+//! offset  0: u32 key_len
+//! offset  4: u32 val_len
+//! offset  8: u64 seq            (per-KN monotonic sequence number)
+//! offset 16: u8  op             (1 = put, 2 = delete)
+//! offset 17: 7 bytes padding
+//! offset 24: key bytes
+//! offset 24 + key_len: value bytes
+//! ... padding to an 8-byte boundary ...
+//! last 8 bytes: seal word = SEAL_MAGIC ^ seq   (commit marker)
+//! ```
+//!
+//! The seal word is written last; recovery treats an entry whose seal does
+//! not match as torn and discards it together with the rest of that batch
+//! (log writes within a batch are sequential).
+
+use crate::loc::PackedLoc;
+use dinomo_pmem::{PmAddr, PmemPool};
+
+/// Size of the fixed entry header in bytes.
+pub const HEADER_BYTES: u64 = 24;
+/// Size of the trailing seal word.
+pub const SEAL_BYTES: u64 = 8;
+/// Magic value mixed with the sequence number to form the seal.
+pub const SEAL_MAGIC: u64 = 0xD1_40_40_D1_5EA1_u64;
+
+/// Operation recorded in a log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogOp {
+    /// Insert or update.
+    Put,
+    /// Delete (tombstone).
+    Delete,
+}
+
+impl LogOp {
+    fn to_byte(self) -> u8 {
+        match self {
+            LogOp::Put => 1,
+            LogOp::Delete => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<LogOp> {
+        match b {
+            1 => Some(LogOp::Put),
+            2 => Some(LogOp::Delete),
+            _ => None,
+        }
+    }
+}
+
+/// Decoded header of a log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryHeader {
+    /// Key length in bytes.
+    pub key_len: u32,
+    /// Value length in bytes.
+    pub val_len: u32,
+    /// Per-KN sequence number.
+    pub seq: u64,
+    /// Operation.
+    pub op: LogOp,
+}
+
+/// Total encoded size of an entry with the given key/value lengths.
+pub fn entry_size(key_len: usize, val_len: usize) -> u64 {
+    let body = HEADER_BYTES + key_len as u64 + val_len as u64;
+    body.next_multiple_of(8) + SEAL_BYTES
+}
+
+/// Encode an entry into `buf` (appending). Returns the byte offset, within
+/// the appended region, at which the value starts.
+pub fn encode_entry(buf: &mut Vec<u8>, key: &[u8], value: &[u8], op: LogOp, seq: u64) -> u64 {
+    let start = buf.len() as u64;
+    buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.push(op.to_byte());
+    buf.extend_from_slice(&[0u8; 7]);
+    let value_offset = buf.len() as u64 - start + key.len() as u64;
+    buf.extend_from_slice(key);
+    buf.extend_from_slice(value);
+    while (buf.len() as u64 - start) % 8 != 0 {
+        buf.push(0);
+    }
+    buf.extend_from_slice(&(SEAL_MAGIC ^ seq).to_le_bytes());
+    debug_assert_eq!(buf.len() as u64 - start, entry_size(key.len(), value.len()));
+    value_offset
+}
+
+/// A decoded view of an entry stored in the pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedEntry {
+    /// Header fields.
+    pub header: EntryHeader,
+    /// The key bytes.
+    pub key: Vec<u8>,
+    /// Address of the value bytes inside the pool.
+    pub value_addr: PmAddr,
+    /// Total size of the entry on the log.
+    pub total_len: u64,
+    /// `true` if the seal word matched (the entry is committed).
+    pub sealed: bool,
+}
+
+impl DecodedEntry {
+    /// Location of the whole entry (as stored in the metadata index).
+    pub fn entry_loc(&self, entry_addr: PmAddr) -> PackedLoc {
+        PackedLoc::direct(entry_addr, self.total_len)
+    }
+
+    /// Read the value bytes from the pool.
+    pub fn read_value(&self, pool: &PmemPool) -> Vec<u8> {
+        let mut v = vec![0u8; self.header.val_len as usize];
+        pool.read_bytes(self.value_addr, &mut v);
+        v
+    }
+}
+
+/// Decode the entry at `addr`. Returns `None` if the header is obviously
+/// invalid (zero/oversized lengths or an unknown op code), which recovery
+/// treats as the end of the written region.
+pub fn decode_entry(pool: &PmemPool, addr: PmAddr, max_len: u64) -> Option<DecodedEntry> {
+    if max_len < HEADER_BYTES + SEAL_BYTES {
+        return None;
+    }
+    let mut header = [0u8; HEADER_BYTES as usize];
+    pool.read_bytes(addr, &mut header);
+    let key_len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let val_len = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let seq = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let op = LogOp::from_byte(header[16])?;
+    let total = entry_size(key_len as usize, val_len as usize);
+    if key_len == 0 || total > max_len {
+        return None;
+    }
+    let mut key = vec![0u8; key_len as usize];
+    pool.read_bytes(addr.offset(HEADER_BYTES), &mut key);
+    let value_addr = addr.offset(HEADER_BYTES + u64::from(key_len));
+    let seal_addr = addr.offset(total - SEAL_BYTES);
+    let seal = pool.read_u64(seal_addr);
+    Some(DecodedEntry {
+        header: EntryHeader { key_len, val_len, seq, op },
+        key,
+        value_addr,
+        total_len: total,
+        sealed: seal == SEAL_MAGIC ^ seq,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinomo_pmem::PmemConfig;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let pool = PmemPool::new(PmemConfig::small_for_tests());
+        let mut buf = Vec::new();
+        let voff = encode_entry(&mut buf, b"user0001", &[7u8; 100], LogOp::Put, 55);
+        assert_eq!(voff, HEADER_BYTES + 8);
+        let addr = pool.alloc(buf.len() as u64).unwrap();
+        pool.write_bytes(addr, &buf);
+        let d = decode_entry(&pool, addr, buf.len() as u64).unwrap();
+        assert_eq!(d.header.key_len, 8);
+        assert_eq!(d.header.val_len, 100);
+        assert_eq!(d.header.seq, 55);
+        assert_eq!(d.header.op, LogOp::Put);
+        assert_eq!(d.key, b"user0001");
+        assert!(d.sealed);
+        assert_eq!(d.read_value(&pool), vec![7u8; 100]);
+        assert_eq!(d.total_len, entry_size(8, 100));
+    }
+
+    #[test]
+    fn delete_entries_have_no_value() {
+        let pool = PmemPool::new(PmemConfig::small_for_tests());
+        let mut buf = Vec::new();
+        encode_entry(&mut buf, b"k1", &[], LogOp::Delete, 9);
+        let addr = pool.alloc(buf.len() as u64).unwrap();
+        pool.write_bytes(addr, &buf);
+        let d = decode_entry(&pool, addr, buf.len() as u64).unwrap();
+        assert_eq!(d.header.op, LogOp::Delete);
+        assert_eq!(d.header.val_len, 0);
+        assert!(d.sealed);
+    }
+
+    #[test]
+    fn torn_entry_is_detected() {
+        let pool = PmemPool::new(PmemConfig::small_for_tests());
+        let mut buf = Vec::new();
+        encode_entry(&mut buf, b"key", &[1u8; 32], LogOp::Put, 3);
+        // Corrupt the seal.
+        let n = buf.len();
+        buf[n - 1] ^= 0xFF;
+        let addr = pool.alloc(buf.len() as u64).unwrap();
+        pool.write_bytes(addr, &buf);
+        let d = decode_entry(&pool, addr, buf.len() as u64).unwrap();
+        assert!(!d.sealed);
+    }
+
+    #[test]
+    fn garbage_region_decodes_to_none() {
+        let pool = PmemPool::new(PmemConfig::small_for_tests());
+        let addr = pool.alloc(64).unwrap();
+        // All zeroes: key_len 0 -> invalid.
+        assert!(decode_entry(&pool, addr, 64).is_none());
+        // Too small a window.
+        assert!(decode_entry(&pool, addr, 8).is_none());
+    }
+
+    #[test]
+    fn entry_size_is_aligned_and_includes_seal() {
+        for (k, v) in [(1usize, 0usize), (8, 100), (13, 1027)] {
+            let s = entry_size(k, v);
+            assert_eq!(s % 8, 0);
+            assert!(s >= HEADER_BYTES + (k + v) as u64 + SEAL_BYTES);
+        }
+    }
+
+    #[test]
+    fn multiple_entries_back_to_back() {
+        let pool = PmemPool::new(PmemConfig::small_for_tests());
+        let mut buf = Vec::new();
+        encode_entry(&mut buf, b"aaa", &[1u8; 10], LogOp::Put, 1);
+        let second_start = buf.len() as u64;
+        encode_entry(&mut buf, b"bbbb", &[2u8; 20], LogOp::Put, 2);
+        let addr = pool.alloc(buf.len() as u64).unwrap();
+        pool.write_bytes(addr, &buf);
+        let first = decode_entry(&pool, addr, buf.len() as u64).unwrap();
+        assert_eq!(first.key, b"aaa");
+        let second =
+            decode_entry(&pool, addr.offset(second_start), buf.len() as u64 - second_start)
+                .unwrap();
+        assert_eq!(second.key, b"bbbb");
+        assert_eq!(second.header.seq, 2);
+    }
+}

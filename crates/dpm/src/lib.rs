@@ -1,0 +1,43 @@
+//! # dinomo-dpm — the disaggregated persistent-memory node
+//!
+//! This crate implements the DPM side of Dinomo's data plane (§3.2, §3.6 and
+//! §4 of the paper):
+//!
+//! * **Per-KN log segments** ([`segment`], [`writer`]) — each KVS node owns
+//!   exclusive log segments in DPM; writes are batched into a segment with a
+//!   single one-sided RDMA WRITE and sealed with a per-entry commit marker so
+//!   torn writes are detectable after a crash.
+//! * **Asynchronous merging** ([`merge`]) — DPM processor threads merge
+//!   sealed log entries, in per-KN order, into the shared P-CLHT metadata
+//!   index off the critical path.  KVS nodes block only when their number of
+//!   unmerged segments exceeds a threshold (default 2).
+//! * **Garbage collection** — per-segment valid/invalid counters let the DPM
+//!   reclaim a segment once every entry in it has been superseded.
+//! * **Indirect pointers** ([`node`]) — selectively-replicated (hot) keys are
+//!   reached through a CAS-able indirection cell so several KNs can update
+//!   them linearizably.
+//! * **Recovery** — after a KN failure the pending log segments of that KN
+//!   are merged synchronously before its partitions are handed to new owners;
+//!   after a DPM power failure, unsealed (torn) entries are discarded and
+//!   sealed ones are re-merged.
+//! * **A metadata blob store** — ownership/replication policy metadata is
+//!   persisted in DPM so routing nodes and KNs can rebuild their soft state.
+
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod config;
+pub mod entry;
+pub mod loc;
+pub mod merge;
+pub mod node;
+pub mod segment;
+pub mod writer;
+
+pub use bloom::BloomFilter;
+pub use config::DpmConfig;
+pub use entry::{EntryHeader, LogOp};
+pub use loc::PackedLoc;
+pub use node::{DpmNode, DpmStats, LookupResult};
+pub use segment::SegmentState;
+pub use writer::{CommittedWrite, LogWriter};

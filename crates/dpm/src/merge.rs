@@ -1,0 +1,178 @@
+//! The asynchronous merge engine ("DPM processors").
+//!
+//! KVS nodes append batches of log entries with one-sided writes; the DPM's
+//! limited compute capacity is spent off the critical path merging those
+//! entries into the shared P-CLHT index.  Entries from one KN are merged in
+//! write order (tasks are routed to a worker by KN id), while different KNs'
+//! logs merge concurrently — exactly the concurrency contract §3.2 describes.
+
+use crate::entry::{decode_entry, LogOp};
+use crate::loc::PackedLoc;
+use crate::node::DpmInner;
+use crate::segment::SegmentState;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One unit of merge work: a contiguous byte range of a segment containing
+/// `entries` committed entries.
+#[derive(Debug, Clone)]
+pub(crate) struct MergeTask {
+    pub segment: Arc<SegmentState>,
+    pub start: u64,
+    pub len: u64,
+}
+
+/// Handle to the DPM processor threads.
+#[derive(Debug)]
+pub(crate) struct MergeEngine {
+    senders: Vec<Sender<MergeTask>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl MergeEngine {
+    /// Spawn `threads` merge workers over the shared DPM state.
+    pub(crate) fn start(inner: Arc<DpmInner>, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for worker_id in 0..threads {
+            let (tx, rx): (Sender<MergeTask>, Receiver<MergeTask>) = unbounded();
+            senders.push(tx);
+            let inner = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("dpm-merge-{worker_id}"))
+                    .spawn(move || worker_loop(&inner, &rx))
+                    .expect("failed to spawn merge worker"),
+            );
+        }
+        MergeEngine { senders, handles }
+    }
+
+    /// Route a task to the worker responsible for its owner KN (preserving
+    /// per-KN merge order).
+    pub(crate) fn submit(&self, task: MergeTask) {
+        let idx = task.segment.owner_kn as usize % self.senders.len();
+        // A send error means shutdown already started; dropping the task is
+        // then fine (the recovery scan re-merges sealed entries).
+        let _ = self.senders[idx].send(task);
+    }
+
+    /// Stop all workers and wait for them to exit.
+    pub(crate) fn shutdown(&mut self) {
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MergeEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &DpmInner, rx: &Receiver<MergeTask>) {
+    while let Ok(task) = rx.recv() {
+        merge_task(inner, &task);
+        inner.notify_merge_progress();
+    }
+}
+
+/// Merge every entry in the task's byte range into the index.
+pub(crate) fn merge_task(inner: &DpmInner, task: &MergeTask) {
+    let pool = inner.pool();
+    let mut offset = task.start;
+    let end = task.start + task.len;
+    let mut merged_entries = 0u64;
+    while offset < end {
+        let addr = task.segment.base.offset(offset);
+        let Some(entry) = decode_entry(pool, addr, end - offset) else { break };
+        if !entry.sealed {
+            // Torn entry: everything after it in this batch is unusable.
+            break;
+        }
+        if inner.config().inject_media_delay {
+            busy_wait(inner.media_merge_cost(&entry));
+        }
+        apply_entry(inner, task, addr, &entry);
+        offset += entry.total_len;
+        merged_entries += 1;
+    }
+    task.segment.record_merged(task.len, merged_entries);
+    inner.stats_entries_merged(merged_entries);
+}
+
+fn apply_entry(
+    inner: &DpmInner,
+    task: &MergeTask,
+    entry_addr: dinomo_pmem::PmAddr,
+    entry: &crate::entry::DecodedEntry,
+) {
+    let tag = dinomo_partition::key_hash(&entry.key);
+    let key = entry.key.clone();
+    match entry.header.op {
+        LogOp::Put => {
+            let new_loc = PackedLoc::direct(entry_addr, entry.total_len);
+            let existing = inner.index().get(tag, |raw| inner.loc_matches_key(raw, &key));
+            match existing {
+                Some(raw) => {
+                    let old = PackedLoc::from_raw(raw);
+                    if old.is_indirect() {
+                        // Shared key: the KN already made the new entry
+                        // reachable by CAS-ing the indirection cell.  If the
+                        // cell moved past this entry, the entry is stale.
+                        let cell_points_here =
+                            inner.indirect_cell_target(old.addr()) == Some(new_loc);
+                        if !cell_points_here {
+                            inner.invalidate_entry(new_loc);
+                        }
+                    } else if old == new_loc {
+                        // Already merged (recovery re-merge): nothing to do.
+                    } else if inner.entry_seq(old) > Some(entry.header.seq) {
+                        // A newer entry was merged first (can only happen
+                        // during recovery re-scans); this one is stale.
+                        inner.invalidate_entry(new_loc);
+                    } else {
+                        inner
+                            .index()
+                            .update(tag, |raw| inner.loc_matches_key(raw, &key), new_loc.raw());
+                        inner.invalidate_entry(old);
+                    }
+                }
+                None => {
+                    // New key.
+                    let _ = inner.index().insert(tag, new_loc.raw());
+                }
+            }
+        }
+        LogOp::Delete => {
+            if let Some(raw) =
+                inner.index().remove(tag, |raw| inner.loc_matches_key(raw, &key))
+            {
+                let old = PackedLoc::from_raw(raw);
+                if old.is_indirect() {
+                    if let Some(target) = inner.indirect_cell_target(old.addr()) {
+                        inner.invalidate_entry(target);
+                    }
+                    inner.release_indirect_cell(old.addr());
+                } else {
+                    inner.invalidate_entry(old);
+                }
+            }
+            // The tombstone itself never needs to stay around.
+            inner.invalidate_entry(PackedLoc::direct(entry_addr, entry.total_len));
+        }
+    }
+    let _ = task;
+}
+
+fn busy_wait(d: Duration) {
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}

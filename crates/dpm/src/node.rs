@@ -1,0 +1,790 @@
+//! The DPM node: shared pool, metadata index, segment registry, merge engine,
+//! garbage collection, indirect pointers, recovery and the metadata store.
+
+use crate::config::DpmConfig;
+use crate::entry::{decode_entry, DecodedEntry};
+use crate::loc::PackedLoc;
+use crate::merge::{merge_task, MergeEngine, MergeTask};
+use crate::segment::SegmentState;
+use dinomo_partition::key_hash;
+use dinomo_pclht::Pclht;
+use dinomo_pmem::{PmAddr, PmemError, PmemPool};
+use dinomo_simnet::Nic;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Result of resolving a key through the DPM (the KN cache-miss path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupResult {
+    /// The value bytes, if the key exists.
+    pub value: Option<Vec<u8>>,
+    /// Where the value bytes live (for caching a shortcut).
+    pub value_loc: Option<(PmAddr, u32)>,
+    /// Whether the key is reached through an indirection cell (selectively
+    /// replicated keys cannot be value-cached, §5.3).
+    pub indirect: bool,
+    /// Network round trips this lookup consumed.
+    pub rts: u32,
+}
+
+/// Aggregate DPM statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DpmStats {
+    /// Log segments allocated so far.
+    pub segments_allocated: u64,
+    /// Log segments reclaimed by GC.
+    pub segments_freed: u64,
+    /// Log entries merged into the index.
+    pub entries_merged: u64,
+    /// Indirection cells currently installed.
+    pub indirect_cells: u64,
+    /// Keys currently in the metadata index.
+    pub index_len: u64,
+}
+
+/// State shared between the [`DpmNode`] facade and the merge workers.
+#[derive(Debug)]
+pub struct DpmInner {
+    config: DpmConfig,
+    pool: Arc<PmemPool>,
+    index: Pclht,
+    segments: RwLock<Vec<Arc<SegmentState>>>,
+    next_segment_id: AtomicU64,
+    merge_sync: (Mutex<()>, Condvar),
+    entries_merged: AtomicU64,
+    segments_freed: AtomicU64,
+    indirect_cells: AtomicU64,
+    metadata: Mutex<HashMap<String, Vec<u8>>>,
+    metadata_region: Mutex<Vec<(PmAddr, u64)>>,
+}
+
+impl DpmInner {
+    pub(crate) fn pool(&self) -> &PmemPool {
+        &self.pool
+    }
+
+    pub(crate) fn index(&self) -> &Pclht {
+        &self.index
+    }
+
+    pub(crate) fn config(&self) -> &DpmConfig {
+        &self.config
+    }
+
+    pub(crate) fn notify_merge_progress(&self) {
+        let _guard = self.merge_sync.0.lock();
+        self.merge_sync.1.notify_all();
+    }
+
+    pub(crate) fn stats_entries_merged(&self, n: u64) {
+        self.entries_merged.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Modeled media cost of merging one entry (index-bucket write plus
+    /// reading the entry header/key), used when `inject_media_delay` is set.
+    pub(crate) fn media_merge_cost(&self, entry: &DecodedEntry) -> Duration {
+        let profile = self.pool.profile();
+        profile.read_time(crate::entry::HEADER_BYTES + u64::from(entry.header.key_len))
+            + profile.write_time(64)
+    }
+
+    /// `true` if the raw index word refers to an entry (directly or through
+    /// an indirection cell) whose stored key equals `key`.
+    pub(crate) fn loc_matches_key(&self, raw: u64, key: &[u8]) -> bool {
+        let loc = PackedLoc::from_raw(raw);
+        let entry_loc = if loc.is_indirect() {
+            match self.indirect_cell_target(loc.addr()) {
+                Some(t) => t,
+                None => return false,
+            }
+        } else {
+            loc
+        };
+        match decode_entry(&self.pool, entry_loc.addr(), entry_loc.len()) {
+            Some(e) => e.key == key,
+            None => false,
+        }
+    }
+
+    /// Sequence number of the entry a direct location points at.
+    pub(crate) fn entry_seq(&self, loc: PackedLoc) -> Option<u64> {
+        decode_entry(&self.pool, loc.addr(), loc.len()).map(|e| e.header.seq)
+    }
+
+    /// The entry location an indirection cell currently points at.
+    pub(crate) fn indirect_cell_target(&self, cell: PmAddr) -> Option<PackedLoc> {
+        let raw = self.pool.read_u64(cell);
+        if raw == 0 {
+            None
+        } else {
+            Some(PackedLoc::from_raw(raw))
+        }
+    }
+
+    /// Mark the segment containing `loc` as having one more invalid entry.
+    pub(crate) fn invalidate_entry(&self, loc: PackedLoc) {
+        let segments = self.segments.read();
+        if let Some(seg) = segments.iter().find(|s| s.contains(loc.addr())) {
+            seg.record_invalidated();
+        }
+    }
+
+    /// Drop an indirection cell (its 16 bytes are returned to the allocator).
+    pub(crate) fn release_indirect_cell(&self, cell: PmAddr) {
+        self.pool.free(cell, 16);
+        self.indirect_cells.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn unmerged_sealed_segments(&self, kn: u32) -> usize {
+        self.segments
+            .read()
+            .iter()
+            .filter(|s| s.owner_kn == kn && s.is_sealed() && !s.is_fully_merged())
+            .count()
+    }
+
+    fn unmerged_segments(&self, kn: u32) -> usize {
+        self.segments
+            .read()
+            .iter()
+            .filter(|s| s.owner_kn == kn && !s.is_fully_merged())
+            .count()
+    }
+}
+
+/// The DPM node (shared persistent-memory pool plus its limited processors).
+///
+/// One `DpmNode` instance represents the entire disaggregated PM tier of the
+/// cluster.  It is shared (behind an `Arc`) by every KVS node, the Clover
+/// baseline's metadata server, and the control plane.
+#[derive(Debug)]
+pub struct DpmNode {
+    inner: Arc<DpmInner>,
+    merge: Mutex<MergeEngine>,
+}
+
+impl DpmNode {
+    /// Create a DPM node (allocating its pool and index, and spawning the
+    /// merge workers).
+    pub fn new(config: DpmConfig) -> Result<Self, PmemError> {
+        let pool = Arc::new(PmemPool::new(config.pool));
+        let index = Pclht::new(Arc::clone(&pool), config.index)?;
+        let inner = Arc::new(DpmInner {
+            config,
+            pool,
+            index,
+            segments: RwLock::new(Vec::new()),
+            next_segment_id: AtomicU64::new(1),
+            merge_sync: (Mutex::new(()), Condvar::new()),
+            entries_merged: AtomicU64::new(0),
+            segments_freed: AtomicU64::new(0),
+            indirect_cells: AtomicU64::new(0),
+            metadata: Mutex::new(HashMap::new()),
+            metadata_region: Mutex::new(Vec::new()),
+        });
+        let merge = MergeEngine::start(Arc::clone(&inner), config.merge_threads);
+        Ok(DpmNode { inner, merge: Mutex::new(merge) })
+    }
+
+    /// The configuration this node was created with.
+    pub fn config(&self) -> &DpmConfig {
+        &self.inner.config
+    }
+
+    /// The backing persistent-memory pool.
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.inner.pool
+    }
+
+    /// The metadata index (exposed for baselines, recovery checks and tests).
+    pub fn index(&self) -> &Pclht {
+        &self.inner.index
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> DpmStats {
+        let segments = self.inner.segments.read();
+        DpmStats {
+            segments_allocated: segments.len() as u64,
+            segments_freed: self.inner.segments_freed.load(Ordering::Relaxed),
+            entries_merged: self.inner.entries_merged.load(Ordering::Relaxed),
+            indirect_cells: self.inner.indirect_cells.load(Ordering::Relaxed),
+            index_len: self.inner.index.len(),
+        }
+    }
+
+    // ---------------------------------------------------------------- logs
+
+    /// Allocate a fresh log segment owned by `kn`.
+    pub fn allocate_segment(&self, kn: u32) -> Result<Arc<SegmentState>, PmemError> {
+        let base = self.inner.pool.alloc(self.inner.config.segment_bytes)?;
+        let id = self.inner.next_segment_id.fetch_add(1, Ordering::Relaxed);
+        let seg = Arc::new(SegmentState::new(id, kn, base, self.inner.config.segment_bytes));
+        self.inner.segments.write().push(Arc::clone(&seg));
+        Ok(seg)
+    }
+
+    /// Number of segments of `kn` that are not yet fully merged.
+    pub fn unmerged_segments(&self, kn: u32) -> usize {
+        self.inner.unmerged_segments(kn)
+    }
+
+    /// Block while `kn` has at least `unmerged_segment_threshold` sealed but
+    /// unmerged segments (the paper's write-path back-pressure).
+    pub fn wait_for_merge_slack(&self, kn: u32) {
+        let threshold = self.inner.config.unmerged_segment_threshold.max(1);
+        let mut guard = self.inner.merge_sync.0.lock();
+        while self.inner.unmerged_sealed_segments(kn) >= threshold {
+            self.inner
+                .merge_sync
+                .1
+                .wait_for(&mut guard, Duration::from_millis(50));
+        }
+    }
+
+    /// Block until every segment of `kn` is fully merged (used before
+    /// reconfiguration and during failure handling, §3.5).
+    pub fn wait_until_merged(&self, kn: u32) {
+        let mut guard = self.inner.merge_sync.0.lock();
+        while self.inner.unmerged_segments(kn) > 0 {
+            self.inner
+                .merge_sync
+                .1
+                .wait_for(&mut guard, Duration::from_millis(50));
+        }
+    }
+
+    /// Block until every segment of every KN is fully merged.
+    pub fn wait_until_all_merged(&self) {
+        let kns: Vec<u32> = {
+            let segs = self.inner.segments.read();
+            let mut v: Vec<u32> = segs.iter().map(|s| s.owner_kn).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        for kn in kns {
+            self.wait_until_merged(kn);
+        }
+    }
+
+    /// Queue a committed byte range for asynchronous merging.
+    pub(crate) fn submit_merge_batch(&self, segment: &Arc<SegmentState>, start: u64, len: u64) {
+        self.merge.lock().submit(MergeTask { segment: Arc::clone(segment), start, len });
+    }
+
+    // ------------------------------------------------------------- lookups
+
+    /// DPM-side (local) lookup of a key's packed location.
+    pub fn local_lookup(&self, key: &[u8]) -> Option<PackedLoc> {
+        self.inner
+            .index
+            .get(key_hash(key), |raw| self.inner.loc_matches_key(raw, key))
+            .map(PackedLoc::from_raw)
+    }
+
+    /// DPM-side (local) read of a key's current value.
+    pub fn local_read(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let loc = self.local_lookup(key)?;
+        let entry_loc = if loc.is_indirect() {
+            self.inner.indirect_cell_target(loc.addr())?
+        } else {
+            loc
+        };
+        let entry = decode_entry(&self.inner.pool, entry_loc.addr(), entry_loc.len())?;
+        Some(entry.read_value(&self.inner.pool))
+    }
+
+    /// The full cache-miss path as a KVS node would execute it over the
+    /// network: traverse the index with one-sided reads, then fetch the entry
+    /// (and, for shared keys, the indirection cell first).
+    pub fn remote_read(&self, nic: &Nic, key: &[u8]) -> LookupResult {
+        let (raw, mut rts) = self
+            .inner
+            .index
+            .remote_get(nic, key_hash(key), |raw| self.inner.loc_matches_key(raw, key));
+        let Some(raw) = raw else {
+            return LookupResult { value: None, value_loc: None, indirect: false, rts };
+        };
+        let loc = PackedLoc::from_raw(raw);
+        let (entry_loc, indirect) = if loc.is_indirect() {
+            nic.one_sided_read(8);
+            rts += 1;
+            match self.inner.indirect_cell_target(loc.addr()) {
+                Some(t) => (t, true),
+                None => {
+                    return LookupResult { value: None, value_loc: None, indirect: true, rts }
+                }
+            }
+        } else {
+            (loc, false)
+        };
+        nic.one_sided_read(entry_loc.len() as usize);
+        rts += 1;
+        match decode_entry(&self.inner.pool, entry_loc.addr(), entry_loc.len()) {
+            Some(entry) if entry.key == key => {
+                let value = entry.read_value(&self.inner.pool);
+                LookupResult {
+                    value_loc: Some((entry.value_addr, entry.header.val_len)),
+                    value: Some(value),
+                    indirect,
+                    rts,
+                }
+            }
+            _ => LookupResult { value: None, value_loc: None, indirect, rts },
+        }
+    }
+
+    /// Shortcut-hit path: fetch `len` value bytes at `addr` with a single
+    /// one-sided read.
+    pub fn read_value_at(&self, nic: &Nic, addr: PmAddr, len: u32) -> Vec<u8> {
+        nic.one_sided_read(len as usize);
+        let mut buf = vec![0u8; len as usize];
+        self.inner.pool.read_bytes(addr, &mut buf);
+        buf
+    }
+
+    // --------------------------------------------------- indirect pointers
+
+    /// Install an indirection cell for `key` so its ownership can be shared
+    /// across KNs.  Returns the cell address (or `None` if the key does not
+    /// exist yet).  Idempotent: an already-shared key returns its cell.
+    pub fn make_indirect(&self, key: &[u8]) -> Result<Option<PmAddr>, PmemError> {
+        let tag = key_hash(key);
+        let Some(raw) = self
+            .inner
+            .index
+            .get(tag, |raw| self.inner.loc_matches_key(raw, key))
+        else {
+            return Ok(None);
+        };
+        let loc = PackedLoc::from_raw(raw);
+        if loc.is_indirect() {
+            return Ok(Some(loc.addr()));
+        }
+        let cell = self.inner.pool.alloc(16)?;
+        self.inner.pool.write_u64(cell, loc.raw());
+        self.inner.pool.write_u64(cell.offset(8), 0);
+        self.inner.pool.persist(cell, 16);
+        self.inner.pool.drain();
+        let new_raw = PackedLoc::indirect(cell, 16).raw();
+        self.inner
+            .index
+            .update(tag, |r| r == raw, new_raw);
+        self.inner.indirect_cells.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(cell))
+    }
+
+    /// Remove the indirection for `key`, collapsing the index back to a
+    /// direct pointer. Returns `true` if the key was indirect.
+    pub fn remove_indirect(&self, key: &[u8]) -> bool {
+        let tag = key_hash(key);
+        let Some(raw) = self
+            .inner
+            .index
+            .get(tag, |raw| self.inner.loc_matches_key(raw, key))
+        else {
+            return false;
+        };
+        let loc = PackedLoc::from_raw(raw);
+        if !loc.is_indirect() {
+            return false;
+        }
+        let Some(target) = self.inner.indirect_cell_target(loc.addr()) else { return false };
+        self.inner.index.update(tag, |r| r == raw, target.raw());
+        self.inner.release_indirect_cell(loc.addr());
+        true
+    }
+
+    /// The indirection cell address for `key`, if it is currently shared.
+    pub fn indirect_cell_of(&self, key: &[u8]) -> Option<PmAddr> {
+        let loc = self.local_lookup(key)?;
+        loc.is_indirect().then(|| loc.addr())
+    }
+
+    /// Read an indirection cell over the network (1 RT) and return the entry
+    /// it points to.
+    pub fn remote_read_indirect(&self, nic: &Nic, cell: PmAddr) -> Option<PackedLoc> {
+        nic.one_sided_read(8);
+        self.inner.indirect_cell_target(cell)
+    }
+
+    /// Atomically swing an indirection cell from `old` to `new` with a
+    /// one-sided CAS (1 RT).  On success the superseded entry is invalidated
+    /// for GC purposes.
+    pub fn cas_indirect(
+        &self,
+        nic: &Nic,
+        cell: PmAddr,
+        old: PackedLoc,
+        new: PackedLoc,
+    ) -> Result<(), PackedLoc> {
+        nic.one_sided_cas();
+        match self.inner.pool.cas_u64(cell, old.raw(), new.raw()) {
+            Ok(_) => {
+                self.inner.pool.persist(cell, 8);
+                self.inner.invalidate_entry(old);
+                Ok(())
+            }
+            Err(actual) => Err(PackedLoc::from_raw(actual)),
+        }
+    }
+
+    // ------------------------------------------------------------------ GC
+
+    /// Reclaim every segment whose entries are all invalid. Returns how many
+    /// segments were freed.
+    pub fn run_gc(&self) -> usize {
+        let reclaimable: Vec<Arc<SegmentState>> = {
+            let segments = self.inner.segments.read();
+            segments.iter().filter(|s| s.is_reclaimable()).cloned().collect()
+        };
+        let mut freed = 0;
+        for seg in reclaimable {
+            if seg.mark_freed() {
+                self.inner.pool.free(seg.base, seg.capacity);
+                self.inner.segments_freed.fetch_add(1, Ordering::Relaxed);
+                freed += 1;
+            }
+        }
+        self.inner.segments.write().retain(|s| !s.is_freed());
+        freed
+    }
+
+    // ------------------------------------------------------------ recovery
+
+    /// Re-scan every live segment and merge any sealed entry the index does
+    /// not yet reflect.  Torn (unsealed) entries are counted and skipped.
+    /// Used after a simulated DPM power failure and after KN failures to
+    /// guarantee no committed write is lost.
+    pub fn recover(&self) -> RecoveryReport {
+        let segments: Vec<Arc<SegmentState>> = self.inner.segments.read().clone();
+        let mut report = RecoveryReport::default();
+        for seg in segments {
+            if seg.is_freed() {
+                continue;
+            }
+            // Scan the whole written region; merging is idempotent.
+            let mut offset = 0u64;
+            let written = seg.written();
+            while offset < written {
+                let addr = seg.base.offset(offset);
+                match decode_entry(&self.inner.pool, addr, written - offset) {
+                    Some(e) if e.sealed => {
+                        let task = MergeTask {
+                            segment: Arc::clone(&seg),
+                            start: offset,
+                            len: e.total_len,
+                        };
+                        merge_task(&self.inner, &task);
+                        report.entries_recovered += 1;
+                        offset += e.total_len;
+                    }
+                    Some(e) => {
+                        report.torn_entries += 1;
+                        offset += e.total_len;
+                    }
+                    None => break,
+                }
+            }
+        }
+        report.index_len_after = self.inner.index.len();
+        report
+    }
+
+    /// Synchronously merge everything a failed KN left behind (step 3 of the
+    /// reconfiguration protocol for the failure case).
+    pub fn merge_pending_for_kn(&self, kn: u32) {
+        self.wait_until_merged(kn);
+    }
+
+    // ----------------------------------------------------------- metadata
+
+    /// Persist a named metadata blob (ownership tables, replication state).
+    pub fn put_metadata(&self, name: &str, data: &[u8]) -> Result<(), PmemError> {
+        let addr = self.inner.pool.alloc(data.len().max(1) as u64)?;
+        self.inner.pool.write_bytes(addr, data);
+        self.inner.pool.persist(addr, data.len() as u64);
+        self.inner.pool.drain();
+        self.inner.metadata_region.lock().push((addr, data.len() as u64));
+        self.inner.metadata.lock().insert(name.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    /// Fetch a named metadata blob.
+    pub fn get_metadata(&self, name: &str) -> Option<Vec<u8>> {
+        self.inner.metadata.lock().get(name).cloned()
+    }
+
+    /// Stop the merge workers (also happens on drop).
+    pub fn shutdown(&self) {
+        self.merge.lock().shutdown();
+    }
+}
+
+/// Outcome of a [`DpmNode::recover`] scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sealed entries (re-)merged during the scan.
+    pub entries_recovered: u64,
+    /// Torn entries discarded.
+    pub torn_entries: u64,
+    /// Index size after recovery.
+    pub index_len_after: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::LogWriter;
+    use dinomo_simnet::{FabricConfig, Nic};
+
+    fn dpm() -> Arc<DpmNode> {
+        Arc::new(DpmNode::new(DpmConfig::small_for_tests()).unwrap())
+    }
+
+    fn nic() -> Nic {
+        Nic::new(FabricConfig::default())
+    }
+
+    #[test]
+    fn write_merge_read_round_trip() {
+        let dpm = dpm();
+        let nic = nic();
+        let mut w = LogWriter::new(Arc::clone(&dpm), 0, nic.clone());
+        w.append_put(b"alpha", b"value-alpha");
+        w.append_put(b"beta", b"value-beta");
+        let commits = w.flush().unwrap();
+        assert_eq!(commits.len(), 2);
+        dpm.wait_until_merged(0);
+        assert_eq!(dpm.local_read(b"alpha"), Some(b"value-alpha".to_vec()));
+        assert_eq!(dpm.local_read(b"beta"), Some(b"value-beta".to_vec()));
+        assert_eq!(dpm.local_read(b"gamma"), None);
+        assert_eq!(dpm.stats().entries_merged, 2);
+    }
+
+    #[test]
+    fn updates_supersede_and_deletes_remove() {
+        let dpm = dpm();
+        let mut w = LogWriter::new(Arc::clone(&dpm), 0, nic());
+        w.append_put(b"k", b"v1");
+        w.flush().unwrap();
+        dpm.wait_until_merged(0);
+        w.append_put(b"k", b"v2");
+        w.flush().unwrap();
+        dpm.wait_until_merged(0);
+        assert_eq!(dpm.local_read(b"k"), Some(b"v2".to_vec()));
+        w.append_delete(b"k");
+        w.flush().unwrap();
+        dpm.wait_until_merged(0);
+        assert_eq!(dpm.local_read(b"k"), None);
+        assert_eq!(dpm.local_lookup(b"k"), None);
+    }
+
+    #[test]
+    fn remote_read_counts_round_trips() {
+        let dpm = dpm();
+        let nic = nic();
+        let mut w = LogWriter::new(Arc::clone(&dpm), 0, nic.clone());
+        w.append_put(b"user0001", &[9u8; 128]);
+        w.flush().unwrap();
+        dpm.wait_until_merged(0);
+        let before = nic.snapshot();
+        let r = dpm.remote_read(&nic, b"user0001");
+        assert_eq!(r.value, Some(vec![9u8; 128]));
+        assert!(!r.indirect);
+        assert!(r.rts >= 2, "index traversal plus entry read");
+        let delta = nic.snapshot().since(&before);
+        assert_eq!(delta.one_sided_reads, u64::from(r.rts));
+        // Shortcut path costs exactly one RT.
+        let (addr, len) = r.value_loc.unwrap();
+        let before = nic.snapshot();
+        assert_eq!(dpm.read_value_at(&nic, addr, len), vec![9u8; 128]);
+        assert_eq!(nic.snapshot().since(&before).one_sided_reads, 1);
+    }
+
+    #[test]
+    fn remote_read_of_missing_key_reports_miss() {
+        let dpm = dpm();
+        let nic = nic();
+        let r = dpm.remote_read(&nic, b"missing");
+        assert_eq!(r.value, None);
+        assert!(r.rts >= 1);
+    }
+
+    #[test]
+    fn batched_flush_uses_single_one_sided_write() {
+        let dpm = dpm();
+        let nic = nic();
+        let mut w = LogWriter::new(Arc::clone(&dpm), 3, nic.clone());
+        for i in 0..10u32 {
+            w.append_put(format!("key{i}").as_bytes(), &[i as u8; 64]);
+        }
+        let before = nic.snapshot();
+        let commits = w.flush().unwrap();
+        let delta = nic.snapshot().since(&before);
+        assert_eq!(commits.len(), 10);
+        assert_eq!(delta.one_sided_writes, 1, "a batch is one one-sided write");
+        // Committed writes carry usable value locations.
+        dpm.wait_until_merged(3);
+        for (i, c) in commits.iter().enumerate() {
+            let v = dpm.read_value_at(&nic, c.value_addr, c.value_len);
+            assert_eq!(v, vec![i as u8; 64]);
+        }
+    }
+
+    #[test]
+    fn segments_roll_over_and_track_unmerged_counts() {
+        let dpm = dpm();
+        let mut w = LogWriter::new(Arc::clone(&dpm), 1, nic());
+        // Write enough to fill several 32 KiB segments.
+        for i in 0..200u32 {
+            w.append_put(format!("key{i:04}").as_bytes(), &[0u8; 512]);
+            if w.buffered_bytes() > 4096 {
+                w.flush().unwrap();
+            }
+        }
+        w.flush().unwrap();
+        dpm.wait_until_merged(1);
+        assert!(dpm.stats().segments_allocated >= 2);
+        assert_eq!(dpm.unmerged_segments(1), 0);
+        for i in (0..200u32).step_by(17) {
+            assert_eq!(
+                dpm.local_read(format!("key{i:04}").as_bytes()),
+                Some(vec![0u8; 512]),
+                "key{i:04}"
+            );
+        }
+    }
+
+    #[test]
+    fn gc_reclaims_fully_invalidated_segments() {
+        let mut config = DpmConfig::small_for_tests();
+        config.segment_bytes = 8 << 10;
+        let dpm = Arc::new(DpmNode::new(config).unwrap());
+        let mut w = LogWriter::new(Arc::clone(&dpm), 0, nic());
+        // Overwrite the same small key set many times so old segments become
+        // fully invalid.
+        for round in 0..40u32 {
+            for i in 0..8u32 {
+                w.append_put(format!("key{i}").as_bytes(), &[round as u8; 256]);
+            }
+            w.flush().unwrap();
+        }
+        w.seal_current();
+        dpm.wait_until_merged(0);
+        let before = dpm.stats().segments_allocated;
+        let freed = dpm.run_gc();
+        assert!(freed > 0, "expected some segments to be reclaimed (of {before})");
+        // Data is still readable after GC.
+        for i in 0..8u32 {
+            assert_eq!(dpm.local_read(format!("key{i}").as_bytes()), Some(vec![39u8; 256]));
+        }
+    }
+
+    #[test]
+    fn indirect_pointers_round_trip_and_cas() {
+        let dpm = dpm();
+        let nic = nic();
+        let mut w = LogWriter::new(Arc::clone(&dpm), 0, nic.clone());
+        w.append_put(b"hot", b"v1");
+        w.flush().unwrap();
+        dpm.wait_until_merged(0);
+
+        let cell = dpm.make_indirect(b"hot").unwrap().unwrap();
+        assert_eq!(dpm.indirect_cell_of(b"hot"), Some(cell));
+        assert_eq!(dpm.stats().indirect_cells, 1);
+        // Reads still work, now through the cell.
+        assert_eq!(dpm.local_read(b"hot"), Some(b"v1".to_vec()));
+        let r = dpm.remote_read(&nic, b"hot");
+        assert!(r.indirect);
+        assert_eq!(r.value, Some(b"v1".to_vec()));
+
+        // A (replica) KN updates the shared key: log write + CAS on the cell.
+        let old = dpm.remote_read_indirect(&nic, cell).unwrap();
+        let commits = {
+            let mut w2 = LogWriter::new(Arc::clone(&dpm), 1, nic.clone());
+            w2.append_put(b"hot", b"v2");
+            w2.flush().unwrap()
+        };
+        dpm.cas_indirect(&nic, cell, old, commits[0].entry_loc).unwrap();
+        assert_eq!(dpm.local_read(b"hot"), Some(b"v2".to_vec()));
+        // A stale CAS fails and reports the current target.
+        let err = dpm.cas_indirect(&nic, cell, old, commits[0].entry_loc).unwrap_err();
+        assert_eq!(err, commits[0].entry_loc);
+
+        // Collapse back to a direct pointer.
+        assert!(dpm.remove_indirect(b"hot"));
+        assert!(!dpm.remove_indirect(b"hot"));
+        assert_eq!(dpm.local_read(b"hot"), Some(b"v2".to_vec()));
+        assert_eq!(dpm.stats().indirect_cells, 0);
+    }
+
+    #[test]
+    fn make_indirect_on_missing_key_is_none() {
+        let dpm = dpm();
+        assert_eq!(dpm.make_indirect(b"nope").unwrap(), None);
+    }
+
+    #[test]
+    fn recovery_replays_sealed_entries() {
+        let dpm = dpm();
+        let mut w = LogWriter::new(Arc::clone(&dpm), 0, nic());
+        for i in 0..20u32 {
+            w.append_put(format!("key{i}").as_bytes(), &[7u8; 64]);
+        }
+        w.flush().unwrap();
+        dpm.wait_until_merged(0);
+        // Recovery is idempotent: re-running it changes nothing.
+        let report = dpm.recover();
+        assert_eq!(report.torn_entries, 0);
+        assert_eq!(report.index_len_after, 20);
+        assert_eq!(dpm.local_read(b"key3"), Some(vec![7u8; 64]));
+        assert_eq!(dpm.stats().index_len, 20);
+    }
+
+    #[test]
+    fn metadata_blobs_round_trip() {
+        let dpm = dpm();
+        dpm.put_metadata("ownership", b"ring-v1").unwrap();
+        assert_eq!(dpm.get_metadata("ownership"), Some(b"ring-v1".to_vec()));
+        assert_eq!(dpm.get_metadata("missing"), None);
+        dpm.put_metadata("ownership", b"ring-v2").unwrap();
+        assert_eq!(dpm.get_metadata("ownership"), Some(b"ring-v2".to_vec()));
+    }
+
+    #[test]
+    fn concurrent_kns_write_disjoint_keys() {
+        let dpm = dpm();
+        let mut handles = Vec::new();
+        for kn in 0..4u32 {
+            let dpm = Arc::clone(&dpm);
+            handles.push(std::thread::spawn(move || {
+                let mut w = LogWriter::new(Arc::clone(&dpm), kn, nic());
+                for i in 0..100u32 {
+                    w.append_put(format!("kn{kn}-key{i}").as_bytes(), &[kn as u8; 128]);
+                    if w.buffered_bytes() > 2048 {
+                        w.flush().unwrap();
+                    }
+                }
+                w.flush().unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        dpm.wait_until_all_merged();
+        for kn in 0..4u32 {
+            for i in (0..100u32).step_by(13) {
+                assert_eq!(
+                    dpm.local_read(format!("kn{kn}-key{i}").as_bytes()),
+                    Some(vec![kn as u8; 128])
+                );
+            }
+        }
+        assert_eq!(dpm.stats().index_len, 400);
+    }
+}

@@ -1,0 +1,196 @@
+//! Log-segment bookkeeping.
+
+use dinomo_pmem::PmAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Shared state describing one log segment in DPM.
+///
+/// A segment is owned (written) by exactly one KVS node; DPM processor
+/// threads and the garbage collector read its counters.  The counters follow
+/// the paper's GC design: each segment tracks how many of its entries are
+/// still referenced ("valid") versus superseded ("invalid"); once every entry
+/// is invalid and the segment is sealed and fully merged, it can be freed.
+#[derive(Debug)]
+pub struct SegmentState {
+    /// Unique segment id.
+    pub id: u64,
+    /// KVS node that owns (writes) this segment.
+    pub owner_kn: u32,
+    /// Base address in the DPM pool.
+    pub base: PmAddr,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Bytes written (and committed) so far.
+    written: AtomicU64,
+    /// Bytes already merged into the metadata index.
+    merged: AtomicU64,
+    /// Entries written so far.
+    entries_written: AtomicU64,
+    /// Entries merged so far.
+    entries_merged: AtomicU64,
+    /// Entries whose data has been superseded, deleted, or that never carried
+    /// data (tombstones count as invalid immediately after merging).
+    entries_invalid: AtomicU64,
+    /// Sealed: the owner will not append to this segment again.
+    sealed: AtomicBool,
+    /// Freed by the garbage collector.
+    freed: AtomicBool,
+}
+
+impl SegmentState {
+    /// Create bookkeeping for a fresh segment.
+    pub fn new(id: u64, owner_kn: u32, base: PmAddr, capacity: u64) -> Self {
+        SegmentState {
+            id,
+            owner_kn,
+            base,
+            capacity,
+            written: AtomicU64::new(0),
+            merged: AtomicU64::new(0),
+            entries_written: AtomicU64::new(0),
+            entries_merged: AtomicU64::new(0),
+            entries_invalid: AtomicU64::new(0),
+            sealed: AtomicBool::new(false),
+            freed: AtomicBool::new(false),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn written(&self) -> u64 {
+        self.written.load(Ordering::Acquire)
+    }
+
+    /// Bytes merged so far.
+    pub fn merged(&self) -> u64 {
+        self.merged.load(Ordering::Acquire)
+    }
+
+    /// Entries written so far.
+    pub fn entries_written(&self) -> u64 {
+        self.entries_written.load(Ordering::Acquire)
+    }
+
+    /// Entries merged so far.
+    pub fn entries_merged(&self) -> u64 {
+        self.entries_merged.load(Ordering::Acquire)
+    }
+
+    /// Entries invalidated so far.
+    pub fn entries_invalid(&self) -> u64 {
+        self.entries_invalid.load(Ordering::Acquire)
+    }
+
+    /// Remaining space in bytes.
+    pub fn remaining(&self) -> u64 {
+        self.capacity - self.written()
+    }
+
+    /// Record that the owner appended `bytes` bytes containing `entries`
+    /// entries. Returns the offset at which the batch starts.
+    pub fn record_append(&self, bytes: u64, entries: u64) -> u64 {
+        let off = self.written.fetch_add(bytes, Ordering::AcqRel);
+        self.entries_written.fetch_add(entries, Ordering::AcqRel);
+        off
+    }
+
+    /// Record that a merge task covering `bytes`/`entries` completed.
+    pub fn record_merged(&self, bytes: u64, entries: u64) {
+        self.merged.fetch_add(bytes, Ordering::AcqRel);
+        self.entries_merged.fetch_add(entries, Ordering::AcqRel);
+    }
+
+    /// Record that one entry in this segment became invalid (superseded,
+    /// deleted, or a tombstone).
+    pub fn record_invalidated(&self) {
+        self.entries_invalid.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Seal the segment (the owner moves to a new one).
+    pub fn seal(&self) {
+        self.sealed.store(true, Ordering::Release);
+    }
+
+    /// `true` once sealed.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed.load(Ordering::Acquire)
+    }
+
+    /// `true` if every written byte has been merged.
+    pub fn is_fully_merged(&self) -> bool {
+        self.merged() >= self.written()
+    }
+
+    /// `true` if the segment's entries are all invalid and it can be freed.
+    pub fn is_reclaimable(&self) -> bool {
+        self.is_sealed()
+            && self.is_fully_merged()
+            && self.entries_written() > 0
+            && self.entries_invalid() >= self.entries_written()
+            && !self.is_freed()
+    }
+
+    /// Mark freed; returns `false` if it already was.
+    pub fn mark_freed(&self) -> bool {
+        !self.freed.swap(true, Ordering::AcqRel)
+    }
+
+    /// `true` once freed.
+    pub fn is_freed(&self) -> bool {
+        self.freed.load(Ordering::Acquire)
+    }
+
+    /// `true` if `addr` falls inside this segment.
+    pub fn contains(&self, addr: PmAddr) -> bool {
+        addr.0 >= self.base.0 && addr.0 < self.base.0 + self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_merge_accounting() {
+        let s = SegmentState::new(1, 0, PmAddr(4096), 1024);
+        assert_eq!(s.record_append(100, 2), 0);
+        assert_eq!(s.record_append(50, 1), 100);
+        assert_eq!(s.written(), 150);
+        assert_eq!(s.entries_written(), 3);
+        assert_eq!(s.remaining(), 1024 - 150);
+        assert!(!s.is_fully_merged());
+        s.record_merged(150, 3);
+        assert!(s.is_fully_merged());
+    }
+
+    #[test]
+    fn reclaimable_requires_all_conditions() {
+        let s = SegmentState::new(1, 0, PmAddr(4096), 1024);
+        s.record_append(100, 2);
+        s.record_merged(100, 2);
+        s.record_invalidated();
+        assert!(!s.is_reclaimable(), "not sealed yet");
+        s.seal();
+        assert!(!s.is_reclaimable(), "one entry still valid");
+        s.record_invalidated();
+        assert!(s.is_reclaimable());
+        assert!(s.mark_freed());
+        assert!(!s.mark_freed(), "double free must be detected");
+        assert!(!s.is_reclaimable(), "already freed");
+    }
+
+    #[test]
+    fn empty_sealed_segment_is_not_reclaimable() {
+        let s = SegmentState::new(1, 0, PmAddr(0), 64);
+        s.seal();
+        assert!(!s.is_reclaimable());
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let s = SegmentState::new(1, 0, PmAddr(1000), 100);
+        assert!(s.contains(PmAddr(1000)));
+        assert!(s.contains(PmAddr(1099)));
+        assert!(!s.contains(PmAddr(1100)));
+        assert!(!s.contains(PmAddr(999)));
+    }
+}

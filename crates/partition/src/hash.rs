@@ -1,0 +1,68 @@
+//! The key hash shared by the index tag, the hash rings and the caches.
+
+/// Hash an application key to the 64-bit value used everywhere in the system
+/// (index tag, ring position, thread selection).
+///
+/// FNV-1a is used for its simplicity and good avalanche behaviour on short
+/// keys (the paper's workloads use 8-byte keys); it is deterministic across
+/// runs, which keeps experiments reproducible.
+pub fn key_hash(key: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    // A final mix (xorshift-multiply) spreads low-entropy keys across the
+    // whole 64-bit space, which matters for ring placement.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h
+}
+
+/// Hash an already-hashed position with a virtual-node replica index, used to
+/// place virtual nodes on the ring.
+pub fn vnode_hash(node_seed: u64, replica: u32) -> u64 {
+    let mut h = node_seed ^ (u64::from(replica).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    h ^= h >> 31;
+    h = h.wrapping_mul(0x7fb5_d329_728e_a185);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x81da_f14b_a0b2_4b27);
+    h ^= h >> 33;
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_and_distinct() {
+        assert_eq!(key_hash(b"user0001"), key_hash(b"user0001"));
+        assert_ne!(key_hash(b"user0001"), key_hash(b"user0002"));
+        assert_ne!(key_hash(b""), key_hash(b"\0"));
+    }
+
+    #[test]
+    fn sequential_keys_spread_widely() {
+        // Keys like "user0000001" differ only in a couple of bytes; their
+        // hashes should still land all over the 64-bit space.
+        let hashes: Vec<u64> = (0..1000).map(|i| key_hash(format!("user{i:07}").as_bytes())).collect();
+        let distinct: HashSet<_> = hashes.iter().collect();
+        assert_eq!(distinct.len(), 1000);
+        let top_half = hashes.iter().filter(|&&h| h > u64::MAX / 2).count();
+        assert!(top_half > 350 && top_half < 650, "poorly spread: {top_half}");
+    }
+
+    #[test]
+    fn vnode_hashes_differ_per_replica() {
+        let a = vnode_hash(42, 0);
+        let b = vnode_hash(42, 1);
+        let c = vnode_hash(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,323 @@
+//! Cluster-wide ownership and selective-replication metadata.
+
+use crate::hash::key_hash;
+use crate::ring::HashRing;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a KVS node.
+pub type KnId = u32;
+/// Identifier of a worker thread within a KVS node.
+pub type ThreadId = u32;
+
+/// The ownership metadata shared (by value, versioned) between routing nodes,
+/// KVS nodes, clients and the M-node.
+///
+/// * The **global hash ring** maps a key to its primary-owner KN.
+/// * Each KN's **local hash ring** maps a key to one of the KN's worker
+///   threads.
+/// * The **replication table** lists the hot keys whose ownership is
+///   currently shared, and the set of KNs (primary + secondaries) serving
+///   them.
+///
+/// Every mutation bumps `version`; components cache the table and use the
+/// version to detect staleness (clients refresh from a routing node when a KN
+/// rejects a request for a key range it no longer owns).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OwnershipTable {
+    global: HashRing,
+    locals: HashMap<KnId, HashRing>,
+    threads_per_kn: u32,
+    #[serde(with = "replica_map_serde")]
+    replicas: HashMap<Vec<u8>, Vec<KnId>>,
+    version: u64,
+}
+
+/// JSON-friendly encoding for the replica map (JSON object keys must be
+/// strings, but our keys are arbitrary byte strings).
+mod replica_map_serde {
+    use super::KnId;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::HashMap;
+
+    pub fn serialize<S: Serializer>(
+        map: &HashMap<Vec<u8>, Vec<KnId>>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let pairs: Vec<(&Vec<u8>, &Vec<KnId>)> = map.iter().collect();
+        pairs.serialize(ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<HashMap<Vec<u8>, Vec<KnId>>, D::Error> {
+        let pairs: Vec<(Vec<u8>, Vec<KnId>)> = Vec::deserialize(de)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl OwnershipTable {
+    /// Create an empty table. `vnodes` controls ring balance, and
+    /// `threads_per_kn` sizes each KN's local ring.
+    pub fn new(vnodes: u32, threads_per_kn: u32) -> Self {
+        OwnershipTable {
+            global: HashRing::new(vnodes),
+            locals: HashMap::new(),
+            threads_per_kn: threads_per_kn.max(1),
+            replicas: HashMap::new(),
+            version: 0,
+        }
+    }
+
+    /// Current metadata version (bumped on every mutation).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of member KNs.
+    pub fn num_kns(&self) -> usize {
+        self.global.len()
+    }
+
+    /// Member KN identifiers.
+    pub fn kns(&self) -> &[KnId] {
+        self.global.members()
+    }
+
+    /// The global ring (read-only view).
+    pub fn global_ring(&self) -> &HashRing {
+        &self.global
+    }
+
+    /// Threads per KN used for local rings.
+    pub fn threads_per_kn(&self) -> u32 {
+        self.threads_per_kn
+    }
+
+    /// Add a KN to the cluster.
+    pub fn add_kn(&mut self, kn: KnId) {
+        if self.global.contains(kn) {
+            return;
+        }
+        self.global.add_node(kn);
+        let mut local = HashRing::new(16);
+        for t in 0..self.threads_per_kn {
+            local.add_node(t);
+        }
+        self.locals.insert(kn, local);
+        self.version += 1;
+    }
+
+    /// Remove a KN from the cluster.  Any replica sets referencing it are
+    /// trimmed; keys whose primary owner disappears are re-homed by the ring.
+    pub fn remove_kn(&mut self, kn: KnId) {
+        if !self.global.contains(kn) {
+            return;
+        }
+        self.global.remove_node(kn);
+        self.locals.remove(&kn);
+        for owners in self.replicas.values_mut() {
+            owners.retain(|&o| o != kn);
+        }
+        self.replicas.retain(|_, owners| owners.len() > 1);
+        self.version += 1;
+    }
+
+    /// The primary owner of `key`, if the cluster has any KNs.
+    pub fn primary_owner(&self, key: &[u8]) -> Option<KnId> {
+        self.global.owner(key_hash(key))
+    }
+
+    /// All owners of `key`: just the primary for normal keys, the replica set
+    /// for selectively-replicated hot keys.
+    pub fn owners(&self, key: &[u8]) -> Vec<KnId> {
+        if let Some(set) = self.replicas.get(key) {
+            if !set.is_empty() {
+                return set.clone();
+            }
+        }
+        self.primary_owner(key).into_iter().collect()
+    }
+
+    /// `true` if `kn` currently owns `key` (primary or replica).
+    pub fn is_owner(&self, kn: KnId, key: &[u8]) -> bool {
+        self.owners(key).contains(&kn)
+    }
+
+    /// The worker thread responsible for `key` within `kn`.
+    pub fn thread_of(&self, kn: KnId, key: &[u8]) -> Option<ThreadId> {
+        self.locals.get(&kn).and_then(|ring| ring.owner(key_hash(key)))
+    }
+
+    /// Replication factor of `key` (1 for normal keys).
+    pub fn replication_factor(&self, key: &[u8]) -> usize {
+        self.replicas.get(key).map_or(1, |s| s.len().max(1))
+    }
+
+    /// `true` if `key` is currently selectively replicated.
+    pub fn is_replicated(&self, key: &[u8]) -> bool {
+        self.replicas.contains_key(key)
+    }
+
+    /// The set of currently replicated keys.
+    pub fn replicated_keys(&self) -> impl Iterator<Item = &Vec<u8>> {
+        self.replicas.keys()
+    }
+
+    /// Share the ownership of `key` across `factor` KNs (primary plus
+    /// `factor - 1` secondaries chosen clockwise on the ring).  Returns the
+    /// new owner set.  A factor of 1 (or an empty cluster) de-replicates.
+    pub fn replicate(&mut self, key: &[u8], factor: usize) -> Vec<KnId> {
+        if factor <= 1 || self.global.is_empty() {
+            self.dereplicate(key);
+            return self.owners(key);
+        }
+        let owners = self.global.successors(key_hash(key), factor.min(self.global.len()));
+        self.replicas.insert(key.to_vec(), owners.clone());
+        self.version += 1;
+        owners
+    }
+
+    /// Remove selective replication for `key` (its primary keeps ownership).
+    pub fn dereplicate(&mut self, key: &[u8]) {
+        if self.replicas.remove(key).is_some() {
+            self.version += 1;
+        }
+    }
+
+    /// Pretty name used in logs.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} KNs, {} replicated keys, version {}",
+            self.num_kns(),
+            self.replicas.len(),
+            self.version
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with(kns: u32) -> OwnershipTable {
+        let mut t = OwnershipTable::new(64, 8);
+        for k in 0..kns {
+            t.add_kn(k);
+        }
+        t
+    }
+
+    #[test]
+    fn add_remove_kns_bumps_version() {
+        let mut t = OwnershipTable::new(64, 4);
+        assert_eq!(t.version(), 0);
+        t.add_kn(0);
+        t.add_kn(1);
+        assert_eq!(t.version(), 2);
+        assert_eq!(t.num_kns(), 2);
+        t.add_kn(1); // idempotent, no bump
+        assert_eq!(t.version(), 2);
+        t.remove_kn(0);
+        assert_eq!(t.num_kns(), 1);
+        assert_eq!(t.version(), 3);
+    }
+
+    #[test]
+    fn every_key_has_exactly_one_primary_owner() {
+        let t = table_with(5);
+        for i in 0..1000u32 {
+            let key = format!("user{i:06}").into_bytes();
+            let owner = t.primary_owner(&key).unwrap();
+            assert!(t.kns().contains(&owner));
+            assert_eq!(t.owners(&key), vec![owner]);
+            assert!(t.is_owner(owner, &key));
+        }
+    }
+
+    #[test]
+    fn thread_assignment_is_stable_and_in_range() {
+        let t = table_with(3);
+        for i in 0..200u32 {
+            let key = format!("user{i:06}").into_bytes();
+            let kn = t.primary_owner(&key).unwrap();
+            let th = t.thread_of(kn, &key).unwrap();
+            assert!(th < 8);
+            assert_eq!(t.thread_of(kn, &key), Some(th));
+        }
+    }
+
+    #[test]
+    fn replication_shares_ownership_across_kns() {
+        let mut t = table_with(6);
+        let key = b"hotkey".to_vec();
+        assert_eq!(t.replication_factor(&key), 1);
+        let owners = t.replicate(&key, 4);
+        assert_eq!(owners.len(), 4);
+        assert_eq!(t.replication_factor(&key), 4);
+        assert!(t.is_replicated(&key));
+        assert_eq!(owners[0], t.primary_owner(&key).unwrap());
+        for o in &owners {
+            assert!(t.is_owner(*o, &key));
+        }
+        // Other keys are unaffected.
+        assert_eq!(t.owners(b"coldkey"), vec![t.primary_owner(b"coldkey").unwrap()]);
+        t.dereplicate(&key);
+        assert!(!t.is_replicated(&key));
+        assert_eq!(t.owners(&key).len(), 1);
+    }
+
+    #[test]
+    fn replication_factor_is_capped_at_cluster_size() {
+        let mut t = table_with(3);
+        let owners = t.replicate(b"hot", 16);
+        assert_eq!(owners.len(), 3);
+    }
+
+    #[test]
+    fn removing_a_kn_trims_replica_sets() {
+        let mut t = table_with(4);
+        let owners = t.replicate(b"hot", 3);
+        let victim = owners[1];
+        t.remove_kn(victim);
+        let new_owners = t.owners(b"hot");
+        assert!(!new_owners.contains(&victim));
+        assert!(!new_owners.is_empty());
+    }
+
+    #[test]
+    fn replicate_factor_one_dereplicates() {
+        let mut t = table_with(4);
+        t.replicate(b"hot", 3);
+        t.replicate(b"hot", 1);
+        assert!(!t.is_replicated(b"hot"));
+    }
+
+    #[test]
+    fn reconfiguration_moves_limited_ownership() {
+        let mut t = table_with(8);
+        let before: Vec<Option<KnId>> = (0..2000u32)
+            .map(|i| t.primary_owner(format!("user{i:06}").as_bytes()))
+            .collect();
+        t.add_kn(8);
+        let mut moved = 0;
+        for (i, owner_before) in before.iter().enumerate() {
+            let owner_after = t.primary_owner(format!("user{i:06}").as_bytes());
+            if owner_after != *owner_before {
+                assert_eq!(owner_after, Some(8), "keys may only move to the new KN");
+                moved += 1;
+            }
+        }
+        let frac = f64::from(moved) / 2000.0;
+        assert!(frac > 0.02 && frac < 0.30, "moved fraction {frac}");
+    }
+
+    #[test]
+    fn describe_mentions_cluster_shape() {
+        let mut t = table_with(2);
+        t.replicate(b"h", 2);
+        let d = t.describe();
+        assert!(d.contains("2 KNs"));
+        assert!(d.contains("1 replicated"));
+    }
+}

@@ -1,0 +1,220 @@
+//! On-PM bucket layout.
+//!
+//! A bucket is exactly one 64-byte cache line (eight 8-byte words):
+//!
+//! ```text
+//! word 0: [ version (63 bits) | writer-lock bit ]
+//! word 1: tag of slot 0        word 2: value of slot 0
+//! word 3: tag of slot 1        word 4: value of slot 1
+//! word 5: tag of slot 2        word 6: value of slot 2
+//! word 7: address of the next bucket in the chain (0 = end of chain)
+//! ```
+//!
+//! The paper notes that each access/update touches a single cache line in the
+//! common case; this layout preserves that property (a lookup that hits the
+//! head bucket reads one line; an in-place update flushes one line).
+
+use dinomo_pmem::{PmAddr, PmemPool};
+
+/// Number of (tag, value) slots per bucket. Matches CLHT's 3-per-cache-line.
+pub const SLOTS_PER_BUCKET: usize = 3;
+/// Size of a bucket in bytes (one cache line).
+pub const BUCKET_BYTES: u64 = 64;
+/// Tag value meaning "empty slot".
+pub const EMPTY_TAG: u64 = 0;
+
+/// Word offsets within a bucket.
+const META_WORD: u64 = 0;
+const NEXT_WORD: u64 = 7;
+
+/// A decoded snapshot of one bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketSnapshot {
+    /// Version word (lock bit stripped).
+    pub version: u64,
+    /// `(tag, value)` pairs, one per slot; `tag == EMPTY_TAG` means empty.
+    pub slots: [(u64, u64); SLOTS_PER_BUCKET],
+    /// Next bucket in the chain, or `PmAddr::NULL`.
+    pub next: PmAddr,
+}
+
+/// Helper for manipulating one bucket stored in a pmem pool.
+#[derive(Debug, Clone, Copy)]
+pub struct BucketRef {
+    addr: PmAddr,
+}
+
+impl BucketRef {
+    /// Wrap the bucket at `addr`.
+    pub fn new(addr: PmAddr) -> Self {
+        BucketRef { addr }
+    }
+
+    /// Address of the bucket.
+    pub fn addr(&self) -> PmAddr {
+        self.addr
+    }
+
+    fn word(&self, idx: u64) -> PmAddr {
+        self.addr.offset(idx * 8)
+    }
+
+    /// Zero the bucket (used right after allocation, before linking).
+    pub fn init(&self, pool: &PmemPool) {
+        for w in 0..8 {
+            pool.write_u64(self.word(w), 0);
+        }
+        pool.persist(self.addr, BUCKET_BYTES);
+    }
+
+    /// Read the meta word (version | lock bit).
+    pub fn meta(&self, pool: &PmemPool) -> u64 {
+        pool.read_u64(self.word(META_WORD))
+    }
+
+    /// `true` if the writer lock bit is set in `meta`.
+    pub fn is_locked(meta: u64) -> bool {
+        meta & 1 == 1
+    }
+
+    /// Try to acquire the writer lock; returns `false` if already locked.
+    pub fn try_lock(&self, pool: &PmemPool) -> bool {
+        let meta = self.meta(pool);
+        if Self::is_locked(meta) {
+            return false;
+        }
+        pool.cas_u64(self.word(META_WORD), meta, meta | 1).is_ok()
+    }
+
+    /// Spin until the writer lock is acquired.
+    pub fn lock(&self, pool: &PmemPool) {
+        loop {
+            if self.try_lock(pool) {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Release the writer lock, bumping the version so concurrent readers
+    /// retry their snapshot.
+    pub fn unlock(&self, pool: &PmemPool) {
+        let meta = self.meta(pool);
+        debug_assert!(Self::is_locked(meta), "unlock of an unlocked bucket");
+        // Clear the lock bit and advance the version (versions move by 2 so
+        // the lock bit never aliases into them).
+        pool.write_u64(self.word(META_WORD), (meta & !1) + 2);
+        pool.persist(self.addr, 8);
+    }
+
+    /// Read slot `i` (tag, value) non-atomically (caller handles snapshots).
+    pub fn slot(&self, pool: &PmemPool, i: usize) -> (u64, u64) {
+        debug_assert!(i < SLOTS_PER_BUCKET);
+        let tag = pool.read_u64(self.word(1 + 2 * i as u64));
+        let val = pool.read_u64(self.word(2 + 2 * i as u64));
+        (tag, val)
+    }
+
+    /// Write slot `i`. Value is written before tag so a concurrent reader
+    /// never observes a tag with a stale value.
+    pub fn set_slot(&self, pool: &PmemPool, i: usize, tag: u64, value: u64) {
+        debug_assert!(i < SLOTS_PER_BUCKET);
+        pool.write_u64(self.word(2 + 2 * i as u64), value);
+        pool.write_u64(self.word(1 + 2 * i as u64), tag);
+        pool.persist(self.addr, BUCKET_BYTES);
+    }
+
+    /// Overwrite only the value of slot `i` (in-place update).
+    pub fn set_slot_value(&self, pool: &PmemPool, i: usize, value: u64) {
+        debug_assert!(i < SLOTS_PER_BUCKET);
+        pool.write_u64(self.word(2 + 2 * i as u64), value);
+        pool.persist(self.word(2 + 2 * i as u64), 8);
+    }
+
+    /// Clear slot `i`.
+    pub fn clear_slot(&self, pool: &PmemPool, i: usize) {
+        pool.write_u64(self.word(1 + 2 * i as u64), EMPTY_TAG);
+        pool.write_u64(self.word(2 + 2 * i as u64), 0);
+        pool.persist(self.addr, BUCKET_BYTES);
+    }
+
+    /// Read the next-bucket pointer.
+    pub fn next(&self, pool: &PmemPool) -> PmAddr {
+        PmAddr(pool.read_u64(self.word(NEXT_WORD)))
+    }
+
+    /// Link `next` as the chain continuation (persisted).
+    pub fn set_next(&self, pool: &PmemPool, next: PmAddr) {
+        pool.write_u64(self.word(NEXT_WORD), next.0);
+        pool.persist(self.word(NEXT_WORD), 8);
+    }
+
+    /// Take a consistent-enough snapshot of the bucket's slots and next
+    /// pointer (the chain-level snapshot protocol is in `table.rs`).
+    pub fn snapshot(&self, pool: &PmemPool) -> BucketSnapshot {
+        let meta = self.meta(pool);
+        let mut slots = [(EMPTY_TAG, 0u64); SLOTS_PER_BUCKET];
+        for (i, s) in slots.iter_mut().enumerate() {
+            *s = self.slot(pool, i);
+        }
+        BucketSnapshot { version: meta & !1, slots, next: self.next(pool) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinomo_pmem::{PmemConfig, PmemPool};
+
+    fn pool_and_bucket() -> (PmemPool, BucketRef) {
+        let pool = PmemPool::new(PmemConfig::small_for_tests());
+        let addr = pool.alloc(BUCKET_BYTES).unwrap();
+        let b = BucketRef::new(addr);
+        b.init(&pool);
+        (pool, b)
+    }
+
+    #[test]
+    fn slots_round_trip() {
+        let (pool, b) = pool_and_bucket();
+        b.set_slot(&pool, 0, 11, 100);
+        b.set_slot(&pool, 2, 33, 300);
+        assert_eq!(b.slot(&pool, 0), (11, 100));
+        assert_eq!(b.slot(&pool, 1), (EMPTY_TAG, 0));
+        assert_eq!(b.slot(&pool, 2), (33, 300));
+        b.clear_slot(&pool, 0);
+        assert_eq!(b.slot(&pool, 0), (EMPTY_TAG, 0));
+    }
+
+    #[test]
+    fn lock_unlock_bumps_version() {
+        let (pool, b) = pool_and_bucket();
+        let v0 = b.meta(&pool);
+        b.lock(&pool);
+        assert!(BucketRef::is_locked(b.meta(&pool)));
+        assert!(!b.try_lock(&pool), "second lock must fail");
+        b.unlock(&pool);
+        let v1 = b.meta(&pool);
+        assert!(!BucketRef::is_locked(v1));
+        assert!(v1 > v0);
+    }
+
+    #[test]
+    fn next_pointer_links() {
+        let (pool, b) = pool_and_bucket();
+        assert!(b.next(&pool).is_null());
+        let other = pool.alloc(BUCKET_BYTES).unwrap();
+        b.set_next(&pool, other);
+        assert_eq!(b.next(&pool), other);
+    }
+
+    #[test]
+    fn snapshot_reflects_contents() {
+        let (pool, b) = pool_and_bucket();
+        b.set_slot(&pool, 1, 7, 70);
+        let s = b.snapshot(&pool);
+        assert_eq!(s.slots[1], (7, 70));
+        assert!(s.next.is_null());
+        assert_eq!(s.version % 2, 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # dinomo-pclht — Persistent Cache-Line Hash Table
+//!
+//! Dinomo's metadata index on DPM is RECIPE's P-CLHT (Persistent Cache Line
+//! Hash Table): a chaining hash table whose buckets are exactly one cache
+//! line, giving
+//!
+//! * **lock-free reads** — readers take an atomic snapshot of a bucket chain
+//!   validated with a per-bucket version word, so KVS nodes never hold locks
+//!   across the network and a crashed reader cannot block anyone,
+//! * **log-free in-place writes** — writers lock only the head bucket of a
+//!   chain, update slots in place, and flush a single cache line in the
+//!   common case, and
+//! * **a one-sided lookup path** — [`Pclht::remote_get`] performs the lookup
+//!   the way a KVS node would over RDMA (one one-sided READ per bucket in the
+//!   chain) and reports how many round trips it used.  This is the `M` in the
+//!   paper's DAC analysis: a full cache miss costs `M` RTs, a shortcut hit
+//!   costs 1, a value hit costs 0.
+//!
+//! The table maps a 64-bit *tag* (a hash of the application key) to a 64-bit
+//! *value* (a packed pointer into the DPM log).  Tag collisions are resolved
+//! by the caller through a predicate on the stored value — the DPM layer
+//! verifies the full key stored alongside the value in the log entry.
+//!
+//! Buckets live in the [`dinomo_pmem::PmemPool`], so the index survives
+//! simulated crashes (given the persistence ordering implemented here) and
+//! can be shared by DPM processor threads and (simulated) one-sided readers.
+
+#![warn(missing_docs)]
+
+pub mod bucket;
+pub mod table;
+
+pub use table::{Pclht, PclhtConfig, PclhtStats};
+
+/// Result alias for table operations (errors come from the pmem allocator).
+pub type Result<T> = std::result::Result<T, dinomo_pmem::PmemError>;

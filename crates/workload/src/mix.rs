@@ -1,0 +1,112 @@
+//! Request mixes.
+
+use serde::{Deserialize, Serialize};
+
+/// A request mix: fractions of reads, updates and inserts (they must sum to
+/// 1.0; deletes are exercised separately in tests, matching the paper's
+/// evaluation which does not benchmark deletes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    /// Short name used in benchmark output (e.g. "50r50u").
+    pub name: &'static str,
+    /// Fraction of lookup operations.
+    pub read_fraction: f64,
+    /// Fraction of update operations (overwrite an existing key).
+    pub update_fraction: f64,
+    /// Fraction of insert operations (new keys).
+    pub insert_fraction: f64,
+}
+
+impl WorkloadMix {
+    /// 100 % reads.
+    pub const READ_ONLY: WorkloadMix = WorkloadMix {
+        name: "100r",
+        read_fraction: 1.0,
+        update_fraction: 0.0,
+        insert_fraction: 0.0,
+    };
+    /// 95 % reads / 5 % updates.
+    pub const READ_MOSTLY_UPDATE: WorkloadMix = WorkloadMix {
+        name: "95r5u",
+        read_fraction: 0.95,
+        update_fraction: 0.05,
+        insert_fraction: 0.0,
+    };
+    /// 95 % reads / 5 % inserts.
+    pub const READ_MOSTLY_INSERT: WorkloadMix = WorkloadMix {
+        name: "95r5i",
+        read_fraction: 0.95,
+        update_fraction: 0.0,
+        insert_fraction: 0.05,
+    };
+    /// 50 % reads / 50 % updates.
+    pub const WRITE_HEAVY_UPDATE: WorkloadMix = WorkloadMix {
+        name: "50r50u",
+        read_fraction: 0.5,
+        update_fraction: 0.5,
+        insert_fraction: 0.0,
+    };
+    /// 50 % reads / 50 % inserts.
+    pub const WRITE_HEAVY_INSERT: WorkloadMix = WorkloadMix {
+        name: "50r50i",
+        read_fraction: 0.5,
+        update_fraction: 0.0,
+        insert_fraction: 0.5,
+    };
+    /// 100 % inserts (the Figure 4 merge-capacity stress workload).
+    pub const INSERT_ONLY: WorkloadMix = WorkloadMix {
+        name: "100i",
+        read_fraction: 0.0,
+        update_fraction: 0.0,
+        insert_fraction: 1.0,
+    };
+
+    /// The five mixes of Figure 5 / Table 6, in the paper's order.
+    pub const FIGURE5_MIXES: [WorkloadMix; 5] = [
+        WorkloadMix::WRITE_HEAVY_UPDATE,
+        WorkloadMix::WRITE_HEAVY_INSERT,
+        WorkloadMix::READ_MOSTLY_UPDATE,
+        WorkloadMix::READ_MOSTLY_INSERT,
+        WorkloadMix::READ_ONLY,
+    ];
+
+    /// Fraction of operations that are writes of any kind.
+    pub fn write_fraction(&self) -> f64 {
+        self.update_fraction + self.insert_fraction
+    }
+
+    /// `true` if the fractions sum to 1 (within floating-point tolerance).
+    pub fn is_valid(&self) -> bool {
+        (self.read_fraction + self.update_fraction + self.insert_fraction - 1.0).abs() < 1e-9
+            && self.read_fraction >= 0.0
+            && self.update_fraction >= 0.0
+            && self.insert_fraction >= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_predefined_mixes_are_valid() {
+        for mix in WorkloadMix::FIGURE5_MIXES.iter().chain([&WorkloadMix::INSERT_ONLY]) {
+            assert!(mix.is_valid(), "{} is invalid", mix.name);
+        }
+        assert_eq!(WorkloadMix::FIGURE5_MIXES.len(), 5);
+    }
+
+    #[test]
+    fn write_fractions_match_names() {
+        assert_eq!(WorkloadMix::READ_ONLY.write_fraction(), 0.0);
+        assert!((WorkloadMix::WRITE_HEAVY_UPDATE.write_fraction() - 0.5).abs() < 1e-9);
+        assert!((WorkloadMix::READ_MOSTLY_INSERT.write_fraction() - 0.05).abs() < 1e-9);
+        assert_eq!(WorkloadMix::INSERT_ONLY.write_fraction(), 1.0);
+    }
+
+    #[test]
+    fn invalid_mix_detected() {
+        let bad = WorkloadMix { name: "bad", read_fraction: 0.9, update_fraction: 0.9, insert_fraction: 0.0 };
+        assert!(!bad.is_valid());
+    }
+}

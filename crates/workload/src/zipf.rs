@@ -1,0 +1,170 @@
+//! Key-popularity distributions.
+
+use rand::Rng;
+
+/// Which key-popularity distribution to draw from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with the given coefficient (`theta`). The paper uses 0.5
+    /// ("low skew, close to uniform"), 0.99 (YCSB default, "moderate skew")
+    /// and 2.0 ("high skew").
+    Zipfian {
+        /// Zipf exponent.
+        theta: f64,
+    },
+}
+
+impl KeyDistribution {
+    /// The paper's low-skew setting.
+    pub const LOW_SKEW: KeyDistribution = KeyDistribution::Zipfian { theta: 0.5 };
+    /// The paper's moderate-skew (YCSB default) setting.
+    pub const MODERATE_SKEW: KeyDistribution = KeyDistribution::Zipfian { theta: 0.99 };
+    /// The paper's high-skew setting.
+    pub const HIGH_SKEW: KeyDistribution = KeyDistribution::Zipfian { theta: 2.0 };
+}
+
+/// A Zipfian rank sampler over `0..n` using an explicit inverse CDF.
+///
+/// YCSB's rejection-sampling approximation is only valid for exponents below
+/// one; the paper also needs `theta = 2`, so we build the cumulative
+/// distribution explicitly (8 bytes per key) and binary-search it.  Ranks are
+/// optionally scrambled (hashed) across the key space, as YCSB does, so that
+/// "hot" keys are not adjacent ids.
+#[derive(Debug, Clone)]
+pub struct ZipfianGenerator {
+    cdf: Vec<f64>,
+    scrambled: bool,
+    n: u64,
+}
+
+impl ZipfianGenerator {
+    /// Build a sampler over `n` keys with exponent `theta`, optionally
+    /// scrambling ranks across the id space.
+    pub fn new(n: u64, theta: f64, scrambled: bool) -> Self {
+        assert!(n > 0, "key space must be non-empty");
+        let n_usize = usize::try_from(n).expect("key space too large for in-memory CDF");
+        let mut cdf = Vec::with_capacity(n_usize);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfianGenerator { cdf, scrambled, n }
+    }
+
+    /// Number of keys.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw a key id in `0..n`.
+    pub fn next<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let rank = match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i as u64,
+            Err(i) => (i as u64).min(self.n - 1),
+        };
+        if self.scrambled {
+            scramble(rank) % self.n
+        } else {
+            rank
+        }
+    }
+
+    /// The `k` most popular key ids (useful for hot-key experiments).
+    pub fn hottest(&self, k: usize) -> Vec<u64> {
+        (0..self.n.min(k as u64))
+            .map(|rank| if self.scrambled { scramble(rank) % self.n } else { rank })
+            .collect()
+    }
+}
+
+/// FNV-style scramble used to spread ranks over the id space (YCSB's
+/// "scrambled zipfian").
+fn scramble(rank: u64) -> u64 {
+    let mut h = rank ^ 0xcbf2_9ce4_8422_2325;
+    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 29;
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn histogram(dist: &ZipfianGenerator, samples: usize) -> HashMap<u64, u64> {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut h = HashMap::new();
+        for _ in 0..samples {
+            *h.entry(dist.next(&mut rng)).or_insert(0) += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = ZipfianGenerator::new(1000, 0.99, true);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.next(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn high_theta_is_more_skewed_than_low_theta() {
+        let n = 10_000u64;
+        let low = ZipfianGenerator::new(n, 0.5, false);
+        let high = ZipfianGenerator::new(n, 2.0, false);
+        let h_low = histogram(&low, 50_000);
+        let h_high = histogram(&high, 50_000);
+        let top_low = (0..10).map(|i| h_low.get(&i).copied().unwrap_or(0)).sum::<u64>();
+        let top_high = (0..10).map(|i| h_high.get(&i).copied().unwrap_or(0)).sum::<u64>();
+        assert!(
+            top_high > 3 * top_low,
+            "theta=2 should concentrate mass on the head: {top_high} vs {top_low}"
+        );
+        // With theta = 2 the vast majority of accesses hit a handful of keys.
+        assert!(top_high as f64 / 50_000.0 > 0.8);
+    }
+
+    #[test]
+    fn theta_099_roughly_matches_ycsb_expectations() {
+        let n = 100_000u64;
+        let z = ZipfianGenerator::new(n, 0.99, false);
+        let h = histogram(&z, 100_000);
+        let top_100: u64 = (0..100).map(|i| h.get(&i).copied().unwrap_or(0)).sum();
+        let frac = top_100 as f64 / 100_000.0;
+        // YCSB zipfian(0.99): the most popular ~0.1% of keys draw roughly a
+        // third to a half of the accesses.
+        assert!(frac > 0.25 && frac < 0.6, "unexpected head mass {frac}");
+    }
+
+    #[test]
+    fn scrambling_spreads_hot_keys_but_preserves_skew() {
+        let n = 10_000u64;
+        let scrambled = ZipfianGenerator::new(n, 0.99, true);
+        let hot = scrambled.hottest(4);
+        // Hot ids are not simply 0,1,2,3.
+        assert_ne!(hot, vec![0, 1, 2, 3]);
+        let h = histogram(&scrambled, 50_000);
+        let max = h.values().copied().max().unwrap();
+        assert!(max > 1_000, "scrambled distribution lost its skew (max={max})");
+    }
+
+    #[test]
+    fn uniform_distribution_constant_exists() {
+        assert_eq!(KeyDistribution::MODERATE_SKEW, KeyDistribution::Zipfian { theta: 0.99 });
+        assert!(matches!(KeyDistribution::Uniform, KeyDistribution::Uniform));
+    }
+}

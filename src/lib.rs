@@ -1,0 +1,44 @@
+//! # dinomo — umbrella crate for the DINOMO reproduction
+//!
+//! This crate re-exports the public API of every crate in the workspace so
+//! examples, integration tests and downstream users can depend on a single
+//! crate:
+//!
+//! * [`core`](dinomo_core) — the Dinomo key-value store (and its Dinomo-S /
+//!   Dinomo-N variants),
+//! * [`clover`](dinomo_clover) — the Clover baseline,
+//! * [`cluster`](dinomo_cluster) — routing/monitoring control plane and the
+//!   timeline experiment driver,
+//! * [`cache`](dinomo_cache), [`partition`](dinomo_partition),
+//!   [`dpm`](dinomo_dpm), [`pclht`](dinomo_pclht), [`pmem`](dinomo_pmem),
+//!   [`simnet`](dinomo_simnet) — the substrates,
+//! * [`workload`](dinomo_workload) — YCSB-style workload generation.
+//!
+//! ```
+//! use dinomo::{Kvs, KvsConfig};
+//!
+//! let kvs = Kvs::new(KvsConfig::small_for_tests()).unwrap();
+//! let client = kvs.client();
+//! client.insert(b"paper", b"dinomo").unwrap();
+//! assert_eq!(client.lookup(b"paper").unwrap(), Some(b"dinomo".to_vec()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dinomo_cache as cache;
+pub use dinomo_clover as clover;
+pub use dinomo_cluster as cluster;
+pub use dinomo_core as core;
+pub use dinomo_dpm as dpm;
+pub use dinomo_partition as partition;
+pub use dinomo_pclht as pclht;
+pub use dinomo_pmem as pmem;
+pub use dinomo_simnet as simnet;
+pub use dinomo_workload as workload;
+
+pub use dinomo_clover::{CloverConfig, CloverKvs};
+pub use dinomo_cluster::{
+    DriverConfig, ElasticKvs, EventKind, PolicyEngine, ScriptedEvent, SimulationDriver, SloConfig,
+};
+pub use dinomo_core::{Kvs, KvsClient, KvsConfig, KvsError, KvsStats, Variant};
+pub use dinomo_workload::{KeyDistribution, WorkloadConfig, WorkloadGenerator, WorkloadMix};

@@ -1,0 +1,176 @@
+//! Cross-crate integration tests: full workloads driven through the public
+//! API of the umbrella crate, comparing Dinomo, its variants and Clover.
+
+use dinomo::workload::{key_for, Operation, WorkloadConfig, WorkloadGenerator};
+use dinomo::{
+    CloverConfig, CloverKvs, KeyDistribution, Kvs, KvsConfig, Variant, WorkloadMix,
+};
+use std::collections::HashMap;
+
+fn workload(mix: WorkloadMix, keys: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        num_keys: keys,
+        key_len: 8,
+        value_len: 64,
+        mix,
+        distribution: KeyDistribution::MODERATE_SKEW,
+        seed: 99,
+    }
+}
+
+/// Replay a workload against a map of closures (insert/update/read/delete)
+/// and an in-memory model, checking every read against the model.
+fn run_against_model<I, U, R, D>(
+    mut insert: I,
+    mut update: U,
+    mut read: R,
+    mut delete: D,
+    mix: WorkloadMix,
+    ops: u64,
+) where
+    I: FnMut(&[u8], &[u8]),
+    U: FnMut(&[u8], &[u8]),
+    R: FnMut(&[u8]) -> Option<Vec<u8>>,
+    D: FnMut(&[u8]),
+{
+    let config = workload(mix, 400);
+    let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+    let generator = WorkloadGenerator::new(config);
+    for (k, v) in generator.load_phase() {
+        insert(&k, &v);
+        model.insert(k, v);
+    }
+    let mut generator = WorkloadGenerator::new(config);
+    for i in 0..ops {
+        match generator.next_op() {
+            Operation::Read(k) => {
+                assert_eq!(read(&k), model.get(&k).cloned(), "read mismatch at op {i}");
+            }
+            Operation::Update(k, v) => {
+                update(&k, &v);
+                model.insert(k, v);
+            }
+            Operation::Insert(k, v) => {
+                insert(&k, &v);
+                model.insert(k, v);
+            }
+            Operation::Delete(k) => {
+                delete(&k);
+                model.remove(&k);
+            }
+        }
+    }
+    // Final full verification.
+    for (k, v) in &model {
+        assert_eq!(read(k).as_ref(), Some(v), "final state mismatch for {k:?}");
+    }
+}
+
+#[test]
+fn dinomo_variants_match_a_model_under_mixed_workloads() {
+    for variant in [Variant::Dinomo, Variant::DinomoS, Variant::DinomoN] {
+        for mix in [WorkloadMix::WRITE_HEAVY_UPDATE, WorkloadMix::READ_MOSTLY_INSERT] {
+            let kvs = Kvs::new(KvsConfig::small_for_tests().with_variant(variant)).unwrap();
+            let client = kvs.client();
+            run_against_model(
+                |k, v| client.insert(k, v).unwrap(),
+                |k, v| client.update(k, v).unwrap(),
+                |k| client.lookup(k).unwrap(),
+                |k| client.delete(k).unwrap(),
+                mix,
+                1_500,
+            );
+        }
+    }
+}
+
+#[test]
+fn clover_matches_a_model_under_mixed_workloads() {
+    let kvs = CloverKvs::new(CloverConfig::small_for_tests()).unwrap();
+    let client = kvs.client();
+    run_against_model(
+        |k, v| client.insert(k, v).unwrap(),
+        |k, v| client.update(k, v).unwrap(),
+        |k| client.lookup(k).unwrap(),
+        |k| client.delete(k).unwrap(),
+        WorkloadMix::WRITE_HEAVY_UPDATE,
+        1_500,
+    );
+}
+
+#[test]
+fn dinomo_uses_fewer_round_trips_than_clover() {
+    // The headline mechanism of the paper: ownership partitioning + DAC keep
+    // the round trips per operation far below a shared-everything,
+    // shortcut-only design.
+    let keys = 1_000u64;
+    let reads = 4_000u64;
+
+    let kvs = Kvs::new(KvsConfig {
+        initial_kns: 4,
+        cache_bytes_per_kn: 1 << 20,
+        ..KvsConfig::small_for_tests()
+    })
+    .unwrap();
+    let dinomo_client = kvs.client();
+    let clover = CloverKvs::new(CloverConfig {
+        initial_kns: 4,
+        cache_bytes_per_kn: 1 << 20,
+        ..CloverConfig::small_for_tests()
+    })
+    .unwrap();
+    let clover_client = clover.client();
+
+    for i in 0..keys {
+        let value = vec![(i % 251) as u8; 64];
+        dinomo_client.insert(&key_for(i, 8), &value).unwrap();
+        clover_client.insert(&key_for(i, 8), &value).unwrap();
+    }
+    kvs.quiesce().unwrap();
+    let dinomo_before = kvs.stats();
+    let clover_before = clover.stats();
+
+    for i in 0..reads {
+        let id = (i * i + 7) % keys;
+        // Interleave a few updates so Clover's chains grow as they would in
+        // a mixed workload.
+        if i % 10 == 0 {
+            dinomo_client.update(&key_for(id, 8), &[1u8; 64]).unwrap();
+            clover_client.update(&key_for(id, 8), &[1u8; 64]).unwrap();
+        } else {
+            dinomo_client.lookup(&key_for(id, 8)).unwrap();
+            clover_client.lookup(&key_for(id, 8)).unwrap();
+        }
+    }
+    let d_ops = kvs.stats().total_ops() - dinomo_before.total_ops();
+    let c_ops = clover.stats().total_ops() - clover_before.total_ops();
+    assert_eq!(d_ops, c_ops);
+    let d_rts = kvs.stats().rts_per_op();
+    let c_rts = clover.stats().rts_per_op();
+    assert!(
+        d_rts < c_rts,
+        "Dinomo should need fewer RTs/op than Clover (got {d_rts:.2} vs {c_rts:.2})"
+    );
+    // And its hit ratio benefits from ownership partitioning + DAC.
+    assert!(kvs.stats().cache_hit_ratio() > 0.5);
+}
+
+#[test]
+fn stats_are_consistent_across_the_stack() {
+    let kvs = Kvs::new(KvsConfig::small_for_tests()).unwrap();
+    let client = kvs.client();
+    for i in 0..300u64 {
+        client.insert(&key_for(i, 8), &[0u8; 32]).unwrap();
+    }
+    for i in 0..300u64 {
+        client.lookup(&key_for(i, 8)).unwrap();
+    }
+    let stats = kvs.stats();
+    assert_eq!(stats.total_ops(), 600);
+    let sum_reads: u64 = stats.kns.iter().map(|k| k.reads).sum();
+    let sum_writes: u64 = stats.kns.iter().map(|k| k.writes).sum();
+    assert_eq!(sum_reads, 300);
+    assert_eq!(sum_writes, 300);
+    assert!(stats.dpm.index_len <= 300);
+    assert_eq!(stats.ownership_version, kvs.ownership().read().version());
+}

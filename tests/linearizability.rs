@@ -1,0 +1,131 @@
+//! Linearizability checks for single-key reads and writes (the consistency
+//! guarantee §3.2 claims), including for selectively-replicated keys where
+//! several KNs may write the same key concurrently.
+
+use dinomo::{Kvs, KvsConfig, Variant};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A single writer monotonically increments a counter value stored under one
+/// key while several readers poll it.  Linearizability of a single register
+/// with one writer implies every reader observes a non-decreasing sequence,
+/// and never a value the writer has not yet written.
+fn monotonic_register_check(kvs: &Kvs, key: &[u8], writes: u64, readers: usize) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let high_water = Arc::new(AtomicU64::new(0));
+    let client = kvs.client();
+    client.insert(key, &0u64.to_be_bytes()).unwrap();
+
+    let reader_handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let kvs = kvs.clone();
+            let stop = Arc::clone(&stop);
+            let high_water = Arc::clone(&high_water);
+            let key = key.to_vec();
+            std::thread::spawn(move || {
+                let client = kvs.client();
+                let mut last_seen = 0u64;
+                let mut observations = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let Some(bytes) = client.lookup(&key).unwrap() else {
+                        panic!("register disappeared");
+                    };
+                    let value = u64::from_be_bytes(bytes[..8].try_into().unwrap());
+                    assert!(
+                        value >= last_seen,
+                        "non-monotonic read: saw {value} after {last_seen}"
+                    );
+                    assert!(
+                        value <= high_water.load(Ordering::Acquire),
+                        "read {value} which was never acknowledged as written"
+                    );
+                    last_seen = value;
+                    observations += 1;
+                }
+                observations
+            })
+        })
+        .collect();
+
+    for v in 1..=writes {
+        // Announce the write before issuing it: readers may observe it any
+        // time after the KVS node starts applying it.
+        high_water.store(v, Ordering::Release);
+        client.update(key, &v.to_be_bytes()).unwrap();
+    }
+    stop.store(true, Ordering::Release);
+    let total_observations: u64 = reader_handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total_observations > 0, "readers never ran");
+    assert_eq!(
+        client.lookup(key).unwrap().map(|b| u64::from_be_bytes(b[..8].try_into().unwrap())),
+        Some(writes)
+    );
+}
+
+#[test]
+fn owned_key_reads_are_linearizable() {
+    // Immediate visibility matters for this test, so writes are flushed
+    // per operation (batch size 1).
+    let kvs = Kvs::new(KvsConfig { write_batch_ops: 1, ..KvsConfig::small_for_tests() }).unwrap();
+    monotonic_register_check(&kvs, b"register", 2_000, 3);
+}
+
+#[test]
+fn replicated_key_reads_are_linearizable() {
+    let kvs = Kvs::new(KvsConfig { write_batch_ops: 1, ..KvsConfig::small_for_tests() }).unwrap();
+    let client = kvs.client();
+    client.insert(b"hot-register", &0u64.to_be_bytes()).unwrap();
+    kvs.replicate_key(b"hot-register", 2).unwrap();
+    monotonic_register_check(&kvs, b"hot-register", 1_000, 3);
+}
+
+#[test]
+fn concurrent_writers_on_a_replicated_key_never_lose_the_last_write() {
+    // Several clients hammer the same replicated key; after they finish, the
+    // value must be one of the last acknowledged writes (freshness) and every
+    // intermediate read must be a value some writer actually wrote.
+    let kvs = Kvs::new(
+        KvsConfig { write_batch_ops: 1, initial_kns: 3, ..KvsConfig::small_for_tests() }
+            .with_variant(Variant::Dinomo),
+    )
+    .unwrap();
+    let client = kvs.client();
+    client.insert(b"contended", b"w0-0").unwrap();
+    kvs.replicate_key(b"contended", 3).unwrap();
+
+    let writers = 3u32;
+    let per_writer = 300u32;
+    let handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let kvs = kvs.clone();
+            std::thread::spawn(move || {
+                let client = kvs.client();
+                for i in 0..per_writer {
+                    client.update(b"contended", format!("w{w}-{i}").as_bytes()).unwrap();
+                }
+            })
+        })
+        .collect();
+    let reader = {
+        let kvs = kvs.clone();
+        std::thread::spawn(move || {
+            let client = kvs.client();
+            for _ in 0..500 {
+                let v = client.lookup(b"contended").unwrap().expect("value must exist");
+                let s = String::from_utf8(v).expect("utf8 value");
+                assert!(s.starts_with('w') && s.contains('-'), "unexpected value {s}");
+            }
+        })
+    };
+    for h in handles {
+        h.join().unwrap();
+    }
+    reader.join().unwrap();
+    let final_value = String::from_utf8(client.lookup(b"contended").unwrap().unwrap()).unwrap();
+    // The final value must be the last write of one of the writers.
+    let expected: Vec<String> = (0..writers).map(|w| format!("w{w}-{}", per_writer - 1)).collect();
+    assert!(
+        expected.contains(&final_value),
+        "final value {final_value} is not any writer's last write {expected:?}"
+    );
+}

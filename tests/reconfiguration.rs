@@ -1,0 +1,144 @@
+//! Reconfiguration under load: membership changes, failures and selective
+//! replication must never lose committed data or wedge the cluster, and
+//! Dinomo must achieve them without physically copying data.
+
+use dinomo::workload::key_for;
+use dinomo::{Kvs, KvsConfig, KvsError, Variant};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn loaded_cluster(variant: Variant, kns: usize, keys: u64) -> Kvs {
+    let kvs = Kvs::new(
+        KvsConfig { initial_kns: kns, ..KvsConfig::small_for_tests() }.with_variant(variant),
+    )
+    .unwrap();
+    let client = kvs.client();
+    for i in 0..keys {
+        client.insert(&key_for(i, 8), &vec![(i % 251) as u8; 64]).unwrap();
+    }
+    kvs.flush_all().unwrap();
+    kvs
+}
+
+#[test]
+fn scale_out_and_back_in_under_concurrent_traffic() {
+    let kvs = loaded_cluster(Variant::Dinomo, 2, 600);
+    let stop = Arc::new(AtomicBool::new(false));
+    let traffic = {
+        let kvs = kvs.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let client = kvs.client();
+            let mut errors = 0u64;
+            let mut ops = 0u64;
+            let mut i = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                i += 1;
+                let key = key_for(i % 600, 8);
+                let result = if i % 5 == 0 {
+                    client.update(&key, &[9u8; 64]).map(|()| ())
+                } else {
+                    client.lookup(&key).map(|_| ())
+                };
+                ops += 1;
+                if result.is_err() {
+                    errors += 1;
+                }
+            }
+            (ops, errors)
+        })
+    };
+
+    // Grow to 4 KNs, then shrink back to 2, while traffic keeps flowing.
+    let a = kvs.add_kn().unwrap();
+    let b = kvs.add_kn().unwrap();
+    assert_eq!(kvs.num_kns(), 4);
+    kvs.remove_kn(a).unwrap();
+    kvs.remove_kn(b).unwrap();
+    assert_eq!(kvs.num_kns(), 2);
+    stop.store(true, Ordering::Release);
+    let (ops, errors) = traffic.join().unwrap();
+    assert!(ops > 0);
+    assert_eq!(errors, 0, "client operations failed during reconfiguration");
+
+    // Nothing was lost and Dinomo never copied data.
+    let client = kvs.client();
+    for i in 0..600u64 {
+        assert!(client.lookup(&key_for(i, 8)).unwrap().is_some(), "key {i} lost");
+    }
+    assert_eq!(kvs.bytes_reshuffled(), 0);
+}
+
+#[test]
+fn dinomo_n_pays_for_reconfiguration_with_data_copies() {
+    let dinomo = loaded_cluster(Variant::Dinomo, 2, 400);
+    let dinomo_n = loaded_cluster(Variant::DinomoN, 2, 400);
+    dinomo.add_kn().unwrap();
+    dinomo_n.add_kn().unwrap();
+    assert_eq!(dinomo.bytes_reshuffled(), 0, "Dinomo moves only ownership");
+    assert!(
+        dinomo_n.bytes_reshuffled() > 0,
+        "the shared-nothing variant must physically reshuffle data"
+    );
+    // Both still serve every key.
+    for kvs in [&dinomo, &dinomo_n] {
+        let client = kvs.client();
+        for i in 0..400u64 {
+            assert!(client.lookup(&key_for(i, 8)).unwrap().is_some());
+        }
+    }
+}
+
+#[test]
+fn repeated_failures_leave_a_consistent_single_node() {
+    let kvs = loaded_cluster(Variant::Dinomo, 4, 500);
+    // Fail three of the four nodes, one at a time.
+    while kvs.num_kns() > 1 {
+        let victim = kvs.kn_ids()[0];
+        kvs.fail_kn(victim).unwrap();
+        let client = kvs.client();
+        for i in (0..500u64).step_by(7) {
+            assert!(
+                client.lookup(&key_for(i, 8)).unwrap().is_some(),
+                "key {i} lost after failing KN {victim}"
+            );
+        }
+    }
+    assert_eq!(kvs.num_kns(), 1);
+    // A failed node cannot be failed twice.
+    let gone = 0u32;
+    assert!(matches!(kvs.fail_kn(gone), Err(KvsError::NoNodes) | Ok(())) || kvs.num_kns() == 1);
+}
+
+#[test]
+fn replication_cycle_survives_membership_changes() {
+    let kvs = loaded_cluster(Variant::Dinomo, 3, 200);
+    let hot = key_for(7, 8);
+    let owners = kvs.replicate_key(&hot, 3).unwrap();
+    assert_eq!(owners.len(), 3);
+    // Fail one of the replicas; the key must stay readable and writable.
+    kvs.fail_kn(owners[1]).unwrap();
+    let client = kvs.client();
+    client.update(&hot, b"after-failure").unwrap();
+    assert_eq!(client.lookup(&hot).unwrap(), Some(b"after-failure".to_vec()));
+    // De-replicate and keep going.
+    kvs.dereplicate_key(&hot).unwrap();
+    client.update(&hot, b"final").unwrap();
+    assert_eq!(client.lookup(&hot).unwrap(), Some(b"final".to_vec()));
+    assert_eq!(kvs.ownership().read().replication_factor(&hot), 1);
+}
+
+#[test]
+fn ownership_checks_reject_requests_to_non_owners() {
+    let kvs = loaded_cluster(Variant::Dinomo, 2, 50);
+    let key = key_for(1, 8);
+    let owner = kvs.ownership().read().primary_owner(&key).unwrap();
+    let other = kvs.kn_ids().into_iter().find(|&id| id != owner).unwrap();
+    let wrong = kvs.kn(other).unwrap();
+    match wrong.get(&key) {
+        Err(KvsError::NotOwner { .. }) => {}
+        other => panic!("expected NotOwner, got {other:?}"),
+    }
+    // The owner serves it fine.
+    assert!(kvs.kn(owner).unwrap().get(&key).unwrap().is_some());
+}
