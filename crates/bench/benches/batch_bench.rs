@@ -1,0 +1,197 @@
+//! Micro-benchmarks of the batched client API: `KvsClient::execute` with
+//! owner-grouped batches versus an equivalent loop of per-key calls.
+//!
+//! The batched path pays routing (cached-table lock + owner pick), node
+//! lookup, availability/ownership checks, shard locking and log-batch
+//! flushing **once per owner group** instead of once per operation; these
+//! benches measure how much that amortizes on reads, writes and mixed
+//! traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dinomo_core::{Kvs, Op, Reply};
+use dinomo_dpm::DpmConfig;
+use dinomo_pclht::PclhtConfig;
+use dinomo_pmem::PmemConfig;
+use dinomo_workload::key_for;
+
+const KEYS: u64 = 5_000;
+const VALUE: usize = 128;
+const BATCH: usize = 32;
+
+fn cluster() -> Kvs {
+    let kvs = Kvs::builder()
+        .initial_kns(4)
+        .threads_per_kn(2)
+        .cache_bytes_per_kn(8 << 20)
+        .write_batch_ops(8)
+        .dpm(DpmConfig {
+            pool: PmemConfig::with_capacity(512 << 20),
+            segment_bytes: 2 << 20,
+            merge_threads: 2,
+            index: PclhtConfig::for_capacity(KEYS as usize * 2),
+            ..DpmConfig::default()
+        })
+        .build()
+        .unwrap();
+    let client = kvs.client();
+    for i in 0..KEYS {
+        client.insert(&key_for(i, 8), &[1u8; VALUE]).unwrap();
+    }
+    kvs.quiesce().unwrap();
+    // Warm the caches so reads measure the request path, not DPM misses.
+    for i in 0..KEYS {
+        client.lookup(&key_for(i, 8)).unwrap();
+    }
+    kvs
+}
+
+/// The next `n` keys of a strided scan (the stride spreads consecutive ops
+/// across owners, the worst case for grouping).
+fn next_keys(cursor: &mut u64, n: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|_| {
+            *cursor = (*cursor + 31) % KEYS;
+            key_for(*cursor, 8)
+        })
+        .collect()
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_api");
+    group.sample_size(15);
+
+    let kvs = cluster();
+    let client = kvs.client();
+
+    group.bench_function(format!("read_per_key_x{BATCH}"), |b| {
+        let mut cursor = 0u64;
+        b.iter(|| {
+            // The per-key equivalent of one `execute` batch: issue 32
+            // lookups and produce all 32 results.
+            let results: Vec<Option<Vec<u8>>> = next_keys(&mut cursor, BATCH)
+                .iter()
+                .map(|key| client.lookup(key).unwrap())
+                .collect();
+            std::hint::black_box(results)
+        });
+    });
+
+    group.bench_function(format!("read_execute_x{BATCH}"), |b| {
+        let mut cursor = 0u64;
+        b.iter(|| {
+            let ops = next_keys(&mut cursor, BATCH)
+                .into_iter()
+                .map(Op::lookup)
+                .collect();
+            std::hint::black_box(client.execute(ops))
+        });
+    });
+
+    group.bench_function(format!("write_per_key_x{BATCH}"), |b| {
+        let mut cursor = 0u64;
+        b.iter(|| {
+            for key in next_keys(&mut cursor, BATCH) {
+                client.update(&key, &[2u8; VALUE]).unwrap();
+            }
+        });
+    });
+
+    group.bench_function(format!("write_execute_x{BATCH}"), |b| {
+        let mut cursor = 0u64;
+        b.iter(|| {
+            let ops = next_keys(&mut cursor, BATCH)
+                .into_iter()
+                .map(|k| Op::update(k, vec![2u8; VALUE]))
+                .collect();
+            std::hint::black_box(client.execute(ops))
+        });
+    });
+
+    group.bench_function(format!("mixed_execute_x{BATCH}"), |b| {
+        let mut cursor = 0u64;
+        b.iter(|| {
+            let ops = next_keys(&mut cursor, BATCH)
+                .into_iter()
+                .enumerate()
+                .map(|(i, k)| {
+                    if i % 2 == 0 {
+                        Op::lookup(k)
+                    } else {
+                        Op::update(k, vec![3u8; VALUE])
+                    }
+                })
+                .collect();
+            std::hint::black_box(client.execute(ops))
+        });
+    });
+
+    group.finish();
+
+    // The acceptance gate for the batched API: a batch of 32 must beat the
+    // equivalent per-key loop. Rounds are interleaved A/B and compared by
+    // median so time-varying background noise (merge threads, the host)
+    // cancels out; both sides produce all 32 results per batch.
+    let rounds = 11;
+    let mut per_key_ns = Vec::with_capacity(rounds);
+    let mut batched_ns = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let (a, b) = measure_round(&client);
+        per_key_ns.push(a);
+        batched_ns.push(b);
+    }
+    per_key_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    batched_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let speedup = per_key_ns[rounds / 2] / batched_ns[rounds / 2];
+    println!(
+        "\nbatched read speedup at batch={BATCH}: {speedup:.2}x \
+         (medians over {rounds} interleaved rounds: per-key {:.0} ns/op, batched {:.0} ns/op)",
+        per_key_ns[rounds / 2],
+        batched_ns[rounds / 2]
+    );
+    assert!(
+        speedup > 1.0,
+        "execute(batch={BATCH}) must beat the per-key loop, got {speedup:.2}x"
+    );
+}
+
+/// One interleaved round: (per-key ns/op, batched ns/op) over the same
+/// strided key stream.
+fn measure_round(client: &dinomo_core::KvsClient) -> (f64, f64) {
+    use std::time::Instant;
+    const OPS: u64 = 10_000;
+
+    let mut cursor = 0u64;
+    let per_key_start = Instant::now();
+    let mut remaining = OPS;
+    while remaining > 0 {
+        let n = BATCH.min(remaining as usize);
+        let results: Vec<Option<Vec<u8>>> = next_keys(&mut cursor, n)
+            .iter()
+            .map(|key| client.lookup(key).unwrap())
+            .collect();
+        std::hint::black_box(results);
+        remaining -= n as u64;
+    }
+    let per_key = per_key_start.elapsed().as_nanos() as f64 / OPS as f64;
+
+    let mut cursor = 0u64;
+    let batched_start = Instant::now();
+    let mut remaining = OPS;
+    while remaining > 0 {
+        let n = BATCH.min(remaining as usize);
+        let ops: Vec<Op> = next_keys(&mut cursor, n)
+            .into_iter()
+            .map(Op::lookup)
+            .collect();
+        let replies = client.execute(ops);
+        debug_assert!(replies.iter().all(Reply::is_ok));
+        std::hint::black_box(replies);
+        remaining -= n as u64;
+    }
+    let batched = batched_start.elapsed().as_nanos() as f64 / OPS as f64;
+
+    (per_key, batched)
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -83,13 +83,13 @@ fn bench_kvs(c: &mut Criterion) {
             b.iter(|| {
                 i = (i + 31) % KEYS;
                 since_gc += 1;
-                if since_gc % 50_000 == 0 {
+                if since_gc.is_multiple_of(50_000) {
                     // Reclaim fully-superseded log segments, as the DPM's GC
                     // thread would do continuously in the real system.
                     kvs.quiesce().unwrap();
                     kvs.dpm().run_gc();
                 }
-                client.update(&key_for(i, 8), &vec![2u8; UPDATE_VALUE]).unwrap()
+                client.update(&key_for(i, 8), &[2u8; UPDATE_VALUE]).unwrap()
             });
         });
     }
@@ -111,7 +111,7 @@ fn bench_kvs(c: &mut Criterion) {
             let mut i = 0u64;
             b.iter(|| {
                 i = (i + 31) % KEYS;
-                client.update(&key_for(i, 8), &vec![2u8; UPDATE_VALUE]).unwrap()
+                client.update(&key_for(i, 8), &[2u8; UPDATE_VALUE]).unwrap()
             });
         });
     }

@@ -72,7 +72,9 @@ fn run_policy(
     let kvs = Kvs::new(config).expect("cluster");
     let client = kvs.client();
     for i in 0..num_keys {
-        client.insert(&key_for(i, 8), &vec![(i % 251) as u8; value_len]).unwrap();
+        client
+            .insert(&key_for(i, 8), &vec![(i % 251) as u8; value_len])
+            .unwrap();
     }
     kvs.quiesce().unwrap();
     // Clear the warm-up effects of the load phase.
@@ -95,13 +97,22 @@ fn run_policy(
             .kns
             .iter()
             .map(|kn| {
-                let b = before.kns.iter().find(|p| p.id == kn.id).copied().unwrap_or_default();
+                let b = before
+                    .kns
+                    .iter()
+                    .find(|p| p.id == kn.id)
+                    .copied()
+                    .unwrap_or_default();
                 kn.since(&b)
             })
             .collect(),
         ..after.clone()
     };
-    (delta.rts_per_op(), delta.cache_hit_ratio(), delta.value_hit_ratio())
+    (
+        delta.rts_per_op(),
+        delta.cache_hit_ratio(),
+        delta.value_hit_ratio(),
+    )
 }
 
 fn main() {
@@ -130,14 +141,8 @@ fn main() {
         let cache_bytes = dataset_bytes * cache_pct as usize / 100;
         let mut nocache_throughput = None;
         for (name, kind) in policies() {
-            let (rts, hit, value_hit) = run_policy(
-                kind,
-                cache_bytes,
-                num_keys,
-                value_len,
-                working_set,
-                ops,
-            );
+            let (rts, hit, value_hit) =
+                run_policy(kind, cache_bytes, num_keys, value_len, working_set, ops);
             let inputs = ClusterCostInputs {
                 num_kns: 1,
                 threads_per_kn: 4,
@@ -183,7 +188,14 @@ fn main() {
 
     // Table 5 view: RTs/op per policy per cache size.
     println!("# Table 5 — RTs per operation");
-    println!("{:<8} {}", "cache%", policies().iter().map(|(n, _)| format!("{n:>14}")).collect::<String>());
+    println!(
+        "{:<8} {}",
+        "cache%",
+        policies()
+            .iter()
+            .map(|(n, _)| format!("{n:>14}"))
+            .collect::<String>()
+    );
     for cache_pct in [1u32, 2, 4, 8, 16] {
         let row: String = policies()
             .iter()

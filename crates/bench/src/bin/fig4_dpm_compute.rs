@@ -92,15 +92,29 @@ fn main() {
     // first run for lazy page allocation of the fresh pool.
     {
         let warm = Arc::new(
-            DpmNode::new(config(8, MediaProfile::dram(), false, usize::MAX / 2, total_entries, value_len))
-                .unwrap(),
+            DpmNode::new(config(
+                8,
+                MediaProfile::dram(),
+                false,
+                usize::MAX / 2,
+                total_entries,
+                value_len,
+            ))
+            .unwrap(),
         );
         insert_workload(&warm, entries_per_kn / 4, value_len);
         warm.shutdown();
     }
     let dpm = Arc::new(
-        DpmNode::new(config(16, MediaProfile::dram(), true, usize::MAX / 2, total_entries, value_len))
-            .unwrap(),
+        DpmNode::new(config(
+            16,
+            MediaProfile::dram(),
+            true,
+            usize::MAX / 2,
+            total_entries,
+            value_len,
+        ))
+        .unwrap(),
     );
     let elapsed = insert_workload(&dpm, entries_per_kn, value_len);
     let log_write_max = total_entries as f64 / elapsed.as_secs_f64() / 1e6;
@@ -118,8 +132,15 @@ fn main() {
         // (b) Log-write throughput with the default unmerged-segment
         // threshold: writers stall when merging cannot keep up.
         let dpm = Arc::new(
-            DpmNode::new(config(threads, MediaProfile::dram(), true, 2, total_entries, value_len))
-                .unwrap(),
+            DpmNode::new(config(
+                threads,
+                MediaProfile::dram(),
+                true,
+                2,
+                total_entries,
+                value_len,
+            ))
+            .unwrap(),
         );
         let elapsed = insert_workload(&dpm, entries_per_kn, value_len);
         let log_write = total_entries as f64 / elapsed.as_secs_f64() / 1e6;
@@ -134,8 +155,15 @@ fn main() {
         let mut merge = Vec::new();
         for profile in [MediaProfile::dram(), MediaProfile::optane()] {
             let dpm = Arc::new(
-                DpmNode::new(config(1, profile, true, usize::MAX / 2, total_entries, value_len))
-                    .unwrap(),
+                DpmNode::new(config(
+                    1,
+                    profile,
+                    true,
+                    usize::MAX / 2,
+                    total_entries,
+                    value_len,
+                ))
+                .unwrap(),
             );
             insert_workload(&dpm, entries_per_kn, value_len);
             dpm.wait_until_all_merged();
@@ -151,10 +179,26 @@ fn main() {
             "{:<12} {:>16.2} {:>16.2} {:>16.2}",
             threads, log_write, merge[0], merge[1]
         );
-        results.push(Fig4Point { series: "log-write".into(), dpm_threads: threads, mops: log_write });
-        results.push(Fig4Point { series: "merge-dram".into(), dpm_threads: threads, mops: merge[0] });
-        results.push(Fig4Point { series: "merge-pm".into(), dpm_threads: threads, mops: merge[1] });
+        results.push(Fig4Point {
+            series: "log-write".into(),
+            dpm_threads: threads,
+            mops: log_write,
+        });
+        results.push(Fig4Point {
+            series: "merge-dram".into(),
+            dpm_threads: threads,
+            mops: merge[0],
+        });
+        results.push(Fig4Point {
+            series: "merge-pm".into(),
+            dpm_threads: threads,
+            mops: merge[1],
+        });
     }
-    results.push(Fig4Point { series: "log-write-max".into(), dpm_threads: 0, mops: log_write_max });
+    results.push(Fig4Point {
+        series: "log-write-max".into(),
+        dpm_threads: 0,
+        mops: log_write_max,
+    });
     write_json("fig4_dpm_compute", &results);
 }

@@ -6,8 +6,8 @@
 //! bytes/op (Table 6); the calibrated cluster cost model converts those into
 //! the paper-scale throughput curves (Figure 5).
 
-use dinomo_bench::harness::{measure_point, scale, write_json, MeasuredPoint, SystemKind};
 use dinomo_bench::harness::MeasureParams;
+use dinomo_bench::harness::{measure_point, scale, write_json, MeasuredPoint, SystemKind};
 use dinomo_workload::WorkloadMix;
 
 fn main() {
@@ -66,10 +66,15 @@ fn main() {
     println!("\n# Table 6 — profiling (D = Dinomo, DS = Dinomo-S, C = Clover)");
     for mix in WorkloadMix::FIGURE5_MIXES {
         println!("\nworkload {}", mix.name);
-        println!("{:<5} {:>22} {:>22} {:>30}", "KNs", "hit% D (value%)", "hit% DS / C", "RTs/op D / DS / C");
+        println!(
+            "{:<5} {:>22} {:>22} {:>30}",
+            "KNs", "hit% D (value%)", "hit% DS / C", "RTs/op D / DS / C"
+        );
         for &kns in &kn_counts {
             let get = |s: SystemKind| {
-                all.iter().find(|p| p.mix == mix.name && p.system == s && p.num_kns == kns).unwrap()
+                all.iter()
+                    .find(|p| p.mix == mix.name && p.system == s && p.num_kns == kns)
+                    .unwrap()
             };
             let d = get(SystemKind::Dinomo);
             let ds = get(SystemKind::DinomoS);

@@ -78,8 +78,14 @@ fn main() {
         ..SloConfig::default()
     };
     let events = vec![
-        ScriptedEvent { at_epoch: load_increase_at, event: EventKind::SetClients(8) },
-        ScriptedEvent { at_epoch: load_drop_at, event: EventKind::SetClients(1) },
+        ScriptedEvent {
+            at_epoch: load_increase_at,
+            event: EventKind::SetClients(8),
+        },
+        ScriptedEvent {
+            at_epoch: load_drop_at,
+            event: EventKind::SetClients(1),
+        },
     ];
 
     println!("# Figure 6 — elasticity timeline (load x8 at epoch {load_increase_at}, /8 at epoch {load_drop_at})");
@@ -96,6 +102,7 @@ fn main() {
                 workload,
                 preload: true,
                 key_sample_every: 8,
+                batch_size: 1,
             },
         )
         .with_policy(PolicyEngine::new(slo));
@@ -120,7 +127,10 @@ fn main() {
         let max_nodes = rows.iter().map(|r| r.num_nodes).max().unwrap_or(1);
         let zero_epochs = rows.iter().filter(|r| r.ops == 0).count();
         println!("-> peak KNs: {max_nodes}, epochs with zero throughput: {zero_epochs}");
-        outputs.push(SystemTimeline { system: variant.name().to_string(), rows });
+        outputs.push(SystemTimeline {
+            system: variant.name().to_string(),
+            rows,
+        });
     }
     write_json("fig6_elasticity", &outputs);
 }

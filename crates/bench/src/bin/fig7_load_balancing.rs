@@ -8,11 +8,11 @@
 //! latencies and the normalised standard deviation of per-node load.
 
 use dinomo_bench::harness::{scale, write_json};
+use dinomo_clover::{CloverConfig, CloverKvs};
 use dinomo_cluster::{
     DriverConfig, ElasticKvs, EventKind, PolicyEngine, ScriptedEvent, SimulationDriver, SloConfig,
     TimelineRow,
 };
-use dinomo_clover::{CloverConfig, CloverKvs};
 use dinomo_core::{Kvs, KvsConfig, Variant};
 use dinomo_dpm::DpmConfig;
 use dinomo_pclht::PclhtConfig;
@@ -89,14 +89,22 @@ fn main() {
         max_nodes: KNS,
         min_nodes: KNS,
     };
-    let events =
-        vec![ScriptedEvent { at_epoch: switch_at, event: EventKind::SetDistribution(KeyDistribution::HIGH_SKEW) }];
+    let events = vec![ScriptedEvent {
+        at_epoch: switch_at,
+        event: EventKind::SetDistribution(KeyDistribution::HIGH_SKEW),
+    }];
 
     println!("# Figure 7 — load balancing (switch to Zipf 2.0 at epoch {switch_at}, {KNS} KNs)");
     let mut outputs = Vec::new();
     let systems: Vec<(String, Arc<dyn ElasticKvs>)> = vec![
-        ("dinomo".into(), build_dinomo(Variant::Dinomo, num_keys, value_len)),
-        ("dinomo-n".into(), build_dinomo(Variant::DinomoN, num_keys, value_len)),
+        (
+            "dinomo".into(),
+            build_dinomo(Variant::Dinomo, num_keys, value_len),
+        ),
+        (
+            "dinomo-n".into(),
+            build_dinomo(Variant::DinomoN, num_keys, value_len),
+        ),
         ("clover".into(), build_clover(num_keys, value_len)),
     ];
     for (name, store) in systems {
@@ -110,6 +118,7 @@ fn main() {
                 workload,
                 preload: true,
                 key_sample_every: 4,
+                batch_size: 1,
             },
         )
         .with_policy(PolicyEngine::new(slo));

@@ -6,10 +6,10 @@
 //! data (long throughput dip); Clover only updates membership.
 
 use dinomo_bench::harness::{scale, write_json};
+use dinomo_clover::{CloverConfig, CloverKvs};
 use dinomo_cluster::{
     DriverConfig, ElasticKvs, EventKind, ScriptedEvent, SimulationDriver, TimelineRow,
 };
-use dinomo_clover::{CloverConfig, CloverKvs};
 use dinomo_core::{Kvs, KvsConfig, Variant};
 use dinomo_dpm::DpmConfig;
 use dinomo_pclht::PclhtConfig;
@@ -75,13 +75,22 @@ fn main() {
         distribution: KeyDistribution::MODERATE_SKEW,
         seed: 8,
     };
-    let events = vec![ScriptedEvent { at_epoch: fail_at, event: EventKind::FailRandomNode }];
+    let events = vec![ScriptedEvent {
+        at_epoch: fail_at,
+        event: EventKind::FailRandomNode,
+    }];
 
     println!("# Figure 8 — KN failure at epoch {fail_at} ({KNS} KNs)");
     let mut outputs = Vec::new();
     let systems: Vec<(String, Arc<dyn ElasticKvs>)> = vec![
-        ("dinomo".into(), build_dinomo(Variant::Dinomo, num_keys, value_len)),
-        ("dinomo-n".into(), build_dinomo(Variant::DinomoN, num_keys, value_len)),
+        (
+            "dinomo".into(),
+            build_dinomo(Variant::Dinomo, num_keys, value_len),
+        ),
+        (
+            "dinomo-n".into(),
+            build_dinomo(Variant::DinomoN, num_keys, value_len),
+        ),
         ("clover".into(), build_clover(num_keys, value_len)),
     ];
     for (name, store) in systems {
@@ -95,11 +104,15 @@ fn main() {
                 workload,
                 preload: true,
                 key_sample_every: 8,
+                batch_size: 1,
             },
         );
         let rows = driver.run(&events);
         println!("\n## {name}");
-        println!("{:<6} {:>10} {:>10} {:>6}  actions", "epoch", "kops/s", "p99 ms", "KNs");
+        println!(
+            "{:<6} {:>10} {:>10} {:>6}  actions",
+            "epoch", "kops/s", "p99 ms", "KNs"
+        );
         for r in &rows {
             println!(
                 "{:<6} {:>10.1} {:>10.3} {:>6}  {}",
@@ -110,13 +123,17 @@ fn main() {
                 r.actions.join("; ")
             );
         }
-        let before: f64 = rows[..fail_at].iter().map(|r| r.throughput).sum::<f64>() / fail_at as f64;
+        let before: f64 =
+            rows[..fail_at].iter().map(|r| r.throughput).sum::<f64>() / fail_at as f64;
         let dip = rows
             .iter()
             .skip(fail_at)
             .map(|r| r.throughput)
             .fold(f64::INFINITY, f64::min);
-        let after: f64 = rows[fail_at + 1..].iter().map(|r| r.throughput).sum::<f64>()
+        let after: f64 = rows[fail_at + 1..]
+            .iter()
+            .map(|r| r.throughput)
+            .sum::<f64>()
             / (rows.len() - fail_at - 1) as f64;
         let zero_epochs = rows.iter().skip(fail_at).filter(|r| r.ops == 0).count();
         println!(

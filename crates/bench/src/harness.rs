@@ -13,7 +13,10 @@ use std::path::PathBuf;
 
 /// Experiment scale factor from `DINOMO_SCALE` (default 1.0).
 pub fn scale() -> f64 {
-    std::env::var("DINOMO_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    std::env::var("DINOMO_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// Write a JSON artifact to `target/bench-results/<name>.json`.
@@ -48,8 +51,12 @@ pub enum SystemKind {
 
 impl SystemKind {
     /// All four systems, in the paper's plotting order.
-    pub const ALL: [SystemKind; 4] =
-        [SystemKind::Dinomo, SystemKind::DinomoN, SystemKind::DinomoS, SystemKind::Clover];
+    pub const ALL: [SystemKind; 4] = [
+        SystemKind::Dinomo,
+        SystemKind::DinomoN,
+        SystemKind::DinomoS,
+        SystemKind::Clover,
+    ];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
@@ -230,7 +237,10 @@ fn measure_dinomo(
     };
     let kvs = Kvs::new(config).expect("building the Dinomo cluster failed");
     let client = kvs.client();
-    load(|k, v| client.insert(k, v).expect("load insert failed"), workload);
+    load(
+        |k, v| client.insert(k, v).expect("load insert failed"),
+        workload,
+    );
     let _ = kvs.quiesce();
     let baseline = kvs.stats();
 
@@ -251,8 +261,12 @@ fn measure_dinomo(
             .kns
             .iter()
             .map(|kn| {
-                let before =
-                    baseline.kns.iter().find(|b| b.id == kn.id).copied().unwrap_or_default();
+                let before = baseline
+                    .kns
+                    .iter()
+                    .find(|b| b.id == kn.id)
+                    .copied()
+                    .unwrap_or_default();
                 kn.since(&before)
             })
             .collect(),
@@ -279,7 +293,10 @@ fn measure_clover(
     };
     let kvs = CloverKvs::new(config).expect("building the Clover cluster failed");
     let client = kvs.client();
-    load(|k, v| client.insert(k, v).expect("load insert failed"), workload);
+    load(
+        |k, v| client.insert(k, v).expect("load insert failed"),
+        workload,
+    );
     kvs.run_gc();
     let baseline = kvs.stats();
     let rpcs_before = kvs.metadata_server().rpcs_served();
@@ -293,7 +310,7 @@ fn measure_clover(
                 Operation::Delete(k) => client.delete(k),
             };
             since_gc += 1;
-            if since_gc % 2_000 == 0 {
+            if since_gc.is_multiple_of(2_000) {
                 // The metadata server's GC thread compacts chains
                 // periodically, as in the real system.
                 kvs.run_gc();
@@ -308,8 +325,12 @@ fn measure_clover(
             .kns
             .iter()
             .map(|kn| {
-                let before =
-                    baseline.kns.iter().find(|b| b.id == kn.id).copied().unwrap_or_default();
+                let before = baseline
+                    .kns
+                    .iter()
+                    .find(|b| b.id == kn.id)
+                    .copied()
+                    .unwrap_or_default();
                 kn.since(&before)
             })
             .collect(),
@@ -317,7 +338,14 @@ fn measure_clover(
     };
     let rpcs = kvs.metadata_server().rpcs_served() - rpcs_before;
     let rpcs_per_op = rpcs as f64 / params.ops.max(1) as f64;
-    finish_point(SystemKind::Clover, num_kns, mix, params, &delta, rpcs_per_op)
+    finish_point(
+        SystemKind::Clover,
+        num_kns,
+        mix,
+        params,
+        &delta,
+        rpcs_per_op,
+    )
 }
 
 fn finish_point(
@@ -361,9 +389,113 @@ fn finish_point(
     }
 }
 
+// ------------------------------------------------------------ batched API
+
+/// One point of the batched-vs-per-key amortization measurement: how much
+/// cheaper an operation gets when submitted through `KvsClient::execute` in
+/// batches of `batch_size` instead of as individual per-key calls.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct BatchPoint {
+    /// Operations per `execute` call.
+    pub batch_size: usize,
+    /// Measured nanoseconds per op for the per-key loop.
+    pub per_key_ns_per_op: f64,
+    /// Measured nanoseconds per op for the batched path.
+    pub batched_ns_per_op: f64,
+    /// `per_key / batched` — how much the owner-grouped batch amortizes
+    /// routing and shard-lock overhead.
+    pub speedup: f64,
+}
+
+/// Measure per-key vs batched read throughput on a self-contained, warmed
+/// cluster — the harness-level (one-shot, own-cluster) counterpart of the
+/// `batch_bench` Criterion bench, for figure binaries and tests. `ops` is
+/// the total operation count per side; keys are pre-loaded and cache-warmed
+/// so the measurement isolates the request path (routing, node lookup,
+/// shard locking) rather than DPM misses. For noise-robust comparisons on
+/// shared hosts, prefer several calls and compare medians, as
+/// `batch_bench` does with its interleaved rounds.
+pub fn measure_batch_amortization(batch_size: usize, num_keys: u64, ops: u64) -> BatchPoint {
+    use dinomo_core::Op;
+    use dinomo_workload::key_for;
+    use std::time::Instant;
+
+    let kvs = Kvs::builder()
+        .initial_kns(4)
+        .threads_per_kn(2)
+        .cache_bytes_per_kn(8 << 20)
+        .dpm(DpmConfig {
+            pool: PmemConfig::with_capacity(256 << 20),
+            segment_bytes: 2 << 20,
+            merge_threads: 2,
+            index: PclhtConfig::for_capacity(num_keys as usize * 2),
+            ..DpmConfig::default()
+        })
+        .build()
+        .expect("building the cluster failed");
+    let client = kvs.client();
+    for i in 0..num_keys {
+        client.insert(&key_for(i, 8), &[1u8; 128]).unwrap();
+    }
+    kvs.quiesce().unwrap();
+    for i in 0..num_keys {
+        client.lookup(&key_for(i, 8)).unwrap();
+    }
+
+    // The per-key side issues the same batches' worth of lookups and, like
+    // `execute`, produces every result.
+    let per_key_start = Instant::now();
+    let mut key = 0u64;
+    let mut remaining = ops;
+    while remaining > 0 {
+        let n = batch_size.min(remaining as usize);
+        let results: Vec<Option<Vec<u8>>> = (0..n)
+            .map(|_| {
+                key = (key + 31) % num_keys;
+                client.lookup(&key_for(key, 8)).unwrap()
+            })
+            .collect();
+        std::hint::black_box(results);
+        remaining -= n as u64;
+    }
+    let per_key_ns = per_key_start.elapsed().as_nanos() as f64 / ops.max(1) as f64;
+
+    let batched_start = Instant::now();
+    let mut key = 0u64;
+    let mut remaining = ops;
+    while remaining > 0 {
+        let n = batch_size.min(remaining as usize);
+        let batch: Vec<Op> = (0..n)
+            .map(|_| {
+                key = (key + 31) % num_keys;
+                Op::lookup(key_for(key, 8))
+            })
+            .collect();
+        std::hint::black_box(client.execute(batch));
+        remaining -= n as u64;
+    }
+    let batched_ns = batched_start.elapsed().as_nanos() as f64 / ops.max(1) as f64;
+
+    BatchPoint {
+        batch_size,
+        per_key_ns_per_op: per_key_ns,
+        batched_ns_per_op: batched_ns,
+        speedup: per_key_ns / batched_ns.max(1.0),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_amortization_point_is_sane() {
+        let point = measure_batch_amortization(32, 2_000, 4_000);
+        assert_eq!(point.batch_size, 32);
+        assert!(point.per_key_ns_per_op > 0.0);
+        assert!(point.batched_ns_per_op > 0.0);
+        assert!(point.speedup > 0.0);
+    }
 
     #[test]
     fn scaled_params_shrink_with_scale() {
@@ -401,8 +533,18 @@ mod tests {
             cache_bytes_per_kn: 24 << 10,
             distribution: KeyDistribution::MODERATE_SKEW,
         };
-        let dinomo = measure_point(SystemKind::Dinomo, 8, WorkloadMix::WRITE_HEAVY_UPDATE, &params);
-        let clover = measure_point(SystemKind::Clover, 8, WorkloadMix::WRITE_HEAVY_UPDATE, &params);
+        let dinomo = measure_point(
+            SystemKind::Dinomo,
+            8,
+            WorkloadMix::WRITE_HEAVY_UPDATE,
+            &params,
+        );
+        let clover = measure_point(
+            SystemKind::Clover,
+            8,
+            WorkloadMix::WRITE_HEAVY_UPDATE,
+            &params,
+        );
         assert!(
             dinomo.modeled_throughput > clover.modeled_throughput,
             "dinomo {:?} vs clover {:?}",

@@ -25,5 +25,6 @@
 pub mod harness;
 
 pub use harness::{
-    calibrated_cost_model, measure_point, scale, write_json, MeasuredPoint, SystemKind,
+    calibrated_cost_model, measure_batch_amortization, measure_point, scale, write_json,
+    BatchPoint, MeasuredPoint, SystemKind,
 };

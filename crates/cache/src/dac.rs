@@ -22,9 +22,7 @@
 
 use crate::lfu::LfuMap;
 use crate::lru::LruMap;
-use crate::policy::{
-    shortcut_weight, value_weight, CacheLookup, CacheStats, KnCache, ValueLoc,
-};
+use crate::policy::{shortcut_weight, value_weight, CacheLookup, CacheStats, KnCache, ValueLoc};
 
 #[derive(Debug, Clone)]
 struct ValueEntry {
@@ -65,7 +63,10 @@ impl DacCache {
             capacity: capacity_bytes,
             used: 0,
             avg_miss_rts: INITIAL_MISS_RTS,
-            stats: CacheStats { capacity_bytes: capacity_bytes as u64, ..CacheStats::default() },
+            stats: CacheStats {
+                capacity_bytes: capacity_bytes as u64,
+                ..CacheStats::default()
+            },
         }
     }
 
@@ -88,14 +89,20 @@ impl DacCache {
     /// Demote the least-recently-used value into a shortcut.  Returns the
     /// bytes released, or 0 if there was no value to demote.
     fn demote_one_value(&mut self) -> usize {
-        let Some((key, entry)) = self.values.pop_lru() else { return 0 };
+        let Some((key, entry)) = self.values.pop_lru() else {
+            return 0;
+        };
         let released = value_weight(&key, entry.data.len());
         self.used -= released;
         self.stats.demotions += 1;
         // Demoted values are cached as shortcuts, inheriting access history.
         let w = shortcut_weight(&key);
         if self.free_space() + released >= w {
-            self.shortcuts.insert_with_frequency(&key, ShortcutEntry { loc: entry.loc }, entry.hits.max(1));
+            self.shortcuts.insert_with_frequency(
+                &key,
+                ShortcutEntry { loc: entry.loc },
+                entry.hits.max(1),
+            );
             self.used += w;
             released.saturating_sub(w)
         } else {
@@ -106,7 +113,9 @@ impl DacCache {
 
     /// Evict the least-frequently-used shortcut. Returns bytes released.
     fn evict_one_shortcut(&mut self) -> usize {
-        let Some((key, _, _)) = self.shortcuts.pop_lfu() else { return 0 };
+        let Some((key, _, _)) = self.shortcuts.pop_lfu() else {
+            return 0;
+        };
         let released = shortcut_weight(&key);
         self.used -= released;
         self.stats.evictions += 1;
@@ -139,7 +148,8 @@ impl DacCache {
                 if e.loc != loc {
                     // Update in place without perturbing the frequency.
                     let prev_freq = self.shortcuts.frequency(key).unwrap_or(1);
-                    self.shortcuts.insert_with_frequency(key, ShortcutEntry { loc }, prev_freq);
+                    self.shortcuts
+                        .insert_with_frequency(key, ShortcutEntry { loc }, prev_freq);
                 }
             }
             return;
@@ -147,7 +157,8 @@ impl DacCache {
         if !self.make_space(w) {
             return;
         }
-        self.shortcuts.insert_with_frequency(key, ShortcutEntry { loc }, freq.max(1));
+        self.shortcuts
+            .insert_with_frequency(key, ShortcutEntry { loc }, freq.max(1));
         self.used += w;
     }
 
@@ -161,7 +172,14 @@ impl DacCache {
         if !self.make_space(w) {
             return false;
         }
-        self.values.insert(key, ValueEntry { data: value.to_vec(), loc, hits });
+        self.values.insert(
+            key,
+            ValueEntry {
+                data: value.to_vec(),
+                loc,
+                hits,
+            },
+        );
         self.used += w;
         true
     }
@@ -371,7 +389,10 @@ mod tests {
             c.admit_value(&key(i), &[1u8; 100], loc(u64::from(i)));
         }
         let s = c.stats();
-        assert!(s.shortcut_entries > 0, "expected shortcut entries, got {s:?}");
+        assert!(
+            s.shortcut_entries > 0,
+            "expected shortcut entries, got {s:?}"
+        );
         assert!(s.bytes_used <= 300);
     }
 
@@ -427,7 +448,10 @@ mod tests {
         // Promotion would require evicting many hot shortcuts; Equation 1
         // must reject it.
         assert!(
-            matches!(c.lookup(&key(500)), CacheLookup::Shortcut(_) | CacheLookup::Miss),
+            matches!(
+                c.lookup(&key(500)),
+                CacheLookup::Shortcut(_) | CacheLookup::Miss
+            ),
             "cold key must not displace hot shortcuts"
         );
         assert_eq!(c.stats().promotions, 0);

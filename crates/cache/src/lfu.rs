@@ -24,7 +24,11 @@ pub struct LfuMap<V> {
 
 impl<V> Default for LfuMap<V> {
     fn default() -> Self {
-        LfuMap { entries: HashMap::new(), order: BTreeMap::new(), tick: 0 }
+        LfuMap {
+            entries: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+        }
     }
 }
 
@@ -76,7 +80,9 @@ impl<V> LfuMap<V> {
     pub fn insert_with_frequency(&mut self, key: &[u8], value: V, freq: u64) -> Option<V> {
         self.tick += 1;
         let tick = self.tick;
-        let prev = self.entries.insert(key.to_vec(), Slot { value, freq, tick });
+        let prev = self
+            .entries
+            .insert(key.to_vec(), Slot { value, freq, tick });
         if let Some(p) = &prev {
             self.order.remove(&(p.freq, p.tick));
         }

@@ -50,9 +50,15 @@ mod tests {
     #[test]
     fn build_cache_produces_the_requested_policy() {
         assert_eq!(build_cache(CacheKind::None, 0).name(), "no-cache");
-        assert_eq!(build_cache(CacheKind::ShortcutOnly, 1024).name(), "shortcut-only");
+        assert_eq!(
+            build_cache(CacheKind::ShortcutOnly, 1024).name(),
+            "shortcut-only"
+        );
         assert_eq!(build_cache(CacheKind::ValueOnly, 1024).name(), "value-only");
-        assert_eq!(build_cache(CacheKind::StaticFraction(40), 1024).name(), "static");
+        assert_eq!(
+            build_cache(CacheKind::StaticFraction(40), 1024).name(),
+            "static"
+        );
         assert_eq!(build_cache(CacheKind::Dac, 1024).name(), "dac");
     }
 }

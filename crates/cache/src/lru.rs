@@ -18,7 +18,11 @@ pub struct LruMap<V> {
 
 impl<V> Default for LruMap<V> {
     fn default() -> Self {
-        LruMap { entries: HashMap::new(), order: BTreeMap::new(), tick: 0 }
+        LruMap {
+            entries: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+        }
     }
 }
 

@@ -6,9 +6,7 @@
 //! entries").
 
 use crate::lru::LruMap;
-use crate::policy::{
-    shortcut_weight, value_weight, CacheLookup, CacheStats, KnCache, ValueLoc,
-};
+use crate::policy::{shortcut_weight, value_weight, CacheLookup, CacheStats, KnCache, ValueLoc};
 
 /// A cache that never caches anything (the `NoCache` baseline).
 #[derive(Debug, Default)]
@@ -86,7 +84,10 @@ impl StaticCache {
             value_used: 0,
             shortcut_used: 0,
             value_fraction: f,
-            stats: CacheStats { capacity_bytes: capacity_bytes as u64, ..CacheStats::default() },
+            stats: CacheStats {
+                capacity_bytes: capacity_bytes as u64,
+                ..CacheStats::default()
+            },
         }
     }
 
@@ -119,7 +120,13 @@ impl StaticCache {
                 None => return,
             }
         }
-        self.values.insert(key, ValueEntry { data: value.to_vec(), loc });
+        self.values.insert(
+            key,
+            ValueEntry {
+                data: value.to_vec(),
+                loc,
+            },
+        );
         self.value_used += w;
     }
 
@@ -323,7 +330,11 @@ mod tests {
         c.lookup(b"a"); // a is now MRU
         c.admit_value(b"c", &[3; 100], loc(3));
         assert!(matches!(c.lookup(b"a"), CacheLookup::Value(_)));
-        assert_eq!(c.lookup(b"b"), CacheLookup::Miss, "LRU entry should have been evicted");
+        assert_eq!(
+            c.lookup(b"b"),
+            CacheLookup::Miss,
+            "LRU entry should have been evicted"
+        );
     }
 
     #[test]

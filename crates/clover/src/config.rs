@@ -48,7 +48,10 @@ impl CloverConfig {
             initial_kns: 2,
             threads_per_kn: 2,
             cache_bytes_per_kn: 256 << 10,
-            pool: PmemConfig { capacity_bytes: 16 << 20, ..PmemConfig::default() },
+            pool: PmemConfig {
+                capacity_bytes: 16 << 20,
+                ..PmemConfig::default()
+            },
             ..CloverConfig::default()
         }
     }

@@ -140,9 +140,13 @@ impl CloverKn {
                     // as missing.
                     None
                 } else {
-                    shard
-                        .cache
-                        .admit_shortcut(key, ValueLoc { addr: tail_addr.0, len: 256 });
+                    shard.cache.admit_shortcut(
+                        key,
+                        ValueLoc {
+                            addr: tail_addr.0,
+                            len: 256,
+                        },
+                    );
                     tail.value
                 }
             }
@@ -150,7 +154,8 @@ impl CloverKn {
         drop(shard);
         self.ops.fetch_add(1, Ordering::Relaxed);
         self.reads.fetch_add(1, Ordering::Relaxed);
-        self.busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.busy_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         Ok(result)
     }
 
@@ -195,13 +200,18 @@ impl CloverKn {
                 self.link_at_tail(head, new_version);
             }
         }
-        shard
-            .cache
-            .admit_shortcut(key, ValueLoc { addr: new_version.0, len: 256 });
+        shard.cache.admit_shortcut(
+            key,
+            ValueLoc {
+                addr: new_version.0,
+                len: 256,
+            },
+        );
         drop(shard);
         self.ops.fetch_add(1, Ordering::Relaxed);
         self.writes.fetch_add(1, Ordering::Relaxed);
-        self.busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.busy_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         Ok(())
     }
 

@@ -63,7 +63,10 @@ impl CloverKvs {
 
     /// A new client handle.
     pub fn client(&self) -> CloverClient {
-        CloverClient { inner: Arc::clone(&self.inner), rr: AtomicUsize::new(0) }
+        CloverClient {
+            inner: Arc::clone(&self.inner),
+            rr: AtomicUsize::new(0),
+        }
     }
 
     /// Number of live nodes.
@@ -95,13 +98,24 @@ impl CloverKvs {
         if self.num_kns() <= 1 {
             return Err(KvsError::NoNodes);
         }
-        self.inner.kns.write().remove(&id).map(|_| ()).ok_or(KvsError::NoNodes)
+        self.inner
+            .kns
+            .write()
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(KvsError::NoNodes)
     }
 
     /// Simulate a fail-stop node failure. Clover only needs to update the
     /// cluster membership; clients retry on another node after a timeout.
     pub fn fail_kn(&self, id: u32) -> Result<()> {
-        let node = self.inner.kns.read().get(&id).cloned().ok_or(KvsError::NoNodes)?;
+        let node = self
+            .inner
+            .kns
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(KvsError::NoNodes)?;
         node.fail();
         self.inner.kns.write().remove(&id);
         Ok(())
@@ -253,7 +267,10 @@ mod tests {
             client.update(b"hot", &[i; 8]).unwrap();
             assert_eq!(client.lookup(b"hot").unwrap(), Some(vec![i; 8]));
         }
-        assert!(kvs.total_chain_hops() > hops_before, "expected version-chain walks");
+        assert!(
+            kvs.total_chain_hops() > hops_before,
+            "expected version-chain walks"
+        );
         // GC compacts the chains so later misses start from the tail.
         let compacted = kvs.run_gc();
         assert!(compacted >= 1);
@@ -268,7 +285,10 @@ mod tests {
             client.insert(&key_for(i, 8), &[0u8; 16]).unwrap();
         }
         let rpcs = kvs.metadata_server().rpcs_served();
-        assert!(rpcs >= 50, "every new key registers through the metadata server ({rpcs})");
+        assert!(
+            rpcs >= 50,
+            "every new key registers through the metadata server ({rpcs})"
+        );
         assert_eq!(kvs.metadata_server().len(), 50);
     }
 
@@ -291,7 +311,10 @@ mod tests {
         }
         let last_removable = kvs.kn_ids()[0];
         kvs.remove_kn(last_removable).unwrap();
-        assert!(kvs.remove_kn(kvs.kn_ids()[0]).is_err(), "cannot remove the last node");
+        assert!(
+            kvs.remove_kn(kvs.kn_ids()[0]).is_err(),
+            "cannot remove the last node"
+        );
     }
 
     #[test]

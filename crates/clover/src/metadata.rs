@@ -109,7 +109,11 @@ impl MetadataServer {
 
     /// All (key, head) pairs — used by the GC pass.
     pub fn snapshot(&self) -> Vec<(Vec<u8>, PmAddr)> {
-        self.index.lock().iter().map(|(k, v)| (k.clone(), *v)).collect()
+        self.index
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
     }
 
     /// Record that a GC pass ran.
@@ -133,7 +137,10 @@ mod tests {
         let ms = MetadataServer::new(Nic::new(FabricConfig::default()), 4, 2_000);
         let client = Nic::new(FabricConfig::default());
         assert!(ms.register(&client, b"a", PmAddr(64)));
-        assert!(!ms.register(&client, b"a", PmAddr(128)), "double register must fail");
+        assert!(
+            !ms.register(&client, b"a", PmAddr(128)),
+            "double register must fail"
+        );
         assert_eq!(ms.lookup(&client, b"a"), Some(PmAddr(64)));
         assert_eq!(ms.lookup(&client, b"b"), None);
         assert_eq!(ms.remove(&client, b"a"), Some(PmAddr(64)));

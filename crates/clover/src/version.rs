@@ -36,7 +36,8 @@ pub fn write_version(
         Some(v) => v.len() as u32,
         None => TOMBSTONE,
     };
-    let mut buf = Vec::with_capacity(version_size(key.len(), value.map_or(0, <[u8]>::len)) as usize);
+    let mut buf =
+        Vec::with_capacity(version_size(key.len(), value.map_or(0, <[u8]>::len)) as usize);
     buf.extend_from_slice(&0u64.to_le_bytes());
     buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
     buf.extend_from_slice(&val_len.to_le_bytes());

@@ -33,6 +33,11 @@ pub struct DriverConfig {
     pub preload: bool,
     /// Sample one in this many operations for key-frequency tracking.
     pub key_sample_every: usize,
+    /// Operations each client submits per request. `1` issues classic
+    /// per-op requests; larger values drive the store's batched path
+    /// ([`crate::KvSession::execute_batch`]), amortizing per-request
+    /// overhead as the paper's KNs amortize per-write overhead.
+    pub batch_size: usize,
 }
 
 impl Default for DriverConfig {
@@ -45,6 +50,7 @@ impl Default for DriverConfig {
             workload: WorkloadConfig::default(),
             preload: true,
             key_sample_every: 8,
+            batch_size: 1,
         }
     }
 }
@@ -117,6 +123,7 @@ struct SharedState {
     ops: AtomicU64,
     samples: Mutex<EpochSamples>,
     key_sample_every: usize,
+    batch_size: usize,
 }
 
 /// The experiment driver. See the module docs.
@@ -129,7 +136,11 @@ pub struct SimulationDriver {
 impl SimulationDriver {
     /// Create a driver for `store`.
     pub fn new(store: Arc<dyn ElasticKvs>, config: DriverConfig) -> Self {
-        SimulationDriver { store, config, policy: None }
+        SimulationDriver {
+            store,
+            config,
+            policy: None,
+        }
     }
 
     /// Attach an M-node policy engine (without one, only scripted events
@@ -156,19 +167,24 @@ impl SimulationDriver {
         }
         let shared = Arc::new(SharedState {
             stop: AtomicBool::new(false),
-            active_clients: AtomicUsize::new(self.config.initial_clients.min(self.config.max_clients)),
+            active_clients: AtomicUsize::new(
+                self.config.initial_clients.min(self.config.max_clients),
+            ),
             workload: RwLock::new(self.config.workload),
             workload_version: AtomicU64::new(0),
             ops: AtomicU64::new(0),
             samples: Mutex::new(EpochSamples::default()),
             key_sample_every: self.config.key_sample_every.max(1),
+            batch_size: self.config.batch_size.max(1),
         });
 
         let mut handles = Vec::new();
         for client_idx in 0..self.config.max_clients {
             let shared = Arc::clone(&shared);
             let store = Arc::clone(&self.store);
-            handles.push(std::thread::spawn(move || client_loop(client_idx, &store, &shared)));
+            handles.push(std::thread::spawn(move || {
+                client_loop(client_idx, &store, &shared)
+            }));
         }
 
         let mut rows = Vec::with_capacity(self.config.total_epochs);
@@ -200,7 +216,12 @@ impl SimulationDriver {
                 .kns
                 .iter()
                 .map(|kn| {
-                    let before = prev_stats.kns.iter().find(|p| p.id == kn.id).copied().unwrap_or_default();
+                    let before = prev_stats
+                        .kns
+                        .iter()
+                        .find(|p| p.id == kn.id)
+                        .copied()
+                        .unwrap_or_default();
                     (kn.id, kn.since(&before).occupancy(epoch.as_nanos() as u64))
                 })
                 .collect();
@@ -273,7 +294,9 @@ impl SimulationDriver {
     fn apply_event(&self, event: &EventKind, shared: &SharedState) -> String {
         match event {
             EventKind::SetClients(n) => {
-                shared.active_clients.store((*n).min(self.config.max_clients), Ordering::Release);
+                shared
+                    .active_clients
+                    .store((*n).min(self.config.max_clients), Ordering::Release);
                 format!("load: {n} clients")
             }
             EventKind::SetDistribution(dist) => {
@@ -348,11 +371,17 @@ fn client_loop(client_idx: usize, store: &Arc<dyn ElasticKvs>, shared: &Arc<Shar
     let mut generator = WorkloadGenerator::new(config);
     let mut local_latencies: Vec<u64> = Vec::with_capacity(256);
     let mut local_keys: Vec<Vec<u8>> = Vec::new();
+    let mut local_errors: u64 = 0;
     let mut op_count: usize = 0;
 
     while !shared.stop.load(Ordering::Acquire) {
         if client_idx >= shared.active_clients.load(Ordering::Acquire) {
-            flush_samples(shared, &mut local_latencies, &mut local_keys, 0);
+            flush_samples(
+                shared,
+                &mut local_latencies,
+                &mut local_keys,
+                &mut local_errors,
+            );
             std::thread::sleep(Duration::from_millis(1));
             continue;
         }
@@ -363,31 +392,47 @@ fn client_loop(client_idx: usize, store: &Arc<dyn ElasticKvs>, shared: &Arc<Shar
             c.seed = c.seed.wrapping_add(client_idx as u64 * 7919);
             generator = WorkloadGenerator::new(c);
         }
-        let op = generator.next_op();
+        // Closed loop: submit `batch_size` ops per request (1 = classic
+        // per-op traffic). Batch latency is attributed evenly across the
+        // batch's ops so epoch latency statistics stay per-operation.
+        let ops = generator.next_batch(shared.batch_size);
         let start = Instant::now();
-        let result = session.execute(&op);
-        let latency = start.elapsed().as_nanos() as u64;
-        local_latencies.push(latency);
-        op_count += 1;
-        if op_count % shared.key_sample_every == 0 {
-            local_keys.push(op.key().to_vec());
+        let results = session.execute_batch(&ops);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        let per_op_latency = elapsed / ops.len().max(1) as u64;
+        for (op, result) in ops.iter().zip(&results) {
+            local_latencies.push(per_op_latency);
+            op_count += 1;
+            if op_count.is_multiple_of(shared.key_sample_every) {
+                local_keys.push(op.key().to_vec());
+            }
+            local_errors += u64::from(result.is_err());
         }
-        shared.ops.fetch_add(1, Ordering::Relaxed);
-        let errors = u64::from(result.is_err());
+        shared.ops.fetch_add(ops.len() as u64, Ordering::Relaxed);
         if local_latencies.len() >= 128 {
-            flush_samples(shared, &mut local_latencies, &mut local_keys, errors);
+            flush_samples(
+                shared,
+                &mut local_latencies,
+                &mut local_keys,
+                &mut local_errors,
+            );
         }
     }
-    flush_samples(shared, &mut local_latencies, &mut local_keys, 0);
+    flush_samples(
+        shared,
+        &mut local_latencies,
+        &mut local_keys,
+        &mut local_errors,
+    );
 }
 
 fn flush_samples(
     shared: &SharedState,
     latencies: &mut Vec<u64>,
     keys: &mut Vec<Vec<u8>>,
-    errors: u64,
+    errors: &mut u64,
 ) {
-    if latencies.is_empty() && keys.is_empty() && errors == 0 {
+    if latencies.is_empty() && keys.is_empty() && *errors == 0 {
         return;
     }
     let mut samples = shared.samples.lock();
@@ -395,7 +440,7 @@ fn flush_samples(
     for k in keys.drain(..) {
         *samples.key_counts.entry(k).or_insert(0) += 1;
     }
-    samples.errors += errors;
+    samples.errors += std::mem::take(errors);
 }
 
 fn latency_stats(latencies_ns: &[u64]) -> (f64, f64) {
@@ -440,12 +485,39 @@ mod tests {
                 workload: small_workload(),
                 preload: true,
                 key_sample_every: 4,
+                batch_size: 1,
             },
         );
         let rows = driver.run(&[]);
         assert_eq!(rows.len(), 4);
-        assert!(rows.iter().map(|r| r.ops).sum::<u64>() > 0, "clients made no progress");
+        assert!(
+            rows.iter().map(|r| r.ops).sum::<u64>() > 0,
+            "clients made no progress"
+        );
         assert!(rows.iter().all(|r| r.num_nodes == 2));
+        assert!(rows.iter().any(|r| r.avg_latency_ms > 0.0));
+    }
+
+    #[test]
+    fn batched_clients_make_progress_and_report_per_op_latency() {
+        let kvs = Arc::new(Kvs::new(KvsConfig::small_for_tests()).unwrap());
+        let driver = SimulationDriver::new(
+            kvs,
+            DriverConfig {
+                epoch_ms: 30,
+                total_epochs: 4,
+                max_clients: 2,
+                initial_clients: 2,
+                workload: small_workload(),
+                preload: true,
+                key_sample_every: 4,
+                batch_size: 16,
+            },
+        );
+        let rows = driver.run(&[]);
+        assert_eq!(rows.len(), 4);
+        let total_ops: u64 = rows.iter().map(|r| r.ops).sum();
+        assert!(total_ops >= 16, "batched clients made no progress");
         assert!(rows.iter().any(|r| r.avg_latency_ms > 0.0));
     }
 
@@ -462,17 +534,33 @@ mod tests {
                 workload: small_workload(),
                 preload: true,
                 key_sample_every: 4,
+                batch_size: 1,
             },
         );
         let events = vec![
-            ScriptedEvent { at_epoch: 1, event: EventKind::SetClients(2) },
-            ScriptedEvent { at_epoch: 2, event: EventKind::AddNode },
-            ScriptedEvent { at_epoch: 3, event: EventKind::FailRandomNode },
+            ScriptedEvent {
+                at_epoch: 1,
+                event: EventKind::SetClients(2),
+            },
+            ScriptedEvent {
+                at_epoch: 2,
+                event: EventKind::AddNode,
+            },
+            ScriptedEvent {
+                at_epoch: 3,
+                event: EventKind::FailRandomNode,
+            },
         ];
         let rows = driver.run(&events);
         assert_eq!(rows[1].active_clients, 2);
-        assert!(rows[2].num_nodes >= 3, "scripted AddNode should grow the cluster");
-        assert!(rows[4].num_nodes < rows[2].num_nodes, "failure should shrink the cluster");
+        assert!(
+            rows[2].num_nodes >= 3,
+            "scripted AddNode should grow the cluster"
+        );
+        assert!(
+            rows[4].num_nodes < rows[2].num_nodes,
+            "failure should shrink the cluster"
+        );
         assert!(rows.iter().any(|r| !r.actions.is_empty()));
     }
 
@@ -498,6 +586,7 @@ mod tests {
                 workload: small_workload(),
                 preload: true,
                 key_sample_every: 4,
+                batch_size: 1,
             },
         )
         .with_policy(PolicyEngine::new(slo));
@@ -505,7 +594,9 @@ mod tests {
         assert!(
             rows.last().unwrap().num_nodes > 2,
             "policy should have added a node: {:?}",
-            rows.iter().map(|r| (r.num_nodes, r.actions.clone())).collect::<Vec<_>>()
+            rows.iter()
+                .map(|r| (r.num_nodes, r.actions.clone()))
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -130,8 +130,11 @@ impl PolicyEngine {
         }
         let slo_violated = obs.avg_latency_ms > self.config.avg_latency_ms
             || obs.p99_latency_ms > self.config.tail_latency_ms;
-        let min_occupancy =
-            obs.occupancy.iter().map(|(_, o)| *o).fold(f64::INFINITY, f64::min);
+        let min_occupancy = obs
+            .occupancy
+            .iter()
+            .map(|(_, o)| *o)
+            .fold(f64::INFINITY, f64::min);
         let (hot_keys, mean, std) = self.hot_and_cold(&obs.key_frequencies);
 
         if slo_violated {
@@ -199,7 +202,11 @@ mod tests {
         EpochObservation {
             avg_latency_ms: avg,
             p99_latency_ms: p99,
-            occupancy: occupancy.iter().enumerate().map(|(i, &o)| (i as u32, o)).collect(),
+            occupancy: occupancy
+                .iter()
+                .enumerate()
+                .map(|(i, &o)| (i as u32, o))
+                .collect(),
             supports_replication: true,
             epochs_since_last_action: 100,
             ..EpochObservation::default()
@@ -223,7 +230,10 @@ mod tests {
 
     #[test]
     fn max_nodes_caps_growth() {
-        let engine = PolicyEngine::new(SloConfig { max_nodes: 2, ..SloConfig::default() });
+        let engine = PolicyEngine::new(SloConfig {
+            max_nodes: 2,
+            ..SloConfig::default()
+        });
         assert!(engine.decide(&obs(5.0, 5.0, &[0.9, 0.8])).is_empty());
     }
 
@@ -260,7 +270,10 @@ mod tests {
         o.key_frequencies.insert(b"hot".to_vec(), 10_000);
         o.replicated_keys = vec![(b"hot".to_vec(), 2)];
         let decision = engine.decide(&o);
-        assert_eq!(decision, vec![PolicyAction::ReplicateKey(b"hot".to_vec(), 4)]);
+        assert_eq!(
+            decision,
+            vec![PolicyAction::ReplicateKey(b"hot".to_vec(), 4)]
+        );
         // Fully replicated: no further action.
         o.replicated_keys = vec![(b"hot".to_vec(), 4)];
         assert!(engine.decide(&o).is_empty());
@@ -272,7 +285,10 @@ mod tests {
         let decision = engine.decide(&obs(0.1, 0.5, &[0.4, 0.03]));
         assert_eq!(decision, vec![PolicyAction::RemoveNode(1)]);
         // But never below min_nodes.
-        let engine = PolicyEngine::new(SloConfig { min_nodes: 2, ..SloConfig::default() });
+        let engine = PolicyEngine::new(SloConfig {
+            min_nodes: 2,
+            ..SloConfig::default()
+        });
         assert!(engine.decide(&obs(0.1, 0.5, &[0.4, 0.03])).is_empty());
     }
 
@@ -281,12 +297,16 @@ mod tests {
         let engine = PolicyEngine::new(SloConfig::default());
         let mut o = obs(0.1, 0.5, &[0.4, 0.5]);
         for i in 0..50u32 {
-            o.key_frequencies.insert(format!("k{i}").into_bytes(), 1_000);
+            o.key_frequencies
+                .insert(format!("k{i}").into_bytes(), 1_000);
         }
         o.key_frequencies.insert(b"was-hot".to_vec(), 1);
         o.replicated_keys = vec![(b"was-hot".to_vec(), 4)];
         let decision = engine.decide(&o);
-        assert_eq!(decision, vec![PolicyAction::DereplicateKey(b"was-hot".to_vec())]);
+        assert_eq!(
+            decision,
+            vec![PolicyAction::DereplicateKey(b"was-hot".to_vec())]
+        );
     }
 
     #[test]

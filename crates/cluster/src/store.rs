@@ -7,6 +7,14 @@ use dinomo_workload::Operation;
 pub trait KvSession: Send {
     /// Execute one operation, returning the read value for lookups.
     fn execute(&self, op: &Operation) -> Result<Option<Vec<u8>>>;
+
+    /// Execute a batch of operations, returning one result per op in op
+    /// order. The default loops over [`KvSession::execute`]; stores with a
+    /// native batched path (Dinomo's owner-grouped `KvsClient::execute`)
+    /// override it.
+    fn execute_batch(&self, ops: &[Operation]) -> Vec<Result<Option<Vec<u8>>>> {
+        ops.iter().map(|op| self.execute(op)).collect()
+    }
 }
 
 /// The cluster-level interface the control plane needs from a store.
@@ -56,6 +64,16 @@ struct DinomoSession {
     client: dinomo_core::KvsClient,
 }
 
+/// Convert a workload operation into the core request model.
+fn to_op(op: &Operation) -> dinomo_core::Op {
+    match op {
+        Operation::Read(k) => dinomo_core::Op::lookup(k),
+        Operation::Update(k, v) => dinomo_core::Op::update(k, v),
+        Operation::Insert(k, v) => dinomo_core::Op::insert(k, v),
+        Operation::Delete(k) => dinomo_core::Op::delete(k),
+    }
+}
+
 impl KvSession for DinomoSession {
     fn execute(&self, op: &Operation) -> Result<Option<Vec<u8>>> {
         match op {
@@ -65,6 +83,14 @@ impl KvSession for DinomoSession {
             Operation::Delete(k) => self.client.delete(k).map(|()| None),
         }
     }
+
+    fn execute_batch(&self, ops: &[Operation]) -> Vec<Result<Option<Vec<u8>>>> {
+        self.client
+            .execute(ops.iter().map(to_op).collect())
+            .into_iter()
+            .map(dinomo_core::Reply::into_value)
+            .collect()
+    }
 }
 
 impl ElasticKvs for Kvs {
@@ -73,7 +99,9 @@ impl ElasticKvs for Kvs {
     }
 
     fn session(&self) -> Box<dyn KvSession> {
-        Box::new(DinomoSession { client: self.client() })
+        Box::new(DinomoSession {
+            client: self.client(),
+        })
     }
 
     fn node_ids(&self) -> Vec<u32> {
@@ -141,7 +169,9 @@ impl ElasticKvs for dinomo_clover::CloverKvs {
     }
 
     fn session(&self) -> Box<dyn KvSession> {
-        Box::new(CloverSession { client: self.client() })
+        Box::new(CloverSession {
+            client: self.client(),
+        })
     }
 
     fn node_ids(&self) -> Vec<u32> {
@@ -212,7 +242,10 @@ mod tests {
 
     fn exercise(store: &dyn ElasticKvs) {
         let session = store.session();
-        let results: Vec<_> = ops().iter().map(|op| session.execute(op).unwrap()).collect();
+        let results: Vec<_> = ops()
+            .iter()
+            .map(|op| session.execute(op).unwrap())
+            .collect();
         assert_eq!(results[1], Some(b"v1".to_vec()));
         assert_eq!(results[3], Some(b"v2".to_vec()));
         assert_eq!(results[5], None);
@@ -220,6 +253,33 @@ mod tests {
         store.maintenance();
         assert!(store.stats().total_ops() >= 6);
         assert_eq!(store.replication_factor(b"k1"), 1);
+    }
+
+    #[test]
+    fn execute_batch_matches_per_op_execution() {
+        // Dinomo overrides execute_batch with the owner-grouped path;
+        // Clover uses the default per-op loop. Both must agree with
+        // sequential execution.
+        let dinomo = Kvs::new(KvsConfig::small_for_tests()).unwrap();
+        let clover = CloverKvs::new(CloverConfig::small_for_tests()).unwrap();
+        for store in [&dinomo as &dyn ElasticKvs, &clover as &dyn ElasticKvs] {
+            let session = store.session();
+            let results = session.execute_batch(&ops());
+            assert_eq!(results.len(), 6, "{}", store.name());
+            assert_eq!(
+                results[1].as_ref().unwrap(),
+                &Some(b"v1".to_vec()),
+                "{}",
+                store.name()
+            );
+            assert_eq!(
+                results[3].as_ref().unwrap(),
+                &Some(b"v2".to_vec()),
+                "{}",
+                store.name()
+            );
+            assert_eq!(results[5].as_ref().unwrap(), &None, "{}", store.name());
+        }
     }
 
     #[test]

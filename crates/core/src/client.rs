@@ -5,10 +5,22 @@
 //! changes (reconfiguration, failure, replication), the contacted node
 //! rejects the request and the client refreshes its cached metadata — exactly
 //! the flow §3.1/§3.4 describe.
+//!
+//! The client API is batched at its core: [`KvsClient::execute`] takes a
+//! vector of [`Op`]s, groups them by owner KVS node using the cached
+//! ownership table, and issues **one** [`KnNode::run_batch`] call per node,
+//! which resolves ownership once, locks each worker shard once, and flushes
+//! the buffered log writes once per shard group.  Operations rejected
+//! mid-flight (ownership moved, node failed or reconfiguring) are retried
+//! individually after a metadata refresh, so a batch racing a
+//! reconfiguration still produces a correct per-op [`Reply`].  The per-key
+//! methods ([`KvsClient::insert`] & co.) are thin wrappers that submit a
+//! single-op batch.
 
 use crate::error::KvsError;
 use crate::kn::KnNode;
 use crate::kvs::KvsInner;
+use crate::op::{Op, Reply};
 use crate::Result;
 use dinomo_partition::{KnId, OwnershipTable};
 use parking_lot::Mutex;
@@ -32,7 +44,11 @@ pub struct KvsClient {
 impl KvsClient {
     pub(crate) fn new(kvs: Arc<KvsInner>) -> Self {
         let cached = kvs.ownership.read().clone();
-        KvsClient { kvs, cached: Mutex::new(cached), replica_rr: AtomicUsize::new(0) }
+        KvsClient {
+            kvs,
+            cached: Mutex::new(cached),
+            replica_rr: AtomicUsize::new(0),
+        }
     }
 
     /// Version of the routing metadata this client currently holds.
@@ -45,69 +61,274 @@ impl KvsClient {
         *self.cached.lock() = self.kvs.ownership.read().clone();
     }
 
-    fn pick_owner(&self, key: &[u8]) -> Result<KnId> {
-        let cached = self.cached.lock();
+    /// Pick the owner to contact for `key` from an already-locked cached
+    /// table (round-robin across owners so replicated hot keys spread their
+    /// load).
+    fn pick_owner_in(&self, cached: &OwnershipTable, key: &[u8]) -> Option<KnId> {
+        if cached.is_replicated(key) {
+            self.pick_replica(cached, key)
+        } else {
+            // The common case allocates nothing.
+            cached.primary_owner(key)
+        }
+    }
+
+    /// Round-robin pick among a replicated key's owner set.
+    fn pick_replica(&self, cached: &OwnershipTable, key: &[u8]) -> Option<KnId> {
         let owners = cached.owners(key);
         if owners.is_empty() {
-            return Err(KvsError::NoNodes);
+            return None;
         }
-        // Round-robin across owners so replicated hot keys spread their load.
         let idx = self.replica_rr.fetch_add(1, Ordering::Relaxed) % owners.len();
-        Ok(owners[idx])
+        Some(owners[idx])
+    }
+
+    fn pick_owner(&self, key: &[u8]) -> Result<KnId> {
+        self.pick_owner_in(&self.cached.lock(), key)
+            .ok_or(KvsError::NoNodes)
     }
 
     fn node(&self, id: KnId) -> Option<Arc<KnNode>> {
         self.kvs.kns.read().get(&id).cloned()
     }
 
-    /// Route an operation to the key's owner, refreshing stale routing
-    /// metadata and retrying when a node rejects the request, is
-    /// reconfiguring, or has failed (requests "time out" and are retried, as
-    /// in the paper's failure handling).
-    fn run<T: std::fmt::Debug>(
-        &self,
-        key: &[u8],
-        mut op: impl FnMut(&KnNode) -> Result<T>,
-    ) -> Result<T> {
+    /// `true` for the errors that mean "refresh the routing metadata and try
+    /// again" rather than "fail the operation".
+    fn is_routing_error(e: &KvsError) -> bool {
+        matches!(
+            e,
+            KvsError::NotOwner { .. } | KvsError::NodeFailed | KvsError::Reconfiguring
+        )
+    }
+
+    fn backoff(attempt: usize) {
+        if attempt > 10 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    // ---------------------------------------------------------- batched API
+
+    /// Execute a batch of operations and return one [`Reply`] per op, in op
+    /// order.
+    ///
+    /// The batch is grouped by owner KVS node under a single acquisition of
+    /// the cached routing metadata and served with one
+    /// [`KnNode::run_batch`] call per group, which amortizes routing, node
+    /// lookup, ownership checks, shard locking and log-batch flushing over
+    /// the whole group. There is **no atomicity across the batch** — each op
+    /// fails or succeeds independently, exactly as if issued alone; the
+    /// per-op guarantees (linearizable single-key reads/writes) are
+    /// unchanged.
+    ///
+    /// Operations rejected because the contacted node no longer owns the key
+    /// (or failed, or is reconfiguring) are transparently retried after a
+    /// metadata refresh; only the rejected subset is retried.
+    ///
+    /// ```
+    /// use dinomo_core::{Kvs, Op, Reply};
+    ///
+    /// let kvs = Kvs::builder().small_for_tests().build().unwrap();
+    /// let client = kvs.client();
+    /// let replies = client.execute(vec![
+    ///     Op::insert("a", "1"),
+    ///     Op::insert("b", "2"),
+    ///     Op::lookup("a"),
+    ///     Op::delete("b"),
+    ///     Op::lookup("b"),
+    /// ]);
+    /// assert!(replies.iter().all(Reply::is_ok));
+    /// assert_eq!(replies[2].value(), Some(&b"1"[..]));
+    /// assert_eq!(replies[4], Reply::Value(None));
+    /// ```
+    pub fn execute(&self, ops: Vec<Op>) -> Vec<Reply> {
+        match ops.as_slice() {
+            [] => Vec::new(),
+            // A singleton batch skips the grouping machinery entirely, so
+            // the per-key wrappers cost the same as a direct call.
+            [op] => vec![self.execute_single(op)],
+            _ => self.execute_batch(&ops),
+        }
+    }
+
+    fn execute_batch(&self, ops: &[Op]) -> Vec<Reply> {
+        let mut replies: Vec<Option<Reply>> = vec![None; ops.len()];
+        // Per-op result slots shared with `KnNode::run_batch_into`; a slot
+        // left `None` after a round (node disappeared mid-route) is retried.
+        let mut results: Vec<Option<Result<Option<Vec<u8>>>>> = vec![None; ops.len()];
+        // Key hashes, computed once per op while routing and shipped with
+        // the batch so nodes do not re-hash.
+        let mut hashes: Vec<u64> = vec![0; ops.len()];
+        let mut pending: Vec<usize> = (0..ops.len()).collect();
+
         for attempt in 0..MAX_RETRIES {
-            let owner = self.pick_owner(key)?;
+            if pending.is_empty() {
+                break;
+            }
+            // Group the pending ops by owner under one routing-metadata
+            // lock acquisition. Clusters are small (a handful to dozens of
+            // KNs), so a linear-scan group list beats a map.
+            let mut groups: Vec<(KnId, Vec<usize>)> = Vec::new();
+            let routed_version;
+            {
+                let cached = self.cached.lock();
+                routed_version = cached.version();
+                let global = cached.global_ring();
+                for &i in &pending {
+                    let key = ops[i].key();
+                    let hash = dinomo_partition::key_hash(key);
+                    hashes[i] = hash;
+                    let owner = if cached.is_replicated(key) {
+                        self.pick_replica(&cached, key)
+                    } else {
+                        global.owner(hash)
+                    };
+                    match owner {
+                        Some(owner) => match groups.iter_mut().find(|(id, _)| *id == owner) {
+                            Some((_, indexes)) => indexes.push(i),
+                            None => groups.push((owner, vec![i])),
+                        },
+                        None => replies[i] = Some(Reply::Error(KvsError::NoNodes)),
+                    }
+                }
+            }
+
+            // Resolve every group's node handle under one registry lock,
+            // then dispatch with the lock released — a slow group (pmem
+            // flush, injected fabric delay) must not hold up concurrent
+            // reconfigurations or other clients' node lookups.
+            let nodes: Vec<Option<Arc<KnNode>>> = {
+                let kns = self.kvs.kns.read();
+                groups
+                    .iter()
+                    .map(|(owner, _)| kns.get(owner).cloned())
+                    .collect()
+            };
+            // One batched request per owner node, written directly into the
+            // shared result slots. The request carries the metadata version
+            // the routing was computed against, so an up-to-date node can
+            // skip its per-key ownership re-verification (§3.1 staleness
+            // detection, applied batch-wide).
+            for ((_, indexes), node) in groups.iter().zip(&nodes) {
+                if let Some(node) = node {
+                    node.run_batch_into(ops, indexes, &hashes, routed_version, &mut results);
+                }
+            }
+
+            // Harvest results; routing rejections (and unanswered slots)
+            // are retried after a metadata refresh.
+            let mut retry: Vec<usize> = Vec::new();
+            for i in pending {
+                if replies[i].is_some() {
+                    continue; // resolved as NoNodes during grouping
+                }
+                match results[i].take() {
+                    Some(Ok(read)) => replies[i] = Some(ops[i].reply_from(read)),
+                    Some(Err(e)) if Self::is_routing_error(&e) => retry.push(i),
+                    Some(Err(e)) => replies[i] = Some(Reply::Error(e)),
+                    None => retry.push(i),
+                }
+            }
+
+            pending = retry;
+            if !pending.is_empty() {
+                self.refresh_routing();
+                Self::backoff(attempt);
+            }
+        }
+
+        for i in pending {
+            replies[i] = Some(Reply::Error(KvsError::RoutingRetriesExhausted));
+        }
+        replies
+            .into_iter()
+            .map(|r| r.expect("every op got a reply"))
+            .collect()
+    }
+
+    /// The singleton path: identical routing/retry behaviour to a batch of
+    /// one, without building groups.
+    fn execute_single(&self, op: &Op) -> Reply {
+        for attempt in 0..MAX_RETRIES {
+            let owner = match self.pick_owner(op.key()) {
+                Ok(owner) => owner,
+                Err(e) => return Reply::Error(e),
+            };
             let result = match self.node(owner) {
-                Some(node) => op(&node),
+                Some(node) => match op {
+                    Op::Lookup { key } => node.get(key),
+                    Op::Insert { key, value } | Op::Update { key, value } => {
+                        node.put(key, value).map(|()| None)
+                    }
+                    Op::Delete { key } => node.delete(key).map(|()| None),
+                },
                 None => Err(KvsError::NodeFailed),
             };
             match result {
-                Err(KvsError::NotOwner { .. })
-                | Err(KvsError::NodeFailed)
-                | Err(KvsError::Reconfiguring) => {
+                Ok(read) => return op.reply_from(read),
+                Err(e) if Self::is_routing_error(&e) => {
                     self.refresh_routing();
-                    if attempt > 10 {
-                        std::thread::sleep(Duration::from_millis(2));
-                    }
-                    continue;
+                    Self::backoff(attempt);
                 }
-                other => return other,
+                Err(e) => return Reply::Error(e),
             }
         }
-        Err(KvsError::RoutingRetriesExhausted)
+        Reply::Error(KvsError::RoutingRetriesExhausted)
     }
+
+    /// Batched lookup: one reply per key, in key order.
+    ///
+    /// ```
+    /// use dinomo_core::Kvs;
+    ///
+    /// let kvs = Kvs::builder().small_for_tests().build().unwrap();
+    /// let client = kvs.client();
+    /// client.multi_put([("a", "1"), ("b", "2")]);
+    /// let replies = client.multi_get(["a", "b", "missing"]);
+    /// assert_eq!(replies[0].value(), Some(&b"1"[..]));
+    /// assert_eq!(replies[2].value(), None);
+    /// ```
+    pub fn multi_get<K: AsRef<[u8]>>(&self, keys: impl IntoIterator<Item = K>) -> Vec<Reply> {
+        self.execute(keys.into_iter().map(Op::lookup).collect())
+    }
+
+    /// Batched write: upserts every `(key, value)` pair, one reply per pair,
+    /// in pair order.
+    pub fn multi_put<K: AsRef<[u8]>, V: AsRef<[u8]>>(
+        &self,
+        pairs: impl IntoIterator<Item = (K, V)>,
+    ) -> Vec<Reply> {
+        self.execute(pairs.into_iter().map(|(k, v)| Op::insert(k, v)).collect())
+    }
+
+    // ---------------------------------------------------------- per-key API
 
     /// `insert(key, value)`.
+    ///
+    /// Inserts are **upserts**: inserting a key that already exists
+    /// overwrites its value and succeeds, matching the paper's §3 interface
+    /// where `insert` is the write primitive and `update` the overwrite of
+    /// an existing key — the storage layer (log append + merge) treats both
+    /// identically. If you need insert-if-absent, [`KvsClient::lookup`]
+    /// first; the store never errors with "already exists".
     pub fn insert(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        self.run(key, |kn| kn.put(key, value))
+        self.execute_single(&Op::insert(key, value)).into_ack()
     }
 
-    /// `update(key, value)`.
+    /// `update(key, value)`. Overwrites `key`'s value; like
+    /// [`KvsClient::insert`] it is an upsert, so updating a missing key
+    /// writes it.
     pub fn update(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        self.run(key, |kn| kn.put(key, value))
+        self.execute_single(&Op::update(key, value)).into_ack()
     }
 
     /// `lookup(key)`.
     pub fn lookup(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.run(key, |kn| kn.get(key))
+        self.execute_single(&Op::lookup(key)).into_value()
     }
 
     /// `delete(key)`.
     pub fn delete(&self, key: &[u8]) -> Result<()> {
-        self.run(key, |kn| kn.delete(key))
+        self.execute_single(&Op::delete(key)).into_ack()
     }
 }

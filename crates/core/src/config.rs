@@ -108,7 +108,8 @@ impl KvsConfig {
 
     /// Effective cache policy.
     pub fn effective_cache_kind(&self) -> CacheKind {
-        self.cache_kind.unwrap_or_else(|| self.variant.default_cache())
+        self.cache_kind
+            .unwrap_or_else(|| self.variant.default_cache())
     }
 
     /// Cache budget per shard (thread) in bytes.
@@ -138,6 +139,9 @@ mod tests {
         assert_eq!(c.effective_cache_kind(), CacheKind::Dac);
         c.cache_kind = Some(CacheKind::ValueOnly);
         assert_eq!(c.effective_cache_kind(), CacheKind::ValueOnly);
-        assert_eq!(c.cache_bytes_per_shard(), c.cache_bytes_per_kn / c.threads_per_kn);
+        assert_eq!(
+            c.cache_bytes_per_shard(),
+            c.cache_bytes_per_kn / c.threads_per_kn
+        );
     }
 }

@@ -31,7 +31,10 @@ impl fmt::Display for KvsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             KvsError::NotOwner { current_version } => {
-                write!(f, "node does not own this key range (ownership version {current_version})")
+                write!(
+                    f,
+                    "node does not own this key range (ownership version {current_version})"
+                )
             }
             KvsError::NodeFailed => write!(f, "KVS node has failed"),
             KvsError::NoNodes => write!(f, "cluster has no KVS nodes"),
@@ -59,7 +62,9 @@ mod tests {
     fn display_and_from() {
         let e: KvsError = PmemError::InjectedFailure.into();
         assert!(matches!(e, KvsError::Pmem(_)));
-        assert!(KvsError::NotOwner { current_version: 3 }.to_string().contains('3'));
+        assert!(KvsError::NotOwner { current_version: 3 }
+            .to_string()
+            .contains('3'));
         assert!(!KvsError::NodeFailed.to_string().is_empty());
     }
 }

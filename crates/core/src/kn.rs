@@ -3,11 +3,12 @@
 
 use crate::config::{KvsConfig, Variant};
 use crate::error::KvsError;
+use crate::op::Op;
 use crate::stats::KnStats;
 use crate::Result;
 use dinomo_cache::{build_cache, CacheLookup, CacheStats, KnCache, ValueLoc};
 use dinomo_dpm::{BloomFilter, DpmNode, LogOp, LogWriter};
-use dinomo_partition::{KnId, OwnershipTable};
+use dinomo_partition::{key_hash, KnId, OwnershipTable};
 use dinomo_pmem::PmAddr;
 use dinomo_simnet::Nic;
 use parking_lot::{Mutex, RwLock};
@@ -48,6 +49,11 @@ impl std::fmt::Debug for Shard {
     }
 }
 
+/// Sentinel passed as `client_version` when the caller did not route
+/// against a known ownership-table version: never equal to a real version,
+/// so the full per-key ownership verification always runs.
+pub(crate) const NO_VERSION: u64 = u64::MAX;
+
 /// A KVS node.
 #[derive(Debug)]
 pub struct KnNode {
@@ -79,7 +85,10 @@ impl KnNode {
         let shards = (0..config.threads_per_kn.max(1))
             .map(|_| {
                 Mutex::new(Shard {
-                    cache: build_cache(config.effective_cache_kind(), config.cache_bytes_per_shard()),
+                    cache: build_cache(
+                        config.effective_cache_kind(),
+                        config.cache_bytes_per_shard(),
+                    ),
                     writer: LogWriter::new(Arc::clone(&dpm), id, nic.clone()),
                     unmerged: HashMap::new(),
                     bloom: BloomFilter::new(4096),
@@ -151,7 +160,9 @@ impl KnNode {
         let table = self.ownership.read();
         if !table.is_owner(self.id, key) {
             self.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(KvsError::NotOwner { current_version: table.version() });
+            return Err(KvsError::NotOwner {
+                current_version: table.version(),
+            });
         }
         Ok(table.thread_of(self.id, key).unwrap_or(0))
     }
@@ -178,12 +189,19 @@ impl KnNode {
         };
         self.ops.fetch_add(1, Ordering::Relaxed);
         self.reads.fetch_add(1, Ordering::Relaxed);
-        self.busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.busy_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         result
     }
 
     fn get_owned(&self, key: &[u8], thread: u32) -> Result<Option<Vec<u8>>> {
         let mut shard = self.shard_for(thread).lock();
+        self.get_in_shard(&mut shard, key)
+    }
+
+    /// The owned-key read path against an already-locked shard (shared by
+    /// the per-op path and [`KnNode::run_batch`]).
+    fn get_in_shard(&self, shard: &mut Shard, key: &[u8]) -> Result<Option<Vec<u8>>> {
         match shard.cache.lookup(key) {
             CacheLookup::Value(v) => return Ok(Some(v)),
             CacheLookup::Shortcut(loc) => {
@@ -213,7 +231,9 @@ impl KnNode {
         match (&lookup.value, lookup.value_loc) {
             (Some(value), Some((addr, len))) => {
                 if !lookup.indirect {
-                    shard.cache.admit_value(key, value, ValueLoc { addr: addr.0, len });
+                    shard
+                        .cache
+                        .admit_value(key, value, ValueLoc { addr: addr.0, len });
                 }
                 Ok(Some(value.clone()))
             }
@@ -234,8 +254,11 @@ impl KnNode {
             return Ok(None);
         };
         self.nic.one_sided_read(entry_loc.len() as usize);
-        let entry = dinomo_dpm::entry::decode_entry(self.dpm.pool(), entry_loc.addr(), entry_loc.len());
-        Ok(entry.filter(|e| e.key == key).map(|e| e.read_value(self.dpm.pool())))
+        let entry =
+            dinomo_dpm::entry::decode_entry(self.dpm.pool(), entry_loc.addr(), entry_loc.len());
+        Ok(entry
+            .filter(|e| e.key == key)
+            .map(|e| e.read_value(self.dpm.pool())))
     }
 
     // ------------------------------------------------------------ writes
@@ -252,18 +275,41 @@ impl KnNode {
         };
         self.ops.fetch_add(1, Ordering::Relaxed);
         self.writes.fetch_add(1, Ordering::Relaxed);
-        self.busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.busy_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         result
     }
 
     fn put_owned(&self, key: &[u8], value: &[u8], thread: u32) -> Result<()> {
         let mut shard = self.shard_for(thread).lock();
+        Self::put_in_shard(&mut shard, key, value);
+        self.flush_if_due(&mut shard)
+    }
+
+    /// The owned-key write path against an already-locked shard: buffer the
+    /// log record and track the pending write. The caller decides when to
+    /// flush (per op for the singleton path, once per group for batches).
+    fn put_in_shard(shard: &mut Shard, key: &[u8], value: &[u8]) {
         shard.writer.append_put(key, value);
         shard.cache.invalidate(key);
-        shard.unmerged.insert(key.to_vec(), Unmerged::Pending(value.to_vec()));
+        shard
+            .unmerged
+            .insert(key.to_vec(), Unmerged::Pending(value.to_vec()));
         shard.bloom.insert(key);
+    }
+
+    /// The delete path against an already-locked shard.
+    fn delete_in_shard(shard: &mut Shard, key: &[u8]) {
+        shard.writer.append_delete(key);
+        shard.cache.invalidate(key);
+        shard.unmerged.insert(key.to_vec(), Unmerged::Deleted);
+        shard.bloom.insert(key);
+    }
+
+    /// Flush the shard's buffered log records if the write batch is full.
+    fn flush_if_due(&self, shard: &mut Shard) -> Result<()> {
         if shard.writer.buffered_entries() >= self.write_batch_ops {
-            Self::flush_shard(&self.dpm, self.id, &mut shard)?;
+            Self::flush_shard(&self.dpm, self.id, shard)?;
         }
         Ok(())
     }
@@ -306,18 +352,211 @@ impl KnNode {
         let thread = self.check_ownership(key)?;
         let start = Instant::now();
         let mut shard = self.shard_for(thread).lock();
-        shard.writer.append_delete(key);
-        shard.cache.invalidate(key);
-        shard.unmerged.insert(key.to_vec(), Unmerged::Deleted);
-        shard.bloom.insert(key);
-        if shard.writer.buffered_entries() >= self.write_batch_ops {
-            Self::flush_shard(&self.dpm, self.id, &mut shard)?;
-        }
+        Self::delete_in_shard(&mut shard, key);
+        self.flush_if_due(&mut shard)?;
         drop(shard);
         self.ops.fetch_add(1, Ordering::Relaxed);
         self.writes.fetch_add(1, Ordering::Relaxed);
-        self.busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.busy_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         Ok(())
+    }
+
+    // ------------------------------------------------------------ batches
+
+    /// Serve a group of operations that a client routed to this node in one
+    /// request (§3.6's per-request overheads paid once per *group*):
+    ///
+    /// * availability is checked once for the group;
+    /// * ownership is resolved for every key under a **single** read
+    ///   acquisition of the ownership table, with one key hash shared by
+    ///   the owner and thread ring lookups;
+    /// * operations are applied per worker shard with **one** lock
+    ///   acquisition per shard, and buffered log writes are flushed at most
+    ///   **once** per shard instead of once per op.
+    ///
+    /// Results are positional (`result[i]` answers `ops[i]`). Operations on
+    /// keys this node does not own fail with [`KvsError::NotOwner`]
+    /// individually — the rest of the group still executes — so a client
+    /// racing a reconfiguration retries only the rejected subset.
+    ///
+    /// Within the group, operations on the same key apply in group order
+    /// (same key → same shard, and each shard applies its sub-group in
+    /// order). No ordering is guaranteed across different keys, exactly as
+    /// with concurrent per-op calls.
+    pub fn run_batch(&self, ops: &[Op]) -> Vec<Result<Option<Vec<u8>>>> {
+        let positions: Vec<usize> = (0..ops.len()).collect();
+        let hashes: Vec<u64> = ops.iter().map(|op| key_hash(op.key())).collect();
+        let mut out: Vec<Option<Result<Option<Vec<u8>>>>> = vec![None; ops.len()];
+        // `NO_VERSION` forces the full per-key ownership verification.
+        self.run_batch_into(ops, &positions, &hashes, NO_VERSION, &mut out);
+        out.into_iter()
+            .map(|r| r.expect("every op in the batch got a result"))
+            .collect()
+    }
+
+    /// Allocation-lean core of [`KnNode::run_batch`], shaped for the
+    /// client's owner-grouped dispatch: serve `ops[positions[..]]` and write
+    /// each result to `out[position]` (left `None` only if this node is
+    /// unavailable — the caller treats unanswered positions as retryable).
+    ///
+    /// `hashes[pos]` must be `key_hash(ops[pos].key())` — the client hashed
+    /// each key to route it, so the node reuses the hash for its own ring
+    /// lookups. `client_version` is the ownership-table version the caller
+    /// routed against (§3.1's staleness detection, applied batch-wide): when
+    /// it equals the node's current version the tables are identical, the
+    /// client's routing is known-correct, and the per-key ownership
+    /// re-verification is skipped for the whole group.
+    pub(crate) fn run_batch_into(
+        &self,
+        ops: &[Op],
+        positions: &[usize],
+        hashes: &[u64],
+        client_version: u64,
+        out: &mut [Option<Result<Option<Vec<u8>>>>],
+    ) {
+        if let Err(e) = self.check_available() {
+            for &pos in positions {
+                out[pos] = Some(Err(e.clone()));
+            }
+            return;
+        }
+        let start = Instant::now();
+
+        // Per-position route, parallel to `positions`: the shard index for
+        // owned keys, or one of the tagged values below.
+        const REJECTED: u32 = u32::MAX;
+        const SHARED: u32 = 1 << 31;
+        let mut routes: Vec<u32> = Vec::with_capacity(positions.len());
+
+        // Resolve ownership for the whole group under one read lock. The
+        // global and local rings are hoisted out of the loop, the client's
+        // key hashes feed the ring lookups, and the replicated-key check
+        // short-circuits on an empty replica table.
+        {
+            let table = self.ownership.read();
+            let replication = self.variant.supports_selective_replication();
+            let global = table.global_ring();
+            let local = table.local_ring(self.id);
+            let verified = table.version() == client_version;
+            for &pos in positions {
+                let op = &ops[pos];
+                let key = op.key();
+                let hash = hashes[pos];
+                let replicated = table.is_replicated(key);
+                let owned = verified
+                    || if replicated {
+                        table.owners(key).contains(&self.id)
+                    } else {
+                        global.owner(hash) == Some(self.id)
+                    };
+                if !owned {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    out[pos] = Some(Err(KvsError::NotOwner {
+                        current_version: table.version(),
+                    }));
+                    routes.push(REJECTED);
+                    continue;
+                }
+                let thread = local.and_then(|ring| ring.owner(hash)).unwrap_or(0);
+                // Every op on a replicated key is deferred to the in-order
+                // shared pass — including deletes, which individually take
+                // the owned path but must keep their batch order relative
+                // to the key's shared-path writes.
+                if replication && replicated {
+                    routes.push(SHARED | thread);
+                } else {
+                    routes.push(thread % self.shards.len() as u32);
+                }
+            }
+        }
+
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+
+        // One pass per shard over the route array (shard counts are small),
+        // preserving group order within the shard. No per-shard allocation.
+        for shard_idx in 0..self.shards.len() as u32 {
+            if !routes.contains(&shard_idx) {
+                continue;
+            }
+            let mut shard = self.shards[shard_idx as usize].lock();
+            let mut buffered_writes = false;
+            for (&pos, &route) in positions.iter().zip(&routes) {
+                if route != shard_idx {
+                    continue;
+                }
+                let result = match &ops[pos] {
+                    Op::Lookup { key } => {
+                        reads += 1;
+                        self.get_in_shard(&mut shard, key)
+                    }
+                    Op::Insert { key, value } | Op::Update { key, value } => {
+                        writes += 1;
+                        buffered_writes = true;
+                        Self::put_in_shard(&mut shard, key, value);
+                        Ok(None)
+                    }
+                    Op::Delete { key } => {
+                        writes += 1;
+                        buffered_writes = true;
+                        Self::delete_in_shard(&mut shard, key);
+                        Ok(None)
+                    }
+                };
+                out[pos] = Some(result);
+            }
+            // One flush for the whole shard group. A flush failure is a
+            // durability failure of every write buffered by this group, so
+            // it is reported on each of them.
+            if buffered_writes {
+                if let Err(e) = self.flush_if_due(&mut shard) {
+                    for (&pos, &route) in positions.iter().zip(&routes) {
+                        if route == shard_idx && ops[pos].is_write() {
+                            out[pos] = Some(Err(e.clone()));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Replicated keys linearize through their indirection cell; they
+        // lock shards internally, so they run after the owned groups,
+        // applied one by one in group order (which keeps same-key order
+        // even between shared-path writes and owned-path deletes).
+        for (&pos, &route) in positions.iter().zip(&routes) {
+            if route == REJECTED || route & SHARED == 0 {
+                continue;
+            }
+            let thread = route & !SHARED;
+            let result = match &ops[pos] {
+                Op::Lookup { key } => {
+                    reads += 1;
+                    self.get_shared(key)
+                }
+                Op::Insert { key, value } | Op::Update { key, value } => {
+                    writes += 1;
+                    self.put_shared(key, value, thread).map(|()| None)
+                }
+                Op::Delete { key } => {
+                    // As in `delete`: replicated-key deletes go through the
+                    // owned path (the merge engine tears the indirection
+                    // cell down), flushed per op to keep the log position
+                    // consistent with its place in the batch.
+                    writes += 1;
+                    let mut shard = self.shard_for(thread).lock();
+                    Self::delete_in_shard(&mut shard, key);
+                    self.flush_if_due(&mut shard).map(|()| None)
+                }
+            };
+            out[pos] = Some(result);
+        }
+
+        self.ops.fetch_add(reads + writes, Ordering::Relaxed);
+        self.reads.fetch_add(reads, Ordering::Relaxed);
+        self.writes.fetch_add(writes, Ordering::Relaxed);
+        self.busy_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
     fn flush_shard(dpm: &Arc<DpmNode>, kn: KnId, shard: &mut Shard) -> Result<()> {
@@ -334,11 +573,18 @@ impl KnNode {
             // Only keys whose newest program-order state is still this put
             // (i.e. not deleted later in the same batch) are refreshed.
             if let Some(Unmerged::Pending(v)) = shard.unmerged.get(key) {
-                let loc = ValueLoc { addr: c.value_addr.0, len: c.value_len };
+                let loc = ValueLoc {
+                    addr: c.value_addr.0,
+                    len: c.value_len,
+                };
                 shard.cache.on_local_write(key, v, loc);
-                shard
-                    .unmerged
-                    .insert(c.key.clone(), Unmerged::Committed { addr: c.value_addr, len: c.value_len });
+                shard.unmerged.insert(
+                    c.key.clone(),
+                    Unmerged::Committed {
+                        addr: c.value_addr,
+                        len: c.value_len,
+                    },
+                );
             }
         }
         // Once everything this shard ever flushed has been merged, the index
@@ -365,12 +611,23 @@ impl KnNode {
         Ok(())
     }
 
-    /// Empty the node's caches (the "current owner empties its cache" step
-    /// of the reconfiguration protocol).
+    /// Drop the node's DRAM request-path state — caches, unmerged-write
+    /// tracking and bloom filters (the "current owner empties its cache"
+    /// step of the reconfiguration protocol).
+    ///
+    /// Callers must have flushed this node's pending logs and waited for
+    /// them to merge first, so the DPM index is authoritative for every key
+    /// the node tracked. Dropping only the value cache here is not enough:
+    /// a stale `unmerged` entry would survive the ownership hand-off, and a
+    /// range that later *returns* to this node (scale out then back in, or
+    /// a failure re-homing keys) would read an outdated location from it
+    /// instead of the index.
     pub fn clear_caches(&self) {
         for shard in &self.shards {
             let mut s = shard.lock();
             s.cache.clear();
+            s.unmerged.clear();
+            s.bloom.clear();
         }
     }
 

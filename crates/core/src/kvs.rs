@@ -117,10 +117,17 @@ impl Kvs {
         // potentially every existing node.
         let affected: Vec<Arc<KnNode>> = {
             let changes = old_table.global_ring().changes_to(new_table.global_ring());
-            let losers: Vec<KnId> =
-                changes.iter().filter_map(|c| c.from).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+            let losers: Vec<KnId> = changes
+                .iter()
+                .filter_map(|c| c.from)
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
             let kns = self.inner.kns.read();
-            losers.iter().filter_map(|id| kns.get(id).cloned()).collect()
+            losers
+                .iter()
+                .filter_map(|id| kns.get(id).cloned())
+                .collect()
         };
 
         // Step 2: the participating KNs become unavailable.
@@ -322,9 +329,9 @@ impl Kvs {
         let mut bytes = 0u64;
         for (key, value, new_owner) in moved {
             bytes += (key.len() + value.len()) as u64;
-            let w = writers
-                .entry(new_owner)
-                .or_insert_with(|| LogWriter::new(Arc::clone(&self.inner.dpm), new_owner, nic.clone()));
+            let w = writers.entry(new_owner).or_insert_with(|| {
+                LogWriter::new(Arc::clone(&self.inner.dpm), new_owner, nic.clone())
+            });
             w.append_put(&key, &value);
             if w.should_flush() {
                 w.flush()?;
@@ -335,7 +342,9 @@ impl Kvs {
             w.seal_current();
         }
         self.inner.dpm.wait_until_all_merged();
-        self.inner.bytes_reshuffled.fetch_add(bytes, Ordering::Relaxed);
+        self.inner
+            .bytes_reshuffled
+            .fetch_add(bytes, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -343,10 +352,162 @@ impl Kvs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::op::{Op, Reply};
     use dinomo_workload::key_for;
 
     fn cluster(variant: Variant) -> Kvs {
         Kvs::new(KvsConfig::small_for_tests().with_variant(variant)).unwrap()
+    }
+
+    #[test]
+    fn insert_is_an_upsert() {
+        // §3's `insert` is the write primitive: writing an existing key
+        // overwrites it and succeeds (documented on `KvsClient::insert`).
+        let kvs = cluster(Variant::Dinomo);
+        let client = kvs.client();
+        client.insert(b"k", b"v1").unwrap();
+        client.insert(b"k", b"v2").unwrap();
+        assert_eq!(client.lookup(b"k").unwrap(), Some(b"v2".to_vec()));
+        // ... and `update` of a missing key writes it (same upsert path).
+        client.update(b"fresh", b"v").unwrap();
+        assert_eq!(client.lookup(b"fresh").unwrap(), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn execute_returns_positional_replies_for_mixed_batches() {
+        let kvs = cluster(Variant::Dinomo);
+        let client = kvs.client();
+        let replies = client.execute(vec![
+            Op::insert("a", "1"),
+            Op::insert("b", "2"),
+            Op::lookup("a"),
+            Op::update("a", "1b"),
+            Op::lookup("a"),
+            Op::delete("b"),
+            Op::lookup("b"),
+            Op::lookup("never-written"),
+        ]);
+        assert_eq!(replies.len(), 8);
+        assert!(replies.iter().all(Reply::is_ok), "{replies:?}");
+        assert_eq!(replies[2].value(), Some(&b"1"[..]));
+        assert_eq!(replies[4].value(), Some(&b"1b"[..]));
+        assert_eq!(replies[6], Reply::Value(None));
+        assert_eq!(replies[7], Reply::Value(None));
+        // Ops on the same key applied in batch order.
+        assert_eq!(client.lookup(b"a").unwrap(), Some(b"1b".to_vec()));
+        assert_eq!(client.lookup(b"b").unwrap(), None);
+    }
+
+    #[test]
+    fn batched_writes_are_visible_to_per_key_reads_and_vice_versa() {
+        for variant in [Variant::Dinomo, Variant::DinomoS, Variant::DinomoN] {
+            let kvs = cluster(variant);
+            let client = kvs.client();
+            let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..300u64)
+                .map(|i| (key_for(i, 8), format!("v{i}").into_bytes()))
+                .collect();
+            let replies = client.multi_put(pairs.clone());
+            assert!(replies.iter().all(Reply::is_ok));
+            kvs.quiesce().unwrap();
+            // Per-key reads see the batched writes.
+            for (k, v) in &pairs {
+                assert_eq!(
+                    client.lookup(k).unwrap().as_ref(),
+                    Some(v),
+                    "{}",
+                    variant.name()
+                );
+            }
+            // Batched reads see them too, in key order.
+            let replies = client.multi_get(pairs.iter().map(|(k, _)| k.clone()));
+            for ((_, v), reply) in pairs.iter().zip(&replies) {
+                assert_eq!(reply.value(), Some(v.as_slice()));
+            }
+            // Both KNs served part of the batch (owner grouping routed
+            // sub-batches to each owner, not everything to one node).
+            let stats = kvs.stats();
+            for kn in &stats.kns {
+                assert!(
+                    kn.ops > 50,
+                    "{} kn {} served {} ops",
+                    variant.name(),
+                    kn.id,
+                    kn.ops
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn execute_handles_replicated_keys_in_batches() {
+        let kvs = cluster(Variant::Dinomo);
+        let client = kvs.client();
+        client.insert(b"hot", b"v0").unwrap();
+        kvs.replicate_key(b"hot", 2).unwrap();
+        let replies = client.execute(vec![
+            Op::lookup("hot"),
+            Op::update("hot", "v1"),
+            Op::lookup("hot"),
+            Op::insert("cold", "c"),
+            Op::lookup("cold"),
+        ]);
+        assert!(replies.iter().all(Reply::is_ok), "{replies:?}");
+        assert_eq!(replies[0].value(), Some(&b"v0"[..]));
+        assert_eq!(replies[2].value(), Some(&b"v1"[..]));
+        assert_eq!(replies[4].value(), Some(&b"c"[..]));
+    }
+
+    #[test]
+    fn replicated_key_batches_preserve_write_then_delete_order() {
+        // A shared-path write and an owned-path delete of the same
+        // replicated key in one batch must apply in batch order: the delete
+        // wins, exactly as with sequential per-key calls.
+        let kvs = cluster(Variant::Dinomo);
+        let client = kvs.client();
+        client.insert(b"hot", b"v0").unwrap();
+        kvs.replicate_key(b"hot", 2).unwrap();
+        let replies = client.execute(vec![Op::update("hot", "v1"), Op::delete("hot")]);
+        assert!(replies.iter().all(Reply::is_ok), "{replies:?}");
+        kvs.quiesce().unwrap();
+        assert_eq!(
+            client.lookup(b"hot").unwrap(),
+            None,
+            "delete must win over the earlier write"
+        );
+        // And the reverse order keeps the write.
+        let replies = client.execute(vec![Op::insert("hot", "v2"), Op::lookup("hot")]);
+        assert!(replies.iter().all(Reply::is_ok), "{replies:?}");
+        assert_eq!(replies[1].value(), Some(&b"v2"[..]));
+    }
+
+    #[test]
+    fn batched_writes_flush_once_per_group_but_remain_durable() {
+        // With write_batch_ops = 1 every per-op write flushes individually;
+        // a batch flushes once per shard group. Either way, everything the
+        // client was acked for must be readable after a quiesce.
+        let kvs = Kvs::new(KvsConfig {
+            write_batch_ops: 1,
+            ..KvsConfig::small_for_tests()
+        })
+        .unwrap();
+        let client = kvs.client();
+        let ops: Vec<Op> = (0..64u64)
+            .map(|i| Op::insert(key_for(i, 8), [i as u8; 32]))
+            .collect();
+        assert!(client.execute(ops).iter().all(Reply::is_ok));
+        kvs.quiesce().unwrap();
+        for i in 0..64u64 {
+            assert_eq!(
+                client.lookup(&key_for(i, 8)).unwrap(),
+                Some(vec![i as u8; 32])
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let kvs = cluster(Variant::Dinomo);
+        assert!(kvs.client().execute(Vec::new()).is_empty());
     }
 
     #[test]
@@ -370,7 +531,9 @@ mod tests {
         let kvs = cluster(Variant::Dinomo);
         let client = kvs.client();
         for i in 0..500u64 {
-            client.insert(&key_for(i, 8), format!("value-{i}").as_bytes()).unwrap();
+            client
+                .insert(&key_for(i, 8), format!("value-{i}").as_bytes())
+                .unwrap();
         }
         kvs.quiesce().unwrap();
         for i in 0..500u64 {
@@ -420,7 +583,11 @@ mod tests {
         assert!(kvs.ownership().read().version() > before_version);
         assert!(kvs.kn_ids().contains(&new_id));
         for i in 0..300u64 {
-            assert_eq!(client.lookup(&key_for(i, 8)).unwrap(), Some(vec![1u8; 32]), "key {i}");
+            assert_eq!(
+                client.lookup(&key_for(i, 8)).unwrap(),
+                Some(vec![1u8; 32]),
+                "key {i}"
+            );
         }
         // The new node ends up owning some keys and serving requests.
         let new_kn_ops = kvs.kn(new_id).unwrap().stats().ops;
@@ -455,7 +622,11 @@ mod tests {
         kvs.remove_kn(victim).unwrap();
         assert_eq!(kvs.num_kns(), 1);
         for i in 0..200u64 {
-            assert_eq!(client.lookup(&key_for(i, 8)).unwrap(), Some(vec![9u8; 16]), "key {i}");
+            assert_eq!(
+                client.lookup(&key_for(i, 8)).unwrap(),
+                Some(vec![9u8; 16]),
+                "key {i}"
+            );
         }
         // Removing the last node is refused.
         let last = kvs.kn_ids()[0];
@@ -476,7 +647,11 @@ mod tests {
         kvs.fail_kn(victim).unwrap();
         assert_eq!(kvs.num_kns(), 1);
         for i in 0..200u64 {
-            assert_eq!(client.lookup(&key_for(i, 8)).unwrap(), Some(vec![3u8; 32]), "key {i}");
+            assert_eq!(
+                client.lookup(&key_for(i, 8)).unwrap(),
+                Some(vec![3u8; 32]),
+                "key {i}"
+            );
         }
         // The failed node rejects requests.
         assert!(kvs.kn(victim).is_none());
@@ -520,7 +695,9 @@ mod tests {
         let client = kvs.client();
         client.insert(b"hot", b"v").unwrap();
         kvs.replicate_key(b"hot", 2).unwrap();
-        let recovered = kvs.recover_policy_metadata().expect("metadata must be persisted");
+        let recovered = kvs
+            .recover_policy_metadata()
+            .expect("metadata must be persisted");
         assert_eq!(recovered.version(), kvs.ownership().read().version());
         assert!(recovered.is_replicated(b"hot"));
     }
@@ -539,7 +716,11 @@ mod tests {
         }
         let stats = kvs.stats();
         assert_eq!(stats.total_ops(), 200);
-        assert!(stats.cache_hit_ratio() > 0.5, "hit ratio {}", stats.cache_hit_ratio());
+        assert!(
+            stats.cache_hit_ratio() > 0.5,
+            "hit ratio {}",
+            stats.cache_hit_ratio()
+        );
         assert!(stats.rts_per_op() < 2.0);
         assert!(stats.dpm.entries_merged > 0 || stats.dpm.segments_allocated > 0);
     }

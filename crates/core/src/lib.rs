@@ -12,34 +12,62 @@
 //!   membership changes physically reshuffle data (isolates the benefit of
 //!   sharing data in DPM while partitioning only ownership).
 //!
-//! The public API mirrors the paper's §3: `insert`, `update`, `lookup` and
-//! `delete` over variable-sized keys and values ([`KvsClient`]), plus the
-//! control-plane entry points the monitoring/management node uses:
+//! ## Quickstart
+//!
+//! Build a cluster with the fluent [`KvsBuilder`], then talk to it through a
+//! per-thread [`KvsClient`]. The client API is batched at its core: submit a
+//! `Vec<`[`Op`]`>` to [`KvsClient::execute`] and get one [`Reply`] per op.
+//! The client groups the batch by owner KVS node using its cached routing
+//! metadata and issues one request per node, amortizing routing, shard
+//! locking and log flushing — the paper's per-request overheads — across the
+//! group:
+//!
+//! ```
+//! use dinomo_core::{Kvs, Op, Reply, Variant};
+//!
+//! let kvs = Kvs::builder()
+//!     .small_for_tests()
+//!     .initial_kns(2)
+//!     .variant(Variant::Dinomo)
+//!     .build()
+//!     .unwrap();
+//!
+//! let client = kvs.client();
+//! let replies = client.execute(vec![
+//!     Op::insert("hello", "world"),
+//!     Op::insert("batched", "api"),
+//!     Op::lookup("hello"),
+//! ]);
+//! assert!(replies.iter().all(Reply::is_ok));
+//! assert_eq!(replies[2].value(), Some(&b"world"[..]));
+//!
+//! // Batched conveniences and the classic per-key methods (which are thin
+//! // wrappers over `execute`) coexist:
+//! client.multi_put([("a", "1"), ("b", "2")]);
+//! assert_eq!(client.lookup(b"a").unwrap(), Some(b"1".to_vec()));
+//! ```
+//!
+//! The control-plane entry points the monitoring/management node uses are
 //! [`Kvs::add_kn`], [`Kvs::remove_kn`], [`Kvs::fail_kn`],
 //! [`Kvs::replicate_key`] and [`Kvs::dereplicate_key`].
-//!
-//! ```
-//! use dinomo_core::{Kvs, KvsConfig};
-//!
-//! let kvs = Kvs::new(KvsConfig::small_for_tests()).unwrap();
-//! let client = kvs.client();
-//! client.insert(b"hello", b"world").unwrap();
-//! assert_eq!(client.lookup(b"hello").unwrap(), Some(b"world".to_vec()));
-//! ```
 
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod client;
 pub mod config;
 pub mod error;
 pub mod kn;
 pub mod kvs;
+pub mod op;
 pub mod stats;
 
+pub use builder::KvsBuilder;
 pub use client::KvsClient;
 pub use config::{KvsConfig, Variant};
 pub use error::KvsError;
 pub use kvs::Kvs;
+pub use op::{Op, Reply};
 pub use stats::{KnStats, KvsStats};
 
 /// Result alias used throughout the crate.

@@ -53,10 +53,19 @@ impl KnStats {
             writes: self.writes.saturating_sub(earlier.writes),
             rejected: self.rejected.saturating_sub(earlier.rejected),
             cache: CacheStats {
-                value_hits: self.cache.value_hits.saturating_sub(earlier.cache.value_hits),
-                shortcut_hits: self.cache.shortcut_hits.saturating_sub(earlier.cache.shortcut_hits),
+                value_hits: self
+                    .cache
+                    .value_hits
+                    .saturating_sub(earlier.cache.value_hits),
+                shortcut_hits: self
+                    .cache
+                    .shortcut_hits
+                    .saturating_sub(earlier.cache.shortcut_hits),
                 misses: self.cache.misses.saturating_sub(earlier.cache.misses),
-                promotions: self.cache.promotions.saturating_sub(earlier.cache.promotions),
+                promotions: self
+                    .cache
+                    .promotions
+                    .saturating_sub(earlier.cache.promotions),
                 demotions: self.cache.demotions.saturating_sub(earlier.cache.demotions),
                 evictions: self.cache.evictions.saturating_sub(earlier.cache.evictions),
                 bytes_used: self.cache.bytes_used,
@@ -90,7 +99,10 @@ impl KvsStats {
     /// Aggregate cache hit ratio across all nodes.
     pub fn cache_hit_ratio(&self) -> f64 {
         let (hits, lookups) = self.kns.iter().fold((0u64, 0u64), |(h, l), k| {
-            (h + k.cache.value_hits + k.cache.shortcut_hits, l + k.cache.lookups())
+            (
+                h + k.cache.value_hits + k.cache.shortcut_hits,
+                l + k.cache.lookups(),
+            )
         });
         if lookups == 0 {
             0.0
@@ -158,8 +170,15 @@ mod tests {
             id,
             ops,
             reads: ops,
-            cache: CacheStats { value_hits, misses, ..CacheStats::default() },
-            nic: NicStats { one_sided_reads: misses * 3, ..NicStats::default() },
+            cache: CacheStats {
+                value_hits,
+                misses,
+                ..CacheStats::default()
+            },
+            nic: NicStats {
+                one_sided_reads: misses * 3,
+                ..NicStats::default()
+            },
             ..KnStats::default()
         }
     }
@@ -179,16 +198,30 @@ mod tests {
 
     #[test]
     fn imbalance_detects_skew() {
-        let balanced = KvsStats { kns: vec![kn(0, 100, 0, 0), kn(1, 100, 0, 0)], ..Default::default() };
-        let skewed = KvsStats { kns: vec![kn(0, 190, 0, 0), kn(1, 10, 0, 0)], ..Default::default() };
+        let balanced = KvsStats {
+            kns: vec![kn(0, 100, 0, 0), kn(1, 100, 0, 0)],
+            ..Default::default()
+        };
+        let skewed = KvsStats {
+            kns: vec![kn(0, 190, 0, 0), kn(1, 10, 0, 0)],
+            ..Default::default()
+        };
         assert!(skewed.load_imbalance() > balanced.load_imbalance());
         assert!(skewed.load_imbalance() > 0.5);
     }
 
     #[test]
     fn kn_stats_since_and_occupancy() {
-        let early = KnStats { ops: 10, busy_ns: 1_000, ..kn(0, 10, 5, 1) };
-        let late = KnStats { ops: 30, busy_ns: 5_000, ..kn(0, 30, 15, 3) };
+        let early = KnStats {
+            ops: 10,
+            busy_ns: 1_000,
+            ..kn(0, 10, 5, 1)
+        };
+        let late = KnStats {
+            ops: 30,
+            busy_ns: 5_000,
+            ..kn(0, 30, 15, 3)
+        };
         let delta = late.since(&early);
         assert_eq!(delta.ops, 20);
         assert_eq!(delta.busy_ns, 4_000);

@@ -34,7 +34,9 @@ impl BloomFilter {
         let mut h2: u64 = 0x9E37_79B9_7F4A_7C15;
         for &b in key {
             h1 = (h1 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
-            h2 = h2.wrapping_add(u64::from(b)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+            h2 = h2
+                .wrapping_add(u64::from(b))
+                .wrapping_mul(0xff51_afd7_ed55_8ccd);
             h2 ^= h2 >> 29;
         }
         (h1, h2 | 1)

@@ -46,12 +46,19 @@ impl DpmConfig {
     /// single merge thread, and persistence tracking enabled.
     pub fn small_for_tests() -> Self {
         DpmConfig {
-            pool: PmemConfig { capacity_bytes: 16 << 20, track_persistence: false, ..PmemConfig::default() },
+            pool: PmemConfig {
+                capacity_bytes: 16 << 20,
+                track_persistence: false,
+                ..PmemConfig::default()
+            },
             segment_bytes: 32 << 10,
             flush_batch_bytes: 4 << 10,
             merge_threads: 1,
             unmerged_segment_threshold: 2,
-            index: PclhtConfig { initial_buckets: 256, ..PclhtConfig::default() },
+            index: PclhtConfig {
+                initial_buckets: 256,
+                ..PclhtConfig::default()
+            },
             inject_media_delay: false,
         }
     }

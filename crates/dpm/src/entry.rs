@@ -7,7 +7,7 @@
 //! ```text
 //! offset  0: u32 key_len
 //! offset  4: u32 val_len
-//! offset  8: u64 seq            (per-KN monotonic sequence number)
+//! offset  8: u64 seq            (cluster-global monotonic sequence number)
 //! offset 16: u8  op             (1 = put, 2 = delete)
 //! offset 17: 7 bytes padding
 //! offset 24: key bytes
@@ -28,7 +28,7 @@ pub const HEADER_BYTES: u64 = 24;
 /// Size of the trailing seal word.
 pub const SEAL_BYTES: u64 = 8;
 /// Magic value mixed with the sequence number to form the seal.
-pub const SEAL_MAGIC: u64 = 0xD1_40_40_D1_5EA1_u64;
+pub const SEAL_MAGIC: u64 = 0xD140_40D1_5EA1_u64;
 
 /// Operation recorded in a log entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,7 +63,7 @@ pub struct EntryHeader {
     pub key_len: u32,
     /// Value length in bytes.
     pub val_len: u32,
-    /// Per-KN sequence number.
+    /// Cluster-global sequence number.
     pub seq: u64,
     /// Operation.
     pub op: LogOp,
@@ -87,7 +87,7 @@ pub fn encode_entry(buf: &mut Vec<u8>, key: &[u8], value: &[u8], op: LogOp, seq:
     let value_offset = buf.len() as u64 - start + key.len() as u64;
     buf.extend_from_slice(key);
     buf.extend_from_slice(value);
-    while (buf.len() as u64 - start) % 8 != 0 {
+    while !(buf.len() as u64 - start).is_multiple_of(8) {
         buf.push(0);
     }
     buf.extend_from_slice(&(SEAL_MAGIC ^ seq).to_le_bytes());
@@ -147,7 +147,12 @@ pub fn decode_entry(pool: &PmemPool, addr: PmAddr, max_len: u64) -> Option<Decod
     let seal_addr = addr.offset(total - SEAL_BYTES);
     let seal = pool.read_u64(seal_addr);
     Some(DecodedEntry {
-        header: EntryHeader { key_len, val_len, seq, op },
+        header: EntryHeader {
+            key_len,
+            val_len,
+            seq,
+            op,
+        },
         key,
         value_addr,
         total_len: total,
@@ -236,9 +241,12 @@ mod tests {
         pool.write_bytes(addr, &buf);
         let first = decode_entry(&pool, addr, buf.len() as u64).unwrap();
         assert_eq!(first.key, b"aaa");
-        let second =
-            decode_entry(&pool, addr.offset(second_start), buf.len() as u64 - second_start)
-                .unwrap();
+        let second = decode_entry(
+            &pool,
+            addr.offset(second_start),
+            buf.len() as u64 - second_start,
+        )
+        .unwrap();
         assert_eq!(second.key, b"bbbb");
         assert_eq!(second.header.seq, 2);
     }

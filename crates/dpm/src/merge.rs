@@ -90,7 +90,9 @@ pub(crate) fn merge_task(inner: &DpmInner, task: &MergeTask) {
     let mut merged_entries = 0u64;
     while offset < end {
         let addr = task.segment.base.offset(offset);
-        let Some(entry) = decode_entry(pool, addr, end - offset) else { break };
+        let Some(entry) = decode_entry(pool, addr, end - offset) else {
+            break;
+        };
         if !entry.sealed {
             // Torn entry: everything after it in this batch is unusable.
             break;
@@ -117,7 +119,9 @@ fn apply_entry(
     match entry.header.op {
         LogOp::Put => {
             let new_loc = PackedLoc::direct(entry_addr, entry.total_len);
-            let existing = inner.index().get(tag, |raw| inner.loc_matches_key(raw, &key));
+            let existing = inner
+                .index()
+                .get(tag, |raw| inner.loc_matches_key(raw, &key));
             match existing {
                 Some(raw) => {
                     let old = PackedLoc::from_raw(raw);
@@ -137,9 +141,11 @@ fn apply_entry(
                         // during recovery re-scans); this one is stale.
                         inner.invalidate_entry(new_loc);
                     } else {
-                        inner
-                            .index()
-                            .update(tag, |raw| inner.loc_matches_key(raw, &key), new_loc.raw());
+                        inner.index().update(
+                            tag,
+                            |raw| inner.loc_matches_key(raw, &key),
+                            new_loc.raw(),
+                        );
                         inner.invalidate_entry(old);
                     }
                 }
@@ -150,8 +156,9 @@ fn apply_entry(
             }
         }
         LogOp::Delete => {
-            if let Some(raw) =
-                inner.index().remove(tag, |raw| inner.loc_matches_key(raw, &key))
+            if let Some(raw) = inner
+                .index()
+                .remove(tag, |raw| inner.loc_matches_key(raw, &key))
             {
                 let old = PackedLoc::from_raw(raw);
                 if old.is_indirect() {

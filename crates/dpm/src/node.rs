@@ -54,6 +54,12 @@ pub struct DpmInner {
     segments: RwLock<Vec<Arc<SegmentState>>>,
     next_segment_id: AtomicU64,
     merge_sync: (Mutex<()>, Condvar),
+    /// Cluster-global log sequence number. Sequence numbers order entries
+    /// for the merge engine's stale-entry detection; they must be
+    /// comparable across KVS nodes because a key's ownership (and therefore
+    /// its writer) moves between nodes, so they are drawn from one shared
+    /// counter rather than per-writer counters.
+    next_seq: AtomicU64,
     entries_merged: AtomicU64,
     segments_freed: AtomicU64,
     indirect_cells: AtomicU64,
@@ -179,6 +185,7 @@ impl DpmNode {
             segments: RwLock::new(Vec::new()),
             next_segment_id: AtomicU64::new(1),
             merge_sync: (Mutex::new(()), Condvar::new()),
+            next_seq: AtomicU64::new(0),
             entries_merged: AtomicU64::new(0),
             segments_freed: AtomicU64::new(0),
             indirect_cells: AtomicU64::new(0),
@@ -186,7 +193,10 @@ impl DpmNode {
             metadata_region: Mutex::new(Vec::new()),
         });
         let merge = MergeEngine::start(Arc::clone(&inner), config.merge_threads);
-        Ok(DpmNode { inner, merge: Mutex::new(merge) })
+        Ok(DpmNode {
+            inner,
+            merge: Mutex::new(merge),
+        })
     }
 
     /// The configuration this node was created with.
@@ -222,7 +232,12 @@ impl DpmNode {
     pub fn allocate_segment(&self, kn: u32) -> Result<Arc<SegmentState>, PmemError> {
         let base = self.inner.pool.alloc(self.inner.config.segment_bytes)?;
         let id = self.inner.next_segment_id.fetch_add(1, Ordering::Relaxed);
-        let seg = Arc::new(SegmentState::new(id, kn, base, self.inner.config.segment_bytes));
+        let seg = Arc::new(SegmentState::new(
+            id,
+            kn,
+            base,
+            self.inner.config.segment_bytes,
+        ));
         self.inner.segments.write().push(Arc::clone(&seg));
         Ok(seg)
     }
@@ -230,6 +245,12 @@ impl DpmNode {
     /// Number of segments of `kn` that are not yet fully merged.
     pub fn unmerged_segments(&self, kn: u32) -> usize {
         self.inner.unmerged_segments(kn)
+    }
+
+    /// Draw the next cluster-global log sequence number (see
+    /// `DpmInner::next_seq` for why it is global).
+    pub fn next_seq(&self) -> u64 {
+        self.inner.next_seq.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Block while `kn` has at least `unmerged_segment_threshold` sealed but
@@ -273,7 +294,11 @@ impl DpmNode {
 
     /// Queue a committed byte range for asynchronous merging.
     pub(crate) fn submit_merge_batch(&self, segment: &Arc<SegmentState>, start: u64, len: u64) {
-        self.merge.lock().submit(MergeTask { segment: Arc::clone(segment), start, len });
+        self.merge.lock().submit(MergeTask {
+            segment: Arc::clone(segment),
+            start,
+            len,
+        });
     }
 
     // ------------------------------------------------------------- lookups
@@ -302,12 +327,16 @@ impl DpmNode {
     /// network: traverse the index with one-sided reads, then fetch the entry
     /// (and, for shared keys, the indirection cell first).
     pub fn remote_read(&self, nic: &Nic, key: &[u8]) -> LookupResult {
-        let (raw, mut rts) = self
-            .inner
-            .index
-            .remote_get(nic, key_hash(key), |raw| self.inner.loc_matches_key(raw, key));
+        let (raw, mut rts) = self.inner.index.remote_get(nic, key_hash(key), |raw| {
+            self.inner.loc_matches_key(raw, key)
+        });
         let Some(raw) = raw else {
-            return LookupResult { value: None, value_loc: None, indirect: false, rts };
+            return LookupResult {
+                value: None,
+                value_loc: None,
+                indirect: false,
+                rts,
+            };
         };
         let loc = PackedLoc::from_raw(raw);
         let (entry_loc, indirect) = if loc.is_indirect() {
@@ -316,7 +345,12 @@ impl DpmNode {
             match self.inner.indirect_cell_target(loc.addr()) {
                 Some(t) => (t, true),
                 None => {
-                    return LookupResult { value: None, value_loc: None, indirect: true, rts }
+                    return LookupResult {
+                        value: None,
+                        value_loc: None,
+                        indirect: true,
+                        rts,
+                    }
                 }
             }
         } else {
@@ -334,7 +368,12 @@ impl DpmNode {
                     rts,
                 }
             }
-            _ => LookupResult { value: None, value_loc: None, indirect, rts },
+            _ => LookupResult {
+                value: None,
+                value_loc: None,
+                indirect,
+                rts,
+            },
         }
     }
 
@@ -371,9 +410,7 @@ impl DpmNode {
         self.inner.pool.persist(cell, 16);
         self.inner.pool.drain();
         let new_raw = PackedLoc::indirect(cell, 16).raw();
-        self.inner
-            .index
-            .update(tag, |r| r == raw, new_raw);
+        self.inner.index.update(tag, |r| r == raw, new_raw);
         self.inner.indirect_cells.fetch_add(1, Ordering::Relaxed);
         Ok(Some(cell))
     }
@@ -393,7 +430,9 @@ impl DpmNode {
         if !loc.is_indirect() {
             return false;
         }
-        let Some(target) = self.inner.indirect_cell_target(loc.addr()) else { return false };
+        let Some(target) = self.inner.indirect_cell_target(loc.addr()) else {
+            return false;
+        };
         self.inner.index.update(tag, |r| r == raw, target.raw());
         self.inner.release_indirect_cell(loc.addr());
         true
@@ -440,7 +479,11 @@ impl DpmNode {
     pub fn run_gc(&self) -> usize {
         let reclaimable: Vec<Arc<SegmentState>> = {
             let segments = self.inner.segments.read();
-            segments.iter().filter(|s| s.is_reclaimable()).cloned().collect()
+            segments
+                .iter()
+                .filter(|s| s.is_reclaimable())
+                .cloned()
+                .collect()
         };
         let mut freed = 0;
         for seg in reclaimable {
@@ -480,6 +523,11 @@ impl DpmNode {
                             len: e.total_len,
                         };
                         merge_task(&self.inner, &task);
+                        // New appends after recovery must order after every
+                        // recovered entry.
+                        self.inner
+                            .next_seq
+                            .fetch_max(e.header.seq, Ordering::Relaxed);
                         report.entries_recovered += 1;
                         offset += e.total_len;
                     }
@@ -509,8 +557,14 @@ impl DpmNode {
         self.inner.pool.write_bytes(addr, data);
         self.inner.pool.persist(addr, data.len() as u64);
         self.inner.pool.drain();
-        self.inner.metadata_region.lock().push((addr, data.len() as u64));
-        self.inner.metadata.lock().insert(name.to_string(), data.to_vec());
+        self.inner
+            .metadata_region
+            .lock()
+            .push((addr, data.len() as u64));
+        self.inner
+            .metadata
+            .lock()
+            .insert(name.to_string(), data.to_vec());
         Ok(())
     }
 
@@ -678,10 +732,16 @@ mod tests {
         dpm.wait_until_merged(0);
         let before = dpm.stats().segments_allocated;
         let freed = dpm.run_gc();
-        assert!(freed > 0, "expected some segments to be reclaimed (of {before})");
+        assert!(
+            freed > 0,
+            "expected some segments to be reclaimed (of {before})"
+        );
         // Data is still readable after GC.
         for i in 0..8u32 {
-            assert_eq!(dpm.local_read(format!("key{i}").as_bytes()), Some(vec![39u8; 256]));
+            assert_eq!(
+                dpm.local_read(format!("key{i}").as_bytes()),
+                Some(vec![39u8; 256])
+            );
         }
     }
 
@@ -710,10 +770,13 @@ mod tests {
             w2.append_put(b"hot", b"v2");
             w2.flush().unwrap()
         };
-        dpm.cas_indirect(&nic, cell, old, commits[0].entry_loc).unwrap();
+        dpm.cas_indirect(&nic, cell, old, commits[0].entry_loc)
+            .unwrap();
         assert_eq!(dpm.local_read(b"hot"), Some(b"v2".to_vec()));
         // A stale CAS fails and reports the current target.
-        let err = dpm.cas_indirect(&nic, cell, old, commits[0].entry_loc).unwrap_err();
+        let err = dpm
+            .cas_indirect(&nic, cell, old, commits[0].entry_loc)
+            .unwrap_err();
         assert_eq!(err, commits[0].entry_loc);
 
         // Collapse back to a direct pointer.

@@ -52,13 +52,19 @@ pub struct LogWriter {
     buffer: Vec<u8>,
     pending: Vec<PendingEntry>,
     current: Option<Arc<SegmentState>>,
-    seq: u64,
 }
 
 impl LogWriter {
     /// Create a writer for KVS node `kn` using `nic` for network accounting.
     pub fn new(dpm: Arc<DpmNode>, kn: u32, nic: Nic) -> Self {
-        LogWriter { dpm, kn, nic, buffer: Vec::new(), pending: Vec::new(), current: None, seq: 0 }
+        LogWriter {
+            dpm,
+            kn,
+            nic,
+            buffer: Vec::new(),
+            pending: Vec::new(),
+            current: None,
+        }
     }
 
     /// The KVS node this writer belongs to.
@@ -97,9 +103,13 @@ impl LogWriter {
             entry_size(key.len(), value.len()) <= self.dpm.config().segment_bytes,
             "entry larger than a log segment"
         );
-        self.seq += 1;
+        // Sequence numbers come from the cluster-global counter so entries
+        // stay comparable when a key's writer changes across a
+        // reconfiguration (the merge engine compares them to detect stale
+        // entries).
+        let seq = self.dpm.next_seq();
         let entry_offset = self.buffer.len() as u64;
-        let value_offset_in_entry = encode_entry(&mut self.buffer, key, value, op, self.seq);
+        let value_offset_in_entry = encode_entry(&mut self.buffer, key, value, op, seq);
         self.pending.push(PendingEntry {
             key: key.to_vec(),
             op,

@@ -50,11 +50,16 @@ mod tests {
     fn sequential_keys_spread_widely() {
         // Keys like "user0000001" differ only in a couple of bytes; their
         // hashes should still land all over the 64-bit space.
-        let hashes: Vec<u64> = (0..1000).map(|i| key_hash(format!("user{i:07}").as_bytes())).collect();
+        let hashes: Vec<u64> = (0..1000)
+            .map(|i| key_hash(format!("user{i:07}").as_bytes()))
+            .collect();
         let distinct: HashSet<_> = hashes.iter().collect();
         assert_eq!(distinct.len(), 1000);
         let top_half = hashes.iter().filter(|&&h| h > u64::MAX / 2).count();
-        assert!(top_half > 350 && top_half < 650, "poorly spread: {top_half}");
+        assert!(
+            top_half > 350 && top_half < 650,
+            "poorly spread: {top_half}"
+        );
     }
 
     #[test]

@@ -131,9 +131,11 @@ impl OwnershipTable {
     /// All owners of `key`: just the primary for normal keys, the replica set
     /// for selectively-replicated hot keys.
     pub fn owners(&self, key: &[u8]) -> Vec<KnId> {
-        if let Some(set) = self.replicas.get(key) {
-            if !set.is_empty() {
-                return set.clone();
+        if !self.replicas.is_empty() {
+            if let Some(set) = self.replicas.get(key) {
+                if !set.is_empty() {
+                    return set.clone();
+                }
             }
         }
         self.primary_owner(key).into_iter().collect()
@@ -146,7 +148,16 @@ impl OwnershipTable {
 
     /// The worker thread responsible for `key` within `kn`.
     pub fn thread_of(&self, kn: KnId, key: &[u8]) -> Option<ThreadId> {
-        self.locals.get(&kn).and_then(|ring| ring.owner(key_hash(key)))
+        self.locals
+            .get(&kn)
+            .and_then(|ring| ring.owner(key_hash(key)))
+    }
+
+    /// `kn`'s local (thread) ring. Batched request paths hoist this lookup
+    /// out of their per-op loop and resolve threads via
+    /// [`HashRing::owner`] on a pre-computed key hash.
+    pub fn local_ring(&self, kn: KnId) -> Option<&HashRing> {
+        self.locals.get(&kn)
     }
 
     /// Replication factor of `key` (1 for normal keys).
@@ -155,8 +166,11 @@ impl OwnershipTable {
     }
 
     /// `true` if `key` is currently selectively replicated.
+    ///
+    /// The empty-table fast path keeps this off the per-op hashing cost for
+    /// the (overwhelmingly common) case of no replicated keys at all.
     pub fn is_replicated(&self, key: &[u8]) -> bool {
-        self.replicas.contains_key(key)
+        !self.replicas.is_empty() && self.replicas.contains_key(key)
     }
 
     /// The set of currently replicated keys.
@@ -172,7 +186,9 @@ impl OwnershipTable {
             self.dereplicate(key);
             return self.owners(key);
         }
-        let owners = self.global.successors(key_hash(key), factor.min(self.global.len()));
+        let owners = self
+            .global
+            .successors(key_hash(key), factor.min(self.global.len()));
         self.replicas.insert(key.to_vec(), owners.clone());
         self.version += 1;
         owners
@@ -261,7 +277,10 @@ mod tests {
             assert!(t.is_owner(*o, &key));
         }
         // Other keys are unaffected.
-        assert_eq!(t.owners(b"coldkey"), vec![t.primary_owner(b"coldkey").unwrap()]);
+        assert_eq!(
+            t.owners(b"coldkey"),
+            vec![t.primary_owner(b"coldkey").unwrap()]
+        );
         t.dereplicate(&key);
         assert!(!t.is_replicated(&key));
         assert_eq!(t.owners(&key).len(), 1);

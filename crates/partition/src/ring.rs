@@ -34,7 +34,11 @@ pub struct OwnershipChange {
 impl HashRing {
     /// Create an empty ring placing each node at `vnodes` positions.
     pub fn new(vnodes: u32) -> Self {
-        HashRing { vnodes: vnodes.max(1), ring: BTreeMap::new(), members: Vec::new() }
+        HashRing {
+            vnodes: vnodes.max(1),
+            ring: BTreeMap::new(),
+            members: Vec::new(),
+        }
     }
 
     /// Number of distinct member nodes.
@@ -119,7 +123,10 @@ impl HashRing {
                 *counts.entry(owner).or_insert(0) += 1;
             }
         }
-        counts.into_iter().map(|(n, c)| (n, c as f64 / PROBES as f64)).collect()
+        counts
+            .into_iter()
+            .map(|(n, c)| (n, c as f64 / PROBES as f64))
+            .collect()
     }
 
     /// Describe which ranges of the hash space changed owner between `self`
@@ -135,11 +142,20 @@ impl HashRing {
         }
         let mut out = Vec::new();
         for (i, &start) in points.iter().enumerate() {
-            let end = if i + 1 < points.len() { points[i + 1] - 1 } else { u64::MAX };
+            let end = if i + 1 < points.len() {
+                points[i + 1] - 1
+            } else {
+                u64::MAX
+            };
             let from = self.owner(start);
             let to = after.owner(start);
             if from != to {
-                out.push(OwnershipChange { start, end, from, to });
+                out.push(OwnershipChange {
+                    start,
+                    end,
+                    from,
+                    to,
+                });
             }
         }
         // Also the wrap-around range [0, first_point).
@@ -147,7 +163,12 @@ impl HashRing {
             let from = self.owner(0);
             let to = after.owner(0);
             if from != to {
-                out.push(OwnershipChange { start: 0, end: points[0] - 1, from, to });
+                out.push(OwnershipChange {
+                    start: 0,
+                    end: points[0] - 1,
+                    from,
+                    to,
+                });
             }
         }
         out
@@ -157,7 +178,10 @@ impl HashRing {
     /// changed owner between `self` and `after`.
     pub fn moved_fraction(&self, after: &HashRing) -> f64 {
         let changes = self.changes_to(after);
-        let moved: u128 = changes.iter().map(|c| u128::from(c.end - c.start) + 1).sum();
+        let moved: u128 = changes
+            .iter()
+            .map(|c| u128::from(c.end - c.start) + 1)
+            .sum();
         moved as f64 / (u128::from(u64::MAX) + 1) as f64
     }
 }

@@ -157,7 +157,11 @@ impl BucketRef {
         for (i, s) in slots.iter_mut().enumerate() {
             *s = self.slot(pool, i);
         }
-        BucketSnapshot { version: meta & !1, slots, next: self.next(pool) }
+        BucketSnapshot {
+            version: meta & !1,
+            slots,
+            next: self.next(pool),
+        }
     }
 }
 

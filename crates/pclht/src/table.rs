@@ -22,15 +22,24 @@ pub struct PclhtConfig {
 
 impl Default for PclhtConfig {
     fn default() -> Self {
-        PclhtConfig { initial_buckets: 1024, max_load_factor: 0.75, auto_resize: true }
+        PclhtConfig {
+            initial_buckets: 1024,
+            max_load_factor: 0.75,
+            auto_resize: true,
+        }
     }
 }
 
 impl PclhtConfig {
     /// Config sized for roughly `expected_keys` keys without resizing.
     pub fn for_capacity(expected_keys: usize) -> Self {
-        let buckets = (expected_keys / SLOTS_PER_BUCKET + 1).next_power_of_two().max(16);
-        PclhtConfig { initial_buckets: buckets, ..PclhtConfig::default() }
+        let buckets = (expected_keys / SLOTS_PER_BUCKET + 1)
+            .next_power_of_two()
+            .max(16);
+        PclhtConfig {
+            initial_buckets: buckets,
+            ..PclhtConfig::default()
+        }
     }
 }
 
@@ -74,7 +83,10 @@ impl Pclht {
         let buckets_addr = Self::alloc_bucket_array(&pool, num_buckets)?;
         Ok(Pclht {
             pool,
-            state: RwLock::new(TableState { buckets_addr, num_buckets }),
+            state: RwLock::new(TableState {
+                buckets_addr,
+                num_buckets,
+            }),
             config,
             len: AtomicU64::new(0),
             overflow_buckets: AtomicU64::new(0),
@@ -218,14 +230,21 @@ impl Pclht {
     pub fn insert(&self, tag: u64, value: u64) -> Result<()> {
         let tag = Self::normalize_tag(tag);
         self.maybe_resize()?;
-        let state = *self.state.read();
+        // The guard is held across the bucket write so a concurrent resize
+        // (which takes the state write-lock) cannot swap the bucket array
+        // out from under this insert and silently drop it.
+        let state_guard = self.state.read();
+        let state = *state_guard;
         let head = self.head_bucket(&state, tag);
         head.lock(&self.pool);
         let res = self.insert_locked(&head, tag, value);
         head.unlock(&self.pool);
         if res.is_ok() {
+            // Count while still excluding resize, so its bucket scan and
+            // `len` can never disagree.
             self.len.fetch_add(1, Ordering::Relaxed);
         }
+        drop(state_guard);
         res
     }
 
@@ -261,7 +280,10 @@ impl Pclht {
     /// (log-free), persisted before returning.
     pub fn update<F: Fn(u64) -> bool>(&self, tag: u64, matches: F, new_value: u64) -> Option<u64> {
         let tag = Self::normalize_tag(tag);
-        let state = *self.state.read();
+        // Held across the write so a concurrent resize cannot retire the
+        // bucket array mid-update (see `insert`).
+        let state_guard = self.state.read();
+        let state = *state_guard;
         let head = self.head_bucket(&state, tag);
         head.lock(&self.pool);
         let mut cur = head;
@@ -298,7 +320,10 @@ impl Pclht {
     ) -> Result<Option<u64>> {
         let norm = Self::normalize_tag(tag);
         self.maybe_resize()?;
-        let state = *self.state.read();
+        // Held across the write so a concurrent resize cannot retire the
+        // bucket array mid-upsert (see `insert`).
+        let state_guard = self.state.read();
+        let state = *state_guard;
         let head = self.head_bucket(&state, norm);
         head.lock(&self.pool);
         // Try update first.
@@ -326,15 +351,20 @@ impl Pclht {
         };
         head.unlock(&self.pool);
         if let Ok(None) = res {
+            // Count while still excluding resize (see `insert`).
             self.len.fetch_add(1, Ordering::Relaxed);
         }
+        drop(state_guard);
         res
     }
 
     /// Remove the first entry matching `(tag, matches)`, returning its value.
     pub fn remove<F: Fn(u64) -> bool>(&self, tag: u64, matches: F) -> Option<u64> {
         let tag = Self::normalize_tag(tag);
-        let state = *self.state.read();
+        // Held across the write so a concurrent resize cannot retire the
+        // bucket array mid-remove (see `insert`).
+        let state_guard = self.state.read();
+        let state = *state_guard;
         let head = self.head_bucket(&state, tag);
         head.lock(&self.pool);
         let mut cur = head;
@@ -359,8 +389,10 @@ impl Pclht {
         };
         head.unlock(&self.pool);
         if result.is_some() {
+            // Count while still excluding resize (see `insert`).
             self.len.fetch_sub(1, Ordering::Relaxed);
         }
+        drop(state_guard);
         result
     }
 
@@ -422,8 +454,7 @@ impl Pclht {
         let (num_buckets, needs) = {
             let state = self.state.read();
             let capacity = state.num_buckets * SLOTS_PER_BUCKET as u64;
-            let needs =
-                self.len() as f64 > self.config.max_load_factor * capacity as f64;
+            let needs = self.len() as f64 > self.config.max_load_factor * capacity as f64;
             (state.num_buckets, needs)
         };
         if !needs {
@@ -462,7 +493,10 @@ impl Pclht {
         debug_assert_eq!(moved, self.len());
         let old_addr = state.buckets_addr;
         let old_n = state.num_buckets;
-        *state = TableState { buckets_addr: new_addr, num_buckets: new_buckets };
+        *state = TableState {
+            buckets_addr: new_addr,
+            num_buckets: new_buckets,
+        };
         drop(state);
         self.pool.free(old_addr, old_n * BUCKET_BYTES);
         self.resizes.fetch_add(1, Ordering::Relaxed);
@@ -480,7 +514,10 @@ mod tests {
         let pool = Arc::new(PmemPool::new(PmemConfig::with_capacity(32 << 20)));
         Pclht::new(
             pool,
-            PclhtConfig { initial_buckets: buckets, ..PclhtConfig::default() },
+            PclhtConfig {
+                initial_buckets: buckets,
+                ..PclhtConfig::default()
+            },
         )
         .unwrap()
     }
@@ -536,7 +573,11 @@ mod tests {
         // Force many entries into 16 buckets without resize.
         let t = Pclht::new(
             Arc::clone(t.pool()),
-            PclhtConfig { initial_buckets: 16, auto_resize: false, ..PclhtConfig::default() },
+            PclhtConfig {
+                initial_buckets: 16,
+                auto_resize: false,
+                ..PclhtConfig::default()
+            },
         )
         .unwrap();
         for i in 0..500u64 {
@@ -602,7 +643,14 @@ mod tests {
     fn concurrent_inserts_and_reads() {
         let pool = Arc::new(PmemPool::new(PmemConfig::with_capacity(64 << 20)));
         let t = Arc::new(
-            Pclht::new(pool, PclhtConfig { initial_buckets: 1024, ..Default::default() }).unwrap(),
+            Pclht::new(
+                pool,
+                PclhtConfig {
+                    initial_buckets: 1024,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
         );
         let writers: Vec<_> = (0..4u64)
             .map(|w| {

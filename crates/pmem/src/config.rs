@@ -42,7 +42,10 @@ impl PmemConfig {
 
     /// A pool of the given capacity with default settings.
     pub fn with_capacity(capacity_bytes: u64) -> Self {
-        PmemConfig { capacity_bytes, ..PmemConfig::default() }
+        PmemConfig {
+            capacity_bytes,
+            ..PmemConfig::default()
+        }
     }
 
     /// Same pool but with the Optane PM timing profile.

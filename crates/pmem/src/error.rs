@@ -34,14 +34,29 @@ pub enum PmemError {
 impl fmt::Display for PmemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PmemError::OutOfMemory { requested, available } => {
-                write!(f, "pmem pool out of memory: requested {requested} bytes, {available} available")
+            PmemError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "pmem pool out of memory: requested {requested} bytes, {available} available"
+                )
             }
             PmemError::InjectedFailure => write!(f, "injected pmem allocation failure"),
-            PmemError::OutOfBounds { addr, len, capacity } => {
-                write!(f, "pmem access out of bounds: addr {addr} len {len} capacity {capacity}")
+            PmemError::OutOfBounds {
+                addr,
+                len,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "pmem access out of bounds: addr {addr} len {len} capacity {capacity}"
+                )
             }
-            PmemError::Misaligned { addr } => write!(f, "pmem address {addr} is not 8-byte aligned"),
+            PmemError::Misaligned { addr } => {
+                write!(f, "pmem address {addr} is not 8-byte aligned")
+            }
         }
     }
 }
@@ -54,7 +69,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = PmemError::OutOfMemory { requested: 100, available: 10 };
+        let e = PmemError::OutOfMemory {
+            requested: 100,
+            available: 10,
+        };
         assert!(e.to_string().contains("100"));
         assert!(PmemError::Misaligned { addr: 3 }.to_string().contains('3'));
     }

@@ -80,7 +80,10 @@ impl PmemPool {
         PmemPool {
             words,
             allocator: Mutex::new(Allocator::new(capacity)),
-            config: PmemConfig { capacity_bytes: capacity, ..config },
+            config: PmemConfig {
+                capacity_bytes: capacity,
+                ..config
+            },
             dirty_lines: Mutex::new(HashSet::new()),
             flushes: AtomicU64::new(0),
             fences: AtomicU64::new(0),
@@ -115,14 +118,22 @@ impl PmemPool {
     }
 
     fn check(&self, addr: PmAddr, len: u64) -> Result<(), PmemError> {
-        if addr.0.checked_add(len).map_or(true, |end| end > self.capacity()) {
-            return Err(PmemError::OutOfBounds { addr: addr.0, len, capacity: self.capacity() });
+        if addr
+            .0
+            .checked_add(len)
+            .is_none_or(|end| end > self.capacity())
+        {
+            return Err(PmemError::OutOfBounds {
+                addr: addr.0,
+                len,
+                capacity: self.capacity(),
+            });
         }
         Ok(())
     }
 
     fn word_index(&self, addr: PmAddr) -> Result<usize, PmemError> {
-        if addr.0 % 8 != 0 {
+        if !addr.0.is_multiple_of(8) {
             return Err(PmemError::Misaligned { addr: addr.0 });
         }
         self.check(addr, 8)?;
@@ -148,7 +159,8 @@ impl PmemPool {
     /// `Ok(previous)`, on failure `Err(actual)`.
     pub fn cas_u64(&self, addr: PmAddr, expected: u64, new: u64) -> Result<u64, u64> {
         let idx = self.word_index(addr).expect("cas_u64: bad address");
-        let r = self.words[idx].compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire);
+        let r =
+            self.words[idx].compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire);
         if r.is_ok() {
             self.bytes_written.fetch_add(8, Ordering::Relaxed);
             self.mark_dirty(addr.0, 8);
@@ -159,8 +171,10 @@ impl PmemPool {
     /// Copy `buf.len()` bytes from the pool starting at `addr` into `buf`.
     /// Individual words are read atomically; the transfer as a whole is not.
     pub fn read_bytes(&self, addr: PmAddr, buf: &mut [u8]) {
-        self.check(addr, buf.len() as u64).expect("read_bytes: out of bounds");
-        self.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.check(addr, buf.len() as u64)
+            .expect("read_bytes: out of bounds");
+        self.bytes_read
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
         let mut pos = 0usize;
         let mut cur = addr.0;
         while pos < buf.len() {
@@ -178,8 +192,10 @@ impl PmemPool {
     /// updated atomically (read-modify-write for partial words); the transfer
     /// as a whole is not atomic.
     pub fn write_bytes(&self, addr: PmAddr, data: &[u8]) {
-        self.check(addr, data.len() as u64).expect("write_bytes: out of bounds");
-        self.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.check(addr, data.len() as u64)
+            .expect("write_bytes: out of bounds");
+        self.bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         let mut pos = 0usize;
         let mut cur = addr.0;
         while pos < data.len() {

@@ -30,14 +30,20 @@ pub enum DelayMode {
 impl DelayMode {
     /// Full-fidelity busy-spin delay (scale 1/1).
     pub const fn full() -> Self {
-        DelayMode::BusySpin { numerator: 1, denominator: 1 }
+        DelayMode::BusySpin {
+            numerator: 1,
+            denominator: 1,
+        }
     }
 
     /// Scale a modeled duration into an injected duration, if any.
     pub fn injected_ns(&self, modeled_ns: u64) -> u64 {
         match *self {
             DelayMode::None => 0,
-            DelayMode::BusySpin { numerator, denominator } => {
+            DelayMode::BusySpin {
+                numerator,
+                denominator,
+            } => {
                 if denominator == 0 {
                     0
                 } else {
@@ -88,7 +94,10 @@ impl FabricConfig {
     /// at the given compression factor (`1/scale_down` of real time).
     pub fn with_injected_delay(scale_down: u32) -> Self {
         FabricConfig {
-            delay: DelayMode::BusySpin { numerator: 1, denominator: scale_down.max(1) },
+            delay: DelayMode::BusySpin {
+                numerator: 1,
+                denominator: scale_down.max(1),
+            },
             ..FabricConfig::default()
         }
     }
@@ -130,22 +139,34 @@ mod tests {
         assert!(c.one_sided_ns(1_000_000) > c.one_sided_ns(64));
         // 7 GB/s -> 1 MB takes ~143 us
         let ns = c.transfer_ns(1_000_000);
-        assert!(ns > 100_000 && ns < 200_000, "unexpected transfer time {ns}");
+        assert!(
+            ns > 100_000 && ns < 200_000,
+            "unexpected transfer time {ns}"
+        );
     }
 
     #[test]
     fn delay_mode_scaling() {
         assert_eq!(DelayMode::None.injected_ns(10_000), 0);
         assert_eq!(DelayMode::full().injected_ns(10_000), 10_000);
-        let half = DelayMode::BusySpin { numerator: 1, denominator: 2 };
+        let half = DelayMode::BusySpin {
+            numerator: 1,
+            denominator: 2,
+        };
         assert_eq!(half.injected_ns(10_000), 5_000);
-        let zero_den = DelayMode::BusySpin { numerator: 1, denominator: 0 };
+        let zero_den = DelayMode::BusySpin {
+            numerator: 1,
+            denominator: 0,
+        };
         assert_eq!(zero_den.injected_ns(10_000), 0);
     }
 
     #[test]
     fn zero_bandwidth_means_no_transfer_cost() {
-        let c = FabricConfig { bandwidth_bytes_per_sec: 0, ..FabricConfig::default() };
+        let c = FabricConfig {
+            bandwidth_bytes_per_sec: 0,
+            ..FabricConfig::default()
+        };
         assert_eq!(c.transfer_ns(1 << 20), 0);
         assert_eq!(c.one_sided_ns(1 << 20), c.one_sided_latency_ns);
     }

@@ -154,13 +154,12 @@ impl ThroughputModel {
         };
 
         // 5. Metadata-server bound (Clover).
-        let metadata_bound = if inputs.metadata_rpcs_per_op > 0.0
-            && inputs.metadata_server_capacity_rpcs > 0.0
-        {
-            inputs.metadata_server_capacity_rpcs / inputs.metadata_rpcs_per_op
-        } else {
-            f64::INFINITY
-        };
+        let metadata_bound =
+            if inputs.metadata_rpcs_per_op > 0.0 && inputs.metadata_server_capacity_rpcs > 0.0 {
+                inputs.metadata_server_capacity_rpcs / inputs.metadata_rpcs_per_op
+            } else {
+                f64::INFINITY
+            };
 
         let ops_per_sec = kn_cpu_bound
             .min(kn_link_bound)
@@ -170,7 +169,11 @@ impl ThroughputModel {
 
         let mean_latency_ns = cpu_per_op_ns
             + inputs.rts_per_op * model.fabric.one_sided_latency_ns as f64
-            + if link_bw > 0.0 { inputs.remote_bytes_per_op * 1e9 / link_bw } else { 0.0 };
+            + if link_bw > 0.0 {
+                inputs.remote_bytes_per_op * 1e9 / link_bw
+            } else {
+                0.0
+            };
 
         ThroughputBreakdown {
             kn_cpu_bound,
@@ -191,28 +194,20 @@ mod tests {
     #[test]
     fn cpu_bound_scales_with_kns() {
         let model = CostModel::default();
-        let t1 = ThroughputModel::cluster_throughput(
-            &model,
-            &ClusterCostInputs::unbounded(1, 8, 0.2),
-        );
-        let t16 = ThroughputModel::cluster_throughput(
-            &model,
-            &ClusterCostInputs::unbounded(16, 8, 0.2),
-        );
+        let t1 =
+            ThroughputModel::cluster_throughput(&model, &ClusterCostInputs::unbounded(1, 8, 0.2));
+        let t16 =
+            ThroughputModel::cluster_throughput(&model, &ClusterCostInputs::unbounded(16, 8, 0.2));
         assert!(t16.ops_per_sec > 10.0 * t1.ops_per_sec);
     }
 
     #[test]
     fn more_rts_means_less_throughput_and_more_latency() {
         let model = CostModel::default();
-        let low = ThroughputModel::cluster_throughput(
-            &model,
-            &ClusterCostInputs::unbounded(4, 8, 0.2),
-        );
-        let high = ThroughputModel::cluster_throughput(
-            &model,
-            &ClusterCostInputs::unbounded(4, 8, 5.0),
-        );
+        let low =
+            ThroughputModel::cluster_throughput(&model, &ClusterCostInputs::unbounded(4, 8, 0.2));
+        let high =
+            ThroughputModel::cluster_throughput(&model, &ClusterCostInputs::unbounded(4, 8, 5.0));
         assert!(low.ops_per_sec > high.ops_per_sec);
         assert!(low.mean_latency_ns < high.mean_latency_ns);
     }

@@ -29,7 +29,12 @@ struct NicInner {
 impl Nic {
     /// Create a NIC with the given fabric configuration.
     pub fn new(config: FabricConfig) -> Self {
-        Nic { inner: Arc::new(NicInner { config, counters: NicCounters::default() }) }
+        Nic {
+            inner: Arc::new(NicInner {
+                config,
+                counters: NicCounters::default(),
+            }),
+        }
     }
 
     /// The fabric configuration this NIC was created with.
@@ -41,8 +46,14 @@ impl Nic {
     /// round-trip latency.
     pub fn one_sided_read(&self, bytes: usize) -> Duration {
         let ns = self.inner.config.one_sided_ns(bytes);
-        self.inner.counters.one_sided_reads.fetch_add(1, Ordering::Relaxed);
-        self.inner.counters.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.inner
+            .counters
+            .one_sided_reads
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .counters
+            .bytes_read
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         self.account_and_delay(ns)
     }
 
@@ -50,8 +61,14 @@ impl Nic {
     /// round-trip latency.
     pub fn one_sided_write(&self, bytes: usize) -> Duration {
         let ns = self.inner.config.one_sided_ns(bytes);
-        self.inner.counters.one_sided_writes.fetch_add(1, Ordering::Relaxed);
-        self.inner.counters.bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.inner
+            .counters
+            .one_sided_writes
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .counters
+            .bytes_written
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         self.account_and_delay(ns)
     }
 
@@ -60,7 +77,10 @@ impl Nic {
     pub fn one_sided_cas(&self) -> Duration {
         let ns = self.inner.config.one_sided_ns(8);
         self.inner.counters.cas_ops.fetch_add(1, Ordering::Relaxed);
-        self.inner.counters.bytes_written.fetch_add(8, Ordering::Relaxed);
+        self.inner
+            .counters
+            .bytes_written
+            .fetch_add(8, Ordering::Relaxed);
         self.account_and_delay(ns)
     }
 
@@ -70,8 +90,14 @@ impl Nic {
     pub fn rpc(&self, request_bytes: usize, response_bytes: usize) -> Duration {
         let ns = self.inner.config.rpc_ns(request_bytes + response_bytes);
         self.inner.counters.rpcs.fetch_add(1, Ordering::Relaxed);
-        self.inner.counters.bytes_written.fetch_add(request_bytes as u64, Ordering::Relaxed);
-        self.inner.counters.bytes_read.fetch_add(response_bytes as u64, Ordering::Relaxed);
+        self.inner
+            .counters
+            .bytes_written
+            .fetch_add(request_bytes as u64, Ordering::Relaxed);
+        self.inner
+            .counters
+            .bytes_read
+            .fetch_add(response_bytes as u64, Ordering::Relaxed);
         self.account_and_delay(ns)
     }
 
@@ -92,7 +118,10 @@ impl Nic {
     }
 
     fn account_and_delay(&self, modeled_ns: u64) -> Duration {
-        self.inner.counters.modeled_ns.fetch_add(modeled_ns, Ordering::Relaxed);
+        self.inner
+            .counters
+            .modeled_ns
+            .fetch_add(modeled_ns, Ordering::Relaxed);
         let injected = self.inner.config.delay.injected_ns(modeled_ns);
         if injected > 0 {
             busy_wait(Duration::from_nanos(injected));

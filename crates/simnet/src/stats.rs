@@ -76,7 +76,9 @@ impl NicStats {
     pub fn since(&self, earlier: &NicStats) -> NicStats {
         NicStats {
             one_sided_reads: self.one_sided_reads.saturating_sub(earlier.one_sided_reads),
-            one_sided_writes: self.one_sided_writes.saturating_sub(earlier.one_sided_writes),
+            one_sided_writes: self
+                .one_sided_writes
+                .saturating_sub(earlier.one_sided_writes),
             cas_ops: self.cas_ops.saturating_sub(earlier.cas_ops),
             rpcs: self.rpcs.saturating_sub(earlier.rpcs),
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),

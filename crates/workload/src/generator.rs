@@ -170,9 +170,18 @@ impl WorkloadGenerator {
         }
     }
 
-    /// Generate a batch of operations.
-    pub fn batch(&mut self, n: usize) -> Vec<Operation> {
+    /// Generate the next `n` operations — the batched analogue of
+    /// [`WorkloadGenerator::next_op`], feeding batched clients
+    /// (`KvsClient::execute`) without changing the generated stream: one
+    /// `next_batch(n)` equals `n` consecutive `next_op()` calls.
+    pub fn next_batch(&mut self, n: usize) -> Vec<Operation> {
         (0..n).map(|_| self.next_op()).collect()
+    }
+
+    /// Alias for [`WorkloadGenerator::next_batch`] kept for existing call
+    /// sites.
+    pub fn batch(&mut self, n: usize) -> Vec<Operation> {
+        self.next_batch(n)
     }
 
     /// Expected value bytes for key id `id` as produced by the load phase.
@@ -186,7 +195,12 @@ mod tests {
     use super::*;
 
     fn config(mix: WorkloadMix) -> WorkloadConfig {
-        WorkloadConfig { num_keys: 1_000, value_len: 64, mix, ..WorkloadConfig::default() }
+        WorkloadConfig {
+            num_keys: 1_000,
+            value_len: 64,
+            mix,
+            ..WorkloadConfig::default()
+        }
     }
 
     #[test]
@@ -199,11 +213,28 @@ mod tests {
     }
 
     #[test]
+    fn next_batch_equals_consecutive_next_ops() {
+        let mut a = WorkloadGenerator::new(config(WorkloadMix::WRITE_HEAVY_INSERT));
+        let mut b = WorkloadGenerator::new(config(WorkloadMix::WRITE_HEAVY_INSERT));
+        let batched: Vec<Operation> = a.next_batch(64);
+        let singles: Vec<Operation> = (0..64).map(|_| b.next_op()).collect();
+        assert_eq!(batched, singles);
+        assert_eq!(a.key_space(), b.key_space());
+        assert_eq!(a.ops_generated(), b.ops_generated());
+    }
+
+    #[test]
     fn mix_fractions_are_respected() {
         let mut g = WorkloadGenerator::new(config(WorkloadMix::READ_MOSTLY_UPDATE));
         let ops = g.batch(20_000);
-        let reads = ops.iter().filter(|o| matches!(o, Operation::Read(_))).count();
-        let updates = ops.iter().filter(|o| matches!(o, Operation::Update(..))).count();
+        let reads = ops
+            .iter()
+            .filter(|o| matches!(o, Operation::Read(_)))
+            .count();
+        let updates = ops
+            .iter()
+            .filter(|o| matches!(o, Operation::Update(..)))
+            .count();
         let frac_reads = reads as f64 / ops.len() as f64;
         let frac_updates = updates as f64 / ops.len() as f64;
         assert!((frac_reads - 0.95).abs() < 0.01, "reads {frac_reads}");
@@ -215,12 +246,14 @@ mod tests {
         let mut g = WorkloadGenerator::new(config(WorkloadMix::WRITE_HEAVY_INSERT));
         let before = g.key_space();
         let ops = g.batch(1_000);
-        let inserts: Vec<_> = ops.iter().filter(|o| matches!(o, Operation::Insert(..))).collect();
+        let inserts: Vec<_> = ops
+            .iter()
+            .filter(|o| matches!(o, Operation::Insert(..)))
+            .collect();
         assert!(!inserts.is_empty());
         assert_eq!(g.key_space(), before + inserts.len() as u64);
         // Inserted keys are all distinct and not part of the loaded space.
-        let loaded: std::collections::HashSet<Vec<u8>> =
-            g.load_phase().map(|(k, _)| k).collect();
+        let loaded: std::collections::HashSet<Vec<u8>> = g.load_phase().map(|(k, _)| k).collect();
         let mut seen = std::collections::HashSet::new();
         for op in inserts {
             assert!(!loaded.contains(op.key()));
@@ -269,7 +302,10 @@ mod tests {
         });
         let ops = g.batch(5_000);
         let distinct: std::collections::HashSet<_> = ops.iter().map(|o| o.key().to_vec()).collect();
-        assert!(distinct.len() > 900, "uniform should touch most of 1000 keys");
+        assert!(
+            distinct.len() > 900,
+            "uniform should touch most of 1000 keys"
+        );
     }
 
     #[test]

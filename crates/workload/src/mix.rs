@@ -90,7 +90,10 @@ mod tests {
 
     #[test]
     fn all_predefined_mixes_are_valid() {
-        for mix in WorkloadMix::FIGURE5_MIXES.iter().chain([&WorkloadMix::INSERT_ONLY]) {
+        for mix in WorkloadMix::FIGURE5_MIXES
+            .iter()
+            .chain([&WorkloadMix::INSERT_ONLY])
+        {
             assert!(mix.is_valid(), "{} is invalid", mix.name);
         }
         assert_eq!(WorkloadMix::FIGURE5_MIXES.len(), 5);
@@ -106,7 +109,12 @@ mod tests {
 
     #[test]
     fn invalid_mix_detected() {
-        let bad = WorkloadMix { name: "bad", read_fraction: 0.9, update_fraction: 0.9, insert_fraction: 0.0 };
+        let bad = WorkloadMix {
+            name: "bad",
+            read_fraction: 0.9,
+            update_fraction: 0.9,
+            insert_fraction: 0.0,
+        };
         assert!(!bad.is_valid());
     }
 }

@@ -80,7 +80,13 @@ impl ZipfianGenerator {
     /// The `k` most popular key ids (useful for hot-key experiments).
     pub fn hottest(&self, k: usize) -> Vec<u64> {
         (0..self.n.min(k as u64))
-            .map(|rank| if self.scrambled { scramble(rank) % self.n } else { rank })
+            .map(|rank| {
+                if self.scrambled {
+                    scramble(rank) % self.n
+                } else {
+                    rank
+                }
+            })
             .collect()
     }
 }
@@ -128,8 +134,12 @@ mod tests {
         let high = ZipfianGenerator::new(n, 2.0, false);
         let h_low = histogram(&low, 50_000);
         let h_high = histogram(&high, 50_000);
-        let top_low = (0..10).map(|i| h_low.get(&i).copied().unwrap_or(0)).sum::<u64>();
-        let top_high = (0..10).map(|i| h_high.get(&i).copied().unwrap_or(0)).sum::<u64>();
+        let top_low = (0..10)
+            .map(|i| h_low.get(&i).copied().unwrap_or(0))
+            .sum::<u64>();
+        let top_high = (0..10)
+            .map(|i| h_high.get(&i).copied().unwrap_or(0))
+            .sum::<u64>();
         assert!(
             top_high > 3 * top_low,
             "theta=2 should concentrate mass on the head: {top_high} vs {top_low}"
@@ -159,12 +169,18 @@ mod tests {
         assert_ne!(hot, vec![0, 1, 2, 3]);
         let h = histogram(&scrambled, 50_000);
         let max = h.values().copied().max().unwrap();
-        assert!(max > 1_000, "scrambled distribution lost its skew (max={max})");
+        assert!(
+            max > 1_000,
+            "scrambled distribution lost its skew (max={max})"
+        );
     }
 
     #[test]
     fn uniform_distribution_constant_exists() {
-        assert_eq!(KeyDistribution::MODERATE_SKEW, KeyDistribution::Zipfian { theta: 0.99 });
+        assert_eq!(
+            KeyDistribution::MODERATE_SKEW,
+            KeyDistribution::Zipfian { theta: 0.99 }
+        );
         assert!(matches!(KeyDistribution::Uniform, KeyDistribution::Uniform));
     }
 }

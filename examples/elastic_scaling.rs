@@ -6,7 +6,9 @@
 //! cargo run --release --example elastic_scaling
 //! ```
 
-use dinomo::cluster::{DriverConfig, EventKind, PolicyEngine, ScriptedEvent, SimulationDriver, SloConfig};
+use dinomo::cluster::{
+    DriverConfig, EventKind, PolicyEngine, ScriptedEvent, SimulationDriver, SloConfig,
+};
 use dinomo::{ElasticKvs, KeyDistribution, Kvs, KvsConfig, Variant, WorkloadConfig, WorkloadMix};
 use std::sync::Arc;
 
@@ -49,13 +51,20 @@ fn main() {
             workload,
             preload: true,
             key_sample_every: 8,
+            batch_size: 1,
         },
     )
     .with_policy(PolicyEngine::new(slo));
 
     let events = vec![
-        ScriptedEvent { at_epoch: 4, event: EventKind::SetClients(6) },
-        ScriptedEvent { at_epoch: 18, event: EventKind::SetClients(1) },
+        ScriptedEvent {
+            at_epoch: 4,
+            event: EventKind::SetClients(6),
+        },
+        ScriptedEvent {
+            at_epoch: 18,
+            event: EventKind::SetClients(1),
+        },
     ];
     println!("epoch  kops/s   avg(ms)  p99(ms)  KNs  clients  actions");
     for row in driver.run(&events) {

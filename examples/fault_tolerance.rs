@@ -22,7 +22,9 @@ fn main() {
 
     println!("loading 5,000 keys across {} KNs ...", kvs.num_kns());
     for i in 0..5_000u64 {
-        client.insert(&key_for(i, 8), &vec![(i % 251) as u8; 256]).unwrap();
+        client
+            .insert(&key_for(i, 8), &vec![(i % 251) as u8; 256])
+            .unwrap();
     }
     // Make every write durable in the DPM log before the failure.
     kvs.flush_all().unwrap();
@@ -52,7 +54,9 @@ fn main() {
 
     // The ownership metadata persisted in DPM lets a restarted routing tier
     // rebuild its soft state.
-    let recovered = kvs.recover_policy_metadata().expect("policy metadata in DPM");
+    let recovered = kvs
+        .recover_policy_metadata()
+        .expect("policy metadata in DPM");
     println!(
         "policy metadata recovered from DPM: {} (version {})",
         recovered.describe(),

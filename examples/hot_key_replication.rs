@@ -22,7 +22,7 @@ fn main() {
     let client = kvs.client();
 
     for i in 0..2_000u64 {
-        client.insert(&key_for(i, 8), &vec![0u8; 128]).unwrap();
+        client.insert(&key_for(i, 8), &[0u8; 128]).unwrap();
     }
 
     // A highly skewed phase: 4 hot keys receive most of the traffic.
@@ -37,10 +37,16 @@ fn main() {
         let after = kvs.stats();
         println!("\n{label}: per-KN operations for the hot-key phase");
         for kn in &after.kns {
-            let prev = before.iter().find(|(id, _)| *id == kn.id).map_or(0, |(_, o)| *o);
+            let prev = before
+                .iter()
+                .find(|(id, _)| *id == kn.id)
+                .map_or(0, |(_, o)| *o);
             println!("  KN {} served {} ops", kn.id, kn.ops - prev);
         }
-        println!("  load imbalance (normalised std): {:.2}", after.load_imbalance());
+        println!(
+            "  load imbalance (normalised std): {:.2}",
+            after.load_imbalance()
+        );
     };
 
     skewed_round("before replication");
@@ -56,12 +62,17 @@ fn main() {
     // Writes to a shared key stay linearizable: the owners race through a
     // CAS on the key's indirect pointer in DPM.
     client.update(&hot_keys[0], b"new-value").unwrap();
-    assert_eq!(client.lookup(&hot_keys[0]).unwrap(), Some(b"new-value".to_vec()));
+    assert_eq!(
+        client.lookup(&hot_keys[0]).unwrap(),
+        Some(b"new-value".to_vec())
+    );
 
     // When the skew subsides the keys are de-replicated again.
     for key in &hot_keys {
         kvs.dereplicate_key(key).unwrap();
     }
-    println!("\nde-replicated all hot keys; replication factor of key 0 is now {}",
-        kvs.ownership().read().replication_factor(&hot_keys[0]));
+    println!(
+        "\nde-replicated all hot keys; replication factor of key 0 is now {}",
+        kvs.ownership().read().replication_factor(&hot_keys[0])
+    );
 }

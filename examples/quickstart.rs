@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use dinomo::{Kvs, KvsConfig, Variant};
 use dinomo::workload::key_for;
+use dinomo::{Kvs, KvsConfig, Variant};
 
 fn main() {
     // A 2-KN cluster with DAC caching (the full Dinomo design).
@@ -25,14 +25,19 @@ fn main() {
     client.insert(b"user:1", b"alice").unwrap();
     client.insert(b"user:2", b"bob").unwrap();
     client.update(b"user:1", b"alice-v2").unwrap();
-    println!("user:1 = {:?}", String::from_utf8(client.lookup(b"user:1").unwrap().unwrap()));
+    println!(
+        "user:1 = {:?}",
+        String::from_utf8(client.lookup(b"user:1").unwrap().unwrap())
+    );
     client.delete(b"user:2").unwrap();
     assert_eq!(client.lookup(b"user:2").unwrap(), None);
 
     // Load a few thousand keys and read them back with a skewed pattern to
     // watch the adaptive cache at work.
     for i in 0..5_000u64 {
-        client.insert(&key_for(i, 8), &vec![(i % 251) as u8; 256]).unwrap();
+        client
+            .insert(&key_for(i, 8), &vec![(i % 251) as u8; 256])
+            .unwrap();
     }
     for round in 0..3 {
         for i in 0..5_000u64 {
@@ -52,8 +57,15 @@ fn main() {
 
     // Elasticity: add a KVS node — only ownership moves, no data is copied.
     let new_kn = kvs.add_kn().unwrap();
-    println!("added KN {new_kn}; cluster now has {} KNs, reshuffled bytes = {}", kvs.num_kns(), kvs.bytes_reshuffled());
+    println!(
+        "added KN {new_kn}; cluster now has {} KNs, reshuffled bytes = {}",
+        kvs.num_kns(),
+        kvs.bytes_reshuffled()
+    );
     assert_eq!(kvs.bytes_reshuffled(), 0);
     let value = client.lookup(&key_for(42, 8)).unwrap().unwrap();
-    println!("key 42 still readable after reconfiguration ({} bytes)", value.len());
+    println!(
+        "key 42 still readable after reconfiguration ({} bytes)",
+        value.len()
+    );
 }

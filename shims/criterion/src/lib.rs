@@ -1,0 +1,245 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A deliberately small timing harness exposing the Criterion API subset the
+//! workspace's benches use: `Criterion::benchmark_group`, `bench_function`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros. Results are printed as
+//! `<name> ... time: <median> ns/iter` lines; there is no HTML report,
+//! statistical regression analysis, or command-line filtering.
+//!
+//! Set `CRITERION_SHIM_SAMPLE_MS` to change the per-sample time budget
+//! (default 20 ms) — smaller values make `cargo bench` fast smoke runs.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (Criterion's moved here long ago).
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim runs one setup per
+/// routine call regardless, so the variants only exist for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing driver handed to the benchmark closure.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter*` call.
+    sample_ns: Vec<f64>,
+    sample_count: usize,
+    sample_budget: Duration,
+}
+
+impl Bencher {
+    fn new(sample_count: usize, sample_budget: Duration) -> Self {
+        Bencher {
+            sample_ns: Vec::new(),
+            sample_count,
+            sample_budget,
+        }
+    }
+
+    /// Time a routine: `b.iter(|| work())`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate how many iterations fit in the per-sample budget.
+        let calibration_start = Instant::now();
+        black_box(routine());
+        let once = calibration_start.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (self.sample_budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.sample_ns
+                .push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Time a routine with per-call setup excluded from the measurement:
+    /// `b.iter_batched(setup, routine, BatchSize::SmallInput)`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.sample_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine takes the input by
+    /// reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.sample_count {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.sample_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.sample_ns.is_empty() {
+            println!("{name:<50} ... no samples");
+            return;
+        }
+        self.sample_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = self.sample_ns[self.sample_ns.len() / 2];
+        let min = self.sample_ns.first().copied().unwrap_or(0.0);
+        let max = self.sample_ns.last().copied().unwrap_or(0.0);
+        println!("{name:<50} time: [{min:>12.1} {median:>12.1} {max:>12.1}] ns/iter");
+    }
+}
+
+fn default_sample_budget() -> Duration {
+    let ms = std::env::var("CRITERION_SHIM_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20u64);
+    Duration::from_millis(ms.max(1))
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_count: usize,
+    sample_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_count: 15,
+            sample_budget: default_sample_budget(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(3);
+        self
+    }
+
+    /// Parse command-line arguments (no-op in the shim, for API parity).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            prefix: name,
+            sample_count: self.sample_count,
+            sample_budget: self.sample_budget,
+            _criterion: self,
+        }
+    }
+
+    /// Run one benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_count, self.sample_budget);
+        f(&mut bencher);
+        bencher.report(&id);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    sample_count: usize,
+    sample_budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples collected per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(3);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.prefix, id.into());
+        let mut bencher = Bencher::new(self.sample_count, self.sample_budget);
+        f(&mut bencher);
+        bencher.report(&id);
+        self
+    }
+
+    /// Finish the group (no-op beyond API parity).
+    pub fn finish(self) {}
+}
+
+/// Define a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` from one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_reasonable_medians() {
+        std::env::set_var("CRITERION_SHIM_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(5);
+        let mut counter = 0u64;
+        group.bench_function("add", |b| {
+            b.iter(|| {
+                counter = counter.wrapping_add(1);
+                counter
+            })
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(counter > 0);
+    }
+}

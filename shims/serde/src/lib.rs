@@ -1,0 +1,565 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a small serde-compatible facade. Unlike real serde's visitor
+//! architecture, everything funnels through an owned JSON-like [`Value`]
+//! tree: `Serialize` renders to a `Value`, `Deserialize` parses from one,
+//! and [`Serializer`]/[`Deserializer`] are thin single-method traits so the
+//! common serde idioms compile unchanged:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on structs (named, tuple, unit) and
+//!   enums (unit, tuple and struct variants, externally tagged like serde);
+//! * `#[serde(with = "module")]` field attributes whose modules define
+//!   `fn serialize<S: Serializer>(&T, S) -> Result<S::Ok, S::Error>` and
+//!   `fn deserialize<'de, D: Deserializer<'de>>(D) -> Result<T, D::Error>`;
+//! * `serde_json::{to_vec, to_vec_pretty, from_slice, ...}` (see the
+//!   `serde_json` shim, which renders/parses this crate's [`Value`]).
+//!
+//! Only the surface the DINOMO workspace uses is implemented; unsupported
+//! attributes fail the build with an explicit error rather than silently
+//! misbehaving.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value tree — the common interchange format of the shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integral number (wide enough for `u64` and `i64` exactly).
+    Int(i128),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Error raised by the shim's serialization/deserialization paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from any displayable message (serde's `Error::custom`).
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A data format that can accept a [`Value`] (shim analogue of
+/// `serde::Serializer`).
+pub trait Serializer: Sized {
+    /// What a successful serialization produces.
+    type Ok;
+    /// The format's error type.
+    type Error: From<Error>;
+
+    /// Consume a fully-built value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can produce a [`Value`] (shim analogue of
+/// `serde::Deserializer`).
+pub trait Deserializer<'de>: Sized {
+    /// The format's error type.
+    type Error: From<Error>;
+
+    /// Produce the value tree to deserialize from.
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types that can be serialized.
+pub trait Serialize {
+    /// Render as a value tree.
+    fn to_value(&self) -> Value;
+
+    /// Serialize into any [`Serializer`] (matches serde's signature).
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// Types that can be deserialized.
+///
+/// The `'de` lifetime exists for signature compatibility; the shim always
+/// produces owned data (plus a leak-based escape hatch for `&'static str`).
+pub trait Deserialize<'de>: Sized {
+    /// Parse from a value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// Deserialize from any [`Deserializer`] (matches serde's signature).
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.into_value()?;
+        Ok(Self::from_value(&value)?)
+    }
+}
+
+pub mod value {
+    //! The identity [`Serializer`]/[`Deserializer`] over [`Value`] trees,
+    //! used by derive-generated code to drive `#[serde(with = ...)]`
+    //! modules.
+
+    use super::{Deserializer, Error, Serializer, Value};
+
+    /// Serializer whose output *is* the value tree.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ValueSerializer;
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = Error;
+
+        fn serialize_value(self, value: Value) -> Result<Value, Error> {
+            Ok(value)
+        }
+    }
+
+    /// Deserializer reading from a borrowed value tree.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ValueDeserializer<'a> {
+        value: &'a Value,
+    }
+
+    impl<'a> ValueDeserializer<'a> {
+        /// Wrap a borrowed value.
+        pub fn new(value: &'a Value) -> Self {
+            ValueDeserializer { value }
+        }
+    }
+
+    impl<'de, 'a> Deserializer<'de> for ValueDeserializer<'a> {
+        type Error = Error;
+
+        fn into_value(self) -> Result<Value, Error> {
+            Ok(self.value.clone())
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod __private {
+    //! Helpers referenced by `serde_derive`-generated code. Not public API.
+
+    use super::{Deserialize, Error, Value};
+
+    pub fn as_object<'v>(
+        value: &'v Value,
+        type_name: &str,
+    ) -> Result<&'v [(String, Value)], Error> {
+        match value {
+            Value::Object(pairs) => Ok(pairs),
+            other => Err(Error::custom(format!(
+                "expected an object for {type_name}, found {other:?}"
+            ))),
+        }
+    }
+
+    pub fn as_array<'v>(value: &'v Value, type_name: &str) -> Result<&'v [Value], Error> {
+        match value {
+            Value::Array(items) => Ok(items),
+            other => Err(Error::custom(format!(
+                "expected an array for {type_name}, found {other:?}"
+            ))),
+        }
+    }
+
+    pub fn raw_field<'v>(obj: &'v [(String, Value)], name: &str) -> Result<&'v Value, Error> {
+        obj.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+    }
+
+    pub fn field<T>(obj: &[(String, Value)], name: &str) -> Result<T, Error>
+    where
+        T: for<'x> Deserialize<'x>,
+    {
+        T::from_value(raw_field(obj, name)?)
+            .map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+    }
+
+    pub fn from_value<T>(value: &Value) -> Result<T, Error>
+    where
+        T: for<'x> Deserialize<'x>,
+    {
+        T::from_value(value)
+    }
+
+    pub fn element<T>(items: &[Value], index: usize, type_name: &str) -> Result<T, Error>
+    where
+        T: for<'x> Deserialize<'x>,
+    {
+        let v = items
+            .get(index)
+            .ok_or_else(|| Error::custom(format!("missing element {index} for {type_name}")))?;
+        T::from_value(v)
+    }
+}
+
+// ------------------------------------------------------------- primitives
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n: i128 = match value {
+                    Value::Int(n) => *n,
+                    // Accept integral floats: the JSON writer renders e.g.
+                    // `1.0f64` as `1`, so mixed-numeric structs must be
+                    // tolerant in both directions.
+                    Value::Float(f) if f.fract() == 0.0 => *f as i128,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected an integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(Error::custom(format!("expected a number, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected a bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected a string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+/// `&'static str` deserialization leaks the parsed string. This supports
+/// types like `WorkloadMix { name: &'static str }` whose instances are
+/// long-lived configuration; do not round-trip unbounded streams of them.
+impl<'de> Deserialize<'de> for &'static str {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(Error::custom(format!("expected a string, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+// ------------------------------------------------------------- sequences
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected an array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident/$idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = match value {
+                    Value::Array(items) => items,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected a tuple array, found {other:?}"
+                        )))
+                    }
+                };
+                let expected = [$($idx,)+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected a tuple of {expected} elements, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A/0);
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+}
+
+// ------------------------------------------------------------------ maps
+
+/// Map keys representable as JSON object keys (strings), mirroring
+/// `serde_json`'s behaviour of stringifying integer keys.
+pub trait JsonKey: Sized {
+    /// Render the key as a JSON object key.
+    fn to_key(&self) -> String;
+    /// Parse the key back from a JSON object key.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, Error> {
+                key.parse().map_err(|_| {
+                    Error::custom(format!("invalid {} map key: {key:?}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: JsonKey + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K: JsonKey + Eq + Hash, V: Deserialize<'de>> Deserialize<'de> for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected an object, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<K: JsonKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K: JsonKey + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected an object, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        // Integral float tolerance in both directions.
+        assert_eq!(f64::from_value(&Value::Int(3)).unwrap(), 3.0);
+        assert_eq!(u32::from_value(&Value::Float(3.0)).unwrap(), 3);
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+
+        let mut m = HashMap::new();
+        m.insert(7u32, vec![1u8, 2]);
+        let back: HashMap<u32, Vec<u8>> = HashMap::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+
+        let t = (1u8, "x".to_string());
+        assert_eq!(<(u8, String)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn option_uses_null() {
+        assert_eq!(Option::<u8>::None.to_value(), Value::Null);
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u8>::from_value(&Value::Int(4)).unwrap(), Some(4));
+    }
+
+    #[test]
+    fn static_str_leaks_on_purpose() {
+        let s: &'static str = Deserialize::from_value(&Value::String("hi".into())).unwrap();
+        assert_eq!(s, "hi");
+    }
+}

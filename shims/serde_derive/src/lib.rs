@@ -1,0 +1,468 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline `serde` shim.
+//!
+//! `syn`/`quote` are unavailable offline, so this crate parses the derive
+//! input token stream by hand. It supports exactly the shapes the DINOMO
+//! workspace uses — non-generic structs (named, tuple, unit) and enums
+//! (unit, tuple and struct variants) with the `#[serde(with = "module")]`
+//! field attribute — and fails the build with a clear message on anything
+//! else, rather than silently generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ------------------------------------------------------------ input model
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+// ----------------------------------------------------------------- parse
+
+fn parse_input(stream: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected a type name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde shim derive: unsupported struct body: {other:?}"),
+            };
+            Input::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde shim derive: unsupported enum body: {other:?}"),
+            };
+            Input::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde shim derive: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Skip attributes, collecting any `#[serde(with = "...")]` path, and skip a
+/// `pub` / `pub(...)` visibility if present.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Option<String> {
+    let mut with = None;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if let Some(w) = parse_serde_attr(g.stream()) {
+                        with = Some(w);
+                    }
+                    *i += 2;
+                } else {
+                    panic!("serde shim derive: stray `#`");
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return with,
+        }
+    }
+}
+
+/// Inspect one attribute body (the tokens inside `#[...]`); return the path
+/// of a `serde(with = "path")` attribute if that is what it is.
+fn parse_serde_attr(stream: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None, // doc comment or other tool attribute: ignore
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => panic!("serde shim derive: malformed #[serde] attribute"),
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    match (inner.first(), inner.get(1), inner.get(2)) {
+        (
+            Some(TokenTree::Ident(key)),
+            Some(TokenTree::Punct(eq)),
+            Some(TokenTree::Literal(lit)),
+        ) if key.to_string() == "with" && eq.as_char() == '=' => {
+            let raw = lit.to_string();
+            Some(raw.trim_matches('"').to_string())
+        }
+        _ => panic!(
+            "serde shim derive: unsupported #[serde(...)] attribute \
+             (only `with = \"module\"` is implemented): {inner:?}"
+        ),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let with = skip_attrs_and_vis(&tokens, &mut i);
+        let Some(tok) = tokens.get(i) else { break };
+        let name = match tok {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected a field name, found {other}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde shim derive: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+/// Skip type tokens up to (and over) the next top-level `,`; commas nested in
+/// angle brackets (e.g. `HashMap<K, V>`) belong to the type. Parentheses and
+/// brackets arrive pre-grouped, so only `<`/`>` need explicit depth tracking.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        if skip_attrs_and_vis(&tokens, &mut i).is_some() {
+            panic!("serde shim derive: #[serde(with)] on tuple fields is not supported");
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(tok) = tokens.get(i) else { break };
+        let name = match tok {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected a variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => panic!(
+                "serde shim derive: unsupported token after variant `{name}` \
+                 (discriminants are not supported): {other:?}"
+            ),
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// --------------------------------------------------------------- codegen
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let code = match &input {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Named(fields) => named_fields_to_value(fields, "&self.", ""),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for (variant, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{name}::{variant} => ::serde::Value::String(\"{variant}\".to_string()),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{variant}({}) => ::serde::Value::Object(vec![\
+                               (\"{variant}\".to_string(), {inner})]),",
+                            binds.join(", ")
+                        )
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = named_fields_to_value(fields, "", "");
+                        format!(
+                            "{name}::{variant} {{ {} }} => ::serde::Value::Object(vec![\
+                               (\"{variant}\".to_string(), {inner})]),",
+                            binds.join(", ")
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+/// `Value::Object(...)` expression for a list of named fields. `prefix` is
+/// prepended to the field name to form the access expression (`&self.` for
+/// structs, empty for enum-variant bindings which are already references).
+fn named_fields_to_value(fields: &[Field], prefix: &str, suffix: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let access = format!("{prefix}{}{suffix}", f.name);
+            let value = match &f.with {
+                None => format!("::serde::Serialize::to_value(&{access})"),
+                Some(path) => format!(
+                    "match {path}::serialize(&{access}, ::serde::value::ValueSerializer) {{\n\
+                         Ok(v) => v,\n\
+                         Err(e) => ::std::panic!(\"#[serde(with)] serializer failed: {{}}\", e),\n\
+                     }}"
+                ),
+            };
+            format!("(\"{}\".to_string(), {value})", f.name)
+        })
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", items.join(", "))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let code = match &input {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::__private::from_value(value)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::__private::element(items, {i}, \"{name}\")?"))
+                        .collect();
+                    format!(
+                        "let items = ::serde::__private::as_array(value, \"{name}\")?;\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fields) => format!(
+                    "let obj = ::serde::__private::as_object(value, \"{name}\")?;\n\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    named_fields_from_value(fields)
+                ),
+            };
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for (variant, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push(format!(
+                        "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let body = if *n == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{variant}(\
+                                     ::serde::__private::from_value(inner)?))"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::__private::element(items, {i}, \"{name}::{variant}\")?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "let items = ::serde::__private::as_array(inner, \"{name}::{variant}\")?;\n\
+                                 ::std::result::Result::Ok({name}::{variant}({}))",
+                                items.join(", ")
+                            )
+                        };
+                        tagged_arms.push(format!("\"{variant}\" => {{ {body} }}"));
+                    }
+                    Fields::Named(fields) => {
+                        let body = format!(
+                            "let obj = ::serde::__private::as_object(inner, \"{name}::{variant}\")?;\n\
+                             ::std::result::Result::Ok({name}::{variant} {{ {} }})",
+                            named_fields_from_value(fields)
+                        );
+                        tagged_arms.push(format!("\"{variant}\" => {{ {body} }}"));
+                    }
+                }
+            }
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {units}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                                     format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                                 let (tag, inner) = &pairs[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged}\n\
+                                     other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                                         format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                                 format!(\"expected a {name} variant, found {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    };
+    code.parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}
+
+fn named_fields_from_value(fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| match &f.with {
+            None => format!(
+                "{name}: ::serde::__private::field(obj, \"{name}\")?",
+                name = f.name
+            ),
+            Some(path) => format!(
+                "{name}: {path}::deserialize(::serde::value::ValueDeserializer::new(\
+                     ::serde::__private::raw_field(obj, \"{name}\")?))?",
+                name = f.name
+            ),
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}

@@ -14,13 +14,33 @@
 //!   [`simnet`](dinomo_simnet) — the substrates,
 //! * [`workload`](dinomo_workload) — YCSB-style workload generation.
 //!
-//! ```
-//! use dinomo::{Kvs, KvsConfig};
+//! ## Quickstart
 //!
-//! let kvs = Kvs::new(KvsConfig::small_for_tests()).unwrap();
+//! Build a cluster with the fluent builder, then submit batches of [`Op`]s
+//! through [`KvsClient::execute`] — the client groups each batch by owner
+//! KVS node and issues one request per node, amortizing routing and
+//! shard-locking overhead. The classic per-key methods are thin wrappers
+//! over the same path:
+//!
+//! ```
+//! use dinomo::{Kvs, Op, Reply, Variant};
+//!
+//! let kvs = Kvs::builder()
+//!     .small_for_tests()
+//!     .initial_kns(2)
+//!     .variant(Variant::Dinomo)
+//!     .build()
+//!     .unwrap();
+//!
 //! let client = kvs.client();
-//! client.insert(b"paper", b"dinomo").unwrap();
-//! assert_eq!(client.lookup(b"paper").unwrap(), Some(b"dinomo".to_vec()));
+//! let replies = client.execute(vec![
+//!     Op::insert("paper", "dinomo"),
+//!     Op::lookup("paper"),
+//! ]);
+//! assert_eq!(replies[1].value(), Some(&b"dinomo"[..]));
+//!
+//! client.multi_put([("a", "1"), ("b", "2")]);
+//! assert_eq!(client.lookup(b"a").unwrap(), Some(b"1".to_vec()));
 //! ```
 
 #![warn(missing_docs)]
@@ -40,5 +60,7 @@ pub use dinomo_clover::{CloverConfig, CloverKvs};
 pub use dinomo_cluster::{
     DriverConfig, ElasticKvs, EventKind, PolicyEngine, ScriptedEvent, SimulationDriver, SloConfig,
 };
-pub use dinomo_core::{Kvs, KvsClient, KvsConfig, KvsError, KvsStats, Variant};
+pub use dinomo_core::{
+    Kvs, KvsBuilder, KvsClient, KvsConfig, KvsError, KvsStats, Op, Reply, Variant,
+};
 pub use dinomo_workload::{KeyDistribution, WorkloadConfig, WorkloadGenerator, WorkloadMix};

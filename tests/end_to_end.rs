@@ -2,9 +2,7 @@
 //! API of the umbrella crate, comparing Dinomo, its variants and Clover.
 
 use dinomo::workload::{key_for, Operation, WorkloadConfig, WorkloadGenerator};
-use dinomo::{
-    CloverConfig, CloverKvs, KeyDistribution, Kvs, KvsConfig, Variant, WorkloadMix,
-};
+use dinomo::{CloverConfig, CloverKvs, KeyDistribution, Kvs, KvsConfig, Variant, WorkloadMix};
 use std::collections::HashMap;
 
 fn workload(mix: WorkloadMix, keys: u64) -> WorkloadConfig {
@@ -69,7 +67,10 @@ fn run_against_model<I, U, R, D>(
 #[test]
 fn dinomo_variants_match_a_model_under_mixed_workloads() {
     for variant in [Variant::Dinomo, Variant::DinomoS, Variant::DinomoN] {
-        for mix in [WorkloadMix::WRITE_HEAVY_UPDATE, WorkloadMix::READ_MOSTLY_INSERT] {
+        for mix in [
+            WorkloadMix::WRITE_HEAVY_UPDATE,
+            WorkloadMix::READ_MOSTLY_INSERT,
+        ] {
             let kvs = Kvs::new(KvsConfig::small_for_tests().with_variant(variant)).unwrap();
             let client = kvs.client();
             run_against_model(

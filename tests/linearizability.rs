@@ -2,7 +2,7 @@
 //! guarantee §3.2 claims), including for selectively-replicated keys where
 //! several KNs may write the same key concurrently.
 
-use dinomo::{Kvs, KvsConfig, Variant};
+use dinomo::{Kvs, KvsConfig, Op, Reply, Variant};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -57,7 +57,10 @@ fn monotonic_register_check(kvs: &Kvs, key: &[u8], writes: u64, readers: usize) 
     let total_observations: u64 = reader_handles.into_iter().map(|h| h.join().unwrap()).sum();
     assert!(total_observations > 0, "readers never ran");
     assert_eq!(
-        client.lookup(key).unwrap().map(|b| u64::from_be_bytes(b[..8].try_into().unwrap())),
+        client
+            .lookup(key)
+            .unwrap()
+            .map(|b| u64::from_be_bytes(b[..8].try_into().unwrap())),
         Some(writes)
     );
 }
@@ -66,17 +69,100 @@ fn monotonic_register_check(kvs: &Kvs, key: &[u8], writes: u64, readers: usize) 
 fn owned_key_reads_are_linearizable() {
     // Immediate visibility matters for this test, so writes are flushed
     // per operation (batch size 1).
-    let kvs = Kvs::new(KvsConfig { write_batch_ops: 1, ..KvsConfig::small_for_tests() }).unwrap();
+    let kvs = Kvs::new(KvsConfig {
+        write_batch_ops: 1,
+        ..KvsConfig::small_for_tests()
+    })
+    .unwrap();
     monotonic_register_check(&kvs, b"register", 2_000, 3);
 }
 
 #[test]
 fn replicated_key_reads_are_linearizable() {
-    let kvs = Kvs::new(KvsConfig { write_batch_ops: 1, ..KvsConfig::small_for_tests() }).unwrap();
+    let kvs = Kvs::new(KvsConfig {
+        write_batch_ops: 1,
+        ..KvsConfig::small_for_tests()
+    })
+    .unwrap();
     let client = kvs.client();
     client.insert(b"hot-register", &0u64.to_be_bytes()).unwrap();
     kvs.replicate_key(b"hot-register", 2).unwrap();
     monotonic_register_check(&kvs, b"hot-register", 1_000, 3);
+}
+
+#[test]
+fn batched_register_reads_are_linearizable_against_batched_writes() {
+    // The monotonic-register argument, driven through `execute`: one writer
+    // increments the register via single-op batches while readers poll it
+    // in mixed batches, racing add_kn/fail_kn reconfigurations. Per-op
+    // replies must never show a value going backwards or a value that was
+    // never acknowledged as written.
+    let kvs = Kvs::new(KvsConfig {
+        write_batch_ops: 1,
+        initial_kns: 2,
+        ..KvsConfig::small_for_tests()
+    })
+    .unwrap();
+    let key = b"batched-register".to_vec();
+    let client = kvs.client();
+    client.insert(&key, &0u64.to_be_bytes()).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let high_water = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let kvs = kvs.clone();
+            let stop = Arc::clone(&stop);
+            let high_water = Arc::clone(&high_water);
+            let key = key.clone();
+            std::thread::spawn(move || {
+                let client = kvs.client();
+                let mut last_seen = 0u64;
+                let mut observations = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    // A batch of 8 reads of the same register: replies are
+                    // positional, and each must respect the register's
+                    // history.
+                    let replies = client.execute((0..8).map(|_| Op::lookup(&key)).collect());
+                    for reply in replies {
+                        let Reply::Value(Some(bytes)) = reply else {
+                            panic!("register read failed: {reply:?}");
+                        };
+                        let value = u64::from_be_bytes(bytes[..8].try_into().unwrap());
+                        assert!(value >= last_seen, "read {value} after {last_seen}");
+                        assert!(value <= high_water.load(Ordering::Acquire));
+                        last_seen = value;
+                        observations += 1;
+                    }
+                }
+                observations
+            })
+        })
+        .collect();
+
+    // The writer increments through the batched path while the cluster
+    // reconfigures under it.
+    let mut added = None;
+    for v in 1..=600u64 {
+        high_water.store(v, Ordering::Release);
+        let replies = client.execute(vec![Op::update(&key, v.to_be_bytes())]);
+        assert!(replies[0].is_ok(), "write {v} failed: {replies:?}");
+        match v {
+            200 => added = Some(kvs.add_kn().unwrap()),
+            400 => kvs.fail_kn(added.take().unwrap()).unwrap(),
+            _ => {}
+        }
+    }
+    stop.store(true, Ordering::Release);
+    let observations: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(observations > 0, "readers never observed the register");
+    assert_eq!(
+        client
+            .lookup(&key)
+            .unwrap()
+            .map(|b| u64::from_be_bytes(b[..8].try_into().unwrap())),
+        Some(600)
+    );
 }
 
 #[test]
@@ -85,8 +171,12 @@ fn concurrent_writers_on_a_replicated_key_never_lose_the_last_write() {
     // value must be one of the last acknowledged writes (freshness) and every
     // intermediate read must be a value some writer actually wrote.
     let kvs = Kvs::new(
-        KvsConfig { write_batch_ops: 1, initial_kns: 3, ..KvsConfig::small_for_tests() }
-            .with_variant(Variant::Dinomo),
+        KvsConfig {
+            write_batch_ops: 1,
+            initial_kns: 3,
+            ..KvsConfig::small_for_tests()
+        }
+        .with_variant(Variant::Dinomo),
     )
     .unwrap();
     let client = kvs.client();
@@ -101,7 +191,9 @@ fn concurrent_writers_on_a_replicated_key_never_lose_the_last_write() {
             std::thread::spawn(move || {
                 let client = kvs.client();
                 for i in 0..per_writer {
-                    client.update(b"contended", format!("w{w}-{i}").as_bytes()).unwrap();
+                    client
+                        .update(b"contended", format!("w{w}-{i}").as_bytes())
+                        .unwrap();
                 }
             })
         })
@@ -111,9 +203,15 @@ fn concurrent_writers_on_a_replicated_key_never_lose_the_last_write() {
         std::thread::spawn(move || {
             let client = kvs.client();
             for _ in 0..500 {
-                let v = client.lookup(b"contended").unwrap().expect("value must exist");
+                let v = client
+                    .lookup(b"contended")
+                    .unwrap()
+                    .expect("value must exist");
                 let s = String::from_utf8(v).expect("utf8 value");
-                assert!(s.starts_with('w') && s.contains('-'), "unexpected value {s}");
+                assert!(
+                    s.starts_with('w') && s.contains('-'),
+                    "unexpected value {s}"
+                );
             }
         })
     };
@@ -123,7 +221,9 @@ fn concurrent_writers_on_a_replicated_key_never_lose_the_last_write() {
     reader.join().unwrap();
     let final_value = String::from_utf8(client.lookup(b"contended").unwrap().unwrap()).unwrap();
     // The final value must be the last write of one of the writers.
-    let expected: Vec<String> = (0..writers).map(|w| format!("w{w}-{}", per_writer - 1)).collect();
+    let expected: Vec<String> = (0..writers)
+        .map(|w| format!("w{w}-{}", per_writer - 1))
+        .collect();
     assert!(
         expected.contains(&final_value),
         "final value {final_value} is not any writer's last write {expected:?}"

@@ -22,7 +22,10 @@ fn tracked_dpm() -> Arc<DpmNode> {
             flush_batch_bytes: 8 << 10,
             merge_threads: 1,
             unmerged_segment_threshold: 2,
-            index: PclhtConfig { initial_buckets: 512, ..PclhtConfig::default() },
+            index: PclhtConfig {
+                initial_buckets: 512,
+                ..PclhtConfig::default()
+            },
             inject_media_delay: false,
         })
         .unwrap(),
@@ -34,7 +37,7 @@ fn committed_log_entries_survive_a_dpm_power_failure() {
     let dpm = tracked_dpm();
     let mut writer = LogWriter::new(Arc::clone(&dpm), 0, Nic::default());
     for i in 0..200u64 {
-        writer.append_put(&key_for(i, 8), &vec![(i % 251) as u8; 64]);
+        writer.append_put(&key_for(i, 8), &[(i % 251) as u8; 64]);
         if writer.should_flush() {
             writer.flush().unwrap();
         }
@@ -45,7 +48,10 @@ fn committed_log_entries_survive_a_dpm_power_failure() {
     // Power failure: unpersisted cache lines are destroyed.
     dpm.pool().simulate_crash();
     let report = dpm.recover();
-    assert_eq!(report.torn_entries, 0, "all flushed entries carried commit markers");
+    assert_eq!(
+        report.torn_entries, 0,
+        "all flushed entries carried commit markers"
+    );
     for i in 0..200u64 {
         assert_eq!(
             dpm.local_read(&key_for(i, 8)),
@@ -67,7 +73,13 @@ fn torn_writes_are_discarded_by_recovery() {
     // directly without a valid seal, bypassing the writer.
     let seg = dpm.allocate_segment(1).unwrap();
     let mut torn = Vec::new();
-    dinomo::dpm::entry::encode_entry(&mut torn, b"torn-key", &[2u8; 32], dinomo::dpm::LogOp::Put, 1);
+    dinomo::dpm::entry::encode_entry(
+        &mut torn,
+        b"torn-key",
+        &[2u8; 32],
+        dinomo::dpm::LogOp::Put,
+        1,
+    );
     let len = torn.len();
     torn[len - 1] ^= 0xFF; // corrupt the seal
     dpm.pool().write_bytes(seg.base, &torn);
@@ -77,15 +89,23 @@ fn torn_writes_are_discarded_by_recovery() {
     let report = dpm.recover();
     assert!(report.torn_entries >= 1, "the torn entry must be detected");
     assert_eq!(dpm.local_read(b"durable"), Some(vec![1u8; 32]));
-    assert_eq!(dpm.local_read(b"torn-key"), None, "a torn write must not become visible");
+    assert_eq!(
+        dpm.local_read(b"torn-key"),
+        None,
+        "a torn write must not become visible"
+    );
 }
 
 #[test]
 fn kn_failure_preserves_flushed_writes_and_policy_metadata() {
-    let kvs = Kvs::new(KvsConfig { initial_kns: 3, ..KvsConfig::small_for_tests() }).unwrap();
+    let kvs = Kvs::new(KvsConfig {
+        initial_kns: 3,
+        ..KvsConfig::small_for_tests()
+    })
+    .unwrap();
     let client = kvs.client();
     for i in 0..400u64 {
-        client.insert(&key_for(i, 8), &vec![3u8; 48]).unwrap();
+        client.insert(&key_for(i, 8), &[3u8; 48]).unwrap();
     }
     kvs.flush_all().unwrap();
     kvs.replicate_key(&key_for(1, 8), 2).unwrap();
@@ -95,11 +115,17 @@ fn kn_failure_preserves_flushed_writes_and_policy_metadata() {
 
     // Every flushed write is still readable through the surviving nodes.
     for i in 0..400u64 {
-        assert_eq!(client.lookup(&key_for(i, 8)).unwrap(), Some(vec![3u8; 48]), "key {i}");
+        assert_eq!(
+            client.lookup(&key_for(i, 8)).unwrap(),
+            Some(vec![3u8; 48]),
+            "key {i}"
+        );
     }
     // The policy metadata persisted in DPM reflects the new membership, so a
     // restarted routing node could rebuild its soft state.
-    let recovered = kvs.recover_policy_metadata().expect("policy metadata must be in DPM");
+    let recovered = kvs
+        .recover_policy_metadata()
+        .expect("policy metadata must be in DPM");
     assert_eq!(recovered.num_kns(), 2);
     assert!(!recovered.kns().contains(&victim));
 }
@@ -111,14 +137,20 @@ fn garbage_collection_never_reclaims_live_data() {
     // Overwrite a small key set many times to generate dead segments.
     for round in 0..30u64 {
         for i in 0..40u64 {
-            client.update(&key_for(i, 8), &vec![(round % 251) as u8; 128]).unwrap();
+            client
+                .update(&key_for(i, 8), &[(round % 251) as u8; 128])
+                .unwrap();
         }
     }
     kvs.quiesce().unwrap();
     let freed = kvs.dpm().run_gc();
     // Whatever was freed, the live values are intact.
     for i in 0..40u64 {
-        assert_eq!(client.lookup(&key_for(i, 8)).unwrap(), Some(vec![29u8; 128]), "key {i}");
+        assert_eq!(
+            client.lookup(&key_for(i, 8)).unwrap(),
+            Some(vec![29u8; 128]),
+            "key {i}"
+        );
     }
     let stats = kvs.dpm().stats();
     assert!(stats.segments_freed as usize >= freed.min(1) - 1 || freed == 0);
