@@ -407,25 +407,21 @@ pub struct BatchPoint {
     pub speedup: f64,
 }
 
-/// Measure per-key vs batched read throughput on a self-contained, warmed
-/// cluster — the harness-level (one-shot, own-cluster) counterpart of the
-/// `batch_bench` Criterion bench, for figure binaries and tests. `ops` is
-/// the total operation count per side; keys are pre-loaded and cache-warmed
-/// so the measurement isolates the request path (routing, node lookup,
-/// shard locking) rather than DPM misses. For noise-robust comparisons on
-/// shared hosts, prefer several calls and compare medians, as
-/// `batch_bench` does with its interleaved rounds.
-pub fn measure_batch_amortization(batch_size: usize, num_keys: u64, ops: u64) -> BatchPoint {
-    use dinomo_core::Op;
+/// Build the self-contained cluster both batched-vs-per-key measurements
+/// use (`measure_batch_amortization` here and the `batch_bench` Criterion
+/// bench): 4 KNs × 2 threads, preloaded with `num_keys` 128-byte values
+/// and cache-warmed so the measurement isolates the request path (routing,
+/// node lookup, shard locking) rather than DPM misses.
+pub fn batch_measurement_cluster(num_keys: u64) -> Kvs {
     use dinomo_workload::key_for;
-    use std::time::Instant;
 
     let kvs = Kvs::builder()
         .initial_kns(4)
         .threads_per_kn(2)
         .cache_bytes_per_kn(8 << 20)
+        .write_batch_ops(8)
         .dpm(DpmConfig {
-            pool: PmemConfig::with_capacity(256 << 20),
+            pool: PmemConfig::with_capacity(512 << 20),
             segment_bytes: 2 << 20,
             merge_threads: 2,
             index: PclhtConfig::for_capacity(num_keys as usize * 2),
@@ -441,9 +437,25 @@ pub fn measure_batch_amortization(batch_size: usize, num_keys: u64, ops: u64) ->
     for i in 0..num_keys {
         client.lookup(&key_for(i, 8)).unwrap();
     }
+    kvs
+}
 
-    // The per-key side issues the same batches' worth of lookups and, like
-    // `execute`, produces every result.
+/// One timed round of the batched-vs-per-key read comparison over a shared
+/// stride-31 scan (the stride spreads consecutive ops across owners, the
+/// worst case for grouping): returns `(per_key_ns_per_op,
+/// batched_ns_per_op)`. Both sides produce every result; the batched side
+/// asserts its replies succeeded so a failing batch cannot masquerade as a
+/// fast one.
+pub fn measure_batch_round(
+    client: &dinomo_core::KvsClient,
+    num_keys: u64,
+    batch_size: usize,
+    ops: u64,
+) -> (f64, f64) {
+    use dinomo_core::{Op, Reply};
+    use dinomo_workload::key_for;
+    use std::time::Instant;
+
     let per_key_start = Instant::now();
     let mut key = 0u64;
     let mut remaining = ops;
@@ -471,11 +483,26 @@ pub fn measure_batch_amortization(batch_size: usize, num_keys: u64, ops: u64) ->
                 Op::lookup(key_for(key, 8))
             })
             .collect();
-        std::hint::black_box(client.execute(batch));
+        let replies = client.execute(batch);
+        assert!(replies.iter().all(Reply::is_ok));
+        std::hint::black_box(replies);
         remaining -= n as u64;
     }
     let batched_ns = batched_start.elapsed().as_nanos() as f64 / ops.max(1) as f64;
 
+    (per_key_ns, batched_ns)
+}
+
+/// Measure per-key vs batched read throughput on a self-contained, warmed
+/// cluster — the harness-level (one-shot, own-cluster) counterpart of the
+/// `batch_bench` Criterion bench, for figure binaries and tests. `ops` is
+/// the total operation count per side. For noise-robust comparisons on
+/// shared hosts, prefer several calls and compare medians, as
+/// `batch_bench` does with its interleaved rounds.
+pub fn measure_batch_amortization(batch_size: usize, num_keys: u64, ops: u64) -> BatchPoint {
+    let kvs = batch_measurement_cluster(num_keys);
+    let client = kvs.client();
+    let (per_key_ns, batched_ns) = measure_batch_round(&client, num_keys, batch_size, ops);
     BatchPoint {
         batch_size,
         per_key_ns_per_op: per_key_ns,

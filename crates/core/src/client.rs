@@ -14,8 +14,8 @@
 //! mid-flight (ownership moved, node failed or reconfiguring) are retried
 //! individually after a metadata refresh, so a batch racing a
 //! reconfiguration still produces a correct per-op [`Reply`].  The per-key
-//! methods ([`KvsClient::insert`] & co.) are thin wrappers that submit a
-//! single-op batch.
+//! methods ([`KvsClient::insert`] & co.) share the same routing/retry core
+//! as a single-op batch, without allocating an owned [`Op`].
 
 use crate::error::KvsError;
 use crate::kn::KnNode;
@@ -174,12 +174,27 @@ impl KvsClient {
                 let cached = self.cached.lock();
                 routed_version = cached.version();
                 let global = cached.global_ring();
+                // All ops on the same replicated key must route to the same
+                // replica within a round: groups dispatch in creation order,
+                // so spreading a key's ops across replicas could land a
+                // later op in an earlier-created group and run it first,
+                // breaking the same-key batch-order guarantee. The
+                // round-robin pick is therefore memoized per key per round
+                // (load still spreads across batches).
+                let mut replica_picks: Vec<(&[u8], Option<KnId>)> = Vec::new();
                 for &i in &pending {
                     let key = ops[i].key();
                     let hash = dinomo_partition::key_hash(key);
                     hashes[i] = hash;
                     let owner = if cached.is_replicated(key) {
-                        self.pick_replica(&cached, key)
+                        match replica_picks.iter().find(|(k, _)| *k == key) {
+                            Some((_, pick)) => *pick,
+                            None => {
+                                let pick = self.pick_replica(&cached, key);
+                                replica_picks.push((key, pick));
+                                pick
+                            }
+                        }
                     } else {
                         global.owner(hash)
                     };
@@ -246,34 +261,41 @@ impl KvsClient {
             .collect()
     }
 
-    /// The singleton path: identical routing/retry behaviour to a batch of
-    /// one, without building groups.
-    fn execute_single(&self, op: &Op) -> Reply {
+    /// The allocation-free core of the per-key methods and singleton
+    /// batches: route `key`, run `f` against the owner node, and retry on
+    /// routing errors after a metadata refresh — identical routing/retry
+    /// behaviour to a batch of one, without building groups or owned `Op`s.
+    fn run<T>(&self, key: &[u8], f: impl Fn(&KnNode) -> Result<T>) -> Result<T> {
         for attempt in 0..MAX_RETRIES {
-            let owner = match self.pick_owner(op.key()) {
-                Ok(owner) => owner,
-                Err(e) => return Reply::Error(e),
-            };
+            let owner = self.pick_owner(key)?;
             let result = match self.node(owner) {
-                Some(node) => match op {
-                    Op::Lookup { key } => node.get(key),
-                    Op::Insert { key, value } | Op::Update { key, value } => {
-                        node.put(key, value).map(|()| None)
-                    }
-                    Op::Delete { key } => node.delete(key).map(|()| None),
-                },
+                Some(node) => f(&node),
                 None => Err(KvsError::NodeFailed),
             };
             match result {
-                Ok(read) => return op.reply_from(read),
                 Err(e) if Self::is_routing_error(&e) => {
                     self.refresh_routing();
                     Self::backoff(attempt);
                 }
-                Err(e) => return Reply::Error(e),
+                other => return other,
             }
         }
-        Reply::Error(KvsError::RoutingRetriesExhausted)
+        Err(KvsError::RoutingRetriesExhausted)
+    }
+
+    /// The singleton-batch path, in terms of [`KvsClient::run`].
+    fn execute_single(&self, op: &Op) -> Reply {
+        let result = match op {
+            Op::Lookup { key } => self.run(key, |kn| kn.get(key)),
+            Op::Insert { key, value } | Op::Update { key, value } => {
+                self.run(key, |kn| kn.put(key, value).map(|()| None))
+            }
+            Op::Delete { key } => self.run(key, |kn| kn.delete(key).map(|()| None)),
+        };
+        match result {
+            Ok(read) => op.reply_from(read),
+            Err(e) => Reply::Error(e),
+        }
     }
 
     /// Batched lookup: one reply per key, in key order.
@@ -312,23 +334,23 @@ impl KvsClient {
     /// identically. If you need insert-if-absent, [`KvsClient::lookup`]
     /// first; the store never errors with "already exists".
     pub fn insert(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        self.execute_single(&Op::insert(key, value)).into_ack()
+        self.run(key, |kn| kn.put(key, value))
     }
 
     /// `update(key, value)`. Overwrites `key`'s value; like
     /// [`KvsClient::insert`] it is an upsert, so updating a missing key
     /// writes it.
     pub fn update(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        self.execute_single(&Op::update(key, value)).into_ack()
+        self.run(key, |kn| kn.put(key, value))
     }
 
     /// `lookup(key)`.
     pub fn lookup(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.execute_single(&Op::lookup(key)).into_value()
+        self.run(key, |kn| kn.get(key))
     }
 
     /// `delete(key)`.
     pub fn delete(&self, key: &[u8]) -> Result<()> {
-        self.execute_single(&Op::delete(key)).into_ack()
+        self.run(key, |kn| kn.delete(key))
     }
 }

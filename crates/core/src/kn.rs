@@ -298,12 +298,14 @@ impl KnNode {
         shard.bloom.insert(key);
     }
 
-    /// The delete path against an already-locked shard.
-    fn delete_in_shard(shard: &mut Shard, key: &[u8]) {
-        shard.writer.append_delete(key);
+    /// The delete path against an already-locked shard. Returns the
+    /// tombstone's global sequence number.
+    fn delete_in_shard(shard: &mut Shard, key: &[u8]) -> u64 {
+        let seq = shard.writer.append_delete(key);
         shard.cache.invalidate(key);
         shard.unmerged.insert(key.to_vec(), Unmerged::Deleted);
         shard.bloom.insert(key);
+        seq
     }
 
     /// Flush the shard's buffered log records if the write batch is full.
@@ -319,7 +321,7 @@ impl KnNode {
     fn put_shared(&self, key: &[u8], value: &[u8], thread: u32) -> Result<()> {
         let mut shard = self.shard_for(thread).lock();
         shard.cache.invalidate(key);
-        shard.writer.append_put(key, value);
+        let seq = shard.writer.append_put(key, value);
         let commits = shard.writer.flush()?;
         let new_loc = commits
             .iter()
@@ -335,15 +337,29 @@ impl KnNode {
             // make the logged entry visible through the index.
             return Ok(());
         };
-        loop {
-            let Some(current) = self.dpm.remote_read_indirect(&self.nic, cell) else {
-                return Ok(());
-            };
-            match self.dpm.cas_indirect(&self.nic, cell, current, new_loc) {
-                Ok(()) => return Ok(()),
-                Err(_actual) => continue,
-            }
+        // Swings the cell whether it holds a live value or a delete
+        // tombstone (the put re-installs visibility after a delete) —
+        // unless the cell already publishes newer state.
+        self.dpm.publish_shared_put(&self.nic, cell, new_loc, seq);
+        Ok(())
+    }
+
+    /// Delete of a selectively-replicated key: log the tombstone, then mark
+    /// the indirection cell with a delete tombstone so shared readers on
+    /// **every** replica observe the delete immediately — an acknowledged
+    /// delete must not keep serving the old value until its log tombstone is
+    /// flushed and merged. The merge engine later removes the index entry
+    /// and releases the cell.
+    fn delete_shared(&self, key: &[u8], thread: u32) -> Result<()> {
+        let mut shard = self.shard_for(thread).lock();
+        let seq = Self::delete_in_shard(&mut shard, key);
+        let flushed = self.flush_if_due(&mut shard);
+        drop(shard);
+        flushed?;
+        if let Some(cell) = self.dpm.indirect_cell_of(key) {
+            self.dpm.publish_shared_delete(&self.nic, cell, seq);
         }
+        Ok(())
     }
 
     /// `delete(key)`.
@@ -351,15 +367,18 @@ impl KnNode {
         self.check_available()?;
         let thread = self.check_ownership(key)?;
         let start = Instant::now();
-        let mut shard = self.shard_for(thread).lock();
-        Self::delete_in_shard(&mut shard, key);
-        self.flush_if_due(&mut shard)?;
-        drop(shard);
+        let result = if self.is_replicated(key) {
+            self.delete_shared(key, thread)
+        } else {
+            let mut shard = self.shard_for(thread).lock();
+            Self::delete_in_shard(&mut shard, key);
+            self.flush_if_due(&mut shard)
+        };
         self.ops.fetch_add(1, Ordering::Relaxed);
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.busy_ns
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        Ok(())
+        result
     }
 
     // ------------------------------------------------------------ batches
@@ -460,9 +479,8 @@ impl KnNode {
                 }
                 let thread = local.and_then(|ring| ring.owner(hash)).unwrap_or(0);
                 // Every op on a replicated key is deferred to the in-order
-                // shared pass — including deletes, which individually take
-                // the owned path but must keep their batch order relative
-                // to the key's shared-path writes.
+                // shared pass — including deletes, which must keep their
+                // batch order relative to the key's shared-path writes.
                 if replication && replicated {
                     routes.push(SHARED | thread);
                 } else {
@@ -539,14 +557,11 @@ impl KnNode {
                     self.put_shared(key, value, thread).map(|()| None)
                 }
                 Op::Delete { key } => {
-                    // As in `delete`: replicated-key deletes go through the
-                    // owned path (the merge engine tears the indirection
-                    // cell down), flushed per op to keep the log position
-                    // consistent with its place in the batch.
+                    // As in `delete`: log the tombstone, then empty the
+                    // indirection cell so the delete is visible on every
+                    // replica at once.
                     writes += 1;
-                    let mut shard = self.shard_for(thread).lock();
-                    Self::delete_in_shard(&mut shard, key);
-                    self.flush_if_due(&mut shard).map(|()| None)
+                    self.delete_shared(key, thread).map(|()| None)
                 }
             };
             out[pos] = Some(result);

@@ -481,6 +481,99 @@ mod tests {
     }
 
     #[test]
+    fn replicated_key_delete_is_immediately_visible() {
+        // An acknowledged delete of a replicated key must be observed by
+        // shared-path reads on every replica right away — before its
+        // tombstone is flushed or merged (the delete empties the
+        // indirection cell) — and a subsequent write must be visible again.
+        let kvs = cluster(Variant::Dinomo);
+        let client = kvs.client();
+        client.insert(b"hot", b"v0").unwrap();
+        kvs.replicate_key(b"hot", 2).unwrap();
+        client.refresh_routing();
+        client.delete(b"hot").unwrap();
+        // No quiesce: the lookups round-robin across both replicas.
+        for i in 0..4 {
+            assert_eq!(client.lookup(b"hot").unwrap(), None, "lookup {i}");
+        }
+        client.insert(b"hot", b"v1").unwrap();
+        for i in 0..4 {
+            assert_eq!(
+                client.lookup(b"hot").unwrap(),
+                Some(b"v1".to_vec()),
+                "lookup {i} after re-insert"
+            );
+        }
+        // And the merge of the buffered tombstone (older than the
+        // re-insert) must not take the newer value down with it.
+        kvs.quiesce().unwrap();
+        assert_eq!(client.lookup(b"hot").unwrap(), Some(b"v1".to_vec()));
+    }
+
+    #[test]
+    fn replicated_key_order_holds_with_unrelated_group_ahead() {
+        // Regression: an unrelated op earlier in the batch pre-creates the
+        // owner group of one of the hot key's replicas. If a batch's ops on
+        // one key were round-robined to different replicas, a later op could
+        // join that earlier-created group and dispatch before an earlier op
+        // on the same key — a lookup observing the pre-update value, or a
+        // delete overtaken by the update it should win over. All ops on one
+        // key must share one group, whatever the round-robin phase; the
+        // sweep over cold keys (spanning both owners) and round-robin
+        // phases covers every group-layout combination.
+        let kvs = cluster(Variant::Dinomo);
+        let client = kvs.client();
+        for i in 0..8u64 {
+            for phase in 0..2u64 {
+                client.insert(b"hot", b"v0").unwrap();
+                kvs.quiesce().unwrap();
+                // Re-install replication each round (the delete below tears
+                // the indirection cell down) and refresh the client: with a
+                // stale cached table the client routes "hot" to its primary
+                // owner and the replica round-robin never engages.
+                kvs.replicate_key(b"hot", 2).unwrap();
+                client.refresh_routing();
+                if phase == 1 {
+                    // An odd number of extra picks shifts the round-robin
+                    // phase the batches below start from.
+                    client.lookup(b"hot").unwrap();
+                }
+
+                // Write-then-read: the in-batch lookup follows the update
+                // in batch order and must observe its value.
+                let v = format!("v{i}-{phase}");
+                let replies = client.execute(vec![
+                    Op::insert(key_for(i, 8), "c"),
+                    Op::update("hot", v.as_bytes()),
+                    Op::lookup("hot"),
+                ]);
+                assert!(replies.iter().all(Reply::is_ok), "{replies:?}");
+                assert_eq!(
+                    replies[2].value(),
+                    Some(v.as_bytes()),
+                    "cold key {i} phase {phase}: in-batch lookup must see \
+                     the earlier same-batch update"
+                );
+
+                // Write-then-delete: the delete is last and must win.
+                let replies = client.execute(vec![
+                    Op::insert(key_for(i, 8), "c2"),
+                    Op::update("hot", "resurrect?"),
+                    Op::delete("hot"),
+                ]);
+                assert!(replies.iter().all(Reply::is_ok), "{replies:?}");
+                kvs.quiesce().unwrap();
+                assert_eq!(
+                    client.lookup(b"hot").unwrap(),
+                    None,
+                    "cold key {i} phase {phase}: delete must win over the \
+                     earlier same-batch update"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn batched_writes_flush_once_per_group_but_remain_durable() {
         // With write_batch_ops = 1 every per-op write flushes individually;
         // a batch flushes once per shard group. Either way, everything the

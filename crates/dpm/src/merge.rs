@@ -137,8 +137,10 @@ fn apply_entry(
                     } else if old == new_loc {
                         // Already merged (recovery re-merge): nothing to do.
                     } else if inner.entry_seq(old) > Some(entry.header.seq) {
-                        // A newer entry was merged first (can only happen
-                        // during recovery re-scans); this one is stale.
+                        // A newer entry was merged first (recovery re-scans,
+                        // or a key written through several KNs — replication,
+                        // reconfiguration — whose segments merge on workers
+                        // with no mutual order); this one is stale.
                         inner.invalidate_entry(new_loc);
                     } else {
                         inner.index().update(
@@ -150,16 +152,32 @@ fn apply_entry(
                     }
                 }
                 None => {
-                    // New key.
-                    let _ = inner.index().insert(tag, new_loc.raw());
+                    if inner.tombstone_newer_than(&key, entry.header.seq) {
+                        // A newer acknowledged delete already merged and
+                        // removed the key (this put's segment lagged, e.g.
+                        // written via another KN); inserting would
+                        // resurrect the deleted key.
+                        inner.invalidate_entry(new_loc);
+                    } else {
+                        // New key (or re-insert newer than any merged
+                        // delete).
+                        inner.forget_merged_tombstone(&key);
+                        let _ = inner.index().insert(tag, new_loc.raw());
+                    }
                 }
             }
         }
         LogOp::Delete => {
-            if let Some(raw) = inner
-                .index()
-                .remove(tag, |raw| inner.loc_matches_key(raw, &key))
-            {
+            // Symmetric to the Put arm's staleness check: a key written
+            // through several KNs (replication, reconfiguration) merges on
+            // workers with no mutual order, so this tombstone may arrive
+            // after a newer acknowledged put — removing unconditionally
+            // would discard that write. Skip the removal when the indexed
+            // state is newer than the tombstone.
+            if let Some(raw) = inner.index().remove(tag, |raw| {
+                inner.loc_matches_key(raw, &key)
+                    && !inner.indexed_state_newer_than(raw, entry.header.seq)
+            }) {
                 let old = PackedLoc::from_raw(raw);
                 if old.is_indirect() {
                     if let Some(target) = inner.indirect_cell_target(old.addr()) {
@@ -170,6 +188,9 @@ fn apply_entry(
                     inner.invalidate_entry(old);
                 }
             }
+            // Remember the delete so an older put merging later (lagging
+            // segment, possibly another KN's) cannot re-insert the key.
+            inner.record_merged_tombstone(&key, entry.header.seq);
             // The tombstone itself never needs to stay around.
             inner.invalidate_entry(PackedLoc::direct(entry_addr, entry.total_len));
         }

@@ -63,6 +63,13 @@ pub struct DpmInner {
     entries_merged: AtomicU64,
     segments_freed: AtomicU64,
     indirect_cells: AtomicU64,
+    /// Highest merged delete sequence number per key (see
+    /// [`DpmInner::record_merged_tombstone`]).
+    merged_tombstones: Mutex<HashMap<Vec<u8>, u64>>,
+    /// Entry count of `merged_tombstones`, kept in an atomic so the merge
+    /// workers' common path (first insert of a new key, no deletes ever
+    /// recorded) skips the map lock entirely instead of serializing on it.
+    merged_tombstone_count: AtomicU64,
     metadata: Mutex<HashMap<String, Vec<u8>>>,
     metadata_region: Mutex<Vec<(PmAddr, u64)>>,
 }
@@ -120,21 +127,96 @@ impl DpmInner {
         decode_entry(&self.pool, loc.addr(), loc.len()).map(|e| e.header.seq)
     }
 
-    /// The entry location an indirection cell currently points at.
+    /// `true` when the indexed state for a key — the direct entry, or the
+    /// entry its indirection cell currently points at — carries a newer
+    /// sequence number than `seq`.
+    pub(crate) fn indexed_state_newer_than(&self, raw: u64, seq: u64) -> bool {
+        let loc = PackedLoc::from_raw(raw);
+        let entry_loc = if loc.is_indirect() {
+            match self.indirect_cell_target(loc.addr()) {
+                Some(t) => t,
+                None => return false,
+            }
+        } else {
+            loc
+        };
+        self.entry_seq(entry_loc) > Some(seq)
+    }
+
+    /// The entry an indirection cell identifies, for **key-identity**
+    /// purposes: the live entry, or — when the cell carries a delete
+    /// tombstone (bit 63 set; a cell's stored target is otherwise always a
+    /// direct location) — the tombstoned-over last entry, so the index
+    /// stays resolvable for the key until the merge removes it.
     pub(crate) fn indirect_cell_target(&self, cell: PmAddr) -> Option<PackedLoc> {
         let raw = self.pool.read_u64(cell);
         if raw == 0 {
+            return None;
+        }
+        let loc = PackedLoc::from_raw(raw);
+        Some(PackedLoc::direct(loc.addr(), loc.len()))
+    }
+
+    /// The entry an indirection cell currently serves to **readers**:
+    /// `None` when the cell is empty or tombstoned by a shared-path delete.
+    pub(crate) fn indirect_cell_live_target(&self, cell: PmAddr) -> Option<PackedLoc> {
+        let raw = self.pool.read_u64(cell);
+        let loc = PackedLoc::from_raw(raw);
+        if raw == 0 || loc.is_indirect() {
             None
         } else {
-            Some(PackedLoc::from_raw(raw))
+            Some(loc)
         }
     }
 
-    /// Mark the segment containing `loc` as having one more invalid entry.
+    /// Mark the entry at `loc` invalid in its segment's accounting
+    /// (idempotent per entry — see `SegmentState::record_invalidated`).
     pub(crate) fn invalidate_entry(&self, loc: PackedLoc) {
         let segments = self.segments.read();
         if let Some(seg) = segments.iter().find(|s| s.contains(loc.addr())) {
-            seg.record_invalidated();
+            seg.record_invalidated(loc.addr().0 - seg.base.0);
+        }
+    }
+
+    /// Record a merged delete, so a stale put (older sequence number, e.g.
+    /// from another KN's lagging segment) that merges later cannot re-insert
+    /// the deleted key. An entry is dropped when a newer put re-inserts the
+    /// key; keys deleted and never rewritten keep one entry each — bounded
+    /// by the set of dead keys, acceptable at this simulation's scale.
+    pub(crate) fn record_merged_tombstone(&self, key: &[u8], seq: u64) {
+        let mut map = self.merged_tombstones.lock();
+        match map.entry(key.to_vec()) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if *e.get() < seq {
+                    e.insert(seq);
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(seq);
+                self.merged_tombstone_count.fetch_add(1, Ordering::Release);
+            }
+        }
+    }
+
+    /// `true` when a delete newer than `seq` has already merged for `key`.
+    pub(crate) fn tombstone_newer_than(&self, key: &[u8], seq: u64) -> bool {
+        if self.merged_tombstone_count.load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        self.merged_tombstones
+            .lock()
+            .get(key)
+            .is_some_and(|&d| d > seq)
+    }
+
+    /// Drop `key`'s merged-tombstone record (a newer put re-inserted it;
+    /// staleness is decided against the indexed entry from here on).
+    pub(crate) fn forget_merged_tombstone(&self, key: &[u8]) {
+        if self.merged_tombstone_count.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        if self.merged_tombstones.lock().remove(key).is_some() {
+            self.merged_tombstone_count.fetch_sub(1, Ordering::Release);
         }
     }
 
@@ -189,6 +271,8 @@ impl DpmNode {
             entries_merged: AtomicU64::new(0),
             segments_freed: AtomicU64::new(0),
             indirect_cells: AtomicU64::new(0),
+            merged_tombstones: Mutex::new(HashMap::new()),
+            merged_tombstone_count: AtomicU64::new(0),
             metadata: Mutex::new(HashMap::new()),
             metadata_region: Mutex::new(Vec::new()),
         });
@@ -315,7 +399,7 @@ impl DpmNode {
     pub fn local_read(&self, key: &[u8]) -> Option<Vec<u8>> {
         let loc = self.local_lookup(key)?;
         let entry_loc = if loc.is_indirect() {
-            self.inner.indirect_cell_target(loc.addr())?
+            self.inner.indirect_cell_live_target(loc.addr())?
         } else {
             loc
         };
@@ -342,7 +426,7 @@ impl DpmNode {
         let (entry_loc, indirect) = if loc.is_indirect() {
             nic.one_sided_read(8);
             rts += 1;
-            match self.inner.indirect_cell_target(loc.addr()) {
+            match self.inner.indirect_cell_live_target(loc.addr()) {
                 Some(t) => (t, true),
                 None => {
                     return LookupResult {
@@ -430,7 +514,10 @@ impl DpmNode {
         if !loc.is_indirect() {
             return false;
         }
-        let Some(target) = self.inner.indirect_cell_target(loc.addr()) else {
+        // De-replication collapses only a *live* cell: a tombstoned cell
+        // (shared-path delete awaiting its merge) must not resurrect the
+        // tombstoned-over entry as a direct pointer.
+        let Some(target) = self.inner.indirect_cell_live_target(loc.addr()) else {
             return false;
         };
         self.inner.index.update(tag, |r| r == raw, target.raw());
@@ -445,10 +532,12 @@ impl DpmNode {
     }
 
     /// Read an indirection cell over the network (1 RT) and return the entry
-    /// it points to.
+    /// it points to — `None` when the cell is empty **or carries a delete
+    /// tombstone**, so shared readers observe an acknowledged delete
+    /// immediately.
     pub fn remote_read_indirect(&self, nic: &Nic, cell: PmAddr) -> Option<PackedLoc> {
         nic.one_sided_read(8);
-        self.inner.indirect_cell_target(cell)
+        self.inner.indirect_cell_live_target(cell)
     }
 
     /// Atomically swing an indirection cell from `old` to `new` with a
@@ -469,6 +558,102 @@ impl DpmNode {
                 Ok(())
             }
             Err(actual) => Err(PackedLoc::from_raw(actual)),
+        }
+    }
+
+    /// Publish a shared-path put: loop a one-sided CAS until the cell is
+    /// swung to `new` — over a live value or a delete tombstone (the put
+    /// re-installs read visibility after a shared-path delete).
+    ///
+    /// The swing only happens when `new_seq` is **newer** than the state the
+    /// cell currently publishes (the live entry's sequence number, or the
+    /// tombstoning delete's from the cell's second word). Keeping the cell
+    /// seq-monotonic makes its publish order agree with the merge engine's
+    /// append-seq arbitration: a put that lost the publish race to a newer
+    /// delete (or newer put) stays invisible *both* at the cell and after
+    /// its log record merges, instead of flickering into view only to be
+    /// deleted by the older-history merge. Returns `false` when nothing was
+    /// swung (cell released, or `new_seq` is stale).
+    pub fn publish_shared_put(
+        &self,
+        nic: &Nic,
+        cell: PmAddr,
+        new: PackedLoc,
+        new_seq: u64,
+    ) -> bool {
+        loop {
+            nic.one_sided_read(8);
+            let raw = self.inner.pool.read_u64(cell);
+            if raw == 0 {
+                return false;
+            }
+            let old = PackedLoc::from_raw(raw);
+            let published_seq = if old.is_indirect() {
+                nic.one_sided_read(8);
+                Some(self.inner.pool.read_u64(cell.offset(8)))
+            } else {
+                self.inner.entry_seq(old)
+            };
+            if published_seq >= Some(new_seq) {
+                return false;
+            }
+            nic.one_sided_cas();
+            if self.inner.pool.cas_u64(cell, raw, new.raw()).is_ok() {
+                self.inner.pool.persist(cell, 8);
+                // A tombstoned predecessor was already invalidated by the
+                // delete that marked it.
+                if !old.is_indirect() {
+                    self.inner.invalidate_entry(old);
+                }
+                return true;
+            }
+        }
+    }
+
+    /// Publish a shared-path delete: loop a one-sided CAS until the cell
+    /// carries the delete tombstone, so shared readers on **every** replica
+    /// observe the delete immediately — before the log tombstone is flushed
+    /// or merged. The cell keeps the last entry's address (with the
+    /// tombstone flag set) so the index stays resolvable for the key until
+    /// the merge engine removes the entry and releases the cell; the
+    /// delete's sequence number is stored in the cell's second word so a
+    /// put that lost the publish race can recognize itself as stale.
+    ///
+    /// Seq-monotonic like [`DpmNode::publish_shared_put`]: a delete older
+    /// than the currently published state is a no-op.
+    pub fn publish_shared_delete(&self, nic: &Nic, cell: PmAddr, del_seq: u64) {
+        loop {
+            nic.one_sided_read(8);
+            let raw = self.inner.pool.read_u64(cell);
+            let loc = PackedLoc::from_raw(raw);
+            if raw == 0 {
+                return; // released
+            }
+            if loc.is_indirect() {
+                // Already tombstoned: only advance the recorded delete seq.
+                nic.one_sided_read(8);
+                if self.inner.pool.read_u64(cell.offset(8)) < del_seq {
+                    nic.one_sided_write(8);
+                    self.inner.pool.write_u64(cell.offset(8), del_seq);
+                    self.inner.pool.persist(cell.offset(8), 8);
+                }
+                return;
+            }
+            if self.inner.entry_seq(loc) > Some(del_seq) {
+                return; // a newer put won the publish race
+            }
+            // Stamp the delete seq before the swing so observers of the
+            // tombstone bit always see a seq at least this new.
+            nic.one_sided_write(8);
+            self.inner.pool.write_u64(cell.offset(8), del_seq);
+            self.inner.pool.persist(cell.offset(8), 8);
+            nic.one_sided_cas();
+            let tombstoned = PackedLoc::indirect(loc.addr(), loc.len());
+            if self.inner.pool.cas_u64(cell, raw, tombstoned.raw()).is_ok() {
+                self.inner.pool.persist(cell, 8);
+                self.inner.invalidate_entry(loc);
+                return;
+            }
         }
     }
 
@@ -602,6 +787,68 @@ mod tests {
 
     fn nic() -> Nic {
         Nic::new(FabricConfig::default())
+    }
+
+    #[test]
+    fn stale_tombstone_does_not_remove_newer_put() {
+        // A key written through two KNs (replication, reconfiguration)
+        // merges on workers with no mutual order, so an older delete's
+        // tombstone can merge after a newer acknowledged put. The Delete
+        // arm must skip the removal (seq check, symmetric to the Put arm).
+        let dpm = dpm();
+        let nic = nic();
+        let mut wa = LogWriter::new(Arc::clone(&dpm), 0, nic.clone());
+        let mut wb = LogWriter::new(Arc::clone(&dpm), 1, nic.clone());
+        wa.append_put(b"k", b"v1");
+        wa.flush().unwrap();
+        dpm.wait_until_merged(0);
+        // Older delete (KN 0), newer put (KN 1)...
+        wa.append_delete(b"k");
+        wb.append_put(b"k", b"v2");
+        // ...but the put merges first.
+        wb.flush().unwrap();
+        dpm.wait_until_merged(1);
+        assert_eq!(dpm.local_read(b"k"), Some(b"v2".to_vec()));
+        wa.flush().unwrap();
+        dpm.wait_until_merged(0);
+        assert_eq!(
+            dpm.local_read(b"k"),
+            Some(b"v2".to_vec()),
+            "stale tombstone must not remove the newer acknowledged put"
+        );
+    }
+
+    #[test]
+    fn stale_put_does_not_resurrect_newer_delete() {
+        // The mirror of `stale_tombstone_does_not_remove_newer_put`: a put
+        // whose segment merge lags a newer delete's must not re-insert the
+        // deleted key when it finally merges against an empty index slot.
+        let dpm = dpm();
+        let nic = nic();
+        let mut wa = LogWriter::new(Arc::clone(&dpm), 0, nic.clone());
+        let mut wb = LogWriter::new(Arc::clone(&dpm), 1, nic.clone());
+        wa.append_put(b"k", b"v1");
+        wa.flush().unwrap();
+        dpm.wait_until_merged(0);
+        // Older put (KN 0, merge lagging), newer delete (KN 1)...
+        wa.append_put(b"k", b"v2");
+        wb.append_delete(b"k");
+        // ...and the delete merges first, removing the key.
+        wb.flush().unwrap();
+        dpm.wait_until_merged(1);
+        assert_eq!(dpm.local_read(b"k"), None);
+        wa.flush().unwrap();
+        dpm.wait_until_merged(0);
+        assert_eq!(
+            dpm.local_read(b"k"),
+            None,
+            "stale put must not resurrect the acknowledged delete"
+        );
+        // A put *newer* than the delete re-inserts the key normally.
+        wa.append_put(b"k", b"v3");
+        wa.flush().unwrap();
+        dpm.wait_until_merged(0);
+        assert_eq!(dpm.local_read(b"k"), Some(b"v3".to_vec()));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Log-segment bookkeeping.
 
 use dinomo_pmem::PmAddr;
+use parking_lot::Mutex;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Shared state describing one log segment in DPM.
@@ -31,6 +33,14 @@ pub struct SegmentState {
     /// Entries whose data has been superseded, deleted, or that never carried
     /// data (tombstones count as invalid immediately after merging).
     entries_invalid: AtomicU64,
+    /// Segment offsets already recorded invalid. An entry can be discovered
+    /// dead more than once — at indirection-cell swing time and again when
+    /// its own log record merges and is found stale — and `is_reclaimable`
+    /// compares `entries_invalid` against `entries_written`, so a
+    /// double-count would stand in for a live entry and let GC free a
+    /// segment that is still referenced. The set makes invalidation
+    /// idempotent per entry.
+    invalid_offsets: Mutex<HashSet<u64>>,
     /// Sealed: the owner will not append to this segment again.
     sealed: AtomicBool,
     /// Freed by the garbage collector.
@@ -50,6 +60,7 @@ impl SegmentState {
             entries_written: AtomicU64::new(0),
             entries_merged: AtomicU64::new(0),
             entries_invalid: AtomicU64::new(0),
+            invalid_offsets: Mutex::new(HashSet::new()),
             sealed: AtomicBool::new(false),
             freed: AtomicBool::new(false),
         }
@@ -99,10 +110,13 @@ impl SegmentState {
         self.entries_merged.fetch_add(entries, Ordering::AcqRel);
     }
 
-    /// Record that one entry in this segment became invalid (superseded,
-    /// deleted, or a tombstone).
-    pub fn record_invalidated(&self) {
-        self.entries_invalid.fetch_add(1, Ordering::AcqRel);
+    /// Record that the entry at segment `offset` became invalid (superseded,
+    /// deleted, or a tombstone). Idempotent: re-reporting the same entry
+    /// does not advance the counter.
+    pub fn record_invalidated(&self, offset: u64) {
+        if self.invalid_offsets.lock().insert(offset) {
+            self.entries_invalid.fetch_add(1, Ordering::AcqRel);
+        }
     }
 
     /// Seal the segment (the owner moves to a new one).
@@ -167,11 +181,16 @@ mod tests {
         let s = SegmentState::new(1, 0, PmAddr(4096), 1024);
         s.record_append(100, 2);
         s.record_merged(100, 2);
-        s.record_invalidated();
+        s.record_invalidated(0);
         assert!(!s.is_reclaimable(), "not sealed yet");
         s.seal();
         assert!(!s.is_reclaimable(), "one entry still valid");
-        s.record_invalidated();
+        s.record_invalidated(0);
+        assert!(
+            !s.is_reclaimable(),
+            "re-invalidating the same entry must not stand in for the live one"
+        );
+        s.record_invalidated(50);
         assert!(s.is_reclaimable());
         assert!(s.mark_freed());
         assert!(!s.mark_freed(), "double free must be detected");

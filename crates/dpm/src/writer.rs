@@ -87,17 +87,18 @@ impl LogWriter {
         self.buffer.len() >= self.dpm.config().flush_batch_bytes
     }
 
-    /// Buffer an insert/update.
-    pub fn append_put(&mut self, key: &[u8], value: &[u8]) {
-        self.append(key, value, LogOp::Put);
+    /// Buffer an insert/update. Returns the entry's global sequence number.
+    pub fn append_put(&mut self, key: &[u8], value: &[u8]) -> u64 {
+        self.append(key, value, LogOp::Put)
     }
 
-    /// Buffer a delete (tombstone).
-    pub fn append_delete(&mut self, key: &[u8]) {
-        self.append(key, &[], LogOp::Delete);
+    /// Buffer a delete (tombstone). Returns the entry's global sequence
+    /// number.
+    pub fn append_delete(&mut self, key: &[u8]) -> u64 {
+        self.append(key, &[], LogOp::Delete)
     }
 
-    fn append(&mut self, key: &[u8], value: &[u8], op: LogOp) {
+    fn append(&mut self, key: &[u8], value: &[u8], op: LogOp) -> u64 {
         assert!(!key.is_empty(), "keys must be non-empty");
         assert!(
             entry_size(key.len(), value.len()) <= self.dpm.config().segment_bytes,
@@ -117,6 +118,7 @@ impl LogWriter {
             value_offset: entry_offset + value_offset_in_entry,
             value_len: value.len() as u32,
         });
+        seq
     }
 
     /// Flush the buffered batch to DPM. Returns one [`CommittedWrite`] per

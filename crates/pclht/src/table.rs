@@ -182,10 +182,16 @@ impl Pclht {
     }
 
     /// Look up the first entry whose tag matches and whose value satisfies
-    /// `matches` (lock-free).
+    /// `matches`. Bucket-lock-free (snapshot protocol); the state read-lock
+    /// is held across the traversal so a concurrent resize cannot free the
+    /// bucket array mid-walk.
     pub fn get<F: Fn(u64) -> bool>(&self, tag: u64, matches: F) -> Option<u64> {
         let tag = Self::normalize_tag(tag);
-        let state = *self.state.read();
+        // Held across the traversal: resize() frees the old bucket array
+        // right after swapping the state, so a reader that released the
+        // lock early would walk freed (and possibly reused) memory.
+        let state_guard = self.state.read();
+        let state = *state_guard;
         for snap in self.chain_snapshot(&state, tag) {
             for (t, v) in snap.slots {
                 if t == tag && matches(v) {
@@ -204,7 +210,9 @@ impl Pclht {
     /// All values stored under `tag` (collisions included).
     pub fn get_all(&self, tag: u64) -> Vec<u64> {
         let tag = Self::normalize_tag(tag);
-        let state = *self.state.read();
+        // Held across the traversal (see `get`).
+        let state_guard = self.state.read();
+        let state = *state_guard;
         let mut out = Vec::new();
         for snap in self.chain_snapshot(&state, tag) {
             for (t, v) in snap.slots {
@@ -221,7 +229,9 @@ impl Pclht {
     /// fetching the value).
     pub fn chain_length(&self, tag: u64) -> u32 {
         let tag = Self::normalize_tag(tag);
-        let state = *self.state.read();
+        // Held across the traversal (see `get`).
+        let state_guard = self.state.read();
+        let state = *state_guard;
         self.chain_snapshot(&state, tag).len() as u32
     }
 
@@ -399,7 +409,9 @@ impl Pclht {
     /// Visit every `(tag, value)` entry. Takes a consistent per-chain
     /// snapshot; concurrent writers may or may not be observed.
     pub fn for_each<F: FnMut(u64, u64)>(&self, mut f: F) {
-        let state = *self.state.read();
+        // Held across the traversal (see `get`).
+        let state_guard = self.state.read();
+        let state = *state_guard;
         for idx in 0..state.num_buckets {
             let mut cur = BucketRef::new(state.buckets_addr.offset(idx * BUCKET_BYTES));
             loop {
@@ -427,7 +439,9 @@ impl Pclht {
         matches: F,
     ) -> (Option<u64>, u32) {
         let tag = Self::normalize_tag(tag);
-        let state = *self.state.read();
+        // Held across the traversal (see `get`).
+        let state_guard = self.state.read();
+        let state = *state_guard;
         let head = self.head_bucket(&state, tag);
         let mut rts = 0u32;
         let mut cur = head;
@@ -467,8 +481,10 @@ impl Pclht {
         }
         let new_buckets = state.num_buckets * 2;
         let new_addr = Self::alloc_bucket_array(&self.pool, new_buckets)?;
-        // Rehash every entry into the new array. Writers are excluded by the
-        // state write-lock; readers still read the old array until the swap.
+        // Rehash every entry into the new array. Writers and readers are
+        // both excluded by the state write-lock (each holds the read lock
+        // across its bucket access), so the old array has no users left by
+        // the time it is freed after the swap.
         let old = *state;
         let mut moved = 0u64;
         for idx in 0..old.num_buckets {
@@ -681,6 +697,60 @@ mod tests {
         assert_eq!(t.len(), 8_000);
         for w in 0..4u64 {
             for i in (0..2_000u64).step_by(131) {
+                let tag = w * 1_000_000 + i;
+                assert_eq!(t.get_first(tag), Some(tag + 7));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_survive_resizes() {
+        // Small initial table so the writers force repeated resizes while
+        // readers traverse; a reader that released the state lock before
+        // walking its chain would race the old bucket array being freed
+        // (and reused) right after the swap.
+        let pool = Arc::new(PmemPool::new(PmemConfig::with_capacity(64 << 20)));
+        let t = Arc::new(
+            Pclht::new(
+                pool,
+                PclhtConfig {
+                    initial_buckets: 16,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let writers: Vec<_> = (0..2u64)
+            .map(|w| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..4_000u64 {
+                        let tag = w * 1_000_000 + i;
+                        t.insert(tag, tag + 7).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2u64)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for _ in 0..4 {
+                        for i in 0..4_000u64 {
+                            if let Some(v) = t.get_first(i) {
+                                assert_eq!(v, i + 7);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(readers) {
+            h.join().unwrap();
+        }
+        assert!(t.stats().resizes > 0, "test must actually exercise resize");
+        for w in 0..2u64 {
+            for i in (0..4_000u64).step_by(97) {
                 let tag = w * 1_000_000 + i;
                 assert_eq!(t.get_first(tag), Some(tag + 7));
             }

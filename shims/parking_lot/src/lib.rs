@@ -9,7 +9,6 @@
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 /// A mutual-exclusion primitive (non-poisoning `std::sync::Mutex` wrapper).
@@ -230,12 +229,13 @@ impl WaitTimeoutResult {
 }
 
 /// A condition variable usable with the shim [`Mutex`].
+///
+/// A notify that lands while no thread is blocked in `wait`/`wait_for` is
+/// lost, as with `std::sync::Condvar` — callers must re-check their
+/// predicate under the mutex (every in-repo caller waits on a bounded
+/// timeout and re-checks).
 pub struct Condvar {
     inner: std::sync::Condvar,
-    /// Set by `notify_*` so a wait that raced the notification does not
-    /// block for its full timeout (parking_lot wakes exactly one waiter per
-    /// token; the std shim is just conservative about spurious wakeups).
-    notified: AtomicBool,
 }
 
 impl Condvar {
@@ -243,19 +243,16 @@ impl Condvar {
     pub const fn new() -> Self {
         Condvar {
             inner: std::sync::Condvar::new(),
-            notified: AtomicBool::new(false),
         }
     }
 
     /// Wake all waiting threads.
     pub fn notify_all(&self) {
-        self.notified.store(true, Ordering::Release);
         self.inner.notify_all();
     }
 
     /// Wake one waiting thread.
     pub fn notify_one(&self) {
-        self.notified.store(true, Ordering::Release);
         self.inner.notify_one();
     }
 
@@ -275,7 +272,6 @@ impl Condvar {
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
-        self.notified.store(false, Ordering::Release);
         let inner = guard.inner.take().expect("guard already taken");
         let (inner, result) = self
             .inner
