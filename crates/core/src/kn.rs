@@ -7,7 +7,7 @@ use crate::op::Op;
 use crate::stats::KnStats;
 use crate::Result;
 use dinomo_cache::{build_cache, CacheLookup, CacheStats, KnCache, ValueLoc};
-use dinomo_dpm::{BloomFilter, DpmNode, LogOp, LogWriter};
+use dinomo_dpm::{BloomFilter, DpmNode, Guard, LogOp, LogWriter};
 use dinomo_partition::{key_hash, KnId, OwnershipTable};
 use dinomo_pmem::PmAddr;
 use dinomo_simnet::Nic;
@@ -196,12 +196,19 @@ impl KnNode {
 
     fn get_owned(&self, key: &[u8], thread: u32) -> Result<Option<Vec<u8>>> {
         let mut shard = self.shard_for(thread).lock();
-        self.get_in_shard(&mut shard, key)
+        self.get_in_shard(&mut shard, key, &dinomo_dpm::pin())
     }
 
     /// The owned-key read path against an already-locked shard (shared by
-    /// the per-op path and [`KnNode::run_batch`]).
-    fn get_in_shard(&self, shard: &mut Shard, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    /// the per-op path and [`KnNode::run_batch`]). `guard` covers the
+    /// index traversal of the miss path; the batch path pins it once for
+    /// the whole batch.
+    fn get_in_shard(
+        &self,
+        shard: &mut Shard,
+        key: &[u8],
+        guard: &Guard,
+    ) -> Result<Option<Vec<u8>>> {
         match shard.cache.lookup(key) {
             CacheLookup::Value(v) => return Ok(Some(v)),
             CacheLookup::Shortcut(loc) => {
@@ -226,7 +233,7 @@ impl KnNode {
             }
         }
         // Full miss: traverse the metadata index remotely.
-        let lookup = self.dpm.remote_read(&self.nic, key);
+        let lookup = self.dpm.remote_read_in(guard, &self.nic, key);
         shard.cache.record_miss_cost(lookup.rts);
         match (&lookup.value, lookup.value_loc) {
             (Some(value), Some((addr, len))) => {
@@ -492,6 +499,10 @@ impl KnNode {
         let mut reads = 0u64;
         let mut writes = 0u64;
 
+        // One epoch pin covers every index lookup the whole batch performs
+        // (the lock-free read side of the P-CLHT; see dinomo_pclht::pin).
+        let guard = dinomo_dpm::pin();
+
         // One pass per shard over the route array (shard counts are small),
         // preserving group order within the shard. No per-shard allocation.
         for shard_idx in 0..self.shards.len() as u32 {
@@ -507,7 +518,7 @@ impl KnNode {
                 let result = match &ops[pos] {
                     Op::Lookup { key } => {
                         reads += 1;
-                        self.get_in_shard(&mut shard, key)
+                        self.get_in_shard(&mut shard, key, &guard)
                     }
                     Op::Insert { key, value } | Op::Update { key, value } => {
                         writes += 1;

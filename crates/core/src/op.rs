@@ -113,7 +113,28 @@ impl Op {
 
 /// The per-operation outcome of [`crate::KvsClient::execute`].
 ///
-/// Replies are positional: `execute(ops)[i]` answers `ops[i]`.
+/// Replies are positional: `execute(ops)[i]` answers `ops[i]`. The
+/// accessors cover the common shapes — peeking at a read
+/// ([`Reply::value`]), converting to the classic `Result` forms
+/// ([`Reply::into_value`], [`Reply::into_ack`]) and checking for errors:
+///
+/// ```
+/// use dinomo_core::{Kvs, Op, Reply};
+///
+/// let kvs = Kvs::builder().small_for_tests().build().unwrap();
+/// let client = kvs.client();
+///
+/// let replies = client.execute(vec![
+///     Op::insert("k", "v"),
+///     Op::lookup("k"),
+///     Op::lookup("missing"),
+/// ]);
+/// assert_eq!(replies[0], Reply::Done);
+/// assert_eq!(replies[1].value(), Some(&b"v"[..]));
+/// assert_eq!(replies[2], Reply::Value(None));
+/// assert!(replies.iter().all(Reply::is_ok));
+/// assert_eq!(replies[1].clone().into_value().unwrap(), Some(b"v".to_vec()));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Reply {
     /// A write (insert/update/delete) was applied.

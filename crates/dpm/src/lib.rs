@@ -39,5 +39,8 @@ pub use config::DpmConfig;
 pub use entry::{EntryHeader, LogOp};
 pub use loc::PackedLoc;
 pub use node::{DpmNode, DpmStats, LookupResult};
+// Re-exported so KVS nodes can pin one epoch guard across a whole batch of
+// index lookups (`DpmNode::{local_lookup_in, remote_read_in}`).
+pub use dinomo_pclht::{pin, Guard};
 pub use segment::SegmentState;
 pub use writer::{CommittedWrite, LogWriter};

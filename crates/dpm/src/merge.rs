@@ -85,6 +85,9 @@ fn worker_loop(inner: &DpmInner, rx: &Receiver<MergeTask>) {
 /// Merge every entry in the task's byte range into the index.
 pub(crate) fn merge_task(inner: &DpmInner, task: &MergeTask) {
     let pool = inner.pool();
+    // One epoch pin for the whole task: every per-entry index lookup below
+    // traverses under this guard instead of pinning per entry.
+    let guard = dinomo_pclht::pin();
     let mut offset = task.start;
     let end = task.start + task.len;
     let mut merged_entries = 0u64;
@@ -100,7 +103,7 @@ pub(crate) fn merge_task(inner: &DpmInner, task: &MergeTask) {
         if inner.config().inject_media_delay {
             busy_wait(inner.media_merge_cost(&entry));
         }
-        apply_entry(inner, task, addr, &entry);
+        apply_entry(inner, task, &guard, addr, &entry);
         offset += entry.total_len;
         merged_entries += 1;
     }
@@ -111,6 +114,7 @@ pub(crate) fn merge_task(inner: &DpmInner, task: &MergeTask) {
 fn apply_entry(
     inner: &DpmInner,
     task: &MergeTask,
+    guard: &dinomo_pclht::Guard,
     entry_addr: dinomo_pmem::PmAddr,
     entry: &crate::entry::DecodedEntry,
 ) {
@@ -121,7 +125,7 @@ fn apply_entry(
             let new_loc = PackedLoc::direct(entry_addr, entry.total_len);
             let existing = inner
                 .index()
-                .get(tag, |raw| inner.loc_matches_key(raw, &key));
+                .get_in(guard, tag, |raw| inner.loc_matches_key(raw, &key));
             match existing {
                 Some(raw) => {
                     let old = PackedLoc::from_raw(raw);

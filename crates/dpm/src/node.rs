@@ -7,7 +7,7 @@ use crate::loc::PackedLoc;
 use crate::merge::{merge_task, MergeEngine, MergeTask};
 use crate::segment::SegmentState;
 use dinomo_partition::key_hash;
-use dinomo_pclht::Pclht;
+use dinomo_pclht::{pin, Guard, Pclht};
 use dinomo_pmem::{PmAddr, PmemError, PmemPool};
 use dinomo_simnet::Nic;
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -389,9 +389,17 @@ impl DpmNode {
 
     /// DPM-side (local) lookup of a key's packed location.
     pub fn local_lookup(&self, key: &[u8]) -> Option<PackedLoc> {
+        self.local_lookup_in(&pin(), key)
+    }
+
+    /// [`DpmNode::local_lookup`] under a caller-supplied epoch guard, so a
+    /// batch of lookups pays for one pin (see [`dinomo_pclht::pin`]).
+    pub fn local_lookup_in(&self, guard: &Guard, key: &[u8]) -> Option<PackedLoc> {
         self.inner
             .index
-            .get(key_hash(key), |raw| self.inner.loc_matches_key(raw, key))
+            .get_in(guard, key_hash(key), |raw| {
+                self.inner.loc_matches_key(raw, key)
+            })
             .map(PackedLoc::from_raw)
     }
 
@@ -411,9 +419,18 @@ impl DpmNode {
     /// network: traverse the index with one-sided reads, then fetch the entry
     /// (and, for shared keys, the indirection cell first).
     pub fn remote_read(&self, nic: &Nic, key: &[u8]) -> LookupResult {
-        let (raw, mut rts) = self.inner.index.remote_get(nic, key_hash(key), |raw| {
-            self.inner.loc_matches_key(raw, key)
-        });
+        self.remote_read_in(&pin(), nic, key)
+    }
+
+    /// [`DpmNode::remote_read`] under a caller-supplied epoch guard — the
+    /// KN batch path pins once per batch instead of once per miss.
+    pub fn remote_read_in(&self, guard: &Guard, nic: &Nic, key: &[u8]) -> LookupResult {
+        let (raw, mut rts) = self
+            .inner
+            .index
+            .remote_get_in(guard, nic, key_hash(key), |raw| {
+                self.inner.loc_matches_key(raw, key)
+            });
         let Some(raw) = raw else {
             return LookupResult {
                 value: None,

@@ -1,13 +1,54 @@
 //! The hash table: bucket array, chaining, snapshot reads, in-place writes,
 //! resize, and the one-sided remote lookup path.
+//!
+//! # Concurrency scheme
+//!
+//! Readers are **lock-free**: the pointer to the current bucket array is an
+//! epoch-protected [`Atomic`], so a reader pins an epoch ([`pin`]), loads
+//! the array, and traverses it without taking any lock. A concurrent resize
+//! publishes a fully-populated replacement array with a single pointer swap
+//! and *defers* destruction of the old one ([`Guard::defer_destroy`]) until
+//! every guard pinned at swap time has dropped — so a mid-traversal reader
+//! keeps walking a stale but valid and fully intact array. Per-chain
+//! consistency still comes from the per-bucket version protocol.
+//!
+//! Writers keep the coarser scheme: they hold the `state` **read** lock
+//! across their bucket write (plus the per-chain head-bucket lock), and
+//! `resize` takes the **write** lock, so an in-flight write can never land
+//! in an array that is about to be retired and silently disappear.
 
 use crate::bucket::{BucketRef, BucketSnapshot, BUCKET_BYTES, EMPTY_TAG, SLOTS_PER_BUCKET};
 use crate::Result;
+use crossbeam::epoch::{self, Atomic, Guard, Owned};
 use dinomo_pmem::{PmAddr, PmemPool};
 use dinomo_simnet::Nic;
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Pin the current thread's epoch, keeping every bucket array a subsequent
+/// read path traverses alive until the returned [`Guard`] drops.
+///
+/// Each read method pins internally, so calling this is only needed to
+/// amortize the (cheap) pin over a batch of lookups via the `*_in` variants:
+///
+/// ```
+/// use dinomo_pclht::{pin, Pclht, PclhtConfig};
+/// use dinomo_pmem::{PmemConfig, PmemPool};
+/// use std::sync::Arc;
+///
+/// let pool = Arc::new(PmemPool::new(PmemConfig::with_capacity(8 << 20)));
+/// let table = Pclht::new(pool, PclhtConfig::for_capacity(100)).unwrap();
+/// table.insert(7, 700).unwrap();
+///
+/// let guard = pin();
+/// for _ in 0..3 {
+///     assert_eq!(table.get_in(&guard, 7, |_| true), Some(700));
+/// }
+/// ```
+pub fn pin() -> Guard {
+    epoch::pin()
+}
 
 /// Configuration of a [`Pclht`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,24 +97,88 @@ pub struct PclhtStats {
     pub resizes: u64,
     /// Total retries of the snapshot-read protocol.
     pub read_retries: u64,
+    /// Bucket arrays retired to the epoch scheme by resizes.
+    pub arrays_retired: u64,
+    /// Retired bucket arrays whose pmem was actually reclaimed. Trails
+    /// [`PclhtStats::arrays_retired`] while any epoch guard stays pinned.
+    pub arrays_freed: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct TableState {
+/// One generation of the bucket array. Readers hold references to it only
+/// under an epoch [`Guard`]; when a resize retires it, its pmem is freed by
+/// this type's `Drop` — which the epoch scheme delays until no pinned guard
+/// can still be traversing it.
+#[derive(Debug)]
+struct BucketArray {
     buckets_addr: PmAddr,
     num_buckets: u64,
+    pool: Arc<PmemPool>,
+    /// Set just before the array is handed to `defer_destroy`, so the drop
+    /// counter below counts exactly the epoch-reclaimed generations (the
+    /// final array freed by `Pclht::drop` does not count).
+    retired: AtomicBool,
+    /// Shared with the owning table; incremented on drop of a retired array.
+    freed: Arc<AtomicU64>,
+    /// The table's live overflow-bucket count, decremented as this
+    /// generation's chains are freed.
+    overflow_buckets: Arc<AtomicU64>,
+}
+
+impl Drop for BucketArray {
+    fn drop(&mut self) {
+        // Free this generation's overflow chains first: they are reachable
+        // only through this head array (rehashing allocated the new
+        // generation fresh ones), so they go with it. By the time Drop runs
+        // the chains are immutable — writers moved on at the swap, and the
+        // epoch scheme has already waited out every reader.
+        for idx in 0..self.num_buckets {
+            let head = BucketRef::new(self.buckets_addr.offset(idx * BUCKET_BYTES));
+            let mut next = head.next(&self.pool);
+            while !next.is_null() {
+                let after = BucketRef::new(next).next(&self.pool);
+                self.pool.free(next, BUCKET_BYTES);
+                self.overflow_buckets.fetch_sub(1, Ordering::Relaxed);
+                next = after;
+            }
+        }
+        self.pool
+            .free(self.buckets_addr, self.num_buckets * BUCKET_BYTES);
+        if self.retired.load(Ordering::Relaxed) {
+            self.freed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// The persistent cache-line hash table. See the crate docs for the design.
 #[derive(Debug)]
 pub struct Pclht {
     pool: Arc<PmemPool>,
-    state: RwLock<TableState>,
+    /// Current bucket array. Readers load it under an epoch guard; only
+    /// resize (holding the `state` write lock) swaps it.
+    array: Atomic<BucketArray>,
+    /// Writer/resize coordination only. Writers hold it shared across their
+    /// bucket write, resize holds it exclusively across the array swap;
+    /// **readers never touch it**.
+    state: RwLock<()>,
     config: PclhtConfig,
     len: AtomicU64,
-    overflow_buckets: AtomicU64,
+    /// Live overflow buckets across all generations (shared with each
+    /// `BucketArray` so retiring a generation debits its chains).
+    overflow_buckets: Arc<AtomicU64>,
     resizes: AtomicU64,
     read_retries: AtomicU64,
+    arrays_retired: AtomicU64,
+    arrays_freed: Arc<AtomicU64>,
+}
+
+impl Drop for Pclht {
+    fn drop(&mut self) {
+        // The live array never went through `defer_destroy`; `&mut self`
+        // proves no guard can still reference it, so reclaim it in place.
+        let guard = unsafe { epoch::unprotected() };
+        let last = self.array.load(Ordering::Acquire, guard);
+        drop(unsafe { last.into_owned() });
+    }
 }
 
 impl Pclht {
@@ -81,17 +186,26 @@ impl Pclht {
     pub fn new(pool: Arc<PmemPool>, config: PclhtConfig) -> Result<Self> {
         let num_buckets = config.initial_buckets.next_power_of_two().max(16) as u64;
         let buckets_addr = Self::alloc_bucket_array(&pool, num_buckets)?;
+        let freed = Arc::new(AtomicU64::new(0));
+        let overflow_buckets = Arc::new(AtomicU64::new(0));
         Ok(Pclht {
-            pool,
-            state: RwLock::new(TableState {
+            array: Atomic::new(BucketArray {
                 buckets_addr,
                 num_buckets,
+                pool: Arc::clone(&pool),
+                retired: AtomicBool::new(false),
+                freed: Arc::clone(&freed),
+                overflow_buckets: Arc::clone(&overflow_buckets),
             }),
+            pool,
+            state: RwLock::new(()),
             config,
             len: AtomicU64::new(0),
-            overflow_buckets: AtomicU64::new(0),
+            overflow_buckets,
             resizes: AtomicU64::new(0),
             read_retries: AtomicU64::new(0),
+            arrays_retired: AtomicU64::new(0),
+            arrays_freed: freed,
         })
     }
 
@@ -120,7 +234,7 @@ impl Pclht {
 
     /// Number of head buckets.
     pub fn bucket_count(&self) -> u64 {
-        self.state.read().num_buckets
+        self.current(&epoch::pin()).num_buckets
     }
 
     /// Snapshot statistics.
@@ -131,12 +245,22 @@ impl Pclht {
             overflow_buckets: self.overflow_buckets.load(Ordering::Relaxed),
             resizes: self.resizes.load(Ordering::Relaxed),
             read_retries: self.read_retries.load(Ordering::Relaxed),
+            arrays_retired: self.arrays_retired.load(Ordering::Relaxed),
+            arrays_freed: self.arrays_freed.load(Ordering::Relaxed),
         }
     }
 
-    fn head_bucket(&self, state: &TableState, tag: u64) -> BucketRef {
-        let idx = Self::bucket_index(tag, state.num_buckets);
-        BucketRef::new(state.buckets_addr.offset(idx * BUCKET_BYTES))
+    /// The current bucket array, alive for as long as `guard` stays pinned.
+    fn current<'g>(&self, guard: &'g Guard) -> &'g BucketArray {
+        // SAFETY: the pointer is non-null from construction to drop, and a
+        // retired array is destroyed only after every guard pinned at
+        // retirement time has dropped — `guard` keeps this one alive.
+        unsafe { self.array.load(Ordering::Acquire, guard).deref() }
+    }
+
+    fn head_bucket(&self, array: &BucketArray, tag: u64) -> BucketRef {
+        let idx = Self::bucket_index(tag, array.num_buckets);
+        BucketRef::new(array.buckets_addr.offset(idx * BUCKET_BYTES))
     }
 
     fn bucket_index(tag: u64, num_buckets: u64) -> u64 {
@@ -153,8 +277,8 @@ impl Pclht {
     }
 
     /// Take a consistent snapshot of the whole chain for `tag`.
-    fn chain_snapshot(&self, state: &TableState, tag: u64) -> Vec<BucketSnapshot> {
-        let head = self.head_bucket(state, tag);
+    fn chain_snapshot(&self, array: &BucketArray, tag: u64) -> Vec<BucketSnapshot> {
+        let head = self.head_bucket(array, tag);
         loop {
             let meta_before = head.meta(&self.pool);
             if BucketRef::is_locked(meta_before) {
@@ -182,17 +306,21 @@ impl Pclht {
     }
 
     /// Look up the first entry whose tag matches and whose value satisfies
-    /// `matches`. Bucket-lock-free (snapshot protocol); the state read-lock
-    /// is held across the traversal so a concurrent resize cannot free the
-    /// bucket array mid-walk.
+    /// `matches`.
+    ///
+    /// **Lock-free**: no lock is taken or held — the traversal runs under an
+    /// epoch pin (see the module docs) and per-chain consistency comes from
+    /// the bucket snapshot protocol.
     pub fn get<F: Fn(u64) -> bool>(&self, tag: u64, matches: F) -> Option<u64> {
+        self.get_in(&epoch::pin(), tag, matches)
+    }
+
+    /// [`Pclht::get`] under a caller-supplied guard, amortizing the pin over
+    /// a batch of lookups.
+    pub fn get_in<F: Fn(u64) -> bool>(&self, guard: &Guard, tag: u64, matches: F) -> Option<u64> {
         let tag = Self::normalize_tag(tag);
-        // Held across the traversal: resize() frees the old bucket array
-        // right after swapping the state, so a reader that released the
-        // lock early would walk freed (and possibly reused) memory.
-        let state_guard = self.state.read();
-        let state = *state_guard;
-        for snap in self.chain_snapshot(&state, tag) {
+        let array = self.current(guard);
+        for snap in self.chain_snapshot(array, tag) {
             for (t, v) in snap.slots {
                 if t == tag && matches(v) {
                     return Some(v);
@@ -207,14 +335,17 @@ impl Pclht {
         self.get(tag, |_| true)
     }
 
-    /// All values stored under `tag` (collisions included).
+    /// All values stored under `tag` (collisions included). Lock-free.
     pub fn get_all(&self, tag: u64) -> Vec<u64> {
+        self.get_all_in(&epoch::pin(), tag)
+    }
+
+    /// [`Pclht::get_all`] under a caller-supplied guard.
+    pub fn get_all_in(&self, guard: &Guard, tag: u64) -> Vec<u64> {
         let tag = Self::normalize_tag(tag);
-        // Held across the traversal (see `get`).
-        let state_guard = self.state.read();
-        let state = *state_guard;
+        let array = self.current(guard);
         let mut out = Vec::new();
-        for snap in self.chain_snapshot(&state, tag) {
+        for snap in self.chain_snapshot(array, tag) {
             for (t, v) in snap.slots {
                 if t == tag {
                     out.push(v);
@@ -226,13 +357,16 @@ impl Pclht {
 
     /// Number of buckets a lookup of `tag` has to traverse (the `M` in the
     /// DAC cost analysis, i.e. the RTs a remote lookup would need before
-    /// fetching the value).
+    /// fetching the value). Lock-free.
     pub fn chain_length(&self, tag: u64) -> u32 {
+        self.chain_length_in(&epoch::pin(), tag)
+    }
+
+    /// [`Pclht::chain_length`] under a caller-supplied guard.
+    pub fn chain_length_in(&self, guard: &Guard, tag: u64) -> u32 {
         let tag = Self::normalize_tag(tag);
-        // Held across the traversal (see `get`).
-        let state_guard = self.state.read();
-        let state = *state_guard;
-        self.chain_snapshot(&state, tag).len() as u32
+        let array = self.current(guard);
+        self.chain_snapshot(array, tag).len() as u32
     }
 
     /// Insert a new entry. Does not check for duplicates (the caller decides
@@ -240,12 +374,12 @@ impl Pclht {
     pub fn insert(&self, tag: u64, value: u64) -> Result<()> {
         let tag = Self::normalize_tag(tag);
         self.maybe_resize()?;
-        // The guard is held across the bucket write so a concurrent resize
-        // (which takes the state write-lock) cannot swap the bucket array
-        // out from under this insert and silently drop it.
+        // The state guard is held across the bucket write so a concurrent
+        // resize (which takes the state write-lock) cannot swap the bucket
+        // array out from under this insert and silently drop it.
         let state_guard = self.state.read();
-        let state = *state_guard;
-        let head = self.head_bucket(&state, tag);
+        let guard = epoch::pin();
+        let head = self.head_bucket(self.current(&guard), tag);
         head.lock(&self.pool);
         let res = self.insert_locked(&head, tag, value);
         head.unlock(&self.pool);
@@ -292,9 +426,9 @@ impl Pclht {
         let tag = Self::normalize_tag(tag);
         // Held across the write so a concurrent resize cannot retire the
         // bucket array mid-update (see `insert`).
-        let state_guard = self.state.read();
-        let state = *state_guard;
-        let head = self.head_bucket(&state, tag);
+        let _state_guard = self.state.read();
+        let guard = epoch::pin();
+        let head = self.head_bucket(self.current(&guard), tag);
         head.lock(&self.pool);
         let mut cur = head;
         let result = loop {
@@ -333,8 +467,8 @@ impl Pclht {
         // Held across the write so a concurrent resize cannot retire the
         // bucket array mid-upsert (see `insert`).
         let state_guard = self.state.read();
-        let state = *state_guard;
-        let head = self.head_bucket(&state, norm);
+        let guard = epoch::pin();
+        let head = self.head_bucket(self.current(&guard), norm);
         head.lock(&self.pool);
         // Try update first.
         let mut cur = head;
@@ -374,8 +508,8 @@ impl Pclht {
         // Held across the write so a concurrent resize cannot retire the
         // bucket array mid-remove (see `insert`).
         let state_guard = self.state.read();
-        let state = *state_guard;
-        let head = self.head_bucket(&state, tag);
+        let guard = epoch::pin();
+        let head = self.head_bucket(self.current(&guard), tag);
         head.lock(&self.pool);
         let mut cur = head;
         let result = loop {
@@ -407,13 +541,18 @@ impl Pclht {
     }
 
     /// Visit every `(tag, value)` entry. Takes a consistent per-chain
-    /// snapshot; concurrent writers may or may not be observed.
-    pub fn for_each<F: FnMut(u64, u64)>(&self, mut f: F) {
-        // Held across the traversal (see `get`).
-        let state_guard = self.state.read();
-        let state = *state_guard;
-        for idx in 0..state.num_buckets {
-            let mut cur = BucketRef::new(state.buckets_addr.offset(idx * BUCKET_BYTES));
+    /// snapshot; concurrent writers may or may not be observed. Lock-free:
+    /// a resize concurrent with the scan retires the array being walked,
+    /// but the epoch pin keeps it alive (and intact) until the scan ends.
+    pub fn for_each<F: FnMut(u64, u64)>(&self, f: F) {
+        self.for_each_in(&epoch::pin(), f)
+    }
+
+    /// [`Pclht::for_each`] under a caller-supplied guard.
+    pub fn for_each_in<F: FnMut(u64, u64)>(&self, guard: &Guard, mut f: F) {
+        let array = self.current(guard);
+        for idx in 0..array.num_buckets {
+            let mut cur = BucketRef::new(array.buckets_addr.offset(idx * BUCKET_BYTES));
             loop {
                 let snap = cur.snapshot(&self.pool);
                 for (t, v) in snap.slots {
@@ -438,11 +577,21 @@ impl Pclht {
         tag: u64,
         matches: F,
     ) -> (Option<u64>, u32) {
+        self.remote_get_in(&epoch::pin(), nic, tag, matches)
+    }
+
+    /// [`Pclht::remote_get`] under a caller-supplied guard (a KVS node
+    /// serving a batch pins once and issues every one-sided lookup of the
+    /// batch under the same guard).
+    pub fn remote_get_in<F: Fn(u64) -> bool>(
+        &self,
+        guard: &Guard,
+        nic: &Nic,
+        tag: u64,
+        matches: F,
+    ) -> (Option<u64>, u32) {
         let tag = Self::normalize_tag(tag);
-        // Held across the traversal (see `get`).
-        let state_guard = self.state.read();
-        let state = *state_guard;
-        let head = self.head_bucket(&state, tag);
+        let head = self.head_bucket(self.current(guard), tag);
         let mut rts = 0u32;
         let mut cur = head;
         loop {
@@ -465,27 +614,25 @@ impl Pclht {
         if !self.config.auto_resize {
             return Ok(());
         }
-        let (num_buckets, needs) = {
-            let state = self.state.read();
-            let capacity = state.num_buckets * SLOTS_PER_BUCKET as u64;
-            let needs = self.len() as f64 > self.config.max_load_factor * capacity as f64;
-            (state.num_buckets, needs)
-        };
-        if !needs {
+        let guard = epoch::pin();
+        let num_buckets = self.current(&guard).num_buckets;
+        let capacity = num_buckets * SLOTS_PER_BUCKET as u64;
+        if self.len() as f64 <= self.config.max_load_factor * capacity as f64 {
             return Ok(());
         }
-        let mut state = self.state.write();
-        // Someone else may have resized while we waited for the lock.
-        if state.num_buckets != num_buckets {
+        let state = self.state.write();
+        // Someone else may have resized while we waited for the lock; the
+        // write lock makes the re-loaded array stable for the whole resize.
+        let old = self.current(&guard);
+        if old.num_buckets != num_buckets {
             return Ok(());
         }
-        let new_buckets = state.num_buckets * 2;
+        let new_buckets = old.num_buckets * 2;
         let new_addr = Self::alloc_bucket_array(&self.pool, new_buckets)?;
-        // Rehash every entry into the new array. Writers and readers are
-        // both excluded by the state write-lock (each holds the read lock
-        // across its bucket access), so the old array has no users left by
-        // the time it is freed after the swap.
-        let old = *state;
+        // Rehash every entry into the new array. Writers are excluded by
+        // the state write-lock, so the old array is immutable; readers keep
+        // traversing it lock-free until the swap below publishes the fully
+        // populated replacement.
         let mut moved = 0u64;
         for idx in 0..old.num_buckets {
             let mut cur = BucketRef::new(old.buckets_addr.offset(idx * BUCKET_BYTES));
@@ -507,14 +654,32 @@ impl Pclht {
             }
         }
         debug_assert_eq!(moved, self.len());
-        let old_addr = state.buckets_addr;
-        let old_n = state.num_buckets;
-        *state = TableState {
-            buckets_addr: new_addr,
-            num_buckets: new_buckets,
-        };
+        // SeqCst (not AcqRel): the epoch scheme's safety argument orders
+        // this unlink against reader pins via the SeqCst total order; a
+        // weaker swap would let a reader pinned at the retirement epoch + 1
+        // load the pre-swap pointer without a happens-before edge.
+        let retired = self.array.swap(
+            Owned::new(BucketArray {
+                buckets_addr: new_addr,
+                num_buckets: new_buckets,
+                pool: Arc::clone(&self.pool),
+                retired: AtomicBool::new(false),
+                freed: Arc::clone(&self.arrays_freed),
+                overflow_buckets: Arc::clone(&self.overflow_buckets),
+            }),
+            Ordering::SeqCst,
+            &guard,
+        );
+        // Readers pinned before the swap may still be walking the old
+        // array: hand it to the epoch scheme instead of freeing it. Its
+        // `Drop` (pmem free + drop counter) runs once every such guard has
+        // unpinned.
+        self.arrays_retired.fetch_add(1, Ordering::Relaxed);
+        unsafe {
+            retired.deref().retired.store(true, Ordering::Relaxed);
+            guard.defer_destroy(retired);
+        }
         drop(state);
-        self.pool.free(old_addr, old_n * BUCKET_BYTES);
         self.resizes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -703,12 +868,26 @@ mod tests {
         }
     }
 
+    /// Pin fresh guards and flush until `cond` holds (each long-lived pin
+    /// caps the global epoch advance at one step, so a fresh pin per
+    /// attempt is required); tolerates other tests pinning transiently.
+    fn drain_epochs(cond: impl Fn() -> bool) -> bool {
+        for _ in 0..10_000 {
+            if cond() {
+                return true;
+            }
+            crate::pin().flush();
+            std::thread::yield_now();
+        }
+        cond()
+    }
+
     #[test]
     fn concurrent_reads_survive_resizes() {
         // Small initial table so the writers force repeated resizes while
-        // readers traverse; a reader that released the state lock before
-        // walking its chain would race the old bucket array being freed
-        // (and reused) right after the swap.
+        // readers traverse lock-free; a reader's epoch pin must keep each
+        // retired bucket array alive (not freed, not reused) until the
+        // reader's traversal ends.
         let pool = Arc::new(PmemPool::new(PmemConfig::with_capacity(64 << 20)));
         let t = Arc::new(
             Pclht::new(
@@ -755,6 +934,212 @@ mod tests {
                 assert_eq!(t.get_first(tag), Some(tag + 7));
             }
         }
+    }
+
+    #[test]
+    fn resize_storm_keeps_keys_and_reclaims_arrays() {
+        use std::sync::atomic::AtomicBool;
+
+        // Readers iterate continuously (point lookups + full scans) while
+        // writers force repeated grows. The drop-counting `BucketArray`
+        // payload then proves every retired generation was freed exactly
+        // once — no use-after-free (a premature free would also blow up the
+        // readers) and no leak.
+        let pool = Arc::new(PmemPool::new(PmemConfig::with_capacity(128 << 20)));
+        let t = Arc::new(
+            Pclht::new(
+                pool,
+                PclhtConfig {
+                    initial_buckets: 16,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        const WRITERS: u64 = 2;
+        const KEYS_PER_WRITER: u64 = 6_000;
+        let done = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    // Tags start at 1: tag 0 is remapped by normalize_tag,
+                    // which would break the scan's value invariant below.
+                    for i in 1..=KEYS_PER_WRITER {
+                        let tag = w * 1_000_000 + i;
+                        t.insert(tag, tag + 3).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..4u64)
+            .map(|r| {
+                let t = Arc::clone(&t);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    while !done.load(Ordering::Relaxed) {
+                        if r % 2 == 0 {
+                            // Point lookups across the key space.
+                            for i in 1..=KEYS_PER_WRITER {
+                                if let Some(v) = t.get_first(i) {
+                                    assert_eq!(v, i + 3);
+                                }
+                            }
+                        } else {
+                            // Full scan: holds one pin across the whole
+                            // array walk, the longest-lived guard here.
+                            let mut bad = 0u64;
+                            t.for_each(|tag, v| {
+                                if v != tag + 3 {
+                                    bad += 1;
+                                }
+                            });
+                            assert_eq!(bad, 0, "scan observed a torn entry");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in writers {
+            h.join().unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+        for h in readers {
+            h.join().unwrap();
+        }
+
+        // No lost keys.
+        for w in 0..WRITERS {
+            for i in 1..=KEYS_PER_WRITER {
+                let tag = w * 1_000_000 + i;
+                assert_eq!(t.get_first(tag), Some(tag + 3), "key {tag} lost");
+            }
+        }
+        let stats = t.stats();
+        assert!(
+            stats.resizes >= 3,
+            "storm must force repeated grows, got {}",
+            stats.resizes
+        );
+        assert_eq!(stats.arrays_retired, stats.resizes);
+        assert!(
+            stats.arrays_freed <= stats.arrays_retired,
+            "freed more generations than were retired"
+        );
+        // Every guard has unpinned: all retired arrays must now reclaim.
+        assert!(
+            drain_epochs(|| {
+                let s = t.stats();
+                s.arrays_freed == s.arrays_retired
+            }),
+            "retired bucket arrays leaked: {:?}",
+            t.stats()
+        );
+    }
+
+    #[test]
+    fn retired_generations_free_their_overflow_chains() {
+        // Tags whose fibonacci-hash low 10 bits collide share one bucket
+        // (and force an overflow chain) at every generation up to 1024
+        // buckets, so each retired array drags a chain with it.
+        let mut colliders: Vec<u64> = Vec::new();
+        let want = (7u64.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) & 1023;
+        let mut t = 1u64;
+        while colliders.len() < 40 {
+            if (t.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) & 1023 == want {
+                colliders.push(t);
+            }
+            t += 1;
+        }
+        let pool = Arc::new(PmemPool::new(PmemConfig::with_capacity(32 << 20)));
+        let table = Pclht::new(
+            Arc::clone(&pool),
+            PclhtConfig {
+                initial_buckets: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for (i, &tag) in colliders.iter().enumerate() {
+            table.insert(tag, i as u64).unwrap();
+        }
+        for i in 0..300u64 {
+            table.insert(2_000_000 + i, i).unwrap();
+        }
+        let stats = table.stats();
+        assert!(stats.resizes >= 2, "must retire generations: {stats:?}");
+        assert!(
+            stats.overflow_buckets > 0,
+            "colliders must chain: {stats:?}"
+        );
+        assert!(
+            drain_epochs(|| {
+                let s = table.stats();
+                s.arrays_freed == s.arrays_retired
+            }),
+            "retired bucket arrays leaked: {:?}",
+            table.stats()
+        );
+        // Exact accounting: every byte still allocated in the pool is the
+        // live head array plus the live overflow chains — i.e. retired
+        // generations freed their chained buckets, not just the head array.
+        let s = table.stats();
+        assert_eq!(
+            pool.stats().allocated_bytes,
+            (s.buckets + s.overflow_buckets) * BUCKET_BYTES,
+            "retired generations leaked overflow buckets: {s:?}"
+        );
+        for (i, &tag) in colliders.iter().enumerate() {
+            assert_eq!(table.get_first(tag), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn retired_arrays_free_only_after_guards_unpin() {
+        let pool = Arc::new(PmemPool::new(PmemConfig::with_capacity(64 << 20)));
+        let t = Arc::new(
+            Pclht::new(
+                pool,
+                PclhtConfig {
+                    initial_buckets: 16,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        // Pin before any resize: every array retired from here on must
+        // outlive this guard.
+        let guard = crate::pin();
+        let writer = {
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || {
+                for i in 0..3_000u64 {
+                    t.insert(i, i).unwrap();
+                }
+            })
+        };
+        writer.join().unwrap();
+        let stats = t.stats();
+        assert!(stats.arrays_retired >= 1, "writer must have resized");
+        // Try hard to reclaim: with this thread still pinned the epoch can
+        // advance at most once, so nothing retired after the pin may free.
+        for _ in 0..64 {
+            guard.flush();
+        }
+        assert_eq!(
+            t.stats().arrays_freed,
+            0,
+            "a retired bucket array was freed while a guard was still pinned"
+        );
+        drop(guard);
+        assert!(
+            drain_epochs(|| {
+                let s = t.stats();
+                s.arrays_freed == s.arrays_retired
+            }),
+            "retired bucket arrays leaked after unpin: {:?}",
+            t.stats()
+        );
     }
 
     #[test]

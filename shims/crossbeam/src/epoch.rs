@@ -1,0 +1,615 @@
+//! Offline shim of the `crossbeam-epoch` crate: epoch-based reclamation
+//! for lock-free readers.
+//!
+//! The subset mirrored here is what the workspace needs: [`pin`] returns a
+//! [`Guard`]; [`Atomic`], [`Owned`] and [`Shared`] manage a lock-free
+//! pointer; [`Guard::defer_destroy`] retires an unlinked allocation so it is
+//! dropped only once no pinned guard can still hold a reference to it.
+//!
+//! # Scheme
+//!
+//! Classic epoch-based reclamation over a monotonically increasing global
+//! epoch:
+//!
+//! * Every thread owns a *participant* record registered in a global list.
+//!   [`pin`] publishes `(current global epoch, active)` into the record,
+//!   then re-reads the global epoch and retries until the published epoch is
+//!   the current one, so a participant is never pinned at a stale epoch.
+//! * Retiring garbage ([`Guard::defer_destroy`]) tags it with the global
+//!   epoch observed at retirement.
+//! * The global epoch advances only when every *active* participant is
+//!   pinned at the current epoch; garbage tagged `e` is dropped once the
+//!   global epoch reaches `e + 2`.
+//!
+//! Safety sketch: a reader pinned at epoch `p` can only hold pointers whose
+//! retirement happened after its pin, i.e. tagged `e >= p`. While that
+//! reader stays pinned the global epoch can advance at most once (to
+//! `p + 1`), and freeing its pointers would need `e + 2 <= p + 1` — a
+//! contradiction. So nothing a pinned guard can reference is ever freed.
+//!
+//! Unlike upstream, garbage lives in one global queue behind a mutex and
+//! collection is attempted on retirement, on [`Guard::flush`], and on an
+//! amortized fraction of pins. That keeps `pin`/unpin itself down to two
+//! uncontended atomic stores plus two loads of the global epoch — the
+//! property the lock-free read paths built on this module rely on.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Bit 0 of a participant's state word; the epoch lives in the upper bits.
+const ACTIVE: u64 = 1;
+
+/// Attempt a collection every this many pins (amortizes the registry scan).
+const PINS_BETWEEN_COLLECT: u32 = 128;
+
+// ---------------------------------------------------------------- globals
+
+/// One registered thread. `state` is `(epoch << 1) | ACTIVE` while pinned
+/// and `0` while idle.
+struct Participant {
+    state: AtomicU64,
+}
+
+/// A retired allocation's destructor, tagged with its retirement epoch.
+///
+/// The closure only ever runs once, on whichever thread triggers the
+/// collection; `Send` is asserted because the pointee was unlinked before
+/// retirement, so no other thread can reach it anymore.
+struct Deferred(Box<dyn FnOnce()>);
+
+unsafe impl Send for Deferred {}
+
+struct GlobalState {
+    epoch: AtomicU64,
+    participants: Mutex<Vec<Arc<Participant>>>,
+    garbage: Mutex<VecDeque<(u64, Deferred)>>,
+}
+
+fn global() -> &'static GlobalState {
+    static GLOBAL: OnceLock<GlobalState> = OnceLock::new();
+    GLOBAL.get_or_init(|| GlobalState {
+        epoch: AtomicU64::new(0),
+        participants: Mutex::new(Vec::new()),
+        garbage: Mutex::new(VecDeque::new()),
+    })
+}
+
+/// Advance the global epoch if every active participant is pinned at it.
+fn try_advance(g: &GlobalState) {
+    let epoch = g.epoch.load(Ordering::SeqCst);
+    {
+        let participants = g.participants.lock().unwrap();
+        for p in participants.iter() {
+            let s = p.state.load(Ordering::SeqCst);
+            if s & ACTIVE == ACTIVE && s >> 1 != epoch {
+                return;
+            }
+        }
+    }
+    let _ = g
+        .epoch
+        .compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::SeqCst);
+}
+
+/// Attempt an epoch advance, then run every destructor that is now safe
+/// (retirement epoch at least two behind the global epoch). Destructors run
+/// outside the queue lock so they may themselves pin or retire.
+fn collect(g: &GlobalState) {
+    try_advance(g);
+    let epoch = g.epoch.load(Ordering::SeqCst);
+    let mut ready = Vec::new();
+    {
+        let mut garbage = g.garbage.lock().unwrap();
+        while let Some((e, _)) = garbage.front() {
+            if e + 2 <= epoch {
+                ready.push(garbage.pop_front().unwrap().1);
+            } else {
+                break;
+            }
+        }
+    }
+    for d in ready {
+        (d.0)();
+    }
+}
+
+// ----------------------------------------------------------- thread local
+
+/// Per-thread pin bookkeeping. Only the owning thread touches the cells;
+/// other threads read `participant.state` through the registry.
+struct Local {
+    participant: Arc<Participant>,
+    pin_count: Cell<u64>,
+    pins_until_collect: Cell<u32>,
+}
+
+/// Owns the thread's registry entry; dropping it (thread exit) unregisters.
+struct LocalHandle {
+    local: Local,
+}
+
+impl LocalHandle {
+    fn register() -> Self {
+        let participant = Arc::new(Participant {
+            state: AtomicU64::new(0),
+        });
+        global()
+            .participants
+            .lock()
+            .unwrap()
+            .push(Arc::clone(&participant));
+        LocalHandle {
+            local: Local {
+                participant,
+                pin_count: Cell::new(0),
+                pins_until_collect: Cell::new(PINS_BETWEEN_COLLECT),
+            },
+        }
+    }
+}
+
+impl Drop for LocalHandle {
+    fn drop(&mut self) {
+        let target = Arc::as_ptr(&self.local.participant);
+        global()
+            .participants
+            .lock()
+            .unwrap()
+            .retain(|p| Arc::as_ptr(p) != target);
+    }
+}
+
+thread_local! {
+    static LOCAL: LocalHandle = LocalHandle::register();
+}
+
+// ------------------------------------------------------------------ guard
+
+/// Keeps the current thread pinned to an epoch.
+///
+/// While any `Guard` exists on a thread, every allocation retired through
+/// [`Guard::defer_destroy`] *after* the pin stays alive, so pointers loaded
+/// from an [`Atomic`] under the guard remain valid until the guard drops.
+/// Guards nest: only the outermost pin/unpin touches the participant state.
+#[repr(transparent)]
+pub struct Guard {
+    /// Null for the [`unprotected`] guard.
+    local: *const Local,
+}
+
+/// Pin the current thread and return the guard keeping it pinned.
+pub fn pin() -> Guard {
+    LOCAL.with(|handle| {
+        let local = &handle.local;
+        let g = global();
+        if local.pin_count.get() == 0 {
+            loop {
+                let epoch = g.epoch.load(Ordering::SeqCst);
+                local
+                    .participant
+                    .state
+                    .store((epoch << 1) | ACTIVE, Ordering::SeqCst);
+                if g.epoch.load(Ordering::SeqCst) == epoch {
+                    break;
+                }
+                // The epoch moved between publish and re-check: unpin and
+                // retry so we never stay pinned at a stale epoch.
+                local.participant.state.store(0, Ordering::SeqCst);
+            }
+        }
+        local.pin_count.set(local.pin_count.get() + 1);
+        let left = local.pins_until_collect.get();
+        if left == 0 {
+            local.pins_until_collect.set(PINS_BETWEEN_COLLECT);
+            collect(g);
+        } else {
+            local.pins_until_collect.set(left - 1);
+        }
+        Guard {
+            local: local as *const Local,
+        }
+    })
+}
+
+/// A guard that does not actually pin the thread.
+///
+/// # Safety
+///
+/// Only sound where no concurrent access is possible (e.g. inside `Drop` of
+/// the structure owning the [`Atomic`]s, with `&mut self`). Deferred
+/// destruction through it runs immediately.
+pub unsafe fn unprotected() -> &'static Guard {
+    static UNPROTECTED: usize = 0;
+    // SAFETY: `Guard` is `repr(transparent)` over `*const Local` and the
+    // all-zero pattern is the null (unprotected) guard.
+    &*(ptr::addr_of!(UNPROTECTED) as *const Guard)
+}
+
+impl Guard {
+    /// Retire the allocation behind `ptr`: its destructor runs once every
+    /// guard pinned at (or before) this call has dropped.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have come from [`Owned::into_shared`] / [`Atomic`] and
+    /// must already be unlinked (no new reader can load it), and it must not
+    /// be retired twice.
+    pub unsafe fn defer_destroy<T: 'static>(&self, ptr: Shared<'_, T>) {
+        if ptr.is_null() {
+            return;
+        }
+        let raw = ptr.raw as *mut T;
+        self.defer_unchecked(move || drop(Box::from_raw(raw)));
+    }
+
+    /// Defer an arbitrary closure until the retirement epoch is safely past.
+    ///
+    /// # Safety
+    ///
+    /// Same unlinked-before-retire contract as [`Guard::defer_destroy`];
+    /// the closure runs on an arbitrary thread.
+    pub unsafe fn defer_unchecked<F: FnOnce() + 'static>(&self, f: F) {
+        if self.local.is_null() {
+            // Unprotected guard: the caller asserts exclusive access, so
+            // nothing can still reference the value. Run it now.
+            f();
+            return;
+        }
+        let g = global();
+        {
+            // Read the epoch *under* the queue lock so the queue stays
+            // monotone in retirement epoch — `collect`'s front-only scan
+            // would otherwise strand an already-reclaimable entry behind a
+            // later-tagged one pushed by a faster thread.
+            let mut garbage = g.garbage.lock().unwrap();
+            let epoch = g.epoch.load(Ordering::SeqCst);
+            garbage.push_back((epoch, Deferred(Box::new(f))));
+        }
+        collect(g);
+    }
+
+    /// Attempt an epoch advance and run any destructors that became safe.
+    pub fn flush(&self) {
+        collect(global());
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if self.local.is_null() {
+            return;
+        }
+        // SAFETY: a non-null guard is created only by `pin()` on this
+        // thread and `Guard` is `!Send`, so the `Local` is still alive.
+        let local = unsafe { &*self.local };
+        let count = local.pin_count.get() - 1;
+        local.pin_count.set(count);
+        if count == 0 {
+            local.participant.state.store(0, Ordering::SeqCst);
+        }
+    }
+}
+
+impl fmt::Debug for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.local.is_null() {
+            "Guard { unprotected }"
+        } else {
+            "Guard { .. }"
+        })
+    }
+}
+
+// --------------------------------------------------------------- pointers
+
+/// An owned, heap-allocated value destined for an [`Atomic`].
+pub struct Owned<T> {
+    value: Box<T>,
+}
+
+impl<T> Owned<T> {
+    /// Allocate `value` on the heap.
+    pub fn new(value: T) -> Self {
+        Owned {
+            value: Box::new(value),
+        }
+    }
+
+    /// Convert into a [`Shared`], giving up ownership to the epoch scheme.
+    pub fn into_shared(self, _guard: &Guard) -> Shared<'_, T> {
+        Shared {
+            raw: Box::into_raw(self.value),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Convert back into a plain box.
+    pub fn into_box(self) -> Box<T> {
+        self.value
+    }
+}
+
+impl<T> Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Owned<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.value.fmt(f)
+    }
+}
+
+/// A pointer loaded from an [`Atomic`], valid for the guard's lifetime.
+pub struct Shared<'g, T> {
+    raw: *const T,
+    _marker: PhantomData<&'g T>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer.
+    pub fn null() -> Self {
+        Shared {
+            raw: ptr::null(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// `true` if this is the null pointer.
+    pub fn is_null(&self) -> bool {
+        self.raw.is_null()
+    }
+
+    /// The raw pointer.
+    pub fn as_raw(&self) -> *const T {
+        self.raw
+    }
+
+    /// Dereference for the guard's lifetime.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be non-null and loaded under the guard `'g` from an
+    /// [`Atomic`] whose retirements go through [`Guard::defer_destroy`].
+    pub unsafe fn deref(&self) -> &'g T {
+        &*self.raw
+    }
+
+    /// Like [`Shared::deref`] but returns `None` for null.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Shared::deref`].
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        self.raw.as_ref()
+    }
+
+    /// Take back ownership of the allocation.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive access to the pointee (it is unlinked
+    /// and no guard can still reach it), and it must not also be retired.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        Owned {
+            value: Box::from_raw(self.raw as *mut T),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Shared<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shared({:p})", self.raw)
+    }
+}
+
+/// An atomic pointer whose retired values are reclaimed through the epoch
+/// scheme instead of being freed eagerly.
+pub struct Atomic<T> {
+    ptr: AtomicPtr<T>,
+}
+
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// Allocate `value` and point at it.
+    pub fn new(value: T) -> Self {
+        Atomic {
+            ptr: AtomicPtr::new(Box::into_raw(Box::new(value))),
+        }
+    }
+
+    /// The null pointer.
+    pub fn null() -> Self {
+        Atomic {
+            ptr: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Load the current pointer; the result is valid while `guard` lives.
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            raw: self.ptr.load(ord),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Store a new value, returning nothing. The previous value is leaked
+    /// unless the caller separately loaded and retires it; prefer
+    /// [`Atomic::swap`].
+    pub fn store(&self, new: Owned<T>, ord: Ordering) {
+        self.ptr.store(Box::into_raw(new.value), ord);
+    }
+
+    /// Swap in a new value, returning the previous pointer for retirement.
+    pub fn swap<'g>(&self, new: Owned<T>, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            raw: self.ptr.swap(Box::into_raw(new.value), ord),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> From<Owned<T>> for Atomic<T> {
+    fn from(owned: Owned<T>) -> Self {
+        Atomic {
+            ptr: AtomicPtr::new(Box::into_raw(owned.value)),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Atomic({:p})", self.ptr.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    /// Bumps a shared counter when dropped.
+    struct DropCounter(Arc<AtomicU64>);
+
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Pin a fresh guard per flush so each attempt can advance the epoch
+    /// (a single long-lived pin caps the advance at one step).
+    fn drain() {
+        for _ in 0..16 {
+            pin().flush();
+        }
+    }
+
+    /// Flush until `cond` holds; tolerates other tests in this binary
+    /// transiently pinning the shared global epoch.
+    fn drain_until(cond: impl Fn() -> bool) {
+        for _ in 0..10_000 {
+            if cond() {
+                return;
+            }
+            pin().flush();
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn deferred_drop_runs_after_unpin() {
+        let drops = Arc::new(AtomicU64::new(0));
+        let slot = Atomic::new(DropCounter(Arc::clone(&drops)));
+
+        let reader = pin();
+        let old = {
+            let writer = pin();
+            let old = slot.swap(
+                Owned::new(DropCounter(Arc::clone(&drops))),
+                Ordering::SeqCst,
+                &writer,
+            );
+            unsafe { writer.defer_destroy(old) };
+            drops.load(Ordering::SeqCst)
+        };
+        // The reader guard pinned before the swap keeps the old value alive
+        // no matter how hard we try to collect.
+        drain();
+        assert_eq!(drops.load(Ordering::SeqCst), old);
+        drop(reader);
+        drain_until(|| drops.load(Ordering::SeqCst) == 1);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+
+        // Drop the final value still inside the Atomic.
+        let unprotected = unsafe { unprotected() };
+        let last = slot.load(Ordering::SeqCst, unprotected);
+        drop(unsafe { last.into_owned() });
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn nested_pins_share_one_epoch_slot() {
+        let outer = pin();
+        let inner = pin();
+        drop(outer);
+        // Still pinned: retiring through a fresh guard and flushing must not
+        // run the destructor while `inner` lives.
+        let drops = Arc::new(AtomicU64::new(0));
+        let slot = Atomic::new(DropCounter(Arc::clone(&drops)));
+        let old = slot.swap(
+            Owned::new(DropCounter(Arc::clone(&drops))),
+            Ordering::SeqCst,
+            &inner,
+        );
+        unsafe { inner.defer_destroy(old) };
+        drain();
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        drop(inner);
+        drain_until(|| drops.load(Ordering::SeqCst) == 1);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        // Drop the live value still inside the Atomic.
+        let unprotected = unsafe { unprotected() };
+        let last = slot.load(Ordering::SeqCst, unprotected);
+        drop(unsafe { last.into_owned() });
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn many_threads_retire_and_everything_drops() {
+        let drops = Arc::new(AtomicU64::new(0));
+        let slot = Arc::new(Atomic::new(DropCounter(Arc::clone(&drops))));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let slot = Arc::clone(&slot);
+                let drops = Arc::clone(&drops);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let g = pin();
+                        let old = slot.swap(
+                            Owned::new(DropCounter(Arc::clone(&drops))),
+                            Ordering::SeqCst,
+                            &g,
+                        );
+                        unsafe { g.defer_destroy(old) };
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        drain_until(|| drops.load(Ordering::SeqCst) == 400);
+        // 400 swaps retired 400 values; the one left in the slot is live.
+        assert_eq!(drops.load(Ordering::SeqCst), 400);
+        let unprotected = unsafe { unprotected() };
+        let last = slot.load(Ordering::SeqCst, unprotected);
+        drop(unsafe { last.into_owned() });
+        assert_eq!(drops.load(Ordering::SeqCst), 401);
+    }
+}

@@ -1,8 +1,15 @@
 //! Offline shim for the `crossbeam` crate.
 //!
-//! Only `crossbeam::channel`'s unbounded MPSC subset is provided, backed by
-//! `std::sync::mpsc` (whose `Sender` is `Sync` since Rust 1.72, so the usual
-//! crossbeam sharing patterns work unchanged).
+//! Two subsets are provided:
+//!
+//! * `crossbeam::channel`'s unbounded MPSC subset, backed by
+//!   `std::sync::mpsc` (whose `Sender` is `Sync` since Rust 1.72, so the
+//!   usual crossbeam sharing patterns work unchanged), and
+//! * `crossbeam::epoch`, a from-scratch epoch-based-reclamation scheme
+//!   mirroring the `crossbeam-epoch` API surface the workspace's lock-free
+//!   read paths need (see the module docs).
+
+pub mod epoch;
 
 pub mod channel {
     //! Unbounded channels (API subset of `crossbeam-channel`).

@@ -4,15 +4,14 @@
 //! examples, integration tests and downstream users can depend on a single
 //! crate:
 //!
-//! * [`core`](dinomo_core) — the Dinomo key-value store (and its Dinomo-S /
+//! * [`core`] — the Dinomo key-value store (and its Dinomo-S /
 //!   Dinomo-N variants),
-//! * [`clover`](dinomo_clover) — the Clover baseline,
-//! * [`cluster`](dinomo_cluster) — routing/monitoring control plane and the
+//! * [`clover`] — the Clover baseline,
+//! * [`cluster`] — routing/monitoring control plane and the
 //!   timeline experiment driver,
-//! * [`cache`](dinomo_cache), [`partition`](dinomo_partition),
-//!   [`dpm`](dinomo_dpm), [`pclht`](dinomo_pclht), [`pmem`](dinomo_pmem),
-//!   [`simnet`](dinomo_simnet) — the substrates,
-//! * [`workload`](dinomo_workload) — YCSB-style workload generation.
+//! * [`cache`], [`partition`], [`dpm`], [`pclht`], [`pmem`],
+//!   [`simnet`] — the substrates,
+//! * [`workload`] — YCSB-style workload generation.
 //!
 //! ## Quickstart
 //!
