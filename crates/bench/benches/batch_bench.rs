@@ -8,7 +8,7 @@
 //! traffic.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dinomo_bench::harness::{batch_measurement_cluster, measure_batch_round};
+use dinomo_bench::harness::{batch_measurement_cluster, measure_batch_round, write_bench_record};
 use dinomo_core::Op;
 use dinomo_workload::key_for;
 
@@ -104,13 +104,24 @@ fn bench_batch(c: &mut Criterion) {
     // noisy runner should not fail a correct build — and with
     // `BATCH_BENCH_SOFT=1` (set by the merge-gating CI job; the nightly
     // perf job leaves it unset) a persistent miss only warns.
-    let mut speedup = measure_speedup(&client);
+    let (mut speedup, mut per_key_med, mut batched_med) = measure_speedup(&client);
     for _ in 0..2 {
         if speedup > 1.0 {
             break;
         }
-        speedup = measure_speedup(&client);
+        (speedup, per_key_med, batched_med) = measure_speedup(&client);
     }
+    // Machine-readable medians for the CI perf-trajectory artifact.
+    write_bench_record(
+        "batch_bench",
+        &[
+            ("batch", BATCH as f64),
+            ("per_key_ns_per_op", per_key_med),
+            ("batched_ns_per_op", batched_med),
+            ("speedup", speedup),
+            ("gate_speedup", 1.0),
+        ],
+    );
     let soft = std::env::var_os("BATCH_BENCH_SOFT").is_some_and(|v| v != "0");
     if speedup <= 1.0 && soft {
         eprintln!(
@@ -128,8 +139,9 @@ fn bench_batch(c: &mut Criterion) {
 /// Median per-key / median batched ns-per-op over interleaved rounds.
 /// Rounds are interleaved A/B and compared by median so time-varying
 /// background noise (merge threads, the host) cancels out; both sides
-/// produce all 32 results per batch.
-fn measure_speedup(client: &dinomo_core::KvsClient) -> f64 {
+/// produce all 32 results per batch. Returns `(speedup, per_key_median,
+/// batched_median)`.
+fn measure_speedup(client: &dinomo_core::KvsClient) -> (f64, f64, f64) {
     let rounds = 11;
     let mut per_key_ns = Vec::with_capacity(rounds);
     let mut batched_ns = Vec::with_capacity(rounds);
@@ -147,7 +159,7 @@ fn measure_speedup(client: &dinomo_core::KvsClient) -> f64 {
         per_key_ns[rounds / 2],
         batched_ns[rounds / 2]
     );
-    speedup
+    (speedup, per_key_ns[rounds / 2], batched_ns[rounds / 2])
 }
 
 criterion_group!(benches, bench_batch);

@@ -68,6 +68,8 @@ fn run_policy(
         dpm,
         fabric: FabricConfig::default(),
         ring_vnodes: 32,
+        executor_queue_depth: 64,
+        executor_min_sub_batch: 8,
     };
     let kvs = Kvs::new(config).expect("cluster");
     let client = kvs.client();

@@ -44,6 +44,8 @@ fn build(variant: Variant, num_keys: u64, value_len: usize) -> Arc<dyn ElasticKv
         },
         fabric: FabricConfig::with_injected_delay(1),
         ring_vnodes: 64,
+        executor_queue_depth: 64,
+        executor_min_sub_batch: 8,
     };
     Arc::new(Kvs::new(config).expect("cluster"))
 }

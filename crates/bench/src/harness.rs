@@ -19,9 +19,20 @@ pub fn scale() -> f64 {
         .unwrap_or(1.0)
 }
 
+/// The shared artifact directory, `<workspace>/target/bench-results`,
+/// anchored at the workspace root so figure binaries (run from the repo
+/// root) and Criterion benches (run with the package directory as their
+/// working directory) agree on one location.
+pub fn bench_results_dir() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/bench-results"
+    ))
+}
+
 /// Write a JSON artifact to `target/bench-results/<name>.json`.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
-    let dir = PathBuf::from("target/bench-results");
+    let dir = bench_results_dir();
     let _ = std::fs::create_dir_all(&dir);
     let path = dir.join(format!("{name}.json"));
     match serde_json::to_vec_pretty(value) {
@@ -234,6 +245,8 @@ fn measure_dinomo(
         dpm: dpm_config_for(params, num_kns),
         fabric: FabricConfig::default(),
         ring_vnodes: 64,
+        executor_queue_depth: 64,
+        executor_min_sub_batch: 8,
     };
     let kvs = Kvs::new(config).expect("building the Dinomo cluster failed");
     let client = kvs.client();
@@ -420,6 +433,11 @@ pub fn batch_measurement_cluster(num_keys: u64) -> Kvs {
         .threads_per_kn(2)
         .cache_bytes_per_kn(8 << 20)
         .write_batch_ops(8)
+        // This measurement isolates the *request-path* amortization of
+        // batching (routing, node lookup, shard locking, flush batching)
+        // on all-cache-hit reads, where a worker handoff can only add
+        // noise; the executor's own win is measured by `kn_scaling`.
+        .executor_queue_depth(0)
         .dpm(DpmConfig {
             pool: PmemConfig::with_capacity(512 << 20),
             segment_bytes: 2 << 20,
@@ -509,6 +527,129 @@ pub fn measure_batch_amortization(batch_size: usize, num_keys: u64, ops: u64) ->
         batched_ns_per_op: batched_ns,
         speedup: per_key_ns / batched_ns.max(1.0),
     }
+}
+
+// ------------------------------------------------------ bench summaries
+
+/// One named measurement of a bench run (e.g. a median throughput).
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchMetric {
+    /// Metric name, e.g. `"speedup_at_4_workers"`.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+}
+
+/// The machine-readable summary a bench writes to
+/// `target/bench-results/<bench>.json`; `dinomo-bench`'s `bench_summary`
+/// binary merges all of them into `BENCH_RESULTS.json` so CI can track the
+/// perf trajectory as a build artifact instead of scrolling past log
+/// output.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchRecord {
+    /// Bench name (the artifact's file stem).
+    pub bench: String,
+    /// The bench's median measurements.
+    pub metrics: Vec<BenchMetric>,
+}
+
+/// Write a bench's median measurements to
+/// `target/bench-results/<bench>.json`.
+pub fn write_bench_record(bench: &str, metrics: &[(&str, f64)]) {
+    let record = BenchRecord {
+        bench: bench.to_string(),
+        metrics: metrics
+            .iter()
+            .map(|(name, value)| BenchMetric {
+                name: (*name).to_string(),
+                value: *value,
+            })
+            .collect(),
+    };
+    write_json(bench, &record);
+}
+
+// ------------------------------------------------------- executor scaling
+
+/// Build the single-KN cluster the `kn_scaling` bench measures: `workers`
+/// shards, a cache-less read path (every lookup walks the remote index),
+/// and a **sleeping** fabric-delay mode, so each one-sided read parks the
+/// executing thread instead of burning CPU — concurrent shard workers
+/// overlap their fabric waits (as real KN threads overlap RDMA
+/// completions), which is exactly the parallelism the executor exists to
+/// harvest. `executor = false` disables the worker pool
+/// (`executor_queue_depth = 0`): the inline, caller-thread baseline.
+pub fn kn_scaling_cluster(workers: usize, executor: bool, num_keys: u64) -> Kvs {
+    use dinomo_cache::CacheKind;
+    use dinomo_simnet::DelayMode;
+    use dinomo_workload::key_for;
+
+    let kvs = Kvs::builder()
+        .initial_kns(1)
+        .threads_per_kn(workers)
+        .cache_kind(CacheKind::None)
+        .cache_bytes_per_kn(1 << 20)
+        .write_batch_ops(8)
+        .executor_queue_depth(if executor { 64 } else { 0 })
+        .fabric(FabricConfig {
+            delay: DelayMode::sleeping(),
+            ..FabricConfig::default()
+        })
+        .dpm(DpmConfig {
+            pool: PmemConfig::with_capacity(256 << 20),
+            segment_bytes: 1 << 20,
+            merge_threads: 2,
+            index: PclhtConfig::for_capacity(num_keys as usize * 2),
+            ..DpmConfig::default()
+        })
+        .build()
+        .expect("building the kn_scaling cluster failed");
+    let client = kvs.client();
+    let pairs: Vec<_> = (0..num_keys)
+        .map(|i| (key_for(i, 8), vec![1u8; 128]))
+        .collect();
+    for chunk in pairs.chunks(256) {
+        client.multi_put(chunk.iter().map(|(k, v)| (k.clone(), v.clone())));
+    }
+    kvs.quiesce().unwrap();
+    kvs
+}
+
+/// One timed round of the executor-scaling measurement: issue `batches`
+/// batched lookups of `batch` strided keys each from a single client
+/// thread and return the aggregate throughput in ops/second. Replies are
+/// asserted `Ok` so a failing batch cannot masquerade as a fast one.
+pub fn measure_kn_batch_throughput(
+    client: &dinomo_core::KvsClient,
+    num_keys: u64,
+    batch: usize,
+    batches: u64,
+) -> f64 {
+    use dinomo_core::{Op, Reply};
+    use dinomo_workload::key_for;
+    use std::time::Instant;
+
+    let mut key = 0u64;
+    let start = Instant::now();
+    for _ in 0..batches {
+        let ops: Vec<Op> = (0..batch)
+            .map(|_| {
+                key = (key + 31) % num_keys;
+                Op::lookup(key_for(key, 8))
+            })
+            .collect();
+        let replies = client.execute(ops);
+        assert!(replies.iter().all(Reply::is_ok));
+        std::hint::black_box(replies);
+    }
+    (batches * batch as u64) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Median of a set of measurements (sorts a copy).
+pub fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted[sorted.len() / 2]
 }
 
 #[cfg(test)]

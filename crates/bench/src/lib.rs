@@ -25,6 +25,7 @@
 pub mod harness;
 
 pub use harness::{
-    calibrated_cost_model, measure_batch_amortization, measure_point, scale, write_json,
-    BatchPoint, MeasuredPoint, SystemKind,
+    bench_results_dir, calibrated_cost_model, kn_scaling_cluster, measure_batch_amortization,
+    measure_kn_batch_throughput, measure_point, median, scale, write_bench_record, write_json,
+    BatchPoint, BenchMetric, BenchRecord, MeasuredPoint, SystemKind,
 };

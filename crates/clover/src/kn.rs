@@ -272,6 +272,9 @@ impl CloverKn {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             rejected: 0,
+            // Clover has no batched executor; these stay zero.
+            sub_batches: 0,
+            busy_rejections: 0,
             cache,
             nic: self.nic.snapshot(),
             busy_ns: self.busy_ns.load(Ordering::Relaxed),

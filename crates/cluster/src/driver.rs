@@ -70,6 +70,11 @@ pub enum EventKind {
     FailRandomNode,
     /// Add a node outside of the policy engine's control.
     AddNode,
+    /// Remove a specific node (planned scale-in, with the full drain +
+    /// flush + hand-off protocol — unlike the fail-stop events above).
+    RemoveNode(u32),
+    /// Remove whichever node currently has the highest id.
+    RemoveRandomNode,
 }
 
 /// A scripted event bound to an epoch.
@@ -104,6 +109,11 @@ pub struct TimelineRow {
     pub active_clients: usize,
     /// Number of keys currently selectively replicated.
     pub replicated_keys: usize,
+    /// Sub-batches rejected with `Busy` during the epoch (bounded
+    /// shard-worker queues exerting backpressure; the clients retried
+    /// them). Persistently high values mean the executor queues are too
+    /// shallow for the offered load — or the cluster needs more nodes.
+    pub busy_rejections: u64,
     /// Human-readable record of events and policy actions this epoch.
     pub actions: Vec<String>,
 }
@@ -225,6 +235,19 @@ impl SimulationDriver {
                     (kn.id, kn.since(&before).occupancy(epoch.as_nanos() as u64))
                 })
                 .collect();
+            let busy_rejections = stats
+                .kns
+                .iter()
+                .map(|kn| {
+                    let before = prev_stats
+                        .kns
+                        .iter()
+                        .find(|p| p.id == kn.id)
+                        .map(|p| p.busy_rejections)
+                        .unwrap_or(0);
+                    kn.busy_rejections.saturating_sub(before)
+                })
+                .sum();
             let load_imbalance = {
                 let delta = dinomo_core::KvsStats {
                     kns: stats
@@ -280,6 +303,7 @@ impl SimulationDriver {
                 load_imbalance,
                 active_clients: shared.active_clients.load(Ordering::Relaxed),
                 replicated_keys: replicated.len(),
+                busy_rejections,
                 actions,
             });
         }
@@ -326,6 +350,21 @@ impl SimulationDriver {
                 Ok(id) => format!("scripted add: node {id}"),
                 Err(e) => format!("scripted add failed: {e}"),
             },
+            EventKind::RemoveNode(id) => match self.store.remove_node(*id) {
+                Ok(()) => format!("scripted remove: node {id}"),
+                Err(e) => format!("scripted remove of node {id} failed: {e}"),
+            },
+            EventKind::RemoveRandomNode => {
+                let id = self.store.node_ids().into_iter().next_back();
+                if let Some(id) = id {
+                    match self.store.remove_node(id) {
+                        Ok(()) => format!("scripted remove: node {id}"),
+                        Err(e) => format!("scripted remove of node {id} failed: {e}"),
+                    }
+                } else {
+                    "remove skipped: no nodes".to_string()
+                }
+            }
         }
     }
 

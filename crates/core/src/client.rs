@@ -8,16 +8,22 @@
 //!
 //! The client API is batched at its core: [`KvsClient::execute`] takes a
 //! vector of [`Op`]s, groups them by owner KVS node using the cached
-//! ownership table, and issues **one** [`KnNode::run_batch`] call per node,
-//! which resolves ownership once, locks each worker shard once, and flushes
-//! the buffered log writes once per shard group.  Operations rejected
-//! mid-flight (ownership moved, node failed or reconfiguring) are retried
-//! individually after a metadata refresh, so a batch racing a
+//! ownership table, and submits **one** request per node, which
+//! resolves ownership once, splits the group by shard, and enqueues one
+//! sub-batch per involved shard onto
+//! that shard's worker thread — the batch fans out across every involved
+//! shard of every involved node concurrently while this thread waits on a
+//! completion latch (see [`crate::executor`]). Each sub-batch locks its
+//! shard once and flushes its buffered log writes once. Operations
+//! rejected mid-flight (ownership moved, node failed or reconfiguring,
+//! worker queue full) are retried after a metadata refresh (or, for
+//! [`KvsError::Busy`] backpressure, just a pause), so a batch racing a
 //! reconfiguration still produces a correct per-op [`Reply`].  The per-key
 //! methods ([`KvsClient::insert`] & co.) share the same routing/retry core
 //! as a single-op batch, without allocating an owned [`Op`].
 
 use crate::error::KvsError;
+use crate::executor::{BatchShared, WaitGroup};
 use crate::kn::KnNode;
 use crate::kvs::KvsInner;
 use crate::op::{Op, Reply};
@@ -113,17 +119,22 @@ impl KvsClient {
     /// order.
     ///
     /// The batch is grouped by owner KVS node under a single acquisition of
-    /// the cached routing metadata and served with one
-    /// [`KnNode::run_batch`] call per group, which amortizes routing, node
-    /// lookup, ownership checks, shard locking and log-batch flushing over
-    /// the whole group. There is **no atomicity across the batch** — each op
-    /// fails or succeeds independently, exactly as if issued alone; the
-    /// per-op guarantees (linearizable single-key reads/writes) are
-    /// unchanged.
+    /// the cached routing metadata and submitted with one request per
+    /// group, which amortizes routing, node lookup, ownership checks,
+    /// shard locking and log-batch flushing over the whole group — and
+    /// fans the group out across the node's shard worker threads, so all
+    /// of a node's shards (and all nodes) serve the batch concurrently
+    /// while this thread waits. There is **no atomicity across the
+    /// batch** — each op fails or succeeds independently, exactly as if
+    /// issued alone; the per-op guarantees (linearizable single-key
+    /// reads/writes) are unchanged. Ops on the same key still apply in
+    /// batch order (same key → same shard, served in order by one
+    /// worker).
     ///
-    /// Operations rejected because the contacted node no longer owns the key
-    /// (or failed, or is reconfiguring) are transparently retried after a
-    /// metadata refresh; only the rejected subset is retried.
+    /// Operations rejected because the contacted node no longer owns the
+    /// key (or failed, or is reconfiguring, or its worker queues were
+    /// full — [`KvsError::Busy`] backpressure) are transparently retried;
+    /// only the rejected subset is retried.
     ///
     /// ```
     /// use dinomo_core::{Kvs, Op, Reply};
@@ -147,19 +158,22 @@ impl KvsClient {
             // A singleton batch skips the grouping machinery entirely, so
             // the per-key wrappers cost the same as a direct call.
             [op] => vec![self.execute_single(op)],
-            _ => self.execute_batch(&ops),
+            _ => self.execute_batch(ops),
         }
     }
 
-    fn execute_batch(&self, ops: &[Op]) -> Vec<Reply> {
-        let mut replies: Vec<Option<Reply>> = vec![None; ops.len()];
-        // Per-op result slots shared with `KnNode::run_batch_into`; a slot
-        // left `None` after a round (node disappeared mid-route) is retried.
-        let mut results: Vec<Option<Result<Option<Vec<u8>>>>> = vec![None; ops.len()];
-        // Key hashes, computed once per op while routing and shipped with
-        // the batch so nodes do not re-hash.
-        let mut hashes: Vec<u64> = vec![0; ops.len()];
-        let mut pending: Vec<usize> = (0..ops.len()).collect();
+    fn execute_batch(&self, ops: Vec<Op>) -> Vec<Reply> {
+        let n = ops.len();
+        // The ops, their routing hashes (computed once, reused by every
+        // node's ring lookups across every retry round) and one reply slot
+        // per op, shared with every sub-batch the rounds below enqueue.
+        let batch = Arc::new(BatchShared::new(ops));
+        let mut replies: Vec<Option<Reply>> = vec![None; n];
+        let mut pending: Vec<usize> = (0..n).collect();
+        // Whether a position's most recent failure was Busy backpressure,
+        // so exhausted retries report the true cause (persistent overload
+        // vs. a routing/metadata problem).
+        let mut last_was_busy: Vec<bool> = vec![false; n];
 
         for attempt in 0..MAX_RETRIES {
             if pending.is_empty() {
@@ -183,9 +197,7 @@ impl KvsClient {
                 // (load still spreads across batches).
                 let mut replica_picks: Vec<(&[u8], Option<KnId>)> = Vec::new();
                 for &i in &pending {
-                    let key = ops[i].key();
-                    let hash = dinomo_partition::key_hash(key);
-                    hashes[i] = hash;
+                    let key = batch.ops[i].key();
                     let owner = if cached.is_replicated(key) {
                         match replica_picks.iter().find(|(k, _)| *k == key) {
                             Some((_, pick)) => *pick,
@@ -196,7 +208,7 @@ impl KvsClient {
                             }
                         }
                     } else {
-                        global.owner(hash)
+                        global.owner(batch.hashes[i])
                     };
                     match owner {
                         Some(owner) => match groups.iter_mut().find(|(id, _)| *id == owner) {
@@ -219,41 +231,80 @@ impl KvsClient {
                     .map(|(owner, _)| kns.get(owner).cloned())
                     .collect()
             };
-            // One batched request per owner node, written directly into the
-            // shared result slots. The request carries the metadata version
-            // the routing was computed against, so an up-to-date node can
-            // skip its per-key ownership re-verification (§3.1 staleness
-            // detection, applied batch-wide).
+            // One batched request per owner node. Each node resolves its
+            // group's ownership once (the request carries the metadata
+            // version the routing was computed against, so an up-to-date
+            // node skips its per-key re-verification — §3.1 staleness
+            // detection, applied batch-wide), splits it by shard, and
+            // enqueues one sub-batch per involved shard onto its worker
+            // queues — so the batch fans out across every involved shard
+            // of every involved node concurrently, while this thread only
+            // runs the in-order replicated-key passes.
+            let latch = Arc::new(WaitGroup::new());
             for ((_, indexes), node) in groups.iter().zip(&nodes) {
                 if let Some(node) = node {
-                    node.run_batch_into(ops, indexes, &hashes, routed_version, &mut results);
+                    node.submit_batch(&batch, indexes, routed_version, &latch);
                 }
             }
+            // All sub-batches have written their reply slots once the
+            // latch releases; slots are not read before that.
+            latch.wait();
 
-            // Harvest results; routing rejections (and unanswered slots)
-            // are retried after a metadata refresh.
+            // Harvest results; routing rejections, backpressure and
+            // unanswered slots (node disappeared mid-route) are retried.
             let mut retry: Vec<usize> = Vec::new();
+            let mut saw_routing_error = false;
+            let mut saw_busy = false;
             for i in pending {
                 if replies[i].is_some() {
                     continue; // resolved as NoNodes during grouping
                 }
-                match results[i].take() {
-                    Some(Ok(read)) => replies[i] = Some(ops[i].reply_from(read)),
-                    Some(Err(e)) if Self::is_routing_error(&e) => retry.push(i),
+                // SAFETY: every sub-batch of this round counted the latch
+                // down, so no writer is concurrent with these reads.
+                match unsafe { batch.slots.take(i) } {
+                    Some(Ok(read)) => replies[i] = Some(batch.ops[i].reply_from(read)),
+                    Some(Err(KvsError::Busy)) => {
+                        saw_busy = true;
+                        last_was_busy[i] = true;
+                        retry.push(i);
+                    }
+                    Some(Err(e)) if Self::is_routing_error(&e) => {
+                        saw_routing_error = true;
+                        last_was_busy[i] = false;
+                        retry.push(i);
+                    }
                     Some(Err(e)) => replies[i] = Some(Reply::Error(e)),
-                    None => retry.push(i),
+                    None => {
+                        saw_routing_error = true;
+                        last_was_busy[i] = false;
+                        retry.push(i);
+                    }
                 }
             }
 
             pending = retry;
             if !pending.is_empty() {
-                self.refresh_routing();
+                if saw_routing_error {
+                    self.refresh_routing();
+                }
+                if saw_busy {
+                    // Backpressure: give the shard workers a beat to drain
+                    // before re-enqueueing (no metadata refresh needed).
+                    std::thread::yield_now();
+                }
                 Self::backoff(attempt);
             }
         }
 
         for i in pending {
-            replies[i] = Some(Reply::Error(KvsError::RoutingRetriesExhausted));
+            // An op that was Busy on its final attempt failed from
+            // sustained backpressure, not a routing problem — report the
+            // cause the caller can act on (back off / add capacity).
+            replies[i] = Some(Reply::Error(if last_was_busy[i] {
+                KvsError::Busy
+            } else {
+                KvsError::RoutingRetriesExhausted
+            }));
         }
         replies
             .into_iter()

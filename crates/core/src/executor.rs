@@ -1,0 +1,372 @@
+//! The KN worker-thread executor's building blocks.
+//!
+//! Each [`crate::kn::KnNode`] owns one worker thread per shard, fed by a
+//! [`BoundedQueue`] of sub-batches. [`crate::KvsClient::execute`] splits an
+//! owner group by shard, enqueues one sub-batch per involved shard with a
+//! shared set of reply slots, and blocks on a [`WaitGroup`] until every
+//! enqueued sub-batch has run — so a single batch fans out across all of a
+//! node's shards concurrently, and independent clients stop serializing on
+//! one caller thread. A full queue surfaces [`crate::KvsError::Busy`] to
+//! the client's retry loop (backpressure instead of unbounded buffering).
+//!
+//! The primitives here are deliberately small and self-contained (the build
+//! environment has no crates.io access): a Mutex+Condvar bounded MPSC
+//! queue and a Go-style wait group.
+
+use crate::Result;
+use parking_lot::{Condvar, Mutex};
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+
+/// Why [`BoundedQueue::try_push`] rejected an item. The item is handed
+/// back so the caller can fail it over (run inline, retry, or error out).
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — backpressure; retry later.
+    Full(T),
+    /// The queue was closed (its node is shutting down); do not retry
+    /// against this queue.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer single-consumer queue with non-blocking
+/// producers and a blocking consumer.
+///
+/// Producers [`BoundedQueue::try_push`] and never block: a full queue is a
+/// backpressure signal, not a place to wait (the KVS client turns it into
+/// [`crate::KvsError::Busy`] and retries). The consumer [`BoundedQueue::pop`]s,
+/// blocking until an item arrives or the queue is closed *and* drained —
+/// so closing never drops enqueued work.
+///
+/// ```
+/// use dinomo_core::executor::{BoundedQueue, PushError};
+///
+/// let q = BoundedQueue::new(2);
+/// q.try_push(1).unwrap();
+/// q.try_push(2).unwrap();
+/// // Capacity reached: the rejected item is handed back.
+/// assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+///
+/// q.close();
+/// // A closed queue still drains what was accepted...
+/// assert_eq!(q.pop(), Some(1));
+/// assert_eq!(q.pop(), Some(2));
+/// // ...then reports exhaustion, and rejects new work.
+/// assert_eq!(q.pop(), None);
+/// assert!(matches!(q.try_push(4), Err(PushError::Closed(4))));
+/// ```
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Create a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueue `item` without blocking. Fails with [`PushError::Full`] at
+    /// capacity and [`PushError::Closed`] after [`BoundedQueue::close`].
+    pub fn try_push(&self, item: T) -> std::result::Result<(), PushError<T>> {
+        let mut state = self.state.lock();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the oldest item, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed **and** fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut state);
+        }
+    }
+
+    /// Close the queue: producers are rejected from now on, and the
+    /// consumer drains the remaining items before seeing `None`.
+    /// Idempotent.
+    pub fn close(&self) {
+        let mut state = self.state.lock();
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+    }
+
+    /// Number of items currently queued (racy snapshot, for stats/tests).
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// `true` if no items are currently queued (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A Go-style wait group: the dispatching thread [`WaitGroup::add`]s one
+/// count per enqueued sub-batch, each worker calls [`WaitGroup::done`]
+/// when its sub-batch has written its replies, and the dispatcher blocks
+/// in [`WaitGroup::wait`] until the count returns to zero.
+///
+/// All `add` calls must happen before `wait` (the KVS client adds while
+/// enqueuing, then waits once) — `wait` on a never-incremented group
+/// returns immediately.
+///
+/// ```
+/// use dinomo_core::executor::WaitGroup;
+/// use std::sync::Arc;
+///
+/// let wg = Arc::new(WaitGroup::new());
+/// wg.add(2);
+/// for _ in 0..2 {
+///     let wg = Arc::clone(&wg);
+///     std::thread::spawn(move || wg.done());
+/// }
+/// wg.wait(); // returns once both workers called done()
+/// ```
+#[derive(Debug, Default)]
+pub struct WaitGroup {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl WaitGroup {
+    /// Create a wait group with a zero count.
+    pub fn new() -> Self {
+        WaitGroup::default()
+    }
+
+    /// Add `n` to the outstanding count.
+    pub fn add(&self, n: usize) {
+        *self.count.lock() += n;
+    }
+
+    /// Mark one unit of work complete. The `Mutex`/`Condvar` pair gives
+    /// `done` → `wait` the release/acquire edge that makes the worker's
+    /// reply-slot writes visible to the woken dispatcher.
+    pub fn done(&self) {
+        let mut count = self.count.lock();
+        debug_assert!(*count > 0, "WaitGroup::done without a matching add");
+        *count = count.saturating_sub(1);
+        if *count == 0 {
+            drop(count);
+            self.zero.notify_all();
+        }
+    }
+
+    /// Block until the outstanding count is zero.
+    pub fn wait(&self) {
+        let mut count = self.count.lock();
+        while *count > 0 {
+            self.zero.wait(&mut count);
+        }
+    }
+}
+
+/// A guard that calls [`WaitGroup::done`] when dropped, so a sub-batch
+/// counts down even if its execution panics (a stuck client would
+/// otherwise deadlock on [`WaitGroup::wait`]).
+pub(crate) struct DoneGuard<'a>(pub(crate) &'a WaitGroup);
+
+impl Drop for DoneGuard<'_> {
+    fn drop(&mut self) {
+        self.0.done();
+    }
+}
+
+/// Per-operation result of a batch, shared between the dispatching client
+/// thread and the shard workers serving its sub-batches.
+pub(crate) type OpResult = Result<Option<Vec<u8>>>;
+
+/// One reply slot per operation of a batch, written concurrently by shard
+/// workers and read by the dispatching client after its [`WaitGroup`]
+/// wait.
+///
+/// # Safety discipline
+///
+/// The slots are `UnsafeCell`s with no per-slot lock; soundness rests on
+/// the executor's position-disjointness invariant:
+///
+/// * within a dispatch round, every pending position is routed to exactly
+///   one owner group, and within a group to exactly one shard sub-batch
+///   (or the caller-run shared/rejected path) — so no two threads ever
+///   touch the same slot;
+/// * the client reads slots only after [`WaitGroup::wait`] returned for
+///   the round, which orders every worker's writes before the reads;
+/// * rounds are sequential: a retry round re-dispatches only positions
+///   whose previous writers have already counted down.
+#[derive(Debug)]
+pub(crate) struct ReplySlots {
+    slots: Box<[UnsafeCell<Option<OpResult>>]>,
+}
+
+// SAFETY: see the "Safety discipline" section above — all concurrent
+// access is to disjoint slots, and reads are ordered after writes by the
+// round's WaitGroup.
+unsafe impl Sync for ReplySlots {}
+
+impl ReplySlots {
+    /// `n` empty slots.
+    pub(crate) fn new(n: usize) -> Self {
+        ReplySlots {
+            slots: (0..n).map(|_| UnsafeCell::new(None)).collect(),
+        }
+    }
+
+    /// Write the result for `pos`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the only thread accessing `pos` (the round's
+    /// routing assigned `pos` to it), per the type-level discipline.
+    pub(crate) unsafe fn set(&self, pos: usize, result: OpResult) {
+        *self.slots[pos].get() = Some(result);
+    }
+
+    /// Take the result for `pos`, leaving the slot empty for a retry
+    /// round.
+    ///
+    /// # Safety
+    ///
+    /// No worker may be writing concurrently: call only after the round's
+    /// [`WaitGroup::wait`] returned (or before any dispatch).
+    pub(crate) unsafe fn take(&self, pos: usize) -> Option<OpResult> {
+        (*self.slots[pos].get()).take()
+    }
+}
+
+/// Everything a batch's sub-batches share: the operations, their routing
+/// hashes, and the reply slots. One per `KvsClient::execute` call,
+/// `Arc`-shared with every enqueued sub-batch.
+#[derive(Debug)]
+pub(crate) struct BatchShared {
+    /// The batch's operations, in client order.
+    pub(crate) ops: Vec<crate::op::Op>,
+    /// `key_hash(ops[i].key())`, computed once while routing and reused by
+    /// the nodes for their ring lookups.
+    pub(crate) hashes: Vec<u64>,
+    /// One reply slot per op.
+    pub(crate) slots: ReplySlots,
+}
+
+impl BatchShared {
+    pub(crate) fn new(ops: Vec<crate::op::Op>) -> Self {
+        let hashes = ops
+            .iter()
+            .map(|op| dinomo_partition::key_hash(op.key()))
+            .collect();
+        let slots = ReplySlots::new(ops.len());
+        BatchShared { ops, hashes, slots }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn queue_fifo_capacity_and_close() {
+        let q = BoundedQueue::new(2);
+        assert!(q.is_empty());
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        q.close();
+        q.close(); // idempotent
+        assert!(matches!(q.try_push(4), Err(PushError::Closed(4))));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push_or_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        for i in 0..10 {
+            loop {
+                match q.try_push(i) {
+                    Ok(()) => break,
+                    Err(PushError::Full(_)) => std::thread::yield_now(),
+                    Err(PushError::Closed(_)) => panic!("queue closed early"),
+                }
+            }
+        }
+        q.close();
+        assert_eq!(consumer.join().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wait_group_round_trips() {
+        let wg = Arc::new(WaitGroup::new());
+        wg.wait(); // zero count: returns immediately
+        wg.add(3);
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let wg = Arc::clone(&wg);
+                std::thread::spawn(move || {
+                    let _guard = DoneGuard(&wg);
+                })
+            })
+            .collect();
+        wg.wait();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn reply_slots_set_then_take() {
+        let slots = ReplySlots::new(3);
+        // SAFETY: single-threaded test — trivially disjoint.
+        unsafe {
+            assert!(slots.take(0).is_none());
+            slots.set(1, Ok(Some(b"v".to_vec())));
+            assert_eq!(slots.take(1), Some(Ok(Some(b"v".to_vec()))));
+            assert!(slots.take(1).is_none(), "take empties the slot");
+        }
+    }
+}

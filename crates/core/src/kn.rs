@@ -3,6 +3,7 @@
 
 use crate::config::{KvsConfig, Variant};
 use crate::error::KvsError;
+use crate::executor::{BatchShared, BoundedQueue, DoneGuard, OpResult, PushError, WaitGroup};
 use crate::op::Op;
 use crate::stats::KnStats;
 use crate::Result;
@@ -13,7 +14,7 @@ use dinomo_pmem::PmAddr;
 use dinomo_simnet::Nic;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -54,6 +55,84 @@ impl std::fmt::Debug for Shard {
 /// so the full per-key ownership verification always runs.
 pub(crate) const NO_VERSION: u64 = u64::MAX;
 
+/// One sub-batch of a client batch, bound to one shard of one node: the
+/// unit of work a shard worker dequeues. Executing it writes each
+/// position's reply slot and counts the batch's latch down.
+pub(crate) struct SubBatch {
+    node: Arc<KnNode>,
+    shard: u32,
+    batch: Arc<BatchShared>,
+    positions: Vec<usize>,
+    latch: Arc<WaitGroup>,
+    /// Ownership-table version the routes in `positions` were resolved
+    /// against; execution rejects if the table has moved on since (see
+    /// [`KnNode::run_queued_sub_batch`]).
+    resolved_version: u64,
+}
+
+impl std::fmt::Debug for SubBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubBatch")
+            .field("node", &self.node.id)
+            .field("shard", &self.shard)
+            .field("positions", &self.positions.len())
+            .finish()
+    }
+}
+
+impl SubBatch {
+    fn run(self) {
+        let SubBatch {
+            node,
+            shard,
+            batch,
+            positions,
+            latch,
+            resolved_version,
+        } = self;
+        // Count down even if execution panics, so the dispatching client
+        // never deadlocks on the latch.
+        let _done = DoneGuard(&latch);
+        node.run_queued_sub_batch(
+            shard,
+            &batch.ops,
+            &positions,
+            resolved_version,
+            &mut |pos, r| {
+                // SAFETY: this round's routing assigned `positions` exclusively
+                // to this sub-batch (see ReplySlots' safety discipline).
+                unsafe { batch.slots.set(pos, r) }
+            },
+        );
+    }
+}
+
+/// The per-node worker pool: one thread per shard, each draining a bounded
+/// queue of [`SubBatch`]es.
+#[derive(Debug)]
+struct NodeExecutor {
+    queues: Vec<Arc<BoundedQueue<SubBatch>>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Decrements an in-flight counter when dropped (panic-safe).
+struct DecrementOnDrop<'a>(&'a AtomicUsize);
+
+impl Drop for DecrementOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn worker_loop(queue: Arc<BoundedQueue<SubBatch>>) {
+    while let Some(task) = queue.pop() {
+        // A panicking sub-batch must not take the worker (and every queued
+        // batch behind it) down with it; the task's DoneGuard has already
+        // released its latch.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.run()));
+    }
+}
+
 /// A KVS node.
 #[derive(Debug)]
 pub struct KnNode {
@@ -64,12 +143,23 @@ pub struct KnNode {
     ownership: Arc<RwLock<OwnershipTable>>,
     shards: Vec<Mutex<Shard>>,
     write_batch_ops: usize,
+    executor: Option<NodeExecutor>,
+    /// Sub-batches below this size run inline on the dispatching thread
+    /// (`KvsConfig::executor_min_sub_batch`).
+    min_sub_batch: usize,
+    /// Sub-batches currently executing on any thread (workers or inline
+    /// callers); reconfiguration drains this to zero after turning the
+    /// node unavailable, so no straggler can buffer a write behind the
+    /// pre-handoff flush.
+    in_flight: AtomicUsize,
     failed: AtomicBool,
     reconfiguring: AtomicBool,
     ops: AtomicU64,
     reads: AtomicU64,
     writes: AtomicU64,
     rejected: AtomicU64,
+    sub_batches: AtomicU64,
+    busy_rejections: AtomicU64,
     busy_ns: AtomicU64,
 }
 
@@ -94,7 +184,27 @@ impl KnNode {
                     bloom: BloomFilter::new(4096),
                 })
             })
-            .collect();
+            .collect::<Vec<_>>();
+        let executor = (config.executor_queue_depth > 0).then(|| {
+            let queues: Vec<Arc<BoundedQueue<SubBatch>>> = (0..shards.len())
+                .map(|_| Arc::new(BoundedQueue::new(config.executor_queue_depth)))
+                .collect();
+            let handles = queues
+                .iter()
+                .enumerate()
+                .map(|(shard, queue)| {
+                    let queue = Arc::clone(queue);
+                    std::thread::Builder::new()
+                        .name(format!("dinomo-kn{id}-w{shard}"))
+                        .spawn(move || worker_loop(queue))
+                        .expect("spawning a shard worker failed")
+                })
+                .collect();
+            NodeExecutor {
+                queues,
+                handles: Mutex::new(handles),
+            }
+        });
         KnNode {
             id,
             variant: config.variant,
@@ -103,12 +213,17 @@ impl KnNode {
             ownership,
             shards,
             write_batch_ops: config.write_batch_ops.max(1),
+            executor,
+            min_sub_batch: config.executor_min_sub_batch,
+            in_flight: AtomicUsize::new(0),
             failed: AtomicBool::new(false),
             reconfiguring: AtomicBool::new(false),
             ops: AtomicU64::new(0),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            sub_batches: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
             busy_ns: AtomicU64::new(0),
         }
     }
@@ -130,8 +245,14 @@ impl KnNode {
 
     /// Simulate a fail-stop crash: the node stops serving and its DRAM
     /// contents (caches, unmerged-write tracking) are lost.
+    ///
+    /// In-flight sub-batches are drained first so no straggler repopulates
+    /// the cleared caches; queued-but-unstarted sub-batches observe the
+    /// failed flag when a worker picks them up and fail with
+    /// [`KvsError::NodeFailed`] (which the client retries elsewhere).
     pub fn fail(&self) {
-        self.failed.store(true, Ordering::Release);
+        self.failed.store(true, Ordering::SeqCst);
+        self.drain_in_flight();
         for shard in &self.shards {
             let mut s = shard.lock();
             s.cache.clear();
@@ -143,17 +264,66 @@ impl KnNode {
     /// Mark the node unavailable while it participates in a reconfiguration
     /// (step 2 of §3.5) or available again (step 5).
     pub fn set_reconfiguring(&self, on: bool) {
-        self.reconfiguring.store(on, Ordering::Release);
+        self.reconfiguring.store(on, Ordering::SeqCst);
     }
 
     fn check_available(&self) -> Result<()> {
-        if self.failed.load(Ordering::Acquire) {
+        if self.failed.load(Ordering::SeqCst) {
             return Err(KvsError::NodeFailed);
         }
-        if self.reconfiguring.load(Ordering::Acquire) {
+        if self.reconfiguring.load(Ordering::SeqCst) {
             return Err(KvsError::Reconfiguring);
         }
         Ok(())
+    }
+
+    /// Wait until no sub-batch is executing on this node.
+    ///
+    /// Callers first turn the node unavailable ([`KnNode::fail`] or
+    /// [`KnNode::set_reconfiguring`]); every sub-batch increments
+    /// `in_flight` *before* its availability check (both with `SeqCst`),
+    /// so once this observes zero, any later sub-batch is guaranteed to
+    /// see the unavailability flag and reject — no straggler can still
+    /// buffer a write behind the reconfiguration's flush-and-merge.
+    pub(crate) fn drain_in_flight(&self) {
+        while self.in_flight.load(Ordering::SeqCst) > 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Sub-batches currently sitting in this node's worker queues (racy
+    /// snapshot; 0 when the executor is disabled). Tests use this to
+    /// assert the queues drained after churn.
+    pub fn queued_sub_batches(&self) -> usize {
+        self.executor
+            .as_ref()
+            .map(|e| e.queues.iter().map(|q| q.len()).sum())
+            .unwrap_or(0)
+    }
+
+    /// Close the shard-worker queues, let the workers drain what was
+    /// already accepted, and join them. Later enqueue attempts (from
+    /// clients holding a stale handle to this node) fail over to
+    /// [`KvsError::NodeFailed`] and are retried against the new owners.
+    /// Idempotent; also run by `Drop`.
+    pub fn shutdown_workers(&self) {
+        let Some(executor) = &self.executor else {
+            return;
+        };
+        for queue in &executor.queues {
+            queue.close();
+        }
+        let handles = std::mem::take(&mut *executor.handles.lock());
+        let current = std::thread::current().id();
+        for handle in handles {
+            // If the last Arc to this node is dropped by one of its own
+            // workers (a task held the final reference), that worker must
+            // not join itself; its queue is closed and it exits right
+            // after this drop.
+            if handle.thread().id() != current {
+                let _ = handle.join();
+            }
+        }
     }
 
     fn check_ownership(&self, key: &[u8]) -> Result<u32> {
@@ -441,123 +611,370 @@ impl KnNode {
         client_version: u64,
         out: &mut [Option<Result<Option<Vec<u8>>>>],
     ) {
+        // The increment must precede the availability check (both SeqCst)
+        // so `drain_in_flight` cannot observe zero while a group that
+        // passed the check is still executing; see its doc comment.
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let _in_flight = DecrementOnDrop(&self.in_flight);
         if let Err(e) = self.check_available() {
             for &pos in positions {
                 out[pos] = Some(Err(e.clone()));
             }
             return;
         }
+        let (routes, _) =
+            self.resolve_routes(ops, positions, hashes, client_version, &mut |pos, e| {
+                out[pos] = Some(Err(e))
+            });
         let start = Instant::now();
-
-        // Per-position route, parallel to `positions`: the shard index for
-        // owned keys, or one of the tagged values below.
-        const REJECTED: u32 = u32::MAX;
-        const SHARED: u32 = 1 << 31;
-        let mut routes: Vec<u32> = Vec::with_capacity(positions.len());
-
-        // Resolve ownership for the whole group under one read lock. The
-        // global and local rings are hoisted out of the loop, the client's
-        // key hashes feed the ring lookups, and the replicated-key check
-        // short-circuits on an empty replica table.
-        {
-            let table = self.ownership.read();
-            let replication = self.variant.supports_selective_replication();
-            let global = table.global_ring();
-            let local = table.local_ring(self.id);
-            let verified = table.version() == client_version;
-            for &pos in positions {
-                let op = &ops[pos];
-                let key = op.key();
-                let hash = hashes[pos];
-                let replicated = table.is_replicated(key);
-                let owned = verified
-                    || if replicated {
-                        table.owners(key).contains(&self.id)
-                    } else {
-                        global.owner(hash) == Some(self.id)
-                    };
-                if !owned {
-                    self.rejected.fetch_add(1, Ordering::Relaxed);
-                    out[pos] = Some(Err(KvsError::NotOwner {
-                        current_version: table.version(),
-                    }));
-                    routes.push(REJECTED);
-                    continue;
-                }
-                let thread = local.and_then(|ring| ring.owner(hash)).unwrap_or(0);
-                // Every op on a replicated key is deferred to the in-order
-                // shared pass — including deletes, which must keep their
-                // batch order relative to the key's shared-path writes.
-                if replication && replicated {
-                    routes.push(SHARED | thread);
-                } else {
-                    routes.push(thread % self.shards.len() as u32);
-                }
-            }
-        }
-
         let mut reads = 0u64;
         let mut writes = 0u64;
-
-        // One epoch pin covers every index lookup the whole batch performs
-        // (the lock-free read side of the P-CLHT; see dinomo_pclht::pin).
-        let guard = dinomo_dpm::pin();
-
-        // One pass per shard over the route array (shard counts are small),
-        // preserving group order within the shard. No per-shard allocation.
         for shard_idx in 0..self.shards.len() as u32 {
             if !routes.contains(&shard_idx) {
                 continue;
             }
-            let mut shard = self.shards[shard_idx as usize].lock();
-            let mut buffered_writes = false;
-            for (&pos, &route) in positions.iter().zip(&routes) {
-                if route != shard_idx {
-                    continue;
-                }
-                let result = match &ops[pos] {
-                    Op::Lookup { key } => {
-                        reads += 1;
-                        self.get_in_shard(&mut shard, key, &guard)
-                    }
-                    Op::Insert { key, value } | Op::Update { key, value } => {
-                        writes += 1;
-                        buffered_writes = true;
-                        Self::put_in_shard(&mut shard, key, value);
-                        Ok(None)
-                    }
-                    Op::Delete { key } => {
-                        writes += 1;
-                        buffered_writes = true;
-                        Self::delete_in_shard(&mut shard, key);
-                        Ok(None)
-                    }
-                };
-                out[pos] = Some(result);
+            let (r, w) = self.run_shard_sub_batch_core(
+                shard_idx,
+                ops,
+                Self::shard_positions(positions, &routes, shard_idx),
+                &mut |pos, r| out[pos] = Some(r),
+            );
+            reads += r;
+            writes += w;
+        }
+        let (r, w) =
+            self.run_shared_core(ops, positions, &routes, &mut |pos, r| out[pos] = Some(r));
+        self.record_batch_work(reads + r, writes + w, start);
+    }
+
+    /// The executor's dispatch path, shaped like [`KnNode::run_batch_into`]
+    /// but writing into the batch's shared reply slots: resolve ownership
+    /// for the owner group once, split it by shard, and enqueue one
+    /// [`SubBatch`] per involved shard onto that shard's worker queue.
+    /// Replicated keys run in order on the calling thread (they linearize
+    /// through their DPM indirection cell and never share a key with the
+    /// owned sub-batches of the same round, so the two can overlap).
+    ///
+    /// Backpressure: a full shard queue fails that shard's positions with
+    /// [`KvsError::Busy`] — the client retries them after a pause. With
+    /// the executor disabled (`executor_queue_depth == 0`) every sub-batch
+    /// runs inline on the caller, the pre-executor behaviour.
+    ///
+    /// Every enqueued sub-batch `add`s one count to `latch` before the
+    /// push, and counts down when it has written its positions' slots (or
+    /// immediately, if the push is rejected); the caller may only read the
+    /// slots after `latch.wait()` returns.
+    pub(crate) fn submit_batch(
+        self: &Arc<Self>,
+        batch: &Arc<BatchShared>,
+        positions: &[usize],
+        client_version: u64,
+        latch: &Arc<WaitGroup>,
+    ) {
+        // SAFETY (for every `slots.set` below): `positions` is this
+        // round's exclusive assignment to this node, and the per-shard /
+        // shared / rejected splits below are disjoint by construction.
+        let slots = &batch.slots;
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let _in_flight = DecrementOnDrop(&self.in_flight);
+        if let Err(e) = self.check_available() {
+            for &pos in positions {
+                unsafe { slots.set(pos, Err(e.clone())) };
             }
-            // One flush for the whole shard group. A flush failure is a
-            // durability failure of every write buffered by this group, so
-            // it is reported on each of them.
-            if buffered_writes {
-                if let Err(e) = self.flush_if_due(&mut shard) {
-                    for (&pos, &route) in positions.iter().zip(&routes) {
-                        if route == shard_idx && ops[pos].is_write() {
-                            out[pos] = Some(Err(e.clone()));
+            return;
+        }
+        let ops = &batch.ops;
+        let (routes, resolved_version) = self.resolve_routes(
+            ops,
+            positions,
+            &batch.hashes,
+            client_version,
+            &mut |pos, e| unsafe { slots.set(pos, Err(e)) },
+        );
+        let start = Instant::now();
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for shard_idx in 0..self.shards.len() as u32 {
+            let count = routes.iter().filter(|&&route| route == shard_idx).count();
+            if count == 0 {
+                continue;
+            }
+            // A worker handoff (queue push + wakeup) only amortizes over
+            // enough per-shard work; small sub-batches execute in place,
+            // exactly as before the executor existed.
+            let enqueue = match &self.executor {
+                Some(executor) if count >= self.min_sub_batch.max(1) => Some(executor),
+                _ => None,
+            };
+            match enqueue {
+                None => {
+                    let (r, w) = self.run_shard_sub_batch_core(
+                        shard_idx,
+                        ops,
+                        Self::shard_positions(positions, &routes, shard_idx),
+                        &mut |pos, r| unsafe { slots.set(pos, r) },
+                    );
+                    reads += r;
+                    writes += w;
+                }
+                Some(executor) => {
+                    let list: Vec<usize> =
+                        Self::shard_positions(positions, &routes, shard_idx).collect();
+                    latch.add(1);
+                    let task = SubBatch {
+                        node: Arc::clone(self),
+                        shard: shard_idx,
+                        batch: Arc::clone(batch),
+                        positions: list,
+                        latch: Arc::clone(latch),
+                        resolved_version,
+                    };
+                    match executor.queues[shard_idx as usize].try_push(task) {
+                        Ok(()) => {
+                            self.sub_batches.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(PushError::Full(task)) => {
+                            // Bounded-queue backpressure: hand the shard's
+                            // positions back to the client as Busy.
+                            self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                            for &pos in &task.positions {
+                                unsafe { slots.set(pos, Err(KvsError::Busy)) };
+                            }
+                            latch.done();
+                        }
+                        Err(PushError::Closed(task)) => {
+                            // The node shut down (removed/failed) after the
+                            // client resolved its handle; retry elsewhere.
+                            for &pos in &task.positions {
+                                unsafe { slots.set(pos, Err(KvsError::NodeFailed)) };
+                            }
+                            latch.done();
                         }
                     }
                 }
             }
         }
+        let (r, w) = self.run_shared_core(ops, positions, &routes, &mut |pos, r| unsafe {
+            slots.set(pos, r)
+        });
+        self.record_batch_work(reads + r, writes + w, start);
+    }
 
-        // Replicated keys linearize through their indirection cell; they
-        // lock shards internally, so they run after the owned groups,
-        // applied one by one in group order (which keeps same-key order
-        // even between shared-path writes and owned-path deletes).
-        for (&pos, &route) in positions.iter().zip(&routes) {
-            if route == REJECTED || route & SHARED == 0 {
+    /// Resolve ownership for a whole owner group under one read lock. The
+    /// global and local rings are hoisted out of the loop, the client's
+    /// key hashes feed the ring lookups, and the replicated-key check
+    /// short-circuits on an empty replica table.
+    ///
+    /// Returns one route per position (parallel to `positions`): the shard
+    /// index for owned keys, [`Self::ROUTE_SHARED`]`| thread` for keys that
+    /// take the in-order shared pass, or [`Self::ROUTE_REJECTED`] for keys
+    /// this node does not own (reported through `reject`).
+    ///
+    /// `client_version` is the ownership-table version the caller routed
+    /// against (§3.1's staleness detection, applied batch-wide): when it
+    /// equals the node's current version the tables are identical, the
+    /// client's routing is known-correct, and the per-key ownership
+    /// re-verification is skipped for the whole group.
+    ///
+    /// Also returns the table version the routes were resolved against,
+    /// so queued sub-batches can detect that the table moved on while
+    /// they waited (see [`KnNode::run_queued_sub_batch`]).
+    fn resolve_routes(
+        &self,
+        ops: &[Op],
+        positions: &[usize],
+        hashes: &[u64],
+        client_version: u64,
+        reject: &mut dyn FnMut(usize, KvsError),
+    ) -> (Vec<u32>, u64) {
+        let mut routes: Vec<u32> = Vec::with_capacity(positions.len());
+        let table = self.ownership.read();
+        let replication = self.variant.supports_selective_replication();
+        let global = table.global_ring();
+        let local = table.local_ring(self.id);
+        let verified = table.version() == client_version;
+        for &pos in positions {
+            let op = &ops[pos];
+            let key = op.key();
+            let hash = hashes[pos];
+            let replicated = table.is_replicated(key);
+            let owned = verified
+                || if replicated {
+                    table.owners(key).contains(&self.id)
+                } else {
+                    global.owner(hash) == Some(self.id)
+                };
+            if !owned {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                reject(
+                    pos,
+                    KvsError::NotOwner {
+                        current_version: table.version(),
+                    },
+                );
+                routes.push(Self::ROUTE_REJECTED);
                 continue;
             }
-            let thread = route & !SHARED;
+            let thread = local.and_then(|ring| ring.owner(hash)).unwrap_or(0);
+            // Every op on a replicated key is deferred to the in-order
+            // shared pass — including deletes, which must keep their
+            // batch order relative to the key's shared-path writes.
+            if replication && replicated {
+                routes.push(Self::ROUTE_SHARED | thread);
+            } else {
+                routes.push(thread % self.shards.len() as u32);
+            }
+        }
+        (routes, table.version())
+    }
+
+    /// Route tag for positions rejected with `NotOwner`.
+    const ROUTE_REJECTED: u32 = u32::MAX;
+    /// Route-tag bit for positions deferred to the in-order shared pass.
+    const ROUTE_SHARED: u32 = 1 << 31;
+
+    /// The positions routed to `shard_idx`, in group order, with no
+    /// allocation (the inline paths iterate this directly; the enqueue
+    /// path collects it into the task).
+    fn shard_positions<'a>(
+        positions: &'a [usize],
+        routes: &'a [u32],
+        shard_idx: u32,
+    ) -> impl Iterator<Item = usize> + Clone + 'a {
+        positions
+            .iter()
+            .zip(routes)
+            .filter(move |&(_, &route)| route == shard_idx)
+            .map(|(&pos, _)| pos)
+    }
+
+    /// Execute one shard's slice of an owner group, in group order: the
+    /// work a shard worker (or the inline fallback) performs. Locks the
+    /// shard **once**, pins **one** epoch guard covering every index
+    /// lookup of the sub-batch, and flushes buffered log writes at most
+    /// once at the end. Results are reported per position through `set`;
+    /// returns the `(reads, writes)` served so the caller can account the
+    /// node-level counters (workers per task, inline paths once per
+    /// group).
+    fn run_shard_sub_batch_core(
+        &self,
+        shard_idx: u32,
+        ops: &[Op],
+        positions: impl Iterator<Item = usize> + Clone,
+        set: &mut impl FnMut(usize, OpResult),
+    ) -> (u64, u64) {
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        // One epoch pin covers every index lookup this sub-batch performs
+        // (the lock-free read side of the P-CLHT; see dinomo_pclht::pin).
+        let guard = dinomo_dpm::pin();
+        let mut shard = self.shards[shard_idx as usize].lock();
+        let mut buffered_writes = false;
+        for pos in positions.clone() {
+            let result = match &ops[pos] {
+                Op::Lookup { key } => {
+                    reads += 1;
+                    self.get_in_shard(&mut shard, key, &guard)
+                }
+                Op::Insert { key, value } | Op::Update { key, value } => {
+                    writes += 1;
+                    buffered_writes = true;
+                    Self::put_in_shard(&mut shard, key, value);
+                    Ok(None)
+                }
+                Op::Delete { key } => {
+                    writes += 1;
+                    buffered_writes = true;
+                    Self::delete_in_shard(&mut shard, key);
+                    Ok(None)
+                }
+            };
+            set(pos, result);
+        }
+        // One flush for the whole sub-batch. A flush failure is a
+        // durability failure of every write buffered by this sub-batch, so
+        // it is reported on each of them.
+        if buffered_writes {
+            if let Err(e) = self.flush_if_due(&mut shard) {
+                for pos in positions {
+                    if ops[pos].is_write() {
+                        set(pos, Err(e.clone()));
+                    }
+                }
+            }
+        }
+        (reads, writes)
+    }
+
+    /// A queued sub-batch, as executed by a shard worker: re-check
+    /// availability **and** the ownership-table version (the task may have
+    /// sat in the queue across a failure or a *completed* reconfiguration
+    /// — a stale task must reject, not buffer writes for keys the node
+    /// just handed off behind the hand-off flush, nor repopulate caches
+    /// the protocol cleared), then run the shard core and account its
+    /// work.
+    fn run_queued_sub_batch(
+        &self,
+        shard_idx: u32,
+        ops: &[Op],
+        positions: &[usize],
+        resolved_version: u64,
+        set: &mut impl FnMut(usize, OpResult),
+    ) {
+        // The increment must precede the availability check (both SeqCst)
+        // so `drain_in_flight` cannot observe zero while a sub-batch that
+        // passed the check is still running; see its doc comment.
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let _in_flight = DecrementOnDrop(&self.in_flight);
+        if let Err(e) = self.check_available() {
+            for &pos in positions {
+                set(pos, Err(e.clone()));
+            }
+            return;
+        }
+        // Routes were resolved against `resolved_version`. The drain in
+        // the reconfiguration path only covers *executing* sub-batches;
+        // one still queued when the table was swapped would execute with
+        // stale routes (e.g. write a key whose range just moved away,
+        // acked but buffered behind the pre-handoff flush-and-merge). If
+        // the table moved on, reject the whole sub-batch as NotOwner —
+        // the client refreshes its metadata and re-routes.
+        let current_version = self.ownership.read().version();
+        if current_version != resolved_version {
+            self.rejected
+                .fetch_add(positions.len() as u64, Ordering::Relaxed);
+            for &pos in positions {
+                set(pos, Err(KvsError::NotOwner { current_version }));
+            }
+            return;
+        }
+        let start = Instant::now();
+        let (reads, writes) =
+            self.run_shard_sub_batch_core(shard_idx, ops, positions.iter().copied(), set);
+        self.record_batch_work(reads, writes, start);
+    }
+
+    /// Execute the shared (replicated-key) pass of an owner group, one op
+    /// at a time in group order. Replicated keys linearize through their
+    /// indirection cell and lock shards internally; within a routing round
+    /// they never share a key with the owned sub-batches (a key's
+    /// replicated-ness is decided once per round under one table read), so
+    /// this pass may overlap with the shard workers. Returns the
+    /// `(reads, writes)` served.
+    fn run_shared_core(
+        &self,
+        ops: &[Op],
+        positions: &[usize],
+        routes: &[u32],
+        set: &mut impl FnMut(usize, OpResult),
+    ) -> (u64, u64) {
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for (&pos, &route) in positions.iter().zip(routes) {
+            if route == Self::ROUTE_REJECTED || route & Self::ROUTE_SHARED == 0 {
+                continue;
+            }
+            let thread = route & !Self::ROUTE_SHARED;
             let result = match &ops[pos] {
                 Op::Lookup { key } => {
                     reads += 1;
@@ -575,9 +992,14 @@ impl KnNode {
                     self.delete_shared(key, thread).map(|()| None)
                 }
             };
-            out[pos] = Some(result);
+            set(pos, result);
         }
+        (reads, writes)
+    }
 
+    /// Fold one batch execution's served operations into the node-level
+    /// counters (ops, reads, writes, busy time since `start`).
+    fn record_batch_work(&self, reads: u64, writes: u64, start: Instant) {
         self.ops.fetch_add(reads + writes, Ordering::Relaxed);
         self.reads.fetch_add(reads, Ordering::Relaxed);
         self.writes.fetch_add(writes, Ordering::Relaxed);
@@ -691,9 +1113,163 @@ impl KnNode {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            sub_batches: self.sub_batches.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             cache,
             nic: self.nic.snapshot(),
             busy_ns: self.busy_ns.load(Ordering::Relaxed),
         }
+    }
+}
+
+impl Drop for KnNode {
+    fn drop(&mut self) {
+        // Backstop for nodes that were never explicitly shut down (e.g. a
+        // whole cluster being dropped): close the worker queues and join
+        // the workers. Queued tasks hold an `Arc` to this node, so by the
+        // time the last reference drops the queues are necessarily empty.
+        self.shutdown_workers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kvs::Kvs;
+    use crate::op::Reply;
+
+    /// A sub-batch that waited in a worker queue across a *completed*
+    /// reconfiguration must reject (NotOwner) instead of executing with
+    /// routes resolved against the old ownership table — the drain only
+    /// covers sub-batches already executing, so the version guard is what
+    /// protects queued ones. Crafted directly against the queue (the only
+    /// deterministic way to get a stale task under a worker).
+    #[test]
+    fn queued_sub_batch_rejects_after_table_version_moves() {
+        let kvs = Kvs::new(KvsConfig::small_for_tests()).unwrap();
+        let client = kvs.client();
+        client.insert(b"k0", b"v0").unwrap();
+
+        let node = kvs.kn(kvs.kn_ids()[0]).unwrap();
+        let current = node.ownership.read().version();
+        let batch = Arc::new(BatchShared::new(vec![
+            Op::lookup("k0"),
+            Op::insert("k1", "v1"),
+        ]));
+        let latch = Arc::new(WaitGroup::new());
+        latch.add(1);
+        let task = SubBatch {
+            node: Arc::clone(&node),
+            shard: 0,
+            batch: Arc::clone(&batch),
+            positions: vec![0, 1],
+            latch: Arc::clone(&latch),
+            // The table moved on (e.g. an add_kn completed) while this
+            // task sat in the queue.
+            resolved_version: current.wrapping_sub(1),
+        };
+        node.executor.as_ref().unwrap().queues[0]
+            .try_push(task)
+            .unwrap_or_else(|_| panic!("enqueue failed"));
+        latch.wait();
+        for pos in 0..2 {
+            // SAFETY: the latch released, so no writer is concurrent.
+            match unsafe { batch.slots.take(pos) } {
+                Some(Err(KvsError::NotOwner { current_version })) => {
+                    assert_eq!(current_version, current);
+                }
+                other => panic!("stale sub-batch executed: {other:?}"),
+            }
+        }
+        // And an up-to-date task on the same queue still executes.
+        let batch = Arc::new(BatchShared::new(vec![Op::lookup("k0")]));
+        let latch = Arc::new(WaitGroup::new());
+        latch.add(1);
+        let task = SubBatch {
+            node: Arc::clone(&node),
+            shard: 0,
+            batch: Arc::clone(&batch),
+            positions: vec![0],
+            latch: Arc::clone(&latch),
+            resolved_version: current,
+        };
+        node.executor.as_ref().unwrap().queues[0]
+            .try_push(task)
+            .unwrap_or_else(|_| panic!("enqueue failed"));
+        latch.wait();
+        let result = unsafe { batch.slots.take(0) };
+        assert!(
+            matches!(result, Some(Ok(_)) | Some(Err(KvsError::NotOwner { .. }))),
+            "fresh sub-batch must execute (or reject only if shard 0 \
+             does not own k0): {result:?}"
+        );
+    }
+
+    /// Sustained backpressure must surface as `Busy`, not as a routing
+    /// failure, once the client's retries are exhausted.
+    #[test]
+    fn exhausted_busy_retries_report_busy() {
+        // One node, one shard, a depth-1 queue, and a worker wedged by a
+        // task that blocks on the shard lock held by the test: every
+        // enqueue attempt after the queue refills is rejected Busy until
+        // retries run out.
+        let kvs = crate::KvsBuilder::new()
+            .small_for_tests()
+            .initial_kns(1)
+            .threads_per_kn(1)
+            .executor_queue_depth(1)
+            .build()
+            .unwrap();
+        let node = kvs.kn(kvs.kn_ids()[0]).unwrap();
+        // Wedge the worker: hold shard 0's lock, then feed the worker a
+        // task that needs it.
+        let shard_guard = node.shards[0].lock();
+        let wedge_batch = Arc::new(BatchShared::new(vec![Op::lookup("w")]));
+        let wedge_latch = Arc::new(WaitGroup::new());
+        wedge_latch.add(1);
+        let version = node.ownership.read().version();
+        node.executor.as_ref().unwrap().queues[0]
+            .try_push(SubBatch {
+                node: Arc::clone(&node),
+                shard: 0,
+                batch: Arc::clone(&wedge_batch),
+                positions: vec![0],
+                latch: Arc::clone(&wedge_latch),
+                resolved_version: version,
+            })
+            .unwrap_or_else(|_| panic!("wedge enqueue failed"));
+        // Give the worker a beat to pop the task and block on the lock,
+        // then fill the (now empty) depth-1 queue so client pushes see
+        // Full.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let filler_batch = Arc::new(BatchShared::new(vec![Op::lookup("f")]));
+        let filler_latch = Arc::new(WaitGroup::new());
+        filler_latch.add(1);
+        node.executor.as_ref().unwrap().queues[0]
+            .try_push(SubBatch {
+                node: Arc::clone(&node),
+                shard: 0,
+                batch: Arc::clone(&filler_batch),
+                positions: vec![0],
+                latch: Arc::clone(&filler_latch),
+                resolved_version: version,
+            })
+            .unwrap_or_else(|_| panic!("filler enqueue failed"));
+
+        // A real client batch now gets Busy on every attempt (the worker
+        // stays wedged for the whole retry budget).
+        let client = kvs.client();
+        let replies = client.execute(vec![Op::insert("x", "1"), Op::insert("y", "2")]);
+        assert!(
+            replies
+                .iter()
+                .all(|r| matches!(r, Reply::Error(KvsError::Busy))),
+            "exhausted backpressure must report Busy: {replies:?}"
+        );
+        // Unwedge and let everything drain so teardown joins cleanly.
+        drop(shard_guard);
+        wedge_latch.wait();
+        filler_latch.wait();
+        node.drain_in_flight();
     }
 }

@@ -130,9 +130,15 @@ impl Kvs {
                 .collect()
         };
 
-        // Step 2: the participating KNs become unavailable.
+        // Step 2: the participating KNs become unavailable. In-flight
+        // sub-batches (on shard workers or inline callers) are drained so
+        // none can buffer a write behind the flush below; queued ones
+        // reject with `Reconfiguring` when a worker picks them up.
         for kn in &affected {
             kn.set_reconfiguring(true);
+        }
+        for kn in &affected {
+            kn.drain_in_flight();
         }
         // Step 3: their pending logs are merged synchronously.
         for kn in &affected {
@@ -179,6 +185,7 @@ impl Kvs {
         new_table.remove_kn(id);
 
         node.set_reconfiguring(true);
+        node.drain_in_flight();
         node.flush_pending_writes()?;
         self.inner.dpm.wait_until_merged(id);
         if self.inner.config.variant.requires_data_reshuffle() {
@@ -187,6 +194,11 @@ impl Kvs {
         node.clear_caches();
         *self.inner.ownership.write() = new_table;
         self.inner.kns.write().remove(&id);
+        // Clean executor shutdown: close the removed node's worker queues,
+        // drain what they already accepted (those sub-batches reject with
+        // `Reconfiguring` and are retried against the new owners) and join
+        // the workers.
+        node.shutdown_workers();
         self.persist_policy_metadata()?;
         self.inner.reconfigurations.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -210,6 +222,10 @@ impl Kvs {
         }
         *self.inner.ownership.write() = new_table;
         self.inner.kns.write().remove(&id);
+        // The failed node's workers are joined; sub-batches still queued
+        // behind the failure reject with `NodeFailed` and their clients
+        // retry against the surviving owners.
+        node.shutdown_workers();
         self.persist_policy_metadata()?;
         self.inner.reconfigurations.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -595,6 +611,48 @@ mod tests {
                 Some(vec![i as u8; 32])
             );
         }
+    }
+
+    #[test]
+    fn batches_fan_out_through_the_shard_workers() {
+        let kvs = cluster(Variant::Dinomo);
+        let client = kvs.client();
+        let ops: Vec<Op> = (0..64u64)
+            .map(|i| Op::insert(key_for(i, 8), format!("v{i}")))
+            .collect();
+        assert!(client.execute(ops).iter().all(Reply::is_ok));
+        let replies = client.multi_get((0..64u64).map(|i| key_for(i, 8)));
+        assert!(replies.iter().all(Reply::is_ok));
+        let stats = kvs.stats();
+        let sub_batches: u64 = stats.kns.iter().map(|k| k.sub_batches).sum();
+        // 2 KNs × 2 shards and 64 strided keys: both rounds must have
+        // enqueued several sub-batches, and the queues must be drained
+        // once execute returned.
+        assert!(sub_batches >= 4, "batches did not fan out: {sub_batches}");
+        for id in kvs.kn_ids() {
+            assert_eq!(kvs.kn(id).unwrap().queued_sub_batches(), 0);
+        }
+    }
+
+    #[test]
+    fn executor_disabled_runs_batches_inline() {
+        let kvs = Kvs::builder()
+            .small_for_tests()
+            .executor_queue_depth(0)
+            .build()
+            .unwrap();
+        let client = kvs.client();
+        let ops: Vec<Op> = (0..64u64)
+            .map(|i| Op::insert(key_for(i, 8), format!("v{i}")))
+            .collect();
+        assert!(client.execute(ops).iter().all(Reply::is_ok));
+        let replies = client.multi_get((0..64u64).map(|i| key_for(i, 8)));
+        for (i, reply) in replies.iter().enumerate() {
+            assert_eq!(reply.value(), Some(format!("v{i}").as_bytes()));
+        }
+        let stats = kvs.stats();
+        assert!(stats.kns.iter().all(|k| k.sub_batches == 0));
+        assert!(stats.kns.iter().all(|k| k.busy_rejections == 0));
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //! The client groups the batch by owner KVS node using its cached routing
 //! metadata and issues one request per node, amortizing routing, shard
 //! locking and log flushing — the paper's per-request overheads — across the
-//! group:
+//! group. Each node fans its group out across its per-shard worker
+//! threads (bounded queues with [`KvsError::Busy`] backpressure; see the
+//! [`executor`] module), so a batch executes concurrently on every
+//! involved shard of every involved node while the caller waits on a
+//! completion latch:
 //!
 //! ```
 //! use dinomo_core::{Kvs, Op, Reply, Variant};
@@ -57,6 +61,7 @@ pub mod builder;
 pub mod client;
 pub mod config;
 pub mod error;
+pub mod executor;
 pub mod kn;
 pub mod kvs;
 pub mod op;

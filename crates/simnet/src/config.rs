@@ -25,12 +25,38 @@ pub enum DelayMode {
         /// Scale denominator.
         denominator: u32,
     },
+    /// Block the calling thread with `std::thread::sleep` for
+    /// `modeled_ns * numerator / denominator` nanoseconds.
+    ///
+    /// Sleeping models a worker thread parked on a synchronous verb
+    /// completion: the CPU is *free* while the "network" works, so
+    /// concurrent shard workers overlap their fabric waits even on a
+    /// host with fewer cores than workers. Kernel timer granularity
+    /// (tens of µs) makes every delay at least that long, which is
+    /// exactly the regime the executor-scaling experiments want —
+    /// uniformly fabric-bound operations. Use [`DelayMode::BusySpin`]
+    /// when sub-microsecond fidelity matters more than overlap.
+    Sleep {
+        /// Scale numerator.
+        numerator: u32,
+        /// Scale denominator.
+        denominator: u32,
+    },
 }
 
 impl DelayMode {
     /// Full-fidelity busy-spin delay (scale 1/1).
     pub const fn full() -> Self {
         DelayMode::BusySpin {
+            numerator: 1,
+            denominator: 1,
+        }
+    }
+
+    /// Full-fidelity sleeping delay (scale 1/1), for experiments where
+    /// fabric waits should overlap across threads instead of burning CPU.
+    pub const fn sleeping() -> Self {
+        DelayMode::Sleep {
             numerator: 1,
             denominator: 1,
         }
@@ -43,6 +69,10 @@ impl DelayMode {
             DelayMode::BusySpin {
                 numerator,
                 denominator,
+            }
+            | DelayMode::Sleep {
+                numerator,
+                denominator,
             } => {
                 if denominator == 0 {
                     0
@@ -51,6 +81,12 @@ impl DelayMode {
                 }
             }
         }
+    }
+
+    /// `true` if the injected delay blocks the thread without consuming
+    /// the CPU (so concurrent workers overlap their waits).
+    pub fn yields_cpu(&self) -> bool {
+        matches!(self, DelayMode::Sleep { .. })
     }
 }
 

@@ -124,7 +124,11 @@ impl Nic {
             .fetch_add(modeled_ns, Ordering::Relaxed);
         let injected = self.inner.config.delay.injected_ns(modeled_ns);
         if injected > 0 {
-            busy_wait(Duration::from_nanos(injected));
+            if self.inner.config.delay.yields_cpu() {
+                std::thread::sleep(Duration::from_nanos(injected));
+            } else {
+                busy_wait(Duration::from_nanos(injected));
+            }
         }
         Duration::from_nanos(modeled_ns)
     }
