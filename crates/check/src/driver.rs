@@ -1,0 +1,489 @@
+//! The seeded generative stress driver.
+//!
+//! A scenario is a **pure function of its seed**: the op stream of every
+//! client ([`client_ops`]) and the churn schedule ([`churn_script`]) are
+//! derived deterministically from `CheckConfig::seed`, so a failure found
+//! by a nightly random sweep reproduces locally from
+//! `DINOMO_CHECK_SEED=<n>` alone — only thread *timing* differs between
+//! runs, and the linearizability checker tolerates timing by construction
+//! (it checks the recorded real-time partial order, not a total order).
+//!
+//! One scenario run:
+//!
+//! * builds a real cluster with per-op write flushing (`write_batch_ops =
+//!   1`, so an acknowledged write is durable — the guarantee the checker
+//!   verifies across fail-stop churn) and deliberately tiny shard-worker
+//!   queues, so `Busy` backpressure and its client retries are part of
+//!   every history;
+//! * optionally preloads the key space through a recording client;
+//! * runs `clients` concurrent threads, each executing its deterministic
+//!   CRUD batches (skewed keys via [`dinomo_workload::WorkloadGenerator`],
+//!   globally-unique write values so the checker can pin every read to its
+//!   write) through the batched `execute` path with history recording on;
+//! * replays a deterministic churn script concurrently:
+//!   `add_kn`/`remove_kn`/`fail_kn` plus selective-replication flips on
+//!   the hottest keys;
+//! * drains the merged history and hands it to the checker.
+//!
+//! Shrinking is built into replay: rerun the same seed with a reduced
+//! `total_ops` budget (see the `lincheck` binary's `--replay`), which
+//! preserves the op-stream *prefix* — the generators are streams, so a
+//! smaller budget is a prefix of the same schedule.
+
+use crate::checker::{check_history_with, CheckError, CheckStats, CheckerConfig};
+use dinomo_core::trace::{HistoryRecorder, OpRecord};
+use dinomo_core::{Kvs, KvsConfig, Op, Reply};
+use dinomo_workload::{
+    key_for, KeyDistribution, Operation, WorkloadConfig, WorkloadGenerator, WorkloadMix,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Configuration of one generative check scenario. Everything except
+/// `seed` has a sensible default via [`CheckConfig::from_seed`].
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// The master seed every deterministic choice derives from.
+    pub seed: u64,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Total operation budget, split evenly across clients. Replaying a
+    /// failing seed with a smaller budget shrinks the scenario (the op
+    /// streams are prefixes of the larger run's).
+    pub total_ops: usize,
+    /// Ops per `execute` call (the batched client path).
+    pub batch_size: usize,
+    /// Loaded key-space size (small, so keys are contended).
+    pub keys: u64,
+    /// KVS nodes at start-up.
+    pub initial_kns: usize,
+    /// Replay `add_kn`/`remove_kn`/`fail_kn` churn during the run.
+    pub membership_churn: bool,
+    /// Flip selective replication on/off on hot keys during the run.
+    pub replication_churn: bool,
+    /// Length of the churn script (actions, including pauses).
+    pub churn_steps: usize,
+    /// Shard-worker queue depth; tiny values force `Busy` retries into
+    /// every history.
+    pub executor_queue_depth: usize,
+    /// Insert the whole key space (recorded) before the clients start.
+    pub preload: bool,
+    /// Checker budget.
+    pub checker: CheckerConfig,
+}
+
+impl CheckConfig {
+    /// The default scenario for a seed: 3 clients, 3 000 ops of CRUD over
+    /// 48 skewed keys in batches of 8, depth-2 worker queues, membership
+    /// and replication churn on.
+    pub fn from_seed(seed: u64) -> Self {
+        CheckConfig {
+            seed,
+            clients: 3,
+            total_ops: 3_000,
+            batch_size: 8,
+            keys: 48,
+            initial_kns: 2,
+            membership_churn: true,
+            replication_churn: true,
+            churn_steps: 80,
+            executor_queue_depth: 2,
+            preload: true,
+            checker: CheckerConfig::default(),
+        }
+    }
+
+    /// The seed override from `DINOMO_CHECK_SEED`, if set — the reproduce
+    /// knob printed by failing sweeps.
+    pub fn env_seed() -> Option<u64> {
+        std::env::var("DINOMO_CHECK_SEED").ok()?.parse().ok()
+    }
+}
+
+/// One step of the churn schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// `add_kn` (skipped above 5 live nodes).
+    AddKn,
+    /// Planned scale-in of the oldest node (skipped at ≤ 2 nodes).
+    RemoveOldestKn,
+    /// Fail-stop the newest node (skipped at ≤ 2 nodes).
+    FailNewestKn,
+    /// Replicate loaded key `key_id` across `factor` owners.
+    ReplicateKey(u64, usize),
+    /// Collapse loaded key `key_id` back to one owner.
+    DereplicateKey(u64),
+    /// Sleep for the given milliseconds, letting client traffic run
+    /// against the current configuration.
+    Pause(u64),
+}
+
+/// SplitMix64 — decorrelates the per-purpose seeds derived from the
+/// master seed.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The deterministic churn schedule for a scenario — a pure function of
+/// the configuration (no clocks, no entropy). Replication actions favour
+/// low key ids, which are the hottest ranks of the scrambled-Zipf key
+/// chooser's head.
+pub fn churn_script(config: &CheckConfig) -> Vec<ChurnAction> {
+    let mut rng = StdRng::seed_from_u64(mix(config.seed, 0xc4a6));
+    let mut script = Vec::with_capacity(config.churn_steps);
+    let mut replicated: Vec<u64> = Vec::new();
+    for _ in 0..config.churn_steps {
+        let roll = rng.gen_range(0u32..10);
+        let action = match roll {
+            0 | 1 if config.membership_churn => ChurnAction::AddKn,
+            2 if config.membership_churn => ChurnAction::RemoveOldestKn,
+            3 if config.membership_churn => ChurnAction::FailNewestKn,
+            4 | 5 if config.replication_churn => {
+                let key_id = rng.gen_range(0..config.keys.clamp(1, 8));
+                let factor = rng.gen_range(2usize..4);
+                if !replicated.contains(&key_id) {
+                    replicated.push(key_id);
+                }
+                ChurnAction::ReplicateKey(key_id, factor)
+            }
+            6 if config.replication_churn && !replicated.is_empty() => {
+                let idx = rng.gen_range(0..replicated.len());
+                ChurnAction::DereplicateKey(replicated.swap_remove(idx))
+            }
+            _ => ChurnAction::Pause(rng.gen_range(1u64..4)),
+        };
+        script.push(action);
+    }
+    script
+}
+
+/// The deterministic op stream of one client — a pure function of
+/// `(config.seed, client)`. Keys and op kinds come from a CRUD
+/// [`WorkloadGenerator`] (skewed, delete/re-insert churn included); write
+/// values are replaced with globally-unique `c<client>-<index>` payloads
+/// so the checker can attribute every observed value to exactly one
+/// write.
+pub fn client_ops(config: &CheckConfig, client: usize) -> Vec<Op> {
+    let per_client = (config.total_ops / config.clients.max(1)).max(1);
+    let mut generator = WorkloadGenerator::new(WorkloadConfig {
+        num_keys: config.keys.max(1),
+        key_len: 8,
+        value_len: 8,
+        mix: WorkloadMix::CRUD,
+        distribution: KeyDistribution::MODERATE_SKEW,
+        seed: mix(config.seed, client as u64 + 1),
+    });
+    (0..per_client)
+        .map(|i| match generator.next_op() {
+            Operation::Read(key) => Op::lookup(key),
+            Operation::Update(key, _) => Op::update(key, format!("c{client}-{i}")),
+            Operation::Insert(key, _) => Op::insert(key, format!("c{client}-{i}")),
+            Operation::Delete(key) => Op::delete(key),
+        })
+        .collect()
+}
+
+/// What a scenario run produced, before/after checking.
+#[derive(Debug)]
+pub struct ScenarioRun {
+    /// The merged, invocation-sorted history.
+    pub history: Vec<OpRecord>,
+    /// Churn actions actually applied (with skip notes), in order.
+    pub churn_log: Vec<String>,
+    /// Error replies the clients saw (retries exhausted under churn —
+    /// recorded as failed ops, tolerated by the checker).
+    pub error_replies: usize,
+    /// `Busy` sub-batch rejections the tiny queues produced cluster-wide.
+    pub busy_rejections: u64,
+    /// Live KVS nodes at the end.
+    pub final_kns: usize,
+}
+
+/// A failed check, with everything needed to reproduce and report it.
+#[derive(Debug)]
+pub struct CheckFailure {
+    /// The scenario seed (reproduce with `DINOMO_CHECK_SEED=<seed>`).
+    pub seed: u64,
+    /// What the checker found.
+    pub error: CheckError,
+    /// The full history, for artifact dumps.
+    pub history: Vec<OpRecord>,
+    /// The applied churn actions with their logical-clock windows.
+    pub churn_log: Vec<String>,
+}
+
+impl std::fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} — reproduce with DINOMO_CHECK_SEED={}",
+            self.error, self.seed
+        )
+    }
+}
+
+/// Run one scenario and return its recorded history (unchecked).
+pub fn run_scenario(config: &CheckConfig) -> ScenarioRun {
+    let kvs = Kvs::new(KvsConfig {
+        initial_kns: config.initial_kns.max(1),
+        // Ack ⇒ flushed: the acknowledged-write guarantee the checker
+        // verifies must hold across fail-stop churn, which loses DRAM.
+        write_batch_ops: 1,
+        threads_per_kn: 2,
+        executor_queue_depth: config.executor_queue_depth,
+        // Small sub-batches still take the worker queues, so backpressure
+        // and handoff are part of every scenario.
+        executor_min_sub_batch: 2,
+        ..KvsConfig::small_for_tests()
+    })
+    .expect("cluster construction");
+    let recorder = HistoryRecorder::new();
+
+    if config.preload {
+        let loader = kvs.client().with_recorder(recorder.handle(u64::MAX));
+        let pairs: Vec<(Vec<u8>, String)> = (0..config.keys)
+            .map(|id| (key_for(id, 8), format!("p{id}")))
+            .collect();
+        for chunk in pairs.chunks(32) {
+            let replies = loader.execute(
+                chunk
+                    .iter()
+                    .map(|(k, v)| Op::insert(k.clone(), v.as_str()))
+                    .collect(),
+            );
+            assert!(
+                replies.iter().all(Reply::is_ok),
+                "preload failed: {replies:?}"
+            );
+        }
+    }
+
+    // The churn thread always replays the *entire* script — the applied
+    // action sequence is identical on every run of a seed (only the guard
+    // skips, which depend on live node counts, can differ with thread
+    // timing). Clients that finish early just leave the tail of the
+    // script churning an idle cluster. Each log line carries the
+    // logical-clock window the action spanned, so failure artifacts line
+    // churn up against op timestamps.
+    let churn_thread = {
+        let kvs = kvs.clone();
+        let script = churn_script(config);
+        let clock = recorder.handle(u64::MAX - 1);
+        std::thread::spawn(move || {
+            script
+                .into_iter()
+                .map(|action| {
+                    let from = clock.invoke();
+                    let outcome = apply_churn(&kvs, action);
+                    let to = clock.invoke();
+                    format!("[{from}-{to}] {outcome}")
+                })
+                .collect::<Vec<String>>()
+        })
+    };
+
+    let clients: Vec<_> = (0..config.clients.max(1))
+        .map(|c| {
+            let kvs = kvs.clone();
+            let handle = recorder.handle(c as u64);
+            let ops = client_ops(config, c);
+            let batch = config.batch_size.max(1);
+            std::thread::spawn(move || {
+                let client = kvs.client().with_recorder(handle);
+                let mut errors = 0usize;
+                for chunk in ops.chunks(batch) {
+                    let replies = client.execute(chunk.to_vec());
+                    errors += replies.iter().filter(|r| !r.is_ok()).count();
+                }
+                errors
+            })
+        })
+        .collect();
+
+    let error_replies = clients.into_iter().map(|h| h.join().unwrap()).sum();
+    let churn_log = churn_thread.join().unwrap();
+
+    let stats = kvs.stats();
+    ScenarioRun {
+        history: recorder.drain(),
+        churn_log,
+        error_replies,
+        busy_rejections: stats.kns.iter().map(|k| k.busy_rejections).sum(),
+        final_kns: kvs.num_kns(),
+    }
+}
+
+/// Apply one churn action against a live cluster, with the safety guards
+/// (never below 2 nodes, never above 5) that keep random scripts from
+/// starving or flooding the cluster.
+fn apply_churn(kvs: &Kvs, action: ChurnAction) -> String {
+    match action {
+        ChurnAction::AddKn => {
+            if kvs.num_kns() >= 5 {
+                return "add: skipped (at cap)".into();
+            }
+            match kvs.add_kn() {
+                Ok(id) => format!("add: kn {id}"),
+                Err(e) => format!("add: failed ({e})"),
+            }
+        }
+        ChurnAction::RemoveOldestKn => {
+            if kvs.num_kns() <= 2 {
+                return "remove: skipped (at floor)".into();
+            }
+            let victim = kvs.kn_ids()[0];
+            match kvs.remove_kn(victim) {
+                Ok(()) => format!("remove: kn {victim}"),
+                Err(e) => format!("remove: kn {victim} failed ({e})"),
+            }
+        }
+        ChurnAction::FailNewestKn => {
+            if kvs.num_kns() <= 2 {
+                return "fail: skipped (at floor)".into();
+            }
+            let Some(&victim) = kvs.kn_ids().last() else {
+                return "fail: skipped (no nodes)".into();
+            };
+            match kvs.fail_kn(victim) {
+                Ok(()) => format!("fail: kn {victim}"),
+                Err(e) => format!("fail: kn {victim} failed ({e})"),
+            }
+        }
+        ChurnAction::ReplicateKey(key_id, factor) => {
+            let key = key_for(key_id, 8);
+            match kvs.replicate_key(&key, factor) {
+                Ok(owners) => format!("replicate: key {key_id} x{}", owners.len()),
+                Err(e) => format!("replicate: key {key_id} failed ({e})"),
+            }
+        }
+        ChurnAction::DereplicateKey(key_id) => {
+            let key = key_for(key_id, 8);
+            match kvs.dereplicate_key(&key) {
+                Ok(()) => format!("dereplicate: key {key_id}"),
+                Err(e) => format!("dereplicate: key {key_id} failed ({e})"),
+            }
+        }
+        ChurnAction::Pause(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            format!("pause: {ms}ms")
+        }
+    }
+}
+
+/// Aggregate report of a passed scenario.
+#[derive(Debug)]
+pub struct ScenarioReport {
+    /// Checker statistics.
+    pub stats: CheckStats,
+    /// The run the history came from.
+    pub run: ScenarioRun,
+}
+
+/// Run a scenario and check its history. `Err` carries the seed, the
+/// violation and the full history for reporting/artifacts.
+pub fn run_and_check(config: &CheckConfig) -> Result<ScenarioReport, Box<CheckFailure>> {
+    let run = run_scenario(config);
+    match check_history_with(&run.history, &config.checker) {
+        Ok(stats) => Ok(ScenarioReport { stats, run }),
+        Err(error) => Err(Box::new(CheckFailure {
+            seed: config.seed,
+            error,
+            history: run.history,
+            churn_log: run.churn_log,
+        })),
+    }
+}
+
+/// Render a history as the line format the sweep writes into failure
+/// artifacts: `client inv ret ok kind key [value]`, one op per line.
+pub fn render_history(history: &[OpRecord]) -> String {
+    use dinomo_core::trace::Action;
+    let mut out = String::with_capacity(history.len() * 48);
+    for r in history {
+        let (kind, value) = match &r.action {
+            Action::Write(v) => ("write", Some(v)),
+            Action::Delete => ("delete", None),
+            Action::Read(Some(v)) => ("read", Some(v)),
+            Action::Read(None) => ("read-none", None),
+        };
+        out.push_str(&format!(
+            "client={} inv={} ret={} ok={} {} key={:?}",
+            r.client,
+            r.invoked_at,
+            r.returned_at,
+            r.ok,
+            kind,
+            String::from_utf8_lossy(&r.key),
+        ));
+        if let Some(v) = value {
+            out.push_str(&format!(" value={:?}", String::from_utf8_lossy(v)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_pure_functions_of_the_seed() {
+        let config = CheckConfig::from_seed(7);
+        assert_eq!(churn_script(&config), churn_script(&config));
+        assert_eq!(client_ops(&config, 0), client_ops(&config, 0));
+        assert_ne!(
+            client_ops(&config, 0),
+            client_ops(&config, 1),
+            "clients must have decorrelated streams"
+        );
+        let other = CheckConfig::from_seed(8);
+        assert_ne!(churn_script(&config), churn_script(&other));
+        assert_ne!(client_ops(&config, 0), client_ops(&other, 0));
+    }
+
+    #[test]
+    fn shrinking_budget_is_a_prefix_of_the_full_stream() {
+        let full = CheckConfig::from_seed(11);
+        let mut small = full;
+        small.total_ops = full.total_ops / 4;
+        let full_ops = client_ops(&full, 2);
+        let small_ops = client_ops(&small, 2);
+        assert_eq!(&full_ops[..small_ops.len()], &small_ops[..]);
+    }
+
+    #[test]
+    fn churn_script_respects_feature_flags() {
+        let mut config = CheckConfig::from_seed(3);
+        config.membership_churn = false;
+        config.replication_churn = false;
+        for action in churn_script(&config) {
+            assert!(
+                matches!(action, ChurnAction::Pause(_)),
+                "churn disabled but script contains {action:?}"
+            );
+        }
+        config.replication_churn = true;
+        assert!(churn_script(&config)
+            .iter()
+            .any(|a| matches!(a, ChurnAction::ReplicateKey(..))));
+    }
+
+    #[test]
+    fn quiet_scenario_records_and_passes() {
+        // No churn, tiny budget: a fast end-to-end sanity pass of
+        // recorder + driver + checker.
+        let mut config = CheckConfig::from_seed(CheckConfig::env_seed().unwrap_or(5));
+        config.total_ops = 300;
+        config.membership_churn = false;
+        config.replication_churn = false;
+        config.churn_steps = 0;
+        let report = run_and_check(&config).unwrap_or_else(|f| panic!("{f}"));
+        assert!(report.run.history.len() >= 300 + config.keys as usize);
+        assert!(report.stats.keys as u64 >= config.keys);
+    }
+}

@@ -25,6 +25,8 @@ pub mod driver;
 pub mod policy;
 pub mod store;
 
-pub use driver::{DriverConfig, EventKind, ScriptedEvent, SimulationDriver, TimelineRow};
+pub use driver::{
+    random_churn_script, DriverConfig, EventKind, ScriptedEvent, SimulationDriver, TimelineRow,
+};
 pub use policy::{EpochObservation, PolicyAction, PolicyEngine, SloConfig};
 pub use store::{ElasticKvs, KvSession};

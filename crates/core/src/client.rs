@@ -27,6 +27,7 @@ use crate::executor::{BatchShared, WaitGroup};
 use crate::kn::KnNode;
 use crate::kvs::KvsInner;
 use crate::op::{Op, Reply};
+use crate::trace::{Action, RecorderHandle};
 use crate::Result;
 use dinomo_partition::{KnId, OwnershipTable};
 use parking_lot::Mutex;
@@ -35,7 +36,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Maximum routing retries before a request is failed back to the caller.
-const MAX_RETRIES: usize = 100;
+/// Exposed to the crate's tests so retry-accounting assertions (one `Busy`
+/// sub-batch rejection per routing round) can state the exact budget.
+pub(crate) const MAX_RETRIES: usize = 100;
 
 /// A client handle. Create one per application thread with
 /// [`crate::Kvs::client`]; handles are independent and each caches its own
@@ -45,6 +48,9 @@ pub struct KvsClient {
     kvs: Arc<KvsInner>,
     cached: Mutex<OwnershipTable>,
     replica_rr: AtomicUsize,
+    /// History-recording hook for the linearizability checker; `None`
+    /// (the default) costs one branch per request and nothing else.
+    recorder: Option<RecorderHandle>,
 }
 
 impl KvsClient {
@@ -54,7 +60,36 @@ impl KvsClient {
             kvs,
             cached: Mutex::new(cached),
             replica_rr: AtomicUsize::new(0),
+            recorder: None,
         }
+    }
+
+    /// Attach a history-recording handle (see [`crate::trace`]): every
+    /// operation this client completes — per-key calls and batched
+    /// [`KvsClient::execute`] calls alike, the latter decomposed per op —
+    /// is appended to the recorder for an external linearizability check.
+    /// Recording costs two logical-clock increments and one log append per
+    /// op; a client without a recorder pays a single branch.
+    pub fn with_recorder(mut self, handle: RecorderHandle) -> Self {
+        self.recorder = Some(handle);
+        self
+    }
+
+    /// Record one completed op (no-op without a recorder). `invoked_at`
+    /// must be a stamp drawn before the op was submitted.
+    fn record_op(&self, op: &Op, reply: &Reply, invoked_at: u64) {
+        let Some(handle) = &self.recorder else {
+            return;
+        };
+        let action = match op {
+            Op::Insert { value, .. } | Op::Update { value, .. } => Action::Write(value.clone()),
+            Op::Delete { .. } => Action::Delete,
+            Op::Lookup { .. } => Action::Read(match reply {
+                Reply::Value(v) => v.clone(),
+                _ => None,
+            }),
+        };
+        handle.record(op.key(), action, reply.is_ok(), invoked_at);
     }
 
     /// Version of the routing metadata this client currently holds.
@@ -157,12 +192,23 @@ impl KvsClient {
             [] => Vec::new(),
             // A singleton batch skips the grouping machinery entirely, so
             // the per-key wrappers cost the same as a direct call.
-            [op] => vec![self.execute_single(op)],
+            [op] => {
+                let invoked_at = self.recorder.as_ref().map(|h| h.invoke());
+                let reply = self.execute_single(op);
+                if let Some(inv) = invoked_at {
+                    self.record_op(op, &reply, inv);
+                }
+                vec![reply]
+            }
             _ => self.execute_batch(ops),
         }
     }
 
     fn execute_batch(&self, ops: Vec<Op>) -> Vec<Reply> {
+        // One invocation stamp for the whole batch: every op was submitted
+        // at this instant, so using it as each op's invocation bound is
+        // sound (the checker's windows only widen, never shrink).
+        let invoked_at = self.recorder.as_ref().map(|h| h.invoke());
         let n = ops.len();
         // The ops, their routing hashes (computed once, reused by every
         // node's ring lookups across every retry round) and one reply slot
@@ -306,10 +352,16 @@ impl KvsClient {
                 KvsError::RoutingRetriesExhausted
             }));
         }
-        replies
+        let replies: Vec<Reply> = replies
             .into_iter()
             .map(|r| r.expect("every op got a reply"))
-            .collect()
+            .collect();
+        if let Some(inv) = invoked_at {
+            for (op, reply) in batch.ops.iter().zip(&replies) {
+                self.record_op(op, reply, inv);
+            }
+        }
+        replies
     }
 
     /// The allocation-free core of the per-key methods and singleton
@@ -385,23 +437,45 @@ impl KvsClient {
     /// identically. If you need insert-if-absent, [`KvsClient::lookup`]
     /// first; the store never errors with "already exists".
     pub fn insert(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        self.run(key, |kn| kn.put(key, value))
+        self.write_recorded(key, value)
     }
 
     /// `update(key, value)`. Overwrites `key`'s value; like
     /// [`KvsClient::insert`] it is an upsert, so updating a missing key
     /// writes it.
     pub fn update(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        self.run(key, |kn| kn.put(key, value))
+        self.write_recorded(key, value)
+    }
+
+    /// The shared insert/update path (both are upserts), with the history
+    /// hook applied around the routing/retry core.
+    fn write_recorded(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let invoked_at = self.recorder.as_ref().map(|h| h.invoke());
+        let result = self.run(key, |kn| kn.put(key, value));
+        if let (Some(handle), Some(inv)) = (&self.recorder, invoked_at) {
+            handle.record(key, Action::Write(value.to_vec()), result.is_ok(), inv);
+        }
+        result
     }
 
     /// `lookup(key)`.
     pub fn lookup(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.run(key, |kn| kn.get(key))
+        let invoked_at = self.recorder.as_ref().map(|h| h.invoke());
+        let result = self.run(key, |kn| kn.get(key));
+        if let (Some(handle), Some(inv)) = (&self.recorder, invoked_at) {
+            let observed = result.as_ref().ok().cloned().flatten();
+            handle.record(key, Action::Read(observed), result.is_ok(), inv);
+        }
+        result
     }
 
     /// `delete(key)`.
     pub fn delete(&self, key: &[u8]) -> Result<()> {
-        self.run(key, |kn| kn.delete(key))
+        let invoked_at = self.recorder.as_ref().map(|h| h.invoke());
+        let result = self.run(key, |kn| kn.delete(key));
+        if let (Some(handle), Some(inv)) = (&self.recorder, invoked_at) {
+            handle.record(key, Action::Delete, result.is_ok(), inv);
+        }
+        result
     }
 }

@@ -1272,4 +1272,86 @@ mod tests {
         filler_latch.wait();
         node.drain_in_flight();
     }
+
+    /// Retry accounting: a batch whose only sub-batch is rejected `Busy`
+    /// is retried exactly once per routing round, so over an exhausted
+    /// retry budget `KnStats::busy_rejections` advances by exactly the
+    /// client's retry budget — one rejected sub-batch per round — and
+    /// every op of the batch reports the observed `Busy`.
+    #[test]
+    fn busy_rejections_count_one_rejected_sub_batch_per_routing_round() {
+        // Same wedge construction as `exhausted_busy_retries_report_busy`:
+        // one node, one shard, a depth-1 queue, the worker blocked on the
+        // shard lock and the queue refilled, so every enqueue attempt of
+        // the client below is rejected with `Full`.
+        let kvs = crate::KvsBuilder::new()
+            .small_for_tests()
+            .initial_kns(1)
+            .threads_per_kn(1)
+            .executor_queue_depth(1)
+            .build()
+            .unwrap();
+        let node = kvs.kn(kvs.kn_ids()[0]).unwrap();
+        let shard_guard = node.shards[0].lock();
+        let version = node.ownership.read().version();
+        let wedge_batch = Arc::new(BatchShared::new(vec![Op::lookup("w")]));
+        let wedge_latch = Arc::new(WaitGroup::new());
+        wedge_latch.add(1);
+        node.executor.as_ref().unwrap().queues[0]
+            .try_push(SubBatch {
+                node: Arc::clone(&node),
+                shard: 0,
+                batch: Arc::clone(&wedge_batch),
+                positions: vec![0],
+                latch: Arc::clone(&wedge_latch),
+                resolved_version: version,
+            })
+            .unwrap_or_else(|_| panic!("wedge enqueue failed"));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let filler_batch = Arc::new(BatchShared::new(vec![Op::lookup("f")]));
+        let filler_latch = Arc::new(WaitGroup::new());
+        filler_latch.add(1);
+        node.executor.as_ref().unwrap().queues[0]
+            .try_push(SubBatch {
+                node: Arc::clone(&node),
+                shard: 0,
+                batch: Arc::clone(&filler_batch),
+                positions: vec![0],
+                latch: Arc::clone(&filler_latch),
+                resolved_version: version,
+            })
+            .unwrap_or_else(|_| panic!("filler enqueue failed"));
+
+        // Read the counter directly: `stats()` locks every shard, and this
+        // thread is holding shard 0's lock to keep the worker wedged.
+        let busy_before = node.busy_rejections.load(Ordering::Relaxed);
+        assert_eq!(busy_before, 0, "no client traffic has run yet");
+
+        // A 2-op batch on the single node forms one owner group and one
+        // shard sub-batch per routing round (threads_per_kn = 1,
+        // min_sub_batch = 2 under `small_for_tests`).
+        let client = kvs.client();
+        let replies = client.execute(vec![Op::insert("x", "1"), Op::insert("y", "2")]);
+        let busy_replies = replies
+            .iter()
+            .filter(|r| matches!(r, Reply::Error(KvsError::Busy)))
+            .count();
+        assert_eq!(
+            busy_replies, 2,
+            "both ops of the wedged batch must report Busy: {replies:?}"
+        );
+
+        let busy_after = node.busy_rejections.load(Ordering::Relaxed);
+        assert_eq!(
+            busy_after - busy_before,
+            crate::client::MAX_RETRIES as u64,
+            "one rejected sub-batch per routing round — the batch must be \
+             retried exactly once per round until the budget is exhausted"
+        );
+
+        drop(shard_guard);
+        wedge_latch.wait();
+        filler_latch.wait();
+        node.drain_in_flight();
+    }
 }

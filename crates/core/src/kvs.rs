@@ -173,6 +173,95 @@ impl Kvs {
         Ok(new_id)
     }
 
+    /// Keys replicated under `old` whose replica set `new` could not keep
+    /// alive (the cluster shrank below two nodes): the membership change
+    /// flips them back to single ownership, so their shared-path state
+    /// must be dismantled like an explicit dereplication.
+    fn collapsed_replications(old: &OwnershipTable, new: &OwnershipTable) -> Vec<Vec<u8>> {
+        old.replicated_keys()
+            .filter(|k| !new.is_replicated(k))
+            .cloned()
+            .collect()
+    }
+
+    /// The dereplication half of a membership change that collapses
+    /// replica sets: with `survivors` already closed and drained by the
+    /// caller, merge their outstanding log segments and dismantle each
+    /// collapsed key's indirection cell, so the index is authoritative
+    /// when the owned-path protocol takes over. Callers swap the table
+    /// and reopen the survivors afterwards.
+    fn collapse_replicated_keys(&self, keys: &[Vec<u8>], survivors: &[Arc<KnNode>]) -> Result<()> {
+        for kn in survivors {
+            kn.flush_pending_writes()?;
+            self.inner.dpm.wait_until_merged(kn.id());
+        }
+        for key in keys {
+            for kn in self.inner.kns.read().values() {
+                kn.invalidate_key(key);
+            }
+            self.inner.dpm.remove_indirect(key);
+        }
+        Ok(())
+    }
+
+    /// The shared core of a membership shrink (`remove_kn`'s planned
+    /// hand-off and `fail_kn`'s recovery): make what must survive durable
+    /// and merged, reshuffle if the variant requires it, explicitly
+    /// dereplicate replica sets the shrink could not keep alive (see
+    /// `OwnershipTable::remove_kn` — never a silent protocol flip), and
+    /// swap in the new table. On error **nothing is swapped**: the cluster
+    /// keeps serving under the old table and the caller decides how to
+    /// reopen the victim.
+    fn shrink_membership(
+        &self,
+        victim: &Arc<KnNode>,
+        planned: bool,
+        old_table: &OwnershipTable,
+        new_table: OwnershipTable,
+    ) -> Result<()> {
+        if planned {
+            victim.flush_pending_writes()?;
+            self.inner.dpm.wait_until_merged(victim.id());
+        } else {
+            // Fail-stop recovery: the M-node merges whatever the failed
+            // node had already flushed.
+            self.inner.dpm.merge_pending_for_kn(victim.id());
+        }
+        if self.inner.config.variant.requires_data_reshuffle() {
+            self.reshuffle_data(old_table, &new_table)?;
+        }
+        let collapsed = Self::collapsed_replications(old_table, &new_table);
+        let survivors: Vec<Arc<KnNode>> = if collapsed.is_empty() {
+            Vec::new()
+        } else {
+            let kns = self.inner.kns.read();
+            kns.values()
+                .filter(|n| n.id() != victim.id())
+                .cloned()
+                .collect()
+        };
+        for kn in &survivors {
+            kn.set_reconfiguring(true);
+        }
+        for kn in &survivors {
+            kn.drain_in_flight();
+        }
+        let result = self.collapse_replicated_keys(&collapsed, &survivors);
+        if result.is_ok() {
+            if planned {
+                // The planned hand-off empties the victim's caches once
+                // its state is merged (a failed node already lost them).
+                victim.clear_caches();
+            }
+            *self.inner.ownership.write() = new_table;
+            self.inner.kns.write().remove(&victim.id());
+        }
+        for kn in &survivors {
+            kn.set_reconfiguring(false);
+        }
+        result
+    }
+
     /// Remove an (under-utilized) KVS node, handing its ranges to the rest of
     /// the cluster.
     pub fn remove_kn(&self, id: KnId) -> Result<()> {
@@ -186,14 +275,13 @@ impl Kvs {
 
         node.set_reconfiguring(true);
         node.drain_in_flight();
-        node.flush_pending_writes()?;
-        self.inner.dpm.wait_until_merged(id);
-        if self.inner.config.variant.requires_data_reshuffle() {
-            self.reshuffle_data(&old_table, &new_table)?;
+        if let Err(e) = self.shrink_membership(&node, true, &old_table, new_table) {
+            // The shrink failed with nothing swapped: reopen the victim so
+            // the cluster keeps serving under the old table instead of
+            // wedging the victim's keys on `Reconfiguring` retries.
+            node.set_reconfiguring(false);
+            return Err(e);
         }
-        node.clear_caches();
-        *self.inner.ownership.write() = new_table;
-        self.inner.kns.write().remove(&id);
         // Clean executor shutdown: close the removed node's worker queues,
         // drain what they already accepted (those sub-batches reject with
         // `Reconfiguring` and are retried against the new owners) and join
@@ -214,18 +302,13 @@ impl Kvs {
         let mut new_table = old_table.clone();
         new_table.remove_kn(id);
 
-        // The M-node has the pending log segments of the failed KN merged
-        // before the partitions are handed to new owners.
-        self.inner.dpm.merge_pending_for_kn(id);
-        if self.inner.config.variant.requires_data_reshuffle() {
-            self.reshuffle_data(&old_table, &new_table)?;
-        }
-        *self.inner.ownership.write() = new_table;
-        self.inner.kns.write().remove(&id);
-        // The failed node's workers are joined; sub-batches still queued
+        let result = self.shrink_membership(&node, false, &old_table, new_table);
+        // The node is fail-stopped either way: join its workers so even a
+        // failed recovery leaks no threads — sub-batches still queued
         // behind the failure reject with `NodeFailed` and their clients
         // retry against the surviving owners.
         node.shutdown_workers();
+        result?;
         self.persist_policy_metadata()?;
         self.inner.reconfigurations.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -234,35 +317,112 @@ impl Kvs {
     /// Share the ownership of a hot key across `factor` nodes (selective
     /// replication).  Installs the indirection cell in DPM and invalidates
     /// the primary owner's cached copy.
+    ///
+    /// The key's current owner is made unavailable for the duration of the
+    /// flip — the same §3.5 close → drain → flush → merge → swap → reopen
+    /// protocol membership changes use. Replication switches the key's
+    /// *write protocol* from owned (log → async merge → index) to shared
+    /// (flush → indirection-cell CAS); without the quiescent hand-off, a
+    /// write acknowledged on the owned path while the cell is being
+    /// installed is silently lost: the freshly-installed cell pins the
+    /// older entry, readers serve it, and when the racing write's log
+    /// record finally merges, the merge engine's shared-put arbitration
+    /// sees a cell that never pointed at it and invalidates it — an
+    /// acked-write loss that persists until the next write (found by the
+    /// `dinomo-check` history checker under replication churn).
     pub fn replicate_key(&self, key: &[u8], factor: usize) -> Result<Vec<KnId>> {
         if !self.inner.config.variant.supports_selective_replication() {
             return Err(KvsError::Reconfiguring);
         }
-        // Make sure the key's latest value is merged so the indirection cell
-        // picks up the current entry.
-        if let Some(primary) = self.inner.ownership.read().primary_owner(key) {
-            if let Some(kn) = self.kn(primary) {
+        let primary_node = self
+            .inner
+            .ownership
+            .read()
+            .primary_owner(key)
+            .and_then(|id| self.kn(id));
+        if let Some(kn) = &primary_node {
+            kn.set_reconfiguring(true);
+            kn.drain_in_flight();
+        }
+        // From here the owner rejects requests (clients retry), so the
+        // merged index state the cell snapshots is the key's latest; the
+        // table swap below publishes the shared path before the owner
+        // reopens. The closure keeps the error paths from leaving the
+        // node closed.
+        let result = (|| -> Result<Vec<KnId>> {
+            if let Some(kn) = &primary_node {
                 kn.flush_pending_writes()?;
-                self.inner.dpm.wait_until_merged(primary);
+                self.inner.dpm.wait_until_merged(kn.id());
+            }
+            if self.inner.dpm.make_indirect(key)?.is_none() {
+                // The key is absent (never written, or deleted): there is
+                // no entry to hang a cell on, and flipping the table
+                // without a cell would leave the key "replicated" with no
+                // shared-visibility mechanism — writes would be invisible
+                // until their merge and reads would degrade to uncached
+                // per-replica fallbacks. Refuse instead; the caller can
+                // retry once the key exists.
+                return Err(KvsError::KeyNotFound);
+            }
+            Ok(self.inner.ownership.write().replicate(key, factor))
+        })();
+        if result.is_ok() {
+            for kn in self.inner.kns.read().values() {
+                kn.invalidate_key(key);
             }
         }
-        self.inner.dpm.make_indirect(key)?;
-        let owners = self.inner.ownership.write().replicate(key, factor);
-        for kn in self.inner.kns.read().values() {
-            kn.invalidate_key(key);
+        if let Some(kn) = &primary_node {
+            kn.set_reconfiguring(false);
         }
+        let owners = result?;
         self.persist_policy_metadata()?;
         self.inner.reconfigurations.fetch_add(1, Ordering::Relaxed);
         Ok(owners)
     }
 
     /// Collapse a previously replicated key back to a single owner.
+    ///
+    /// Mirror of [`Kvs::replicate_key`]'s hand-off, shared → owned: every
+    /// current owner is closed and drained, their flushed shared-path
+    /// entries (including delete tombstones) are merged so the index is
+    /// authoritative, and only then is the indirection cell collapsed and
+    /// the table swapped — otherwise a write acknowledged through the
+    /// cell could be invisible to owned-path readers until its merge
+    /// caught up.
     pub fn dereplicate_key(&self, key: &[u8]) -> Result<()> {
-        for kn in self.inner.kns.read().values() {
-            kn.invalidate_key(key);
+        let owner_nodes: Vec<Arc<KnNode>> = {
+            let table = self.inner.ownership.read();
+            let owners = table.owners(key);
+            let kns = self.inner.kns.read();
+            owners
+                .iter()
+                .filter_map(|id| kns.get(id).cloned())
+                .collect()
+        };
+        for kn in &owner_nodes {
+            kn.set_reconfiguring(true);
         }
-        self.inner.ownership.write().dereplicate(key);
-        self.inner.dpm.remove_indirect(key);
+        for kn in &owner_nodes {
+            kn.drain_in_flight();
+        }
+        let result = (|| -> Result<()> {
+            for kn in &owner_nodes {
+                kn.flush_pending_writes()?;
+                self.inner.dpm.wait_until_merged(kn.id());
+            }
+            Ok(())
+        })();
+        if result.is_ok() {
+            for kn in self.inner.kns.read().values() {
+                kn.invalidate_key(key);
+            }
+            self.inner.ownership.write().dereplicate(key);
+            self.inner.dpm.remove_indirect(key);
+        }
+        for kn in &owner_nodes {
+            kn.set_reconfiguring(false);
+        }
+        result?;
         self.persist_policy_metadata()?;
         self.inner.reconfigurations.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -830,6 +990,90 @@ mod tests {
         assert_eq!(client.lookup(b"hotkey").unwrap(), Some(b"v1".to_vec()));
         client.update(b"hotkey", b"v2").unwrap();
         assert_eq!(client.lookup(b"hotkey").unwrap(), Some(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn membership_shrink_keeps_replicated_keys_consistent() {
+        // Regression for the silent replication collapse: with a
+        // replicated key, removing nodes until only one remains used to
+        // drop the key from the replica table while its indirection cell
+        // stayed installed — later owned-path writes were acked, then
+        // discarded by the merge engine as stale shared puts, and reads
+        // served the cell's stale/tombstoned state. The shrink must
+        // either keep the set filled (≥2 nodes) or explicitly
+        // dereplicate (1 node), and writes must stay readable
+        // throughout.
+        let kvs = Kvs::new(KvsConfig {
+            initial_kns: 3,
+            write_batch_ops: 1,
+            ..KvsConfig::small_for_tests()
+        })
+        .unwrap();
+        let client = kvs.client();
+        client.insert(b"hot", b"v0").unwrap();
+        kvs.replicate_key(b"hot", 3).unwrap();
+
+        // Shrink 3 → 2: the replica set refills/trims but stays ≥ 2.
+        let victim = kvs.kn_ids()[0];
+        kvs.remove_kn(victim).unwrap();
+        assert!(kvs.ownership().read().is_replicated(b"hot"));
+        client.update(b"hot", b"v1").unwrap();
+        assert_eq!(client.lookup(b"hot").unwrap(), Some(b"v1".to_vec()));
+
+        // Shrink 2 → 1: collapse is explicit — the key dereplicates and
+        // the owned path serves its latest value.
+        let victim = kvs.kn_ids()[0];
+        kvs.remove_kn(victim).unwrap();
+        assert!(!kvs.ownership().read().is_replicated(b"hot"));
+        assert_eq!(client.lookup(b"hot").unwrap(), Some(b"v1".to_vec()));
+        // Post-collapse writes go the owned path and must survive a full
+        // merge cycle (the old bug discarded them at merge time).
+        client.update(b"hot", b"v2").unwrap();
+        kvs.quiesce().unwrap();
+        assert_eq!(client.lookup(b"hot").unwrap(), Some(b"v2".to_vec()));
+
+        // Same collapse with the key's final state *deleted*: the
+        // tombstoned cell must dismantle to a clean miss, and a
+        // re-insert must win over the merged tombstone.
+        let kvs = Kvs::new(KvsConfig {
+            initial_kns: 2,
+            write_batch_ops: 1,
+            ..KvsConfig::small_for_tests()
+        })
+        .unwrap();
+        let client = kvs.client();
+        client.insert(b"doomed", b"v0").unwrap();
+        kvs.replicate_key(b"doomed", 2).unwrap();
+        client.refresh_routing();
+        client.delete(b"doomed").unwrap();
+        let victim = kvs.kn_ids()[0];
+        kvs.remove_kn(victim).unwrap();
+        assert!(!kvs.ownership().read().is_replicated(b"doomed"));
+        assert_eq!(client.lookup(b"doomed").unwrap(), None);
+        client.insert(b"doomed", b"v1").unwrap();
+        kvs.quiesce().unwrap();
+        assert_eq!(client.lookup(b"doomed").unwrap(), Some(b"v1".to_vec()));
+    }
+
+    #[test]
+    fn replicating_an_absent_key_is_refused() {
+        // A key with no index entry has nothing to hang an indirection
+        // cell on; flipping the table anyway would leave the key
+        // "replicated" with no shared-visibility mechanism.
+        let kvs = cluster(Variant::Dinomo);
+        assert!(matches!(
+            kvs.replicate_key(b"never-written", 2),
+            Err(KvsError::KeyNotFound)
+        ));
+        let client = kvs.client();
+        client.insert(b"was-here", b"v").unwrap();
+        client.delete(b"was-here").unwrap();
+        kvs.quiesce().unwrap();
+        assert!(matches!(
+            kvs.replicate_key(b"was-here", 2),
+            Err(KvsError::KeyNotFound)
+        ));
+        assert!(!kvs.ownership().read().is_replicated(b"was-here"));
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod kn;
 pub mod kvs;
 pub mod op;
 pub mod stats;
+pub mod trace;
 
 pub use builder::KvsBuilder;
 pub use client::KvsClient;
@@ -74,6 +75,7 @@ pub use error::KvsError;
 pub use kvs::Kvs;
 pub use op::{Op, Reply};
 pub use stats::{KnStats, KvsStats};
+pub use trace::{Action, HistoryRecorder, OpRecord, RecorderHandle};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, KvsError>;

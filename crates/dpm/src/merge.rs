@@ -178,19 +178,25 @@ fn apply_entry(
             // after a newer acknowledged put — removing unconditionally
             // would discard that write. Skip the removal when the indexed
             // state is newer than the tombstone.
+            //
+            // A key whose indexed state is an indirection cell stays
+            // untouched: the deleting KN already published the tombstone
+            // into the cell (seq-monotonic), which is exactly what shared
+            // readers observe, and the *replicated ⇔ cell-installed*
+            // invariant must hold until an explicit dereplication
+            // dismantles the cell. (An earlier version removed the index
+            // entry and released the cell here; the key then looked
+            // "replicated but cell-less", shared reads fell back to
+            // per-replica cached owned reads with no cross-replica
+            // invalidation, and stale values flapped into view for
+            // thousands of operations — caught by the `dinomo-check`
+            // history checker under replication churn.)
             if let Some(raw) = inner.index().remove(tag, |raw| {
-                inner.loc_matches_key(raw, &key)
+                !PackedLoc::from_raw(raw).is_indirect()
+                    && inner.loc_matches_key(raw, &key)
                     && !inner.indexed_state_newer_than(raw, entry.header.seq)
             }) {
-                let old = PackedLoc::from_raw(raw);
-                if old.is_indirect() {
-                    if let Some(target) = inner.indirect_cell_target(old.addr()) {
-                        inner.invalidate_entry(target);
-                    }
-                    inner.release_indirect_cell(old.addr());
-                } else {
-                    inner.invalidate_entry(old);
-                }
+                inner.invalidate_entry(PackedLoc::from_raw(raw));
             }
             // Remember the delete so an older put merging later (lagging
             // segment, possibly another KN's) cannot re-insert the key.

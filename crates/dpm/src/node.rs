@@ -516,8 +516,13 @@ impl DpmNode {
         Ok(Some(cell))
     }
 
-    /// Remove the indirection for `key`, collapsing the index back to a
-    /// direct pointer. Returns `true` if the key was indirect.
+    /// Remove the indirection for `key`: a cell publishing a live value
+    /// collapses back to a direct index pointer; a cell carrying a delete
+    /// tombstone (the key's acknowledged final state is *absent*) takes
+    /// its index entry down with it — leaving the indirect entry behind
+    /// would make the next owned-path write merge look like a stale
+    /// shared put and be discarded. Returns `true` if the key was
+    /// indirect.
     pub fn remove_indirect(&self, key: &[u8]) -> bool {
         let tag = key_hash(key);
         let Some(raw) = self
@@ -531,13 +536,17 @@ impl DpmNode {
         if !loc.is_indirect() {
             return false;
         }
-        // De-replication collapses only a *live* cell: a tombstoned cell
-        // (shared-path delete awaiting its merge) must not resurrect the
-        // tombstoned-over entry as a direct pointer.
-        let Some(target) = self.inner.indirect_cell_live_target(loc.addr()) else {
-            return false;
-        };
-        self.inner.index.update(tag, |r| r == raw, target.raw());
+        match self.inner.indirect_cell_live_target(loc.addr()) {
+            Some(target) => {
+                self.inner.index.update(tag, |r| r == raw, target.raw());
+            }
+            None => {
+                // Tombstoned (or already-empty) cell: the key is deleted;
+                // the owned path must see a clean miss. The tombstoned-over
+                // entry was invalidated when the delete published.
+                self.inner.index.remove(tag, |r| r == raw);
+            }
+        }
         self.inner.release_indirect_cell(loc.addr());
         true
     }

@@ -109,15 +109,45 @@ impl OwnershipTable {
     }
 
     /// Remove a KN from the cluster.  Any replica sets referencing it are
-    /// trimmed; keys whose primary owner disappears are re-homed by the ring.
+    /// re-filled from the ring's successors so each key keeps its
+    /// replication factor (capped by the shrunken cluster size); keys whose
+    /// primary owner disappears are re-homed by the ring.
+    ///
+    /// A membership change must never *silently* collapse a key back to
+    /// single ownership: the storage layer keys its write protocol (owned
+    /// log-merge vs. shared indirection-cell) off `is_replicated`, and a
+    /// silent flip would leave the key's indirection cell installed while
+    /// new writes take the owned path — the merge engine then discards
+    /// those acknowledged writes as stale shared puts (caught by the
+    /// `dinomo-check` history checker under combined membership +
+    /// replication churn). Only a cluster shrunk below two nodes can drop
+    /// a replica set here, and [`crate::OwnershipTable`]'s consumer (the
+    /// KVS control plane) treats that as an explicit dereplication,
+    /// dismantling the cell under the same quiescent hand-off it uses for
+    /// every other protocol flip.
     pub fn remove_kn(&mut self, kn: KnId) {
         if !self.global.contains(kn) {
             return;
         }
         self.global.remove_node(kn);
         self.locals.remove(&kn);
-        for owners in self.replicas.values_mut() {
+        let keys: Vec<Vec<u8>> = self.replicas.keys().cloned().collect();
+        for key in keys {
+            let hash = key_hash(&key);
+            let owners = self.replicas.get_mut(&key).expect("key just listed");
+            let factor = owners.len();
             owners.retain(|&o| o != kn);
+            let want = factor.min(self.global.len());
+            if owners.len() < want {
+                for candidate in self.global.successors(hash, self.global.len()) {
+                    if owners.len() >= want {
+                        break;
+                    }
+                    if !owners.contains(&candidate) {
+                        owners.push(candidate);
+                    }
+                }
+            }
         }
         self.replicas.retain(|_, owners| owners.len() > 1);
         self.version += 1;
@@ -294,14 +324,40 @@ mod tests {
     }
 
     #[test]
-    fn removing_a_kn_trims_replica_sets() {
+    fn removing_a_kn_refills_replica_sets_to_their_factor() {
         let mut t = table_with(4);
         let owners = t.replicate(b"hot", 3);
         let victim = owners[1];
         t.remove_kn(victim);
         let new_owners = t.owners(b"hot");
         assert!(!new_owners.contains(&victim));
-        assert!(!new_owners.is_empty());
+        // The factor survives the shrink: a successor refills the set, so
+        // the key's shared-path protocol is uninterrupted.
+        assert_eq!(new_owners.len(), 3);
+        assert!(t.is_replicated(b"hot"));
+        let distinct: std::collections::BTreeSet<_> = new_owners.iter().collect();
+        assert_eq!(distinct.len(), 3, "refill must not duplicate owners");
+    }
+
+    #[test]
+    fn replication_survives_repeated_shrinks_until_one_node_remains() {
+        let mut t = table_with(5);
+        t.replicate(b"hot", 3);
+        // Shrink 5 → 2: the set tracks the survivors (capped at cluster
+        // size) and the key stays replicated.
+        for victim in [0u32, 1, 2] {
+            t.remove_kn(victim);
+            assert!(t.is_replicated(b"hot"), "lost replication at {victim}");
+            let owners = t.owners(b"hot");
+            assert!(owners.len() >= 2);
+            assert!(owners.iter().all(|o| t.kns().contains(o)));
+        }
+        // Only the final shrink to a single node may collapse the set —
+        // the explicit dereplication case the KVS handles with a
+        // quiescent hand-off.
+        t.remove_kn(3);
+        assert!(!t.is_replicated(b"hot"));
+        assert_eq!(t.owners(b"hot"), vec![4]);
     }
 
     #[test]

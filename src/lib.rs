@@ -11,7 +11,9 @@
 //!   timeline experiment driver,
 //! * [`cache`], [`partition`], [`dpm`], [`pclht`], [`pmem`],
 //!   [`simnet`] — the substrates,
-//! * [`workload`] — YCSB-style workload generation.
+//! * [`workload`] — YCSB-style workload generation,
+//! * [`check`] — history recording + per-key linearizability checking
+//!   and the seeded generative stress driver (see `docs/TESTING.md`).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub use dinomo_cache as cache;
+pub use dinomo_check as check;
 pub use dinomo_clover as clover;
 pub use dinomo_cluster as cluster;
 pub use dinomo_core as core;
