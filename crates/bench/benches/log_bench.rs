@@ -18,6 +18,7 @@ fn dpm() -> Arc<DpmNode> {
             unmerged_segment_threshold: 4,
             index: PclhtConfig::for_capacity(200_000),
             inject_media_delay: false,
+            gc: dinomo_dpm::GcConfig::default(),
         })
         .unwrap(),
     )

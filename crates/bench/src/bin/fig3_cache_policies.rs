@@ -57,6 +57,7 @@ fn run_policy(
         unmerged_segment_threshold: 2,
         index: PclhtConfig::for_capacity(num_keys as usize),
         inject_media_delay: false,
+        gc: dinomo_dpm::GcConfig::default(),
     };
     let config = KvsConfig {
         variant: Variant::Dinomo,

@@ -77,6 +77,7 @@ fn config(
         unmerged_segment_threshold: unmerged_threshold,
         index: PclhtConfig::for_capacity(total_entries as usize),
         inject_media_delay: inject,
+        gc: dinomo_dpm::GcConfig::default(),
     }
 }
 

@@ -176,6 +176,7 @@ fn dpm_config_for(params: &MeasureParams, num_kns: usize) -> DpmConfig {
         unmerged_segment_threshold: 2,
         index: PclhtConfig::for_capacity((params.num_keys + params.ops) as usize),
         inject_media_delay: false,
+        gc: dinomo_dpm::GcConfig::default(),
     }
 }
 

@@ -9,7 +9,9 @@
 //! ```
 //!
 //! Options: `--ops N` (total op budget), `--clients N`, `--no-churn`
-//! (disable membership + replication churn), `--queue-depth N`.
+//! (disable membership + replication churn), `--queue-depth N`, `--gc`
+//! (run the DPM log-cleaning compactor — aggressive knobs on tiny
+//! segments — underneath the scenario).
 //!
 //! On failure the process exits non-zero after writing the failing seed
 //! and the full history to `target/check-results/` (uploaded as a CI
@@ -30,6 +32,7 @@ struct Args {
     membership_churn: bool,
     replication_churn: bool,
     queue_depth: usize,
+    compactor: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         membership_churn: true,
         replication_churn: true,
         queue_depth: 2,
+        compactor: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -53,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
             "--ops" => args.ops = parse(&value("--ops")?)?,
             "--clients" => args.clients = parse(&value("--clients")?)?,
             "--queue-depth" => args.queue_depth = parse(&value("--queue-depth")?)?,
+            "--gc" => args.compactor = true,
             "--no-churn" => {
                 args.membership_churn = false;
                 args.replication_churn = false;
@@ -62,7 +67,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "lincheck [--seed N | --sweep N | --replay N] \
-                     [--ops N] [--clients N] [--queue-depth N] \
+                     [--ops N] [--clients N] [--queue-depth N] [--gc] \
                      [--no-churn | --no-membership-churn | --no-replication-churn]"
                 );
                 std::process::exit(0);
@@ -84,6 +89,7 @@ fn config_for(args: &Args, seed: u64) -> CheckConfig {
     config.membership_churn = args.membership_churn;
     config.replication_churn = args.replication_churn;
     config.executor_queue_depth = args.queue_depth.max(1);
+    config.compactor = args.compactor;
     config
 }
 
@@ -129,7 +135,8 @@ fn run_once(config: &CheckConfig) -> Option<Box<CheckFailure>> {
         Ok(report) => {
             println!(
                 "seed {} ok: {} ops over {} keys checked in {:.2}s \
-                 ({} states, {} churn actions, {} busy rejections, {} error replies)",
+                 ({} states, {} churn actions, {} busy rejections, {} error \
+                 replies, {} segments compacted / {} entries relocated)",
                 config.seed,
                 report.stats.ops,
                 report.stats.keys,
@@ -138,6 +145,8 @@ fn run_once(config: &CheckConfig) -> Option<Box<CheckFailure>> {
                 report.run.churn_log.len(),
                 report.run.busy_rejections,
                 report.run.error_replies,
+                report.run.segments_compacted,
+                report.run.entries_relocated,
             );
             None
         }

@@ -69,6 +69,10 @@ pub struct CheckConfig {
     pub executor_queue_depth: usize,
     /// Insert the whole key space (recorded) before the clients start.
     pub preload: bool,
+    /// Run the DPM log-cleaning compactor (background thread, aggressive
+    /// knobs) during the scenario, so entry relocation races the clients
+    /// *and* the replicate/dereplicate/membership churn.
+    pub compactor: bool,
     /// Checker budget.
     pub checker: CheckerConfig,
 }
@@ -90,6 +94,7 @@ impl CheckConfig {
             churn_steps: 80,
             executor_queue_depth: 2,
             preload: true,
+            compactor: false,
             checker: CheckerConfig::default(),
         }
     }
@@ -199,6 +204,11 @@ pub struct ScenarioRun {
     pub error_replies: usize,
     /// `Busy` sub-batch rejections the tiny queues produced cluster-wide.
     pub busy_rejections: u64,
+    /// Victim segments the compactor emptied and freed during the run (0
+    /// unless `CheckConfig::compactor` is set).
+    pub segments_compacted: u64,
+    /// Live entries the compactor relocated during the run.
+    pub entries_relocated: u64,
     /// Live KVS nodes at the end.
     pub final_kns: usize,
 }
@@ -228,7 +238,7 @@ impl std::fmt::Display for CheckFailure {
 
 /// Run one scenario and return its recorded history (unchecked).
 pub fn run_scenario(config: &CheckConfig) -> ScenarioRun {
-    let kvs = Kvs::new(KvsConfig {
+    let mut kvs_config = KvsConfig {
         initial_kns: config.initial_kns.max(1),
         // Ack ⇒ flushed: the acknowledged-write guarantee the checker
         // verifies must hold across fail-stop churn, which loses DRAM.
@@ -239,8 +249,17 @@ pub fn run_scenario(config: &CheckConfig) -> ScenarioRun {
         // and handoff are part of every scenario.
         executor_min_sub_batch: 2,
         ..KvsConfig::small_for_tests()
-    })
-    .expect("cluster construction");
+    };
+    if config.compactor {
+        // Aggressive compaction on tiny segments: relocations race every
+        // client read/write and every control-plane hand-off, so the
+        // checker verifies the compactor's index-CAS/cell-pin protocol
+        // under the worst interleavings. Small segments make victims
+        // plentiful within a short scenario.
+        kvs_config.dpm.segment_bytes = 4 << 10;
+        kvs_config.dpm.gc = dinomo_core::GcConfig::aggressive();
+    }
+    let kvs = Kvs::new(kvs_config).expect("cluster construction");
     let recorder = HistoryRecorder::new();
 
     if config.preload {
@@ -313,6 +332,8 @@ pub fn run_scenario(config: &CheckConfig) -> ScenarioRun {
         churn_log,
         error_replies,
         busy_rejections: stats.kns.iter().map(|k| k.busy_rejections).sum(),
+        segments_compacted: stats.dpm.segments_compacted,
+        entries_relocated: stats.dpm.entries_relocated,
         final_kns: kvs.num_kns(),
     }
 }
@@ -471,6 +492,28 @@ mod tests {
         assert!(churn_script(&config)
             .iter()
             .any(|a| matches!(a, ChurnAction::ReplicateKey(..))));
+    }
+
+    #[test]
+    fn compactor_churn_scenario_passes_the_checker() {
+        // The compactor's background thread relocates entries while three
+        // clients run CRUD batches and the churn thread flips replication
+        // and membership — the full race surface of the relocation CAS,
+        // the cell-pin rule and the shortcut-cache invalidation. The
+        // recorded history must stay linearizable, and the compactor must
+        // actually have reclaimed something (small segments + skewed CRUD
+        // guarantee victims).
+        let mut config = CheckConfig::from_seed(CheckConfig::env_seed().unwrap_or(17));
+        config.total_ops = 2_000;
+        config.compactor = true;
+        let report = run_and_check(&config).unwrap_or_else(|f| panic!("{f}"));
+        assert!(
+            report.run.segments_compacted > 0,
+            "scenario must exercise the compactor: {:?} segments compacted, \
+             {:?} entries relocated",
+            report.run.segments_compacted,
+            report.run.entries_relocated
+        );
     }
 
     #[test]

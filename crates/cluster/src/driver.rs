@@ -148,6 +148,17 @@ pub struct TimelineRow {
     /// them). Persistently high values mean the executor queues are too
     /// shallow for the offered load — or the cluster needs more nodes.
     pub busy_rejections: u64,
+    /// Victim segments the DPM log-cleaning compactor emptied and freed
+    /// during the epoch.
+    pub segments_compacted: u64,
+    /// Live-entry bytes the compactor relocated during the epoch (its
+    /// write amplification; bounded by the configured byte-rate
+    /// throttle).
+    pub bytes_relocated: u64,
+    /// End-of-epoch DPM space amplification: allocated segment bytes
+    /// divided by live bytes (0.0 while the store is empty). The
+    /// compactor's job is keeping this bounded under skewed overwrites.
+    pub space_amplification: f64,
     /// Human-readable record of events and policy actions this epoch.
     pub actions: Vec<String>,
 }
@@ -282,6 +293,19 @@ impl SimulationDriver {
                     kn.busy_rejections.saturating_sub(before)
                 })
                 .sum();
+            let segments_compacted = stats
+                .dpm
+                .segments_compacted
+                .saturating_sub(prev_stats.dpm.segments_compacted);
+            let bytes_relocated = stats
+                .dpm
+                .bytes_relocated
+                .saturating_sub(prev_stats.dpm.bytes_relocated);
+            let space_amplification = if stats.dpm.live_bytes == 0 {
+                0.0
+            } else {
+                stats.dpm.segment_bytes_allocated as f64 / stats.dpm.live_bytes as f64
+            };
             let load_imbalance = {
                 let delta = dinomo_core::KvsStats {
                     kns: stats
@@ -338,6 +362,9 @@ impl SimulationDriver {
                 active_clients: shared.active_clients.load(Ordering::Relaxed),
                 replicated_keys: replicated.len(),
                 busy_rejections,
+                segments_compacted,
+                bytes_relocated,
+                space_amplification,
                 actions,
             });
         }

@@ -8,7 +8,7 @@ use crate::config::{KvsConfig, Variant};
 use crate::kvs::Kvs;
 use crate::Result;
 use dinomo_cache::CacheKind;
-use dinomo_dpm::DpmConfig;
+use dinomo_dpm::{DpmConfig, GcConfig};
 use dinomo_simnet::FabricConfig;
 
 /// Fluent builder for a [`Kvs`] cluster, obtained from [`Kvs::builder`].
@@ -86,6 +86,15 @@ impl KvsBuilder {
     /// DPM configuration (pool size, segments, merge threads, index).
     pub fn dpm(mut self, dpm: DpmConfig) -> Self {
         self.config.dpm = dpm;
+        self
+    }
+
+    /// Log-cleaning segment-compactor knobs (shorthand for setting
+    /// `dpm.gc`): victim dead-fraction threshold, per-pass relocation
+    /// byte budget, and whether the per-DPM background thread runs. See
+    /// [`dinomo_dpm::GcConfig`].
+    pub fn gc(mut self, gc: GcConfig) -> Self {
+        self.config.dpm.gc = gc;
         self
     }
 

@@ -382,9 +382,23 @@ impl KnNode {
         match shard.cache.lookup(key) {
             CacheLookup::Value(v) => return Ok(Some(v)),
             CacheLookup::Shortcut(loc) => {
-                let value = self.dpm.read_value_at(&self.nic, PmAddr(loc.addr), loc.len);
-                shard.cache.admit_value(key, &value, loc);
-                return Ok(Some(value));
+                // Validate the cached address before dereferencing it: the
+                // DPM compactor may have relocated the entry and freed its
+                // segment since this shortcut was cached (the relocation
+                // observer invalidates, but a racing read can re-admit a
+                // stale location afterwards). The check and the read both
+                // run under the caller's epoch pin, and the compactor
+                // defers the pool free past every pinned guard, so a
+                // location that validates here cannot be reused mid-read.
+                if self.dpm.value_addr_is_live(PmAddr(loc.addr)) {
+                    let value = self.dpm.read_value_at(&self.nic, PmAddr(loc.addr), loc.len);
+                    shard.cache.admit_value(key, &value, loc);
+                    return Ok(Some(value));
+                }
+                // Dangling shortcut: drop it and fall through to the miss
+                // path, which re-resolves (and re-caches) the relocated
+                // location through the index.
+                shard.cache.invalidate(key);
             }
             CacheLookup::Miss => {}
         }
@@ -393,10 +407,18 @@ impl KnNode {
             match shard.unmerged.get(key).cloned() {
                 Some(Unmerged::Pending(v)) => return Ok(Some(v)),
                 Some(Unmerged::Committed { addr, len }) => {
-                    let value = self.dpm.read_value_at(&self.nic, addr, len);
-                    let loc = ValueLoc { addr: addr.0, len };
-                    shard.cache.admit_value(key, &value, loc);
-                    return Ok(Some(value));
+                    // Same hazard as the shortcut hit: a committed-but-
+                    // untracked-as-merged location may sit in a segment the
+                    // compactor has since freed (its entry was merged, or
+                    // it would not have been relocated — the index is
+                    // authoritative for it).
+                    if self.dpm.value_addr_is_live(addr) {
+                        let value = self.dpm.read_value_at(&self.nic, addr, len);
+                        let loc = ValueLoc { addr: addr.0, len };
+                        shard.cache.admit_value(key, &value, loc);
+                        return Ok(Some(value));
+                    }
+                    shard.unmerged.remove(key);
                 }
                 Some(Unmerged::Deleted) => return Ok(None),
                 None => {}
@@ -1087,6 +1109,34 @@ impl KnNode {
             let mut s = shard.lock();
             s.cache.invalidate(key);
             s.unmerged.remove(key);
+        }
+    }
+
+    /// The DPM compactor relocated `key`'s log entry away from `old_loc`:
+    /// drop every cached location that points into the victim before its
+    /// segment is freed.
+    ///
+    /// Unlike [`KnNode::invalidate_key`], this must **not** drop
+    /// `Unmerged::Pending` state (an acked-but-unflushed write is only
+    /// visible through it — removing it would serve the older, relocated
+    /// value) and removes a `Committed` entry only when its address lies
+    /// inside the relocated entry: a committed location elsewhere belongs
+    /// to a *newer* write whose merge may still be in flight, and the
+    /// index is not yet authoritative for it.
+    pub fn on_entry_relocated(&self, key: &[u8], old_loc: dinomo_dpm::PackedLoc) {
+        let start = old_loc.addr().0;
+        let end = start + old_loc.len();
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.cache.invalidate(key);
+            if let Some(Unmerged::Committed { addr, .. }) = s.unmerged.get(key) {
+                if addr.0 >= start && addr.0 < end {
+                    // The relocated entry *is* this committed write (the
+                    // compactor only moves the indexed, fully-merged
+                    // entry), so the index now serves its value.
+                    s.unmerged.remove(key);
+                }
+            }
         }
     }
 

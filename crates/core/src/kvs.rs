@@ -9,10 +9,10 @@ use crate::{KvsClient, Result};
 use dinomo_dpm::{entry::decode_entry, DpmNode, LogWriter, PackedLoc};
 use dinomo_partition::{KnId, OwnershipTable};
 use dinomo_simnet::Nic;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// The Dinomo cluster (data plane + the mechanisms the control plane drives).
 ///
@@ -28,6 +28,17 @@ pub(crate) struct KvsInner {
     pub(crate) dpm: Arc<DpmNode>,
     pub(crate) ownership: Arc<RwLock<OwnershipTable>>,
     pub(crate) kns: RwLock<BTreeMap<KnId, Arc<KnNode>>>,
+    /// Serializes the control plane: every reconfiguration entry point
+    /// (`add_kn`/`remove_kn`/`fail_kn`/`replicate_key`/`dereplicate_key`)
+    /// runs its close → drain → flush → merge → swap → reopen choreography
+    /// under this mutex. The individual protocols are safe against the
+    /// *data* plane, but two interleaved hand-offs can close each other's
+    /// nodes, observe half-swapped tables, or double-collapse a replica
+    /// set — until now the driver/policy engine called them sequentially
+    /// by construction; with concurrent controllers (and the background
+    /// compactor's cell snapshots riding on the DPM cell-registry lock)
+    /// the serialization is explicit.
+    reconfig_lock: Mutex<()>,
     next_kn_id: AtomicU32,
     reconfigurations: AtomicU64,
     bytes_reshuffled: AtomicU64,
@@ -46,10 +57,27 @@ impl Kvs {
             dpm,
             ownership,
             kns: RwLock::new(BTreeMap::new()),
+            reconfig_lock: Mutex::new(()),
             next_kn_id: AtomicU32::new(0),
             reconfigurations: AtomicU64::new(0),
             bytes_reshuffled: AtomicU64::new(0),
         });
+        // The DPM compactor relocates log entries; KN caches hold raw value
+        // addresses (shortcuts) into the segments it frees, so every
+        // relocation invalidates the key's cached locations cluster-wide
+        // before the victim's bytes can be reused. Weak: the observer must
+        // not keep the cluster alive from inside the DPM it references.
+        let weak: Weak<KvsInner> = Arc::downgrade(&inner);
+        inner
+            .dpm
+            .set_relocation_observer(Box::new(move |key, old_loc| {
+                if let Some(inner) = weak.upgrade() {
+                    let kns: Vec<Arc<KnNode>> = inner.kns.read().values().cloned().collect();
+                    for kn in kns {
+                        kn.on_entry_relocated(key, old_loc);
+                    }
+                }
+            }));
         let kvs = Kvs { inner };
         for _ in 0..config.initial_kns.max(1) {
             kvs.add_kn()?;
@@ -107,6 +135,7 @@ impl Kvs {
     /// Add a KVS node and repartition ownership onto it (§3.5 steps 1–7).
     /// Returns the new node's id.
     pub fn add_kn(&self) -> Result<KnId> {
+        let _reconfig = self.inner.reconfig_lock.lock();
         let new_id = self.inner.next_kn_id.fetch_add(1, Ordering::Relaxed);
         let old_table = self.inner.ownership.read().clone();
         let mut new_table = old_table.clone();
@@ -265,6 +294,7 @@ impl Kvs {
     /// Remove an (under-utilized) KVS node, handing its ranges to the rest of
     /// the cluster.
     pub fn remove_kn(&self, id: KnId) -> Result<()> {
+        let _reconfig = self.inner.reconfig_lock.lock();
         let node = self.kn(id).ok_or(KvsError::NoNodes)?;
         if self.num_kns() <= 1 {
             return Err(KvsError::NoNodes);
@@ -296,6 +326,7 @@ impl Kvs {
     /// merge the failed node's pending logs, repartition ownership among the
     /// alive nodes, and (for shared-nothing variants) reshuffle its data.
     pub fn fail_kn(&self, id: KnId) -> Result<()> {
+        let _reconfig = self.inner.reconfig_lock.lock();
         let node = self.kn(id).ok_or(KvsError::NoNodes)?;
         node.fail();
         let old_table = self.inner.ownership.read().clone();
@@ -331,6 +362,7 @@ impl Kvs {
     /// acked-write loss that persists until the next write (found by the
     /// `dinomo-check` history checker under replication churn).
     pub fn replicate_key(&self, key: &[u8], factor: usize) -> Result<Vec<KnId>> {
+        let _reconfig = self.inner.reconfig_lock.lock();
         if !self.inner.config.variant.supports_selective_replication() {
             return Err(KvsError::Reconfiguring);
         }
@@ -390,6 +422,7 @@ impl Kvs {
     /// cell could be invisible to owned-path readers until its merge
     /// caught up.
     pub fn dereplicate_key(&self, key: &[u8]) -> Result<()> {
+        let _reconfig = self.inner.reconfig_lock.lock();
         let owner_nodes: Vec<Arc<KnNode>> = {
             let table = self.inner.ownership.read();
             let owners = table.owners(key);

@@ -71,6 +71,9 @@ pub mod trace;
 pub use builder::KvsBuilder;
 pub use client::KvsClient;
 pub use config::{KvsConfig, Variant};
+// Re-exported so callers can set compactor knobs (`KvsBuilder::gc`)
+// without depending on the dpm crate directly.
+pub use dinomo_dpm::GcConfig;
 pub use error::KvsError;
 pub use kvs::Kvs;
 pub use op::{Op, Reply};

@@ -3,6 +3,65 @@
 use dinomo_pclht::PclhtConfig;
 use dinomo_pmem::PmemConfig;
 
+/// Configuration of the log-cleaning segment compactor (see
+/// [`crate::gc`]).
+///
+/// `run_gc` alone only frees segments whose entries are *all* dead, so a
+/// single long-lived key pins its segment's bytes forever under skewed
+/// overwrite workloads. The compactor relocates the still-live entries of
+/// mostly-dead sealed segments into fresh segments and frees the victims,
+/// making the store's footprint proportional to live data instead of
+/// write history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GcConfig {
+    /// Run the per-DPM background compactor thread. When `false` the
+    /// compactor only runs through the synchronous
+    /// [`crate::DpmNode::compact_once`] hook.
+    pub background: bool,
+    /// Pause between background compaction passes, in milliseconds.
+    pub interval_ms: u64,
+    /// Minimum dead-byte fraction for a sealed, fully-merged segment to be
+    /// considered a victim. `run_gc`'s all-dead policy corresponds to 1.0;
+    /// lower values trade relocation write amplification for space.
+    pub dead_fraction: f64,
+    /// Relocation byte budget per pass. Together with `interval_ms` this
+    /// is the background thread's byte-rate throttle
+    /// (`max_pass_bytes / interval_ms` bytes per millisecond); `u64::MAX`
+    /// disables throttling.
+    pub max_pass_bytes: u64,
+    /// Maximum victims compacted per pass.
+    pub max_segments_per_pass: usize,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            background: false,
+            interval_ms: 100,
+            dead_fraction: 0.5,
+            // Default byte-rate throttle: 8 MB per 100 ms pass (~80 MB/s),
+            // far below the modeled fabric bandwidth so cleaning never
+            // starves foreground flushes.
+            max_pass_bytes: 8 << 20,
+            max_segments_per_pass: 8,
+        }
+    }
+}
+
+impl GcConfig {
+    /// An aggressive configuration for tests and stress runs: every pass
+    /// considers any segment with any dead bytes, with no byte budget.
+    pub fn aggressive() -> Self {
+        GcConfig {
+            background: true,
+            interval_ms: 5,
+            dead_fraction: 0.05,
+            max_pass_bytes: u64::MAX,
+            max_segments_per_pass: usize::MAX,
+        }
+    }
+}
+
 /// Configuration of a [`crate::DpmNode`].
 #[derive(Debug, Clone, Copy)]
 pub struct DpmConfig {
@@ -25,6 +84,9 @@ pub struct DpmConfig {
     /// When `true`, merge workers busy-wait for the modeled media cost of
     /// each merge (used by the Figure 4 harness to contrast DRAM and PM).
     pub inject_media_delay: bool,
+    /// Log-cleaning segment compactor knobs (victim threshold, byte-rate
+    /// throttle, background thread).
+    pub gc: GcConfig,
 }
 
 impl Default for DpmConfig {
@@ -37,6 +99,7 @@ impl Default for DpmConfig {
             unmerged_segment_threshold: 2,
             index: PclhtConfig::default(),
             inject_media_delay: false,
+            gc: GcConfig::default(),
         }
     }
 }
@@ -60,6 +123,13 @@ impl DpmConfig {
                 ..PclhtConfig::default()
             },
             inject_media_delay: false,
+            // Tests opt into compaction explicitly (via `gc:
+            // GcConfig::aggressive()` or `compact_once`), so default unit
+            // tests exercise exactly the pre-compactor behaviour.
+            gc: GcConfig {
+                background: false,
+                ..GcConfig::default()
+            },
         }
     }
 

@@ -1,0 +1,653 @@
+//! The log-cleaning segment compactor.
+//!
+//! `DpmNode::run_gc` only frees a segment once *every* entry in it is
+//! invalid, so under a skewed overwrite workload one long-lived key pins
+//! its whole segment's bytes forever — space amplification grows with
+//! write history instead of live data. This module adds the LFS/RAMCloud
+//!-style cleaner that closes that gap:
+//!
+//! 1. **Victim selection** — sealed, fully-merged segments whose dead-byte
+//!    fraction exceeds `GcConfig::dead_fraction` are scored with the
+//!    cost-benefit formula `dead_bytes × age ÷ live_bytes` (age is the
+//!    segment-id distance from the newest segment, a logical clock: old,
+//!    mostly-dead segments clean first because their survivors have proven
+//!    long-lived).
+//! 2. **Pinning** — a segment any indirection cell references (live target
+//!    *or* the tombstoned-over entry a cell keeps for key identity) is
+//!    skipped entirely; the pin set is snapshotted, and the victim
+//!    processed, under the cell registry lock so no cell can be installed
+//!    over an entry mid-relocation (see `DpmInner::cell_registry`).
+//! 3. **Relocation** — each live entry's bytes are copied *verbatim*
+//!    (same key, value, op and — critically — the same global sequence
+//!    number, so merge-engine staleness arbitration is unaffected) into
+//!    the compactor's destination segment through the ordinary
+//!    append-path plumbing (`allocate_segment` / `record_append`), then
+//!    the index is swung with a conditional single-word CAS
+//!    ([`dinomo_pclht::Pclht::cas_value`]). A concurrent put/merge/delete
+//!    that supersedes the entry makes the CAS fail; the fresh copy is then
+//!    invalidated in place and the victim entry is left to whoever won.
+//! 4. **Reclaim** — once every entry of the victim is invalid the segment
+//!    is freed, with the pool free deferred through the epoch scheme so a
+//!    reader that resolved a location just before the swing can still
+//!    decode it (`DpmInner::free_segment_deferred`).
+//!
+//! Relocated entries never pass through the merge engine: the copy is
+//! installed synchronously by the CAS and accounted merged on its
+//! destination segment immediately, so destination segments are always
+//! fully merged and themselves become ordinary GC victims once their
+//! entries die.
+//!
+//! The background thread runs one pass per `GcConfig::interval_ms`, each
+//! relocating at most `GcConfig::max_pass_bytes` — the byte-rate throttle
+//! that keeps cleaning from competing with foreground flush bandwidth.
+//! Tests drive the same pass synchronously via `DpmNode::compact_once`.
+
+use crate::config::GcConfig;
+use crate::entry::decode_entry;
+use crate::loc::PackedLoc;
+use crate::node::DpmInner;
+use crate::segment::SegmentState;
+use dinomo_partition::key_hash;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Owner id under which the compactor's destination segments are
+/// registered. Never a real KVS node id, so destination segments are
+/// invisible to per-KN merge bookkeeping (`unmerged_segments`,
+/// `wait_until_merged`) — they are born fully merged.
+pub const GC_OWNER_KN: u32 = u32::MAX;
+
+/// What one compaction pass did (returned by `DpmNode::compact_once`; the
+/// background thread aggregates the same counters into `DpmStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Victim candidates examined (above the dead-fraction threshold).
+    pub victims_examined: u64,
+    /// Victims fully emptied and freed by this pass.
+    pub segments_compacted: u64,
+    /// Candidates skipped because an indirection cell references one of
+    /// their entries (live or tombstoned — the cell pin rule).
+    pub segments_skipped_pinned: u64,
+    /// Live entries relocated into destination segments.
+    pub entries_relocated: u64,
+    /// Live entries whose relocation lost to a concurrent put/merge/delete
+    /// (the conditional CAS failed; the entry was left alone).
+    pub entries_skipped_raced: u64,
+    /// Bytes of live entries relocated.
+    pub bytes_relocated: u64,
+    /// `true` when the pass stopped early because the relocation byte
+    /// budget (`GcConfig::max_pass_bytes`) ran out.
+    pub budget_exhausted: bool,
+}
+
+/// Reserve `len` bytes in the compactor's destination segment, rolling
+/// over (seal + allocate) when the current one is full. The destination
+/// slot lives on `DpmInner` so successive passes fill one segment instead
+/// of each stranding a near-empty one.
+fn reserve_destination(
+    inner: &Arc<DpmInner>,
+    len: u64,
+) -> Result<(Arc<SegmentState>, u64), dinomo_pmem::PmemError> {
+    let mut slot = inner.gc_destination();
+    if let Some(seg) = slot.as_ref() {
+        if seg.remaining() >= len {
+            let seg = Arc::clone(seg);
+            let offset = seg.record_append(len, 1);
+            return Ok((seg, offset));
+        }
+        seg.seal();
+    }
+    let seg = inner.allocate_segment_inner(GC_OWNER_KN)?;
+    assert!(
+        seg.capacity >= len,
+        "entry larger than a fresh segment (writer enforces this bound)"
+    );
+    let offset = seg.record_append(len, 1);
+    *slot = Some(Arc::clone(&seg));
+    Ok((seg, offset))
+}
+
+/// Run one compaction pass over the DPM (see the module docs for the
+/// algorithm). Serialized against concurrent passes by
+/// `DpmInner::gc_pass_lock`.
+pub(crate) fn compact_pass(inner: &Arc<DpmInner>, gc: &GcConfig) -> CompactionReport {
+    let _pass = inner.lock_gc_pass();
+    let mut report = CompactionReport::default();
+    let mut budget = gc.max_pass_bytes;
+
+    // Victim selection: cost-benefit score over the eligible segments.
+    // `next_segment_id_hint` is the logical "now" the age term measures
+    // against. The destination segment is unsealed, so it can never select
+    // itself.
+    let now = inner.next_segment_id_hint();
+    let mut victims: Vec<(f64, Arc<SegmentState>)> = inner
+        .segments_snapshot()
+        .into_iter()
+        .filter(|s| {
+            s.is_sealed()
+                && s.is_fully_merged()
+                && !s.is_freed()
+                && s.entries_written() > 0
+                && s.dead_fraction() >= gc.dead_fraction
+        })
+        .map(|s| {
+            let age = now.saturating_sub(s.id).max(1) as f64;
+            let score = s.dead_bytes() as f64 * age / (s.live_bytes() + 1) as f64;
+            (score, s)
+        })
+        .collect();
+    victims.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    for (_, victim) in victims.into_iter().take(gc.max_segments_per_pass) {
+        report.victims_examined += 1;
+        // Wholesale pinned pre-check (cheap skip for the common case —
+        // the authoritative checks are per entry and at free time below).
+        // `run_gc` takes the pass lock too, so no other collector can
+        // free a victim while this pass scans it; the freed re-check is
+        // belt and braces.
+        {
+            let registry = inner.lock_cell_registry();
+            if victim.is_freed() {
+                continue;
+            }
+            let pinned = inner.pinned_entry_addrs(&registry);
+            if pinned
+                .iter()
+                .any(|&a| victim.contains(dinomo_pmem::PmAddr(a)))
+            {
+                report.segments_skipped_pinned += 1;
+                continue;
+            }
+        }
+
+        let pool = inner.pool();
+        let index = inner.index();
+        let written = victim.written();
+        let mut offset = 0u64;
+        while offset < written {
+            let addr = victim.base.offset(offset);
+            let Some(entry) = decode_entry(pool, addr, written - offset) else {
+                break;
+            };
+            let entry_len = entry.total_len;
+            if !entry.sealed || victim.is_offset_invalid(offset) {
+                offset += entry_len;
+                continue;
+            }
+            // Live entry. Respect the pass's relocation byte budget.
+            if budget < entry_len {
+                report.budget_exhausted = true;
+                return report;
+            }
+            let old_loc = PackedLoc::direct(addr, entry_len);
+            let tag = key_hash(&entry.key);
+            // Cheap pre-check before paying for the copy: is this entry
+            // still what the index serves? (A concurrent merge that
+            // superseded it also invalidated it, possibly after our
+            // `is_offset_invalid` read.)
+            if index.get(tag, |raw| raw == old_loc.raw()).is_none() {
+                report.entries_skipped_raced += 1;
+                offset += entry_len;
+                continue;
+            }
+            // Verbatim copy through the append-path plumbing. Preserving
+            // the entry bytes preserves its sequence number: a relocation
+            // must not look "newer" than a racing put that drew a later
+            // seq, or merge arbitration would discard the acked write
+            // (and the merge engine treats same-seq-different-address as
+            // "the index already serves this record"). Copying needs no
+            // lock: only collectors free segment bytes, and the pass lock
+            // excludes them; if a concurrent write supersedes the entry
+            // mid-copy, the CAS below fails and the copy is discarded.
+            let Ok((dst, dst_offset)) = reserve_destination(inner, entry_len) else {
+                // Pool exhausted: stop cleaning rather than fail loudly —
+                // foreground writers will surface the allocation error.
+                report.budget_exhausted = true;
+                return report;
+            };
+            let mut bytes = vec![0u8; entry_len as usize];
+            pool.read_bytes(addr, &mut bytes);
+            let new_addr = dst.base.offset(dst_offset);
+            pool.write_bytes(new_addr, &bytes);
+            pool.persist(new_addr, entry_len);
+            pool.drain();
+            // The copy is installed by the CAS below, never merged:
+            // account it merged now so destination segments stay fully
+            // merged (and can later be selected as victims themselves).
+            dst.record_merged(entry_len, 1);
+            let new_loc = PackedLoc::direct(new_addr, entry_len);
+            // Per-entry registry critical section: just the conditional
+            // index swing. It serializes with `make_indirect`'s
+            // read-then-install window (a cell must snapshot either the
+            // victim entry *before* this CAS or the relocated copy after
+            // it, never a half-relocated state) while keeping shared-key
+            // writes — which also take the registry — stalled for at most
+            // one entry's CAS instead of a whole victim's copy loop.
+            let swung = {
+                let _registry = inner.lock_cell_registry();
+                index.cas_value(tag, old_loc.raw(), new_loc.raw())
+            };
+            if swung {
+                victim.record_invalidated(offset, entry_len);
+                budget -= entry_len;
+                report.entries_relocated += 1;
+                report.bytes_relocated += entry_len;
+                // Caches holding shortcuts into the victim must drop them
+                // before the segment is freed below (the observer takes
+                // KN shard locks — deliberately outside the registry
+                // critical section).
+                inner.notify_relocated(&entry.key, old_loc);
+            } else {
+                // Lost to a concurrent put/merge/delete (or a cell was
+                // installed over the entry): the fresh copy is
+                // unreachable garbage; the victim entry now belongs to
+                // whoever won.
+                dst.record_invalidated(dst_offset, entry_len);
+                report.entries_skipped_raced += 1;
+            }
+            offset += entry_len;
+        }
+
+        // Free under a fresh pin snapshot: a cell may have been installed
+        // over (or tombstoned onto) one of the victim's entries while the
+        // scan ran entry by entry.
+        let registry = inner.lock_cell_registry();
+        let pinned = inner.pinned_entry_addrs(&registry);
+        if !pinned
+            .iter()
+            .any(|&a| victim.contains(dinomo_pmem::PmAddr(a)))
+            && victim.is_reclaimable()
+            && inner.free_segment_deferred(&victim)
+        {
+            report.segments_compacted += 1;
+            inner.record_segment_compacted();
+        }
+    }
+    report
+}
+
+/// Handle to the per-DPM background compactor thread.
+#[derive(Debug)]
+pub(crate) struct Compactor {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Compactor {
+    /// Spawn the background thread: one throttled pass per
+    /// `GcConfig::interval_ms`.
+    pub(crate) fn start(inner: Arc<DpmInner>) -> Self {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("dpm-gc".to_string())
+            .spawn(move || {
+                let gc = inner.config().gc;
+                let interval = Duration::from_millis(gc.interval_ms.max(1));
+                loop {
+                    {
+                        let mut stopped = thread_stop.0.lock();
+                        if !*stopped {
+                            thread_stop.1.wait_for(&mut stopped, interval);
+                        }
+                        if *stopped {
+                            return;
+                        }
+                    }
+                    compact_pass(&inner, &gc);
+                }
+            })
+            .expect("failed to spawn the DPM compactor thread");
+        Compactor {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the thread and wait for it to exit (idempotent).
+    pub(crate) fn shutdown(&mut self) {
+        *self.stop.0.lock() = true;
+        self.stop.1.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{DpmConfig, GcConfig};
+    use crate::node::DpmNode;
+    use crate::writer::LogWriter;
+    use dinomo_simnet::{FabricConfig, Nic};
+    use std::sync::Arc;
+
+    fn gc_config() -> DpmConfig {
+        let mut config = DpmConfig::small_for_tests();
+        config.segment_bytes = 8 << 10;
+        config.gc = GcConfig {
+            background: false,
+            dead_fraction: 0.25,
+            ..GcConfig::aggressive()
+        };
+        config
+    }
+
+    fn nic() -> Nic {
+        Nic::new(FabricConfig::default())
+    }
+
+    /// Interleave one never-overwritten ("hot live") key into each
+    /// segment's worth of repeatedly-overwritten filler, so every sealed
+    /// segment keeps exactly a few live bytes — the skew-pinned shape
+    /// `run_gc` can never reclaim.
+    fn write_skew_pinned(dpm: &Arc<DpmNode>, rounds: u32) -> Vec<Vec<u8>> {
+        let mut w = LogWriter::new(Arc::clone(dpm), 0, nic());
+        let mut pinned_keys = Vec::new();
+        for round in 0..rounds {
+            let hot = format!("hot{round:04}").into_bytes();
+            w.append_put(&hot, &[0xA5; 64]);
+            pinned_keys.push(hot);
+            // Enough filler to fill (at least) one 8 KiB segment per round;
+            // the same filler keys every round, so all but the last round's
+            // copies are dead.
+            for i in 0..8u32 {
+                w.append_put(format!("cold{i}").as_bytes(), &[round as u8; 512]);
+            }
+            w.flush().unwrap();
+        }
+        w.seal_current();
+        dpm.wait_until_merged(0);
+        pinned_keys
+    }
+
+    #[test]
+    fn compactor_reclaims_segments_run_gc_cannot() {
+        let dpm = Arc::new(DpmNode::new(gc_config()).unwrap());
+        let pinned_keys = write_skew_pinned(&dpm, 30);
+
+        // Every sealed segment holds one live hot key: the all-dead policy
+        // reclaims nothing.
+        let before = dpm.stats();
+        assert!(before.segments_allocated >= 10, "{before:?}");
+        assert_eq!(
+            dpm.run_gc(),
+            0,
+            "run_gc must be unable to reclaim skew-pinned segments"
+        );
+
+        // The compactor relocates the survivors and frees the victims.
+        let mut compacted = 0;
+        for _ in 0..8 {
+            compacted += dpm.compact_once().segments_compacted;
+        }
+        assert!(compacted > 0, "compactor freed nothing: {:?}", dpm.stats());
+        let after = dpm.stats();
+        assert!(
+            after.segments_allocated < before.segments_allocated / 2,
+            "expected most segments reclaimed: {before:?} -> {after:?}"
+        );
+        assert!(after.entries_relocated > 0);
+        assert!(after.bytes_relocated > 0);
+        // Space amplification is now bounded: the live data (30 hot keys +
+        // 8 filler keys) fits in a handful of segments.
+        assert!(
+            after.segment_bytes_allocated <= 6 * (8 << 10),
+            "footprint must be proportional to live data: {after:?}"
+        );
+
+        // Every read still returns the live value, through the relocated
+        // entries.
+        for key in &pinned_keys {
+            assert_eq!(
+                dpm.local_read(key),
+                Some(vec![0xA5; 64]),
+                "{}",
+                String::from_utf8_lossy(key)
+            );
+        }
+        for i in 0..8u32 {
+            assert_eq!(
+                dpm.local_read(format!("cold{i}").as_bytes()),
+                Some(vec![29u8; 512])
+            );
+        }
+    }
+
+    #[test]
+    fn relocated_entries_keep_their_sequence_numbers() {
+        // A relocation must be invisible to merge arbitration: the copy
+        // carries the original seq, so a *later* overwrite (newer seq)
+        // still wins against it after compaction.
+        let dpm = Arc::new(DpmNode::new(gc_config()).unwrap());
+        write_skew_pinned(&dpm, 10);
+        while dpm.compact_once().segments_compacted > 0 {}
+        let mut w = LogWriter::new(Arc::clone(&dpm), 1, nic());
+        w.append_put(b"hot0003", b"newer");
+        w.flush().unwrap();
+        w.seal_current();
+        dpm.wait_until_merged(1);
+        assert_eq!(dpm.local_read(b"hot0003"), Some(b"newer".to_vec()));
+    }
+
+    #[test]
+    fn cell_referenced_entries_are_never_relocated_or_freed() {
+        // The ROADMAP PR 4 hazard, both halves. A live indirection cell
+        // pins its target's segment against relocation; a *tombstoned*
+        // cell keeps the dead entry's address for key identity, so even a
+        // fully-invalidated segment must survive until `remove_indirect`
+        // dismantles the cell.
+        let dpm = Arc::new(DpmNode::new(gc_config()).unwrap());
+        let nic = nic();
+        let mut w = LogWriter::new(Arc::clone(&dpm), 0, nic.clone());
+        // "shared" plus filler in one segment; the filler is overwritten
+        // from a later segment, so the first segment is mostly dead with
+        // one live (and soon pinned) entry — a prime compaction victim.
+        w.append_put(b"shared", &[7u8; 64]);
+        for i in 0..8u32 {
+            w.append_put(format!("fill{i}").as_bytes(), &[0u8; 512]);
+        }
+        w.flush().unwrap();
+        for i in 0..8u32 {
+            w.append_put(format!("fill{i}").as_bytes(), &[1u8; 512]);
+        }
+        w.flush().unwrap();
+        w.seal_current();
+        dpm.wait_until_merged(0);
+        let cell = dpm.make_indirect(b"shared").unwrap().unwrap();
+        let segments_before = dpm.stats().segments_allocated;
+
+        // Live cell: the victim holds a live, pinned entry — the
+        // compactor must skip the segment wholesale.
+        let report = dpm.compact_once();
+        assert!(report.segments_skipped_pinned >= 1, "{report:?}");
+        assert_eq!(report.segments_compacted, 0, "{report:?}");
+        assert_eq!(dpm.stats().segments_allocated, segments_before);
+        assert_eq!(dpm.local_read(b"shared"), Some(vec![7u8; 64]));
+
+        // Tombstone the cell (a shared-path delete): the entry is now
+        // invalid — the segment is fully dead by the counters — but the
+        // cell still references the entry's address for key identity.
+        let del_seq = dpm.next_seq();
+        dpm.publish_shared_delete(&nic, cell, del_seq);
+        assert_eq!(dpm.local_read(b"shared"), None);
+        assert_eq!(
+            dpm.run_gc(),
+            0,
+            "run_gc must not free a segment a tombstoned cell references"
+        );
+        let report = dpm.compact_once();
+        assert_eq!(report.segments_compacted, 0, "{report:?}");
+        assert!(report.segments_skipped_pinned >= 1, "{report:?}");
+        assert_eq!(dpm.stats().segments_allocated, segments_before);
+
+        // Dismantling the cell unpins the entry; the segment reclaims.
+        assert!(dpm.remove_indirect(b"shared"));
+        assert!(dpm.run_gc() >= 1);
+        assert!(dpm.stats().segments_allocated < segments_before);
+        assert_eq!(dpm.local_read(b"shared"), None);
+    }
+
+    #[test]
+    fn lagging_shared_publish_neither_loses_its_entry_nor_leaks_it() {
+        // A shared-path put flushes, its record merges, and only then does
+        // the cell CAS run (the KN drops its shard lock between the two).
+        // The merge must keep the newer-than-published entry valid — an
+        // invalidated entry's segment could be freed before the swing,
+        // pointing the cell at dead bytes — and an ultimately *abandoned*
+        // publish (lost to newer state) must invalidate the entry so its
+        // segment can still reclaim.
+        let dpm = Arc::new(DpmNode::new(gc_config()).unwrap());
+        let nic = nic();
+        let mut w = LogWriter::new(Arc::clone(&dpm), 0, nic.clone());
+        w.append_put(b"shared", b"v0");
+        w.flush().unwrap();
+        dpm.wait_until_merged(0);
+        let cell = dpm.make_indirect(b"shared").unwrap().unwrap();
+
+        // Flush + merge v1 with its publish still pending.
+        let seq1 = w.append_put(b"shared", b"v1");
+        let loc1 = w.flush().unwrap()[0].entry_loc;
+        w.seal_current();
+        dpm.wait_until_merged(0);
+        // GC runs in the gap: the unpublished entry must survive both
+        // collectors (it is live by the seq-vs-published rule).
+        dpm.run_gc();
+        dpm.compact_once();
+        assert_eq!(dpm.local_read(b"shared"), Some(b"v0".to_vec()));
+        assert!(
+            dpm.publish_shared_put(&nic, cell, loc1, seq1),
+            "delayed publish must still succeed"
+        );
+        assert_eq!(
+            dpm.local_read(b"shared"),
+            Some(b"v1".to_vec()),
+            "published bytes must be intact (segment not reclaimed)"
+        );
+
+        // Abandoned publish: v2 (older seq) merges unpublished, v3 (newer)
+        // publishes first; v2's late swing must fail *and* invalidate v2.
+        let seq2 = w.append_put(b"shared", b"v2");
+        let loc2 = w.flush().unwrap()[0].entry_loc;
+        let seq3 = w.append_put(b"shared", b"v3");
+        let loc3 = w.flush().unwrap()[0].entry_loc;
+        w.seal_current();
+        dpm.wait_until_merged(0);
+        assert!(dpm.publish_shared_put(&nic, cell, loc3, seq3));
+        let live_before = dpm.stats().live_bytes;
+        assert!(
+            !dpm.publish_shared_put(&nic, cell, loc2, seq2),
+            "stale publish must be refused"
+        );
+        assert!(
+            dpm.stats().live_bytes < live_before,
+            "abandoned entry must be invalidated so its segment can reclaim"
+        );
+        assert_eq!(dpm.local_read(b"shared"), Some(b"v3".to_vec()));
+    }
+
+    #[test]
+    fn background_compactor_reclaims_while_writers_run() {
+        let mut config = gc_config();
+        config.gc.background = true;
+        let dpm = Arc::new(DpmNode::new(config).unwrap());
+        let keys = write_skew_pinned(&dpm, 20);
+        // The background thread (5 ms interval) must reclaim without any
+        // synchronous hook being called.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while dpm.stats().segments_compacted == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background compactor made no progress: {:?}",
+                dpm.stats()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        for key in &keys {
+            assert_eq!(dpm.local_read(key), Some(vec![0xA5; 64]));
+        }
+        dpm.shutdown();
+    }
+
+    #[test]
+    fn recovery_after_partial_compaction_keeps_index_and_accounting_consistent() {
+        // A relocation duplicates an entry's seq at two addresses.
+        // recover()'s re-merge must treat the duplicate as already merged
+        // (same seq ⇒ the index already serves this record) — the old
+        // strict `>` staleness guard ping-ponged the index between the
+        // copies and left the *served* copy recorded invalid in its
+        // segment, so a later GC could free the segment the index pointed
+        // into.
+        let mut config = gc_config();
+        // Budget for exactly one 104-byte hot entry: the pass must stop
+        // *mid-victim*, so a victim original and its relocated duplicate
+        // coexist when recovery re-scans.
+        config.gc.max_pass_bytes = 120;
+        let dpm = Arc::new(DpmNode::new(config).unwrap());
+        let mut w = LogWriter::new(Arc::clone(&dpm), 0, nic());
+        // One segment holding two live hot entries plus filler that a later
+        // segment's overwrites kill — a victim the 120-byte budget can only
+        // half-compact.
+        w.append_put(b"hotaaaa", &[0xA5; 64]);
+        w.append_put(b"hotbbbb", &[0xA5; 64]);
+        for i in 0..8u32 {
+            w.append_put(format!("cold{i}").as_bytes(), &[0u8; 512]);
+        }
+        w.flush().unwrap();
+        for i in 0..8u32 {
+            w.append_put(format!("cold{i}").as_bytes(), &[1u8; 512]);
+        }
+        w.flush().unwrap();
+        w.seal_current();
+        dpm.wait_until_merged(0);
+        let report = dpm.compact_once();
+        assert!(
+            report.budget_exhausted && report.entries_relocated == 1,
+            "the pass must stop mid-victim: {report:?}"
+        );
+        assert_eq!(report.segments_compacted, 0, "{report:?}");
+
+        let live_before = dpm.stats().live_bytes;
+        let recovered = dpm.recover();
+        assert!(recovered.entries_recovered > 0);
+        assert_eq!(
+            dpm.stats().live_bytes,
+            live_before,
+            "recovery must not invalidate entries the index serves"
+        );
+        assert_eq!(dpm.local_read(b"hotaaaa"), Some(vec![0xA5; 64]));
+        assert_eq!(dpm.local_read(b"hotbbbb"), Some(vec![0xA5; 64]));
+        // Full compaction + GC afterwards keeps everything readable.
+        while dpm.compact_once().segments_compacted > 0 {}
+        dpm.run_gc();
+        assert_eq!(dpm.local_read(b"hotaaaa"), Some(vec![0xA5; 64]));
+        assert_eq!(dpm.local_read(b"hotbbbb"), Some(vec![0xA5; 64]));
+        for i in 0..8u32 {
+            assert_eq!(
+                dpm.local_read(format!("cold{i}").as_bytes()),
+                Some(vec![1u8; 512])
+            );
+        }
+    }
+
+    #[test]
+    fn byte_budget_throttles_a_pass() {
+        let mut config = gc_config();
+        // Budget below one entry: the pass must bail before relocating.
+        config.gc.max_pass_bytes = 8;
+        let dpm = Arc::new(DpmNode::new(config).unwrap());
+        write_skew_pinned(&dpm, 6);
+        let report = dpm.compact_once();
+        assert!(report.budget_exhausted, "{report:?}");
+        assert_eq!(report.entries_relocated, 0);
+        assert_eq!(report.segments_compacted, 0);
+    }
+}

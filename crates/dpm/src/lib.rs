@@ -11,8 +11,11 @@
 //!   sealed log entries, in per-KN order, into the shared P-CLHT metadata
 //!   index off the critical path.  KVS nodes block only when their number of
 //!   unmerged segments exceeds a threshold (default 2).
-//! * **Garbage collection** — per-segment valid/invalid counters let the DPM
-//!   reclaim a segment once every entry in it has been superseded.
+//! * **Garbage collection** ([`gc`]) — per-segment valid/invalid counters let
+//!   the DPM reclaim a segment once every entry in it has been superseded,
+//!   and a cost-benefit log cleaner relocates the still-live entries of
+//!   mostly-dead segments so skew-pinned segments reclaim too (keeping the
+//!   footprint proportional to live data instead of write history).
 //! * **Indirect pointers** ([`node`]) — selectively-replicated (hot) keys are
 //!   reached through a CAS-able indirection cell so several KNs can update
 //!   them linearizably.
@@ -28,6 +31,7 @@
 pub mod bloom;
 pub mod config;
 pub mod entry;
+pub mod gc;
 pub mod loc;
 pub mod merge;
 pub mod node;
@@ -35,10 +39,11 @@ pub mod segment;
 pub mod writer;
 
 pub use bloom::BloomFilter;
-pub use config::DpmConfig;
+pub use config::{DpmConfig, GcConfig};
 pub use entry::{EntryHeader, LogOp};
+pub use gc::{CompactionReport, GC_OWNER_KN};
 pub use loc::PackedLoc;
-pub use node::{DpmNode, DpmStats, LookupResult};
+pub use node::{DpmNode, DpmStats, LookupResult, RelocationObserver};
 // Re-exported so KVS nodes can pin one epoch guard across a whole batch of
 // index lookups (`DpmNode::{local_lookup_in, remote_read_in}`).
 pub use dinomo_pclht::{pin, Guard};

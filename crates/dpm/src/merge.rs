@@ -130,21 +130,45 @@ fn apply_entry(
                 Some(raw) => {
                     let old = PackedLoc::from_raw(raw);
                     if old.is_indirect() {
-                        // Shared key: the KN already made the new entry
-                        // reachable by CAS-ing the indirection cell.  If the
-                        // cell moved past this entry, the entry is stale.
+                        // Shared key: the KN makes the entry reachable by
+                        // CAS-ing the indirection cell, and that publish
+                        // can lag this merge (the KN flushes, drops its
+                        // shard lock, then swings). Judge staleness by seq
+                        // against what the cell currently publishes: an
+                        // entry at or below the published seq lost its
+                        // race and is garbage; a *newer* entry's publish
+                        // is still in flight and the entry must stay valid
+                        // — invalidating it would let GC free its segment
+                        // and the delayed swing would point the cell at
+                        // freed bytes. (`publish_shared_put` invalidates
+                        // the entry itself if the swing is later abandoned
+                        // as stale, so nothing leaks.)
                         let cell_points_here =
                             inner.indirect_cell_target(old.addr()) == Some(new_loc);
                         if !cell_points_here {
-                            inner.invalidate_entry(new_loc);
+                            match inner.cell_published_seq(old.addr()) {
+                                Some(published) if published < entry.header.seq => {
+                                    // Publish in flight: leave it valid.
+                                }
+                                _ => inner.invalidate_entry(new_loc),
+                            }
                         }
                     } else if old == new_loc {
                         // Already merged (recovery re-merge): nothing to do.
-                    } else if inner.entry_seq(old) > Some(entry.header.seq) {
-                        // A newer entry was merged first (recovery re-scans,
-                        // or a key written through several KNs — replication,
+                    } else if inner.entry_seq(old) >= Some(entry.header.seq) {
+                        // The indexed entry is newer (recovery re-scans, or
+                        // a key written through several KNs — replication,
                         // reconfiguration — whose segments merge on workers
-                        // with no mutual order); this one is stale.
+                        // with no mutual order), or carries the *same* seq
+                        // at a different address — which only a compactor
+                        // relocation produces (appends draw unique global
+                        // seqs): the indexed copy IS this record, so the
+                        // record's address is the dead duplicate. Either
+                        // way this one is stale. (`>` instead of `>=` let a
+                        // recovery re-scan swing the index back onto a
+                        // partially-compacted victim and mark the served
+                        // copy invalid — a later GC would then free the
+                        // segment the index pointed into.)
                         inner.invalidate_entry(new_loc);
                     } else {
                         inner.index().update(

@@ -3,6 +3,7 @@
 
 use crate::config::DpmConfig;
 use crate::entry::{decode_entry, DecodedEntry};
+use crate::gc::{compact_pass, CompactionReport, Compactor};
 use crate::loc::PackedLoc;
 use crate::merge::{merge_task, MergeEngine, MergeTask};
 use crate::segment::SegmentState;
@@ -10,11 +11,32 @@ use dinomo_partition::key_hash;
 use dinomo_pclht::{pin, Guard, Pclht};
 use dinomo_pmem::{PmAddr, PmemError, PmemPool};
 use dinomo_simnet::Nic;
-use parking_lot::{Condvar, Mutex, RwLock};
-use std::collections::HashMap;
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Callback invoked after the compactor relocates a key's log entry: the
+/// key and the entry's **old** location. KVS-node caches hold shortcuts
+/// (raw value addresses) into log segments; a relocation makes any
+/// shortcut into the victim dangling, so the cluster layer registers an
+/// observer that drops the key's cached locations on every node before
+/// the victim segment is freed.
+pub type RelocationObserver = Box<dyn Fn(&[u8], PackedLoc) + Send + Sync>;
+
+/// Holder for the optional relocation observer (manual `Debug`: the boxed
+/// callback has none).
+#[derive(Default)]
+pub(crate) struct ObserverSlot(RwLock<Option<RelocationObserver>>);
+
+impl std::fmt::Debug for ObserverSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ObserverSlot")
+            .field(&self.0.read().is_some())
+            .finish()
+    }
+}
 
 /// Result of resolving a key through the DPM (the KN cache-miss path).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +65,18 @@ pub struct DpmStats {
     pub indirect_cells: u64,
     /// Keys currently in the metadata index.
     pub index_len: u64,
+    /// Victim segments the log-cleaning compactor emptied and freed.
+    pub segments_compacted: u64,
+    /// Bytes of live entries the compactor relocated into fresh segments.
+    pub bytes_relocated: u64,
+    /// Live entries the compactor relocated.
+    pub entries_relocated: u64,
+    /// Bytes still referenced by live entries across all live segments
+    /// (written minus invalidated). Allocated-segment bytes divided by
+    /// this is the store's space amplification.
+    pub live_bytes: u64,
+    /// Total capacity of the currently allocated (non-freed) segments.
+    pub segment_bytes_allocated: u64,
 }
 
 /// State shared between the [`DpmNode`] facade and the merge workers.
@@ -63,6 +97,26 @@ pub struct DpmInner {
     entries_merged: AtomicU64,
     segments_freed: AtomicU64,
     indirect_cells: AtomicU64,
+    /// Registry of installed indirection cells. The lock is held across
+    /// cell installation/removal *and* across each compaction victim's
+    /// pin-set snapshot + relocation, so the compactor can never swing an
+    /// index entry out from under a cell being installed over it (or free
+    /// a segment a freshly-tombstoned cell still references for key
+    /// identity).
+    cell_registry: Mutex<HashSet<PmAddr>>,
+    /// Serializes compaction passes (background thread vs. the synchronous
+    /// `compact_once` test hook).
+    gc_pass_lock: Mutex<()>,
+    /// The compactor's current destination segment, reused across passes
+    /// until full (so small passes don't each strand a near-empty
+    /// segment).
+    gc_destination: Mutex<Option<Arc<SegmentState>>>,
+    /// Observer notified after each successful relocation (see
+    /// [`RelocationObserver`]).
+    relocation_observer: ObserverSlot,
+    segments_compacted: AtomicU64,
+    bytes_relocated: AtomicU64,
+    entries_relocated: AtomicU64,
     /// Highest merged delete sequence number per key (see
     /// [`DpmInner::record_merged_tombstone`]).
     merged_tombstones: Mutex<HashMap<Vec<u8>, u64>>,
@@ -157,6 +211,23 @@ impl DpmInner {
         Some(PackedLoc::direct(loc.addr(), loc.len()))
     }
 
+    /// The sequence number of the state an indirection cell currently
+    /// publishes: the live target entry's seq, or — when the cell carries
+    /// a delete tombstone — the tombstoning delete's seq from the cell's
+    /// second word. `None` when the cell is empty (released).
+    pub(crate) fn cell_published_seq(&self, cell: PmAddr) -> Option<u64> {
+        let raw = self.pool.read_u64(cell);
+        if raw == 0 {
+            return None;
+        }
+        let loc = PackedLoc::from_raw(raw);
+        if loc.is_indirect() {
+            Some(self.pool.read_u64(cell.offset(8)))
+        } else {
+            self.entry_seq(loc)
+        }
+    }
+
     /// The entry an indirection cell currently serves to **readers**:
     /// `None` when the cell is empty or tombstoned by a shared-path delete.
     pub(crate) fn indirect_cell_live_target(&self, cell: PmAddr) -> Option<PackedLoc> {
@@ -174,8 +245,105 @@ impl DpmInner {
     pub(crate) fn invalidate_entry(&self, loc: PackedLoc) {
         let segments = self.segments.read();
         if let Some(seg) = segments.iter().find(|s| s.contains(loc.addr())) {
-            seg.record_invalidated(loc.addr().0 - seg.base.0);
+            seg.record_invalidated(loc.addr().0 - seg.base.0, loc.len());
         }
+    }
+
+    /// Snapshot of the live segment list.
+    pub(crate) fn segments_snapshot(&self) -> Vec<Arc<SegmentState>> {
+        self.segments.read().clone()
+    }
+
+    /// The id the next allocated segment will get (monotonic; used as the
+    /// compactor's logical clock for segment age).
+    pub(crate) fn next_segment_id_hint(&self) -> u64 {
+        self.next_segment_id.load(Ordering::Relaxed)
+    }
+
+    /// Allocate and register a fresh log segment owned by `kn`.
+    pub(crate) fn allocate_segment_inner(&self, kn: u32) -> Result<Arc<SegmentState>, PmemError> {
+        let base = self.pool.alloc(self.config.segment_bytes)?;
+        let id = self.next_segment_id.fetch_add(1, Ordering::Relaxed);
+        let seg = Arc::new(SegmentState::new(id, kn, base, self.config.segment_bytes));
+        self.segments.write().push(Arc::clone(&seg));
+        Ok(seg)
+    }
+
+    /// Lock the indirection-cell registry (see the field docs for what the
+    /// guard serializes).
+    pub(crate) fn lock_cell_registry(&self) -> MutexGuard<'_, HashSet<PmAddr>> {
+        self.cell_registry.lock()
+    }
+
+    /// Serialize compaction passes.
+    pub(crate) fn lock_gc_pass(&self) -> MutexGuard<'_, ()> {
+        self.gc_pass_lock.lock()
+    }
+
+    /// The compactor's persistent destination-segment slot.
+    pub(crate) fn gc_destination(&self) -> MutexGuard<'_, Option<Arc<SegmentState>>> {
+        self.gc_destination.lock()
+    }
+
+    /// The entry addresses every installed indirection cell currently
+    /// references — live targets *and* tombstoned-over entries, whose
+    /// address a cell keeps for key identity until dereplication
+    /// dismantles it. Entries in this set must be neither relocated nor
+    /// freed. Call with the registry guard held so cell installs/removals
+    /// cannot interleave with the snapshot's use.
+    pub(crate) fn pinned_entry_addrs(&self, registry: &HashSet<PmAddr>) -> HashSet<u64> {
+        registry
+            .iter()
+            .filter_map(|cell| {
+                let raw = self.pool.read_u64(*cell);
+                // `PackedLoc::addr` masks the tombstone (indirect) bit, so
+                // this is the key-identity target either way.
+                (raw != 0).then(|| PackedLoc::from_raw(raw).addr().0)
+            })
+            .collect()
+    }
+
+    /// Free a segment's pool bytes once every epoch guard pinned at call
+    /// time has dropped, and drop it from the registry now. Readers
+    /// resolve a location and decode the entry under one epoch pin, so
+    /// deferring the free closes the window where a reader that loaded a
+    /// location just before it was invalidated would decode freed (and
+    /// possibly reused) memory. Returns `false` if the segment was
+    /// already freed.
+    pub(crate) fn free_segment_deferred(&self, seg: &Arc<SegmentState>) -> bool {
+        if !seg.mark_freed() {
+            return false;
+        }
+        self.segments.write().retain(|s| s.id != seg.id);
+        let pool = Arc::clone(&self.pool);
+        let base = seg.base;
+        let capacity = seg.capacity;
+        let guard = pin();
+        // SAFETY: the segment is unreachable from the index (every entry is
+        // invalid) and unreferenced by any indirection cell (pin set); the
+        // freed flag above diverts shortcut validation. Only readers pinned
+        // before this call can still hold raw addresses into it, and the
+        // epoch scheme delays the closure past their unpin.
+        unsafe {
+            guard.defer_unchecked(move || pool.free(base, capacity));
+        }
+        self.segments_freed.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Record a successful relocation and notify the observer.
+    pub(crate) fn notify_relocated(&self, key: &[u8], old_loc: PackedLoc) {
+        self.entries_relocated.fetch_add(1, Ordering::Relaxed);
+        self.bytes_relocated
+            .fetch_add(old_loc.len(), Ordering::Relaxed);
+        if let Some(observer) = &*self.relocation_observer.0.read() {
+            observer(key, old_loc);
+        }
+    }
+
+    /// Count a victim segment fully emptied and freed by the compactor.
+    pub(crate) fn record_segment_compacted(&self) {
+        self.segments_compacted.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a merged delete, so a stale put (older sequence number, e.g.
@@ -252,6 +420,9 @@ impl DpmInner {
 pub struct DpmNode {
     inner: Arc<DpmInner>,
     merge: Mutex<MergeEngine>,
+    /// Background log-cleaning compactor (present only when
+    /// `config.gc.background` is set).
+    gc: Mutex<Option<Compactor>>,
 }
 
 impl DpmNode {
@@ -271,16 +442,36 @@ impl DpmNode {
             entries_merged: AtomicU64::new(0),
             segments_freed: AtomicU64::new(0),
             indirect_cells: AtomicU64::new(0),
+            cell_registry: Mutex::new(HashSet::new()),
+            gc_pass_lock: Mutex::new(()),
+            gc_destination: Mutex::new(None),
+            relocation_observer: ObserverSlot::default(),
+            segments_compacted: AtomicU64::new(0),
+            bytes_relocated: AtomicU64::new(0),
+            entries_relocated: AtomicU64::new(0),
             merged_tombstones: Mutex::new(HashMap::new()),
             merged_tombstone_count: AtomicU64::new(0),
             metadata: Mutex::new(HashMap::new()),
             metadata_region: Mutex::new(Vec::new()),
         });
         let merge = MergeEngine::start(Arc::clone(&inner), config.merge_threads);
+        let gc = config
+            .gc
+            .background
+            .then(|| Compactor::start(Arc::clone(&inner)));
         Ok(DpmNode {
             inner,
             merge: Mutex::new(merge),
+            gc: Mutex::new(gc),
         })
+    }
+
+    /// Register the callback invoked after every successful entry
+    /// relocation (see [`RelocationObserver`]). The cluster layer uses it
+    /// to drop each relocated key's cached shortcut locations before the
+    /// victim segment is freed.
+    pub fn set_relocation_observer(&self, observer: RelocationObserver) {
+        *self.inner.relocation_observer.0.write() = Some(observer);
     }
 
     /// The configuration this node was created with.
@@ -300,13 +491,27 @@ impl DpmNode {
 
     /// Aggregate statistics.
     pub fn stats(&self) -> DpmStats {
-        let segments = self.inner.segments.read();
+        let (live_segments, live_bytes, segment_bytes_allocated) = {
+            let segments = self.inner.segments.read();
+            let mut live = 0u64;
+            let mut capacity = 0u64;
+            for seg in segments.iter().filter(|s| !s.is_freed()) {
+                live += seg.live_bytes();
+                capacity += seg.capacity;
+            }
+            (segments.len() as u64, live, capacity)
+        };
         DpmStats {
-            segments_allocated: segments.len() as u64,
+            segments_allocated: live_segments,
             segments_freed: self.inner.segments_freed.load(Ordering::Relaxed),
             entries_merged: self.inner.entries_merged.load(Ordering::Relaxed),
             indirect_cells: self.inner.indirect_cells.load(Ordering::Relaxed),
             index_len: self.inner.index.len(),
+            segments_compacted: self.inner.segments_compacted.load(Ordering::Relaxed),
+            bytes_relocated: self.inner.bytes_relocated.load(Ordering::Relaxed),
+            entries_relocated: self.inner.entries_relocated.load(Ordering::Relaxed),
+            live_bytes,
+            segment_bytes_allocated,
         }
     }
 
@@ -314,16 +519,20 @@ impl DpmNode {
 
     /// Allocate a fresh log segment owned by `kn`.
     pub fn allocate_segment(&self, kn: u32) -> Result<Arc<SegmentState>, PmemError> {
-        let base = self.inner.pool.alloc(self.inner.config.segment_bytes)?;
-        let id = self.inner.next_segment_id.fetch_add(1, Ordering::Relaxed);
-        let seg = Arc::new(SegmentState::new(
-            id,
-            kn,
-            base,
-            self.inner.config.segment_bytes,
-        ));
-        self.inner.segments.write().push(Arc::clone(&seg));
-        Ok(seg)
+        self.inner.allocate_segment_inner(kn)
+    }
+
+    /// `true` while `addr` lies inside a live (non-freed) segment. The
+    /// KN shortcut-cache hit path validates its cached value address with
+    /// this under an epoch pin: the compactor sets the freed flag *before*
+    /// deferring the pool free, so a reader that passes the check while
+    /// pinned can never observe the bytes being reused.
+    pub fn value_addr_is_live(&self, addr: PmAddr) -> bool {
+        self.inner
+            .segments
+            .read()
+            .iter()
+            .any(|s| s.contains(addr) && !s.is_freed())
     }
 
     /// Number of segments of `kn` that are not yet fully merged.
@@ -405,7 +614,12 @@ impl DpmNode {
 
     /// DPM-side (local) read of a key's current value.
     pub fn local_read(&self, key: &[u8]) -> Option<Vec<u8>> {
-        let loc = self.local_lookup(key)?;
+        // One pin across lookup *and* decode: the compactor defers a freed
+        // victim's pool free past every guard pinned when it swung the
+        // index, so the location resolved here stays readable even if the
+        // entry is relocated mid-read.
+        let guard = pin();
+        let loc = self.local_lookup_in(&guard, key)?;
         let entry_loc = if loc.is_indirect() {
             self.inner.indirect_cell_live_target(loc.addr())?
         } else {
@@ -493,6 +707,13 @@ impl DpmNode {
     /// across KNs.  Returns the cell address (or `None` if the key does not
     /// exist yet).  Idempotent: an already-shared key returns its cell.
     pub fn make_indirect(&self, key: &[u8]) -> Result<Option<PmAddr>, PmemError> {
+        // The registry guard spans the index read *and* the swing to the
+        // indirect location: the compactor relocates entries under the same
+        // lock, so the entry the new cell snapshots cannot move (which
+        // would strand an uninstalled cell) between the read and the
+        // update, and the cell is pinned before any later pass can select
+        // its target's segment.
+        let mut registry = self.inner.lock_cell_registry();
         let tag = key_hash(key);
         let Some(raw) = self
             .inner
@@ -513,6 +734,7 @@ impl DpmNode {
         let new_raw = PackedLoc::indirect(cell, 16).raw();
         self.inner.index.update(tag, |r| r == raw, new_raw);
         self.inner.indirect_cells.fetch_add(1, Ordering::Relaxed);
+        registry.insert(cell);
         Ok(Some(cell))
     }
 
@@ -524,6 +746,12 @@ impl DpmNode {
     /// shared put and be discarded. Returns `true` if the key was
     /// indirect.
     pub fn remove_indirect(&self, key: &[u8]) -> bool {
+        // Same serialization against the compactor as `make_indirect`: the
+        // cell leaves the registry in the same critical section that
+        // collapses it, so a concurrent pass either still sees the pin or
+        // sees the collapsed (direct) index state — never a half-dismantled
+        // cell.
+        let mut registry = self.inner.lock_cell_registry();
         let tag = key_hash(key);
         let Some(raw) = self
             .inner
@@ -547,6 +775,7 @@ impl DpmNode {
                 self.inner.index.remove(tag, |r| r == raw);
             }
         }
+        registry.remove(&loc.addr());
         self.inner.release_indirect_cell(loc.addr());
         true
     }
@@ -576,6 +805,9 @@ impl DpmNode {
         old: PackedLoc,
         new: PackedLoc,
     ) -> Result<(), PackedLoc> {
+        // Serialized against the compactor like every cell swing (see
+        // `publish_shared_put` for the hazard).
+        let _registry = self.inner.lock_cell_registry();
         nic.one_sided_cas();
         match self.inner.pool.cas_u64(cell, old.raw(), new.raw()) {
             Ok(_) => {
@@ -607,10 +839,25 @@ impl DpmNode {
         new: PackedLoc,
         new_seq: u64,
     ) -> bool {
+        // Every cell swing holds the registry lock: the compactor's pin
+        // set is a snapshot of cell targets, valid only while no cell can
+        // move. Without this, a publish delayed past its entry's merge
+        // (which invalidated the entry as "cell never pointed here") could
+        // swing the cell onto an entry whose all-dead segment GC frees
+        // concurrently — the cell would then reference freed bytes. Under
+        // the lock the swing either precedes the snapshot (the target is
+        // pinned) or follows the whole victim (and sees the relocated
+        // index state); either way the referenced bytes stay live.
+        let _registry = self.inner.lock_cell_registry();
         loop {
             nic.one_sided_read(8);
             let raw = self.inner.pool.read_u64(cell);
             if raw == 0 {
+                // Cell released: this entry will never be published. Its
+                // merge left it valid pending this swing (see the merge
+                // engine's shared-put arm); mark it dead so its segment
+                // can reclaim.
+                self.inner.invalidate_entry(new);
                 return false;
             }
             let old = PackedLoc::from_raw(raw);
@@ -621,6 +868,9 @@ impl DpmNode {
                 self.inner.entry_seq(old)
             };
             if published_seq >= Some(new_seq) {
+                // Lost the publish race to newer state: abandoned, never
+                // referenced — invalidate it (see above).
+                self.inner.invalidate_entry(new);
                 return false;
             }
             nic.one_sided_cas();
@@ -648,6 +898,9 @@ impl DpmNode {
     /// Seq-monotonic like [`DpmNode::publish_shared_put`]: a delete older
     /// than the currently published state is a no-op.
     pub fn publish_shared_delete(&self, nic: &Nic, cell: PmAddr, del_seq: u64) {
+        // Serialized against the compactor like every cell swing (see
+        // `publish_shared_put`).
+        let _registry = self.inner.lock_cell_registry();
         loop {
             nic.one_sided_read(8);
             let raw = self.inner.pool.read_u64(cell);
@@ -687,25 +940,44 @@ impl DpmNode {
 
     /// Reclaim every segment whose entries are all invalid. Returns how many
     /// segments were freed.
+    ///
+    /// A segment an indirection cell still references is never freed, even
+    /// when fully invalidated: a *tombstoned* cell keeps the dead entry's
+    /// address for key identity until dereplication dismantles it, and
+    /// freeing (then reusing) those bytes would make the cell resolve to
+    /// garbage. The pin set is snapshotted — and the frees performed —
+    /// under the cell registry lock so no cell can be installed over a
+    /// segment mid-reclaim.
     pub fn run_gc(&self) -> usize {
+        // Serialized with compaction passes: `compact_pass` scans victim
+        // bytes between registry critical sections, so no other collector
+        // may free a segment out from under it.
+        let _pass = self.inner.lock_gc_pass();
+        let registry = self.inner.lock_cell_registry();
+        let pinned = self.inner.pinned_entry_addrs(&registry);
         let reclaimable: Vec<Arc<SegmentState>> = {
             let segments = self.inner.segments.read();
             segments
                 .iter()
-                .filter(|s| s.is_reclaimable())
+                .filter(|s| s.is_reclaimable() && !pinned.iter().any(|&a| s.contains(PmAddr(a))))
                 .cloned()
                 .collect()
         };
         let mut freed = 0;
         for seg in reclaimable {
-            if seg.mark_freed() {
-                self.inner.pool.free(seg.base, seg.capacity);
-                self.inner.segments_freed.fetch_add(1, Ordering::Relaxed);
+            if self.inner.free_segment_deferred(&seg) {
                 freed += 1;
             }
         }
-        self.inner.segments.write().retain(|s| !s.is_freed());
         freed
+    }
+
+    /// Run one synchronous log-cleaning compaction pass (the test hook of
+    /// the background compactor; see [`crate::gc`]). Victim selection and
+    /// throttling follow `config.gc`; the pass is serialized against the
+    /// background thread.
+    pub fn compact_once(&self) -> CompactionReport {
+        compact_pass(&self.inner, &self.inner.config.gc)
     }
 
     // ------------------------------------------------------------ recovery
@@ -784,8 +1056,12 @@ impl DpmNode {
         self.inner.metadata.lock().get(name).cloned()
     }
 
-    /// Stop the merge workers (also happens on drop).
+    /// Stop the background compactor and the merge workers (also happens
+    /// on drop).
     pub fn shutdown(&self) {
+        if let Some(mut gc) = self.gc.lock().take() {
+            gc.shutdown();
+        }
         self.merge.lock().shutdown();
     }
 }

@@ -33,6 +33,11 @@ pub struct SegmentState {
     /// Entries whose data has been superseded, deleted, or that never carried
     /// data (tombstones count as invalid immediately after merging).
     entries_invalid: AtomicU64,
+    /// Bytes covered by invalidated entries. The compactor's cost-benefit
+    /// victim scoring ranks segments by *bytes*, not entry counts — two
+    /// segments with the same number of dead entries can hold wildly
+    /// different amounts of reclaimable space when value sizes are mixed.
+    bytes_invalid: AtomicU64,
     /// Segment offsets already recorded invalid. An entry can be discovered
     /// dead more than once — at indirection-cell swing time and again when
     /// its own log record merges and is found stale — and `is_reclaimable`
@@ -60,6 +65,7 @@ impl SegmentState {
             entries_written: AtomicU64::new(0),
             entries_merged: AtomicU64::new(0),
             entries_invalid: AtomicU64::new(0),
+            bytes_invalid: AtomicU64::new(0),
             invalid_offsets: Mutex::new(HashSet::new()),
             sealed: AtomicBool::new(false),
             freed: AtomicBool::new(false),
@@ -91,6 +97,31 @@ impl SegmentState {
         self.entries_invalid.load(Ordering::Acquire)
     }
 
+    /// Bytes covered by invalidated entries (dead bytes).
+    pub fn dead_bytes(&self) -> u64 {
+        self.bytes_invalid.load(Ordering::Acquire)
+    }
+
+    /// Bytes still referenced by live entries (written minus dead).
+    pub fn live_bytes(&self) -> u64 {
+        self.written().saturating_sub(self.dead_bytes())
+    }
+
+    /// Fraction of written bytes that are dead (0.0 for an empty segment).
+    pub fn dead_fraction(&self) -> f64 {
+        let written = self.written();
+        if written == 0 {
+            0.0
+        } else {
+            self.dead_bytes() as f64 / written as f64
+        }
+    }
+
+    /// `true` if the entry at `offset` has been recorded invalid.
+    pub fn is_offset_invalid(&self, offset: u64) -> bool {
+        self.invalid_offsets.lock().contains(&offset)
+    }
+
     /// Remaining space in bytes.
     pub fn remaining(&self) -> u64 {
         self.capacity - self.written()
@@ -110,12 +141,13 @@ impl SegmentState {
         self.entries_merged.fetch_add(entries, Ordering::AcqRel);
     }
 
-    /// Record that the entry at segment `offset` became invalid (superseded,
-    /// deleted, or a tombstone). Idempotent: re-reporting the same entry
-    /// does not advance the counter.
-    pub fn record_invalidated(&self, offset: u64) {
+    /// Record that the `len`-byte entry at segment `offset` became invalid
+    /// (superseded, deleted, or a tombstone). Idempotent: re-reporting the
+    /// same entry advances neither the entry nor the byte counter.
+    pub fn record_invalidated(&self, offset: u64, len: u64) {
         if self.invalid_offsets.lock().insert(offset) {
             self.entries_invalid.fetch_add(1, Ordering::AcqRel);
+            self.bytes_invalid.fetch_add(len, Ordering::AcqRel);
         }
     }
 
@@ -181,20 +213,40 @@ mod tests {
         let s = SegmentState::new(1, 0, PmAddr(4096), 1024);
         s.record_append(100, 2);
         s.record_merged(100, 2);
-        s.record_invalidated(0);
+        s.record_invalidated(0, 50);
         assert!(!s.is_reclaimable(), "not sealed yet");
         s.seal();
         assert!(!s.is_reclaimable(), "one entry still valid");
-        s.record_invalidated(0);
+        s.record_invalidated(0, 50);
         assert!(
             !s.is_reclaimable(),
             "re-invalidating the same entry must not stand in for the live one"
         );
-        s.record_invalidated(50);
+        s.record_invalidated(50, 50);
         assert!(s.is_reclaimable());
         assert!(s.mark_freed());
         assert!(!s.mark_freed(), "double free must be detected");
         assert!(!s.is_reclaimable(), "already freed");
+    }
+
+    #[test]
+    fn live_byte_accounting_tracks_mixed_entry_sizes() {
+        // Two segments with one dead entry each must not rank equally when
+        // the dead entries' sizes differ — the counters the compactor's
+        // victim scoring reads are bytes, not entry counts.
+        let s = SegmentState::new(1, 0, PmAddr(0), 4096);
+        s.record_append(1000, 2); // a 900-byte entry and a 100-byte entry
+        assert_eq!(s.live_bytes(), 1000);
+        assert_eq!(s.dead_bytes(), 0);
+        s.record_invalidated(0, 900);
+        assert_eq!(s.dead_bytes(), 900);
+        assert_eq!(s.live_bytes(), 100);
+        assert!((s.dead_fraction() - 0.9).abs() < 1e-9);
+        // Idempotent in bytes too.
+        s.record_invalidated(0, 900);
+        assert_eq!(s.dead_bytes(), 900);
+        assert!(s.is_offset_invalid(0));
+        assert!(!s.is_offset_invalid(900));
     }
 
     #[test]

@@ -454,6 +454,20 @@ impl Pclht {
         result
     }
 
+    /// Conditional location CAS: replace the value stored under `tag` with
+    /// `new` **only if** an entry currently holds exactly `old`. Returns
+    /// `true` when the swap happened.
+    ///
+    /// This is the primitive the log-cleaning compactor swings relocated
+    /// entries with: the equality predicate runs under the chain's
+    /// head-bucket lock, so the check and the single-word write are atomic
+    /// with respect to every other writer — a concurrent put/merge/delete
+    /// that supersedes `old` makes the CAS fail instead of being silently
+    /// overwritten by a stale relocation.
+    pub fn cas_value(&self, tag: u64, old: u64, new: u64) -> bool {
+        self.update(tag, |v| v == old, new).is_some()
+    }
+
     /// Update the first matching entry or insert a new one. Returns the
     /// previous value when an update happened.
     pub fn upsert<F: Fn(u64) -> bool>(
@@ -725,6 +739,18 @@ mod tests {
         assert_eq!(t.upsert(5, |_| true, 51).unwrap(), Some(50));
         assert_eq!(t.len(), 1);
         assert_eq!(t.get_first(5), Some(51));
+    }
+
+    #[test]
+    fn cas_value_swaps_only_on_exact_match() {
+        let t = table(16);
+        t.insert(4, 400).unwrap();
+        assert!(!t.cas_value(4, 401, 999), "stale expectation must fail");
+        assert_eq!(t.get_first(4), Some(400));
+        assert!(t.cas_value(4, 400, 999));
+        assert_eq!(t.get_first(4), Some(999));
+        assert!(!t.cas_value(4, 400, 1000), "second swap of old value fails");
+        assert!(!t.cas_value(7, 0, 1), "missing tag fails");
     }
 
     #[test]

@@ -65,6 +65,25 @@ impl Default for WorkloadConfig {
     }
 }
 
+impl WorkloadConfig {
+    /// The GC-pressure preset: [`WorkloadMix::SKEWED_OVERWRITE`] (no
+    /// inserts — the hot set is fixed) over a small key space with a
+    /// high-skew Zipfian chooser. Under it, sealed log segments fill with
+    /// superseded hot-key versions but stay pinned by the occasional
+    /// long-lived cold entry — the workload the `gc_reclaim` bench and
+    /// the compactor's churn scenarios reproduce from one constructor.
+    pub fn skewed_overwrite(num_keys: u64, value_len: usize, seed: u64) -> Self {
+        WorkloadConfig {
+            num_keys: num_keys.max(1),
+            key_len: 8,
+            value_len,
+            mix: WorkloadMix::SKEWED_OVERWRITE,
+            distribution: KeyDistribution::HIGH_SKEW,
+            seed,
+        }
+    }
+}
+
 /// A deterministic stream of [`Operation`]s following a [`WorkloadConfig`].
 ///
 /// Inserts target fresh key ids beyond the loaded key space (and extend the
@@ -340,6 +359,35 @@ mod tests {
         for op in g.batch(5_000) {
             assert!(!matches!(op, Operation::Delete(_)));
         }
+    }
+
+    #[test]
+    fn skewed_overwrite_preset_keeps_the_key_space_fixed_and_hot() {
+        let mut g = WorkloadGenerator::new(WorkloadConfig::skewed_overwrite(64, 256, 7));
+        let before = g.key_space();
+        let ops = g.batch(10_000);
+        assert_eq!(g.key_space(), before, "no inserts: the hot set is fixed");
+        let updates = ops
+            .iter()
+            .filter(|o| matches!(o, Operation::Update(..)))
+            .count();
+        assert!(
+            (updates as f64 / ops.len() as f64 - 0.95).abs() < 0.01,
+            "updates {updates}"
+        );
+        // High skew: a handful of hot keys absorb most of the overwrites.
+        let mut counts: std::collections::HashMap<Vec<u8>, usize> = Default::default();
+        for op in &ops {
+            *counts.entry(op.key().to_vec()).or_default() += 1;
+        }
+        let mut sorted: Vec<usize> = counts.values().copied().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top4: usize = sorted.iter().take(4).sum();
+        assert!(
+            top4 * 2 > ops.len(),
+            "top-4 keys should absorb >50% of a high-skew stream, got {top4}/{}",
+            ops.len()
+        );
     }
 
     #[test]

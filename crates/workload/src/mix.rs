@@ -84,6 +84,22 @@ impl WorkloadMix {
         delete_fraction: 0.10,
     };
 
+    /// Skewed-overwrite: 5 % reads / 95 % updates with **no inserts**, so
+    /// the key space stays fixed and a Zipfian chooser keeps rewriting the
+    /// same hot set. Not a paper mix — this is the GC-pressure workload:
+    /// every segment fills with hot-key overwrites plus a tail of cold
+    /// keys written once per pass of the chooser, so sealed segments end
+    /// up mostly dead but pinned by a few long-lived entries — the shape
+    /// the log-cleaning compactor exists to reclaim (pair it with
+    /// [`crate::WorkloadConfig::skewed_overwrite`]).
+    pub const SKEWED_OVERWRITE: WorkloadMix = WorkloadMix {
+        name: "5r95u",
+        read_fraction: 0.05,
+        update_fraction: 0.95,
+        insert_fraction: 0.0,
+        delete_fraction: 0.0,
+    };
+
     /// The five mixes of Figure 5 / Table 6, in the paper's order.
     pub const FIGURE5_MIXES: [WorkloadMix; 5] = [
         WorkloadMix::WRITE_HEAVY_UPDATE,
@@ -117,10 +133,11 @@ mod tests {
 
     #[test]
     fn all_predefined_mixes_are_valid() {
-        for mix in WorkloadMix::FIGURE5_MIXES
-            .iter()
-            .chain([&WorkloadMix::INSERT_ONLY, &WorkloadMix::CRUD])
-        {
+        for mix in WorkloadMix::FIGURE5_MIXES.iter().chain([
+            &WorkloadMix::INSERT_ONLY,
+            &WorkloadMix::CRUD,
+            &WorkloadMix::SKEWED_OVERWRITE,
+        ]) {
             assert!(mix.is_valid(), "{} is invalid", mix.name);
         }
         assert_eq!(WorkloadMix::FIGURE5_MIXES.len(), 5);

@@ -27,6 +27,7 @@ fn tracked_dpm() -> Arc<DpmNode> {
                 ..PclhtConfig::default()
             },
             inject_media_delay: false,
+            gc: dinomo::dpm::GcConfig::default(),
         })
         .unwrap(),
     )
