@@ -77,6 +77,7 @@ fn run_workload(kvs: &Kvs) -> usize {
                 Operation::Read(k) => Op::lookup(k),
                 Operation::Update(k, v) | Operation::Insert(k, v) => Op::update(k, v),
                 Operation::Delete(k) => Op::delete(k),
+                Operation::Scan(..) => unreachable!("SKEWED_OVERWRITE has no scans"),
             });
         }
         let replies = client.execute(ops);

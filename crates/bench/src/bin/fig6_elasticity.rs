@@ -65,6 +65,7 @@ fn main() {
         mix: WorkloadMix::WRITE_HEAVY_UPDATE,
         distribution: KeyDistribution::LOW_SKEW,
         seed: 6,
+        max_scan_len: 16,
     };
     // SLOs calibrated to the compressed simulation: the paper's 1.2 ms /
     // 16 ms thresholds are scaled to the latencies the simulated fabric

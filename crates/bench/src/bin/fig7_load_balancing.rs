@@ -79,6 +79,7 @@ fn main() {
         mix: WorkloadMix::WRITE_HEAVY_UPDATE,
         distribution: KeyDistribution::LOW_SKEW,
         seed: 7,
+        max_scan_len: 16,
     };
     let slo = SloConfig {
         avg_latency_ms: 0.10,

@@ -76,6 +76,7 @@ fn main() {
         mix: WorkloadMix::WRITE_HEAVY_UPDATE,
         distribution: KeyDistribution::MODERATE_SKEW,
         seed: 8,
+        max_scan_len: 16,
     };
     let events = vec![ScriptedEvent {
         at_epoch: fail_at,

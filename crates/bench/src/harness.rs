@@ -195,6 +195,7 @@ pub fn measure_point(
         mix,
         distribution: params.distribution,
         seed: 0xD1_40,
+        max_scan_len: 16,
     };
     match system {
         SystemKind::Clover => measure_clover(num_kns, mix, params, workload),
@@ -264,6 +265,7 @@ fn measure_dinomo(
                 Operation::Read(k) => client.lookup(k).map(|_| ()),
                 Operation::Update(k, v) | Operation::Insert(k, v) => client.update(k, v),
                 Operation::Delete(k) => client.delete(k),
+                Operation::Scan(start, n) => client.scan(start, *n).map(|_| ()),
             };
         },
         workload,
@@ -322,6 +324,9 @@ fn measure_clover(
                 Operation::Read(k) => client.lookup(k).map(|_| ()),
                 Operation::Update(k, v) | Operation::Insert(k, v) => client.update(k, v),
                 Operation::Delete(k) => client.delete(k),
+                // Clover is point-op-only; scans degrade to a read of the
+                // start key (scan benchmarks target Dinomo only).
+                Operation::Scan(start, _) => client.lookup(start).map(|_| ()),
             };
             since_gc += 1;
             if since_gc.is_multiple_of(2_000) {

@@ -11,7 +11,9 @@
 //! Options: `--ops N` (total op budget), `--clients N`, `--no-churn`
 //! (disable membership + replication churn), `--queue-depth N`, `--gc`
 //! (run the DPM log-cleaning compactor — aggressive knobs on tiny
-//! segments — underneath the scenario).
+//! segments — underneath the scenario), `--scan` (mix range scans into
+//! the client streams; the checker decomposes each scan into per-key
+//! snapshot reads).
 //!
 //! On failure the process exits non-zero after writing the failing seed
 //! and the full history to `target/check-results/` (uploaded as a CI
@@ -33,6 +35,7 @@ struct Args {
     replication_churn: bool,
     queue_depth: usize,
     compactor: bool,
+    scans: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         replication_churn: true,
         queue_depth: 2,
         compactor: false,
+        scans: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -58,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
             "--clients" => args.clients = parse(&value("--clients")?)?,
             "--queue-depth" => args.queue_depth = parse(&value("--queue-depth")?)?,
             "--gc" => args.compactor = true,
+            "--scan" => args.scans = true,
             "--no-churn" => {
                 args.membership_churn = false;
                 args.replication_churn = false;
@@ -67,7 +72,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "lincheck [--seed N | --sweep N | --replay N] \
-                     [--ops N] [--clients N] [--queue-depth N] [--gc] \
+                     [--ops N] [--clients N] [--queue-depth N] [--gc] [--scan] \
                      [--no-churn | --no-membership-churn | --no-replication-churn]"
                 );
                 std::process::exit(0);
@@ -90,6 +95,7 @@ fn config_for(args: &Args, seed: u64) -> CheckConfig {
     config.replication_churn = args.replication_churn;
     config.executor_queue_depth = args.queue_depth.max(1);
     config.compactor = args.compactor;
+    config.scans = args.scans;
     config
 }
 
@@ -136,7 +142,8 @@ fn run_once(config: &CheckConfig) -> Option<Box<CheckFailure>> {
             println!(
                 "seed {} ok: {} ops over {} keys checked in {:.2}s \
                  ({} states, {} churn actions, {} busy rejections, {} error \
-                 replies, {} segments compacted / {} entries relocated)",
+                 replies, {} scans, {} segments compacted / {} entries \
+                 relocated)",
                 config.seed,
                 report.stats.ops,
                 report.stats.keys,
@@ -145,6 +152,7 @@ fn run_once(config: &CheckConfig) -> Option<Box<CheckFailure>> {
                 report.run.churn_log.len(),
                 report.run.busy_rejections,
                 report.run.error_replies,
+                report.run.scan_ops,
                 report.run.segments_compacted,
                 report.run.entries_relocated,
             );

@@ -31,7 +31,7 @@
 //! smaller budget is a prefix of the same schedule.
 
 use crate::checker::{check_history_with, CheckError, CheckStats, CheckerConfig};
-use dinomo_core::trace::{HistoryRecorder, OpRecord};
+use dinomo_core::trace::{Action, HistoryRecorder, OpRecord};
 use dinomo_core::{Kvs, KvsConfig, Op, Reply};
 use dinomo_workload::{
     key_for, KeyDistribution, Operation, WorkloadConfig, WorkloadGenerator, WorkloadMix,
@@ -73,6 +73,10 @@ pub struct CheckConfig {
     /// knobs) during the scenario, so entry relocation races the clients
     /// *and* the replicate/dereplicate/membership churn.
     pub compactor: bool,
+    /// Mix scans into the client streams (the `CRUD_SCAN` mix instead of
+    /// `CRUD`), so range reads race every write, delete, hand-off and
+    /// relocation. The checker decomposes each scan into per-key reads.
+    pub scans: bool,
     /// Checker budget.
     pub checker: CheckerConfig,
 }
@@ -95,6 +99,7 @@ impl CheckConfig {
             executor_queue_depth: 2,
             preload: true,
             compactor: false,
+            scans: false,
             checker: CheckerConfig::default(),
         }
     }
@@ -178,9 +183,17 @@ pub fn client_ops(config: &CheckConfig, client: usize) -> Vec<Op> {
         num_keys: config.keys.max(1),
         key_len: 8,
         value_len: 8,
-        mix: WorkloadMix::CRUD,
+        mix: if config.scans {
+            WorkloadMix::CRUD_SCAN
+        } else {
+            WorkloadMix::CRUD
+        },
         distribution: KeyDistribution::MODERATE_SKEW,
         seed: mix(config.seed, client as u64 + 1),
+        // Short ranges keep the per-scan read expansion (and thus the
+        // checker's per-key projections) small while still spanning
+        // multiple owners on every scan.
+        max_scan_len: 4,
     });
     (0..per_client)
         .map(|i| match generator.next_op() {
@@ -188,6 +201,7 @@ pub fn client_ops(config: &CheckConfig, client: usize) -> Vec<Op> {
             Operation::Update(key, _) => Op::update(key, format!("c{client}-{i}")),
             Operation::Insert(key, _) => Op::insert(key, format!("c{client}-{i}")),
             Operation::Delete(key) => Op::delete(key),
+            Operation::Scan(start, n) => Op::scan(start, n),
         })
         .collect()
 }
@@ -209,6 +223,8 @@ pub struct ScenarioRun {
     pub segments_compacted: u64,
     /// Live entries the compactor relocated during the run.
     pub entries_relocated: u64,
+    /// Successful scans in the history (0 unless `CheckConfig::scans`).
+    pub scan_ops: usize,
     /// Live KVS nodes at the end.
     pub final_kns: usize,
 }
@@ -326,14 +342,28 @@ pub fn run_scenario(config: &CheckConfig) -> ScenarioRun {
     let error_replies = clients.into_iter().map(|h| h.join().unwrap()).sum();
     let churn_log = churn_thread.join().unwrap();
 
+    // Whatever the scenario did to it, the ordered index must satisfy its
+    // structural invariants once the cluster quiesces (the walker needs a
+    // quiescent point; clients and churn have joined).
+    let _ = kvs.flush_all();
+    if let Err(e) = kvs.dpm().check_ordered() {
+        panic!("ordered-index invariants violated after scenario: {e}");
+    }
+
     let stats = kvs.stats();
+    let history = recorder.drain();
+    let scan_ops = history
+        .iter()
+        .filter(|r| r.ok && matches!(r.action, Action::Scan { .. }))
+        .count();
     ScenarioRun {
-        history: recorder.drain(),
+        history,
         churn_log,
         error_replies,
         busy_rejections: stats.kns.iter().map(|k| k.busy_rejections).sum(),
         segments_compacted: stats.dpm.segments_compacted,
         entries_relocated: stats.dpm.entries_relocated,
+        scan_ops,
         final_kns: kvs.num_kns(),
     }
 }
@@ -422,7 +452,6 @@ pub fn run_and_check(config: &CheckConfig) -> Result<ScenarioReport, Box<CheckFa
 /// Render a history as the line format the sweep writes into failure
 /// artifacts: `client inv ret ok kind key [value]`, one op per line.
 pub fn render_history(history: &[OpRecord]) -> String {
-    use dinomo_core::trace::Action;
     let mut out = String::with_capacity(history.len() * 48);
     for r in history {
         let (kind, value) = match &r.action {
@@ -430,6 +459,7 @@ pub fn render_history(history: &[OpRecord]) -> String {
             Action::Delete => ("delete", None),
             Action::Read(Some(v)) => ("read", Some(v)),
             Action::Read(None) => ("read-none", None),
+            Action::Scan { .. } => ("scan", None),
         };
         out.push_str(&format!(
             "client={} inv={} ret={} ok={} {} key={:?}",
@@ -442,6 +472,16 @@ pub fn render_history(history: &[OpRecord]) -> String {
         ));
         if let Some(v) = value {
             out.push_str(&format!(" value={:?}", String::from_utf8_lossy(v)));
+        }
+        if let Action::Scan { n, pairs } = &r.action {
+            out.push_str(&format!(" n={n} pairs=["));
+            for (i, (k, _)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{:?}", String::from_utf8_lossy(k)));
+            }
+            out.push(']');
         }
         out.push('\n');
     }
@@ -514,6 +554,34 @@ mod tests {
             report.run.segments_compacted,
             report.run.entries_relocated
         );
+    }
+
+    #[test]
+    fn scan_churn_gc_scenario_passes_the_checker() {
+        // Scans race CRUD writes, membership/replication churn and the
+        // compactor's relocations; every successful scan decomposes into
+        // snapshot-claims the checker verifies per key, and the ordered
+        // index must come out of it structurally intact (run_scenario
+        // walks it at the end).
+        let mut config = CheckConfig::from_seed(CheckConfig::env_seed().unwrap_or(29));
+        config.total_ops = 2_000;
+        config.scans = true;
+        config.compactor = true;
+        let report = run_and_check(&config).unwrap_or_else(|f| panic!("{f}"));
+        assert!(
+            report.run.scan_ops > 0,
+            "scenario must exercise scans: {} in history",
+            report.run.scan_ops
+        );
+    }
+
+    #[test]
+    fn scan_streams_are_deterministic() {
+        let mut config = CheckConfig::from_seed(19);
+        config.scans = true;
+        assert_eq!(client_ops(&config, 0), client_ops(&config, 0));
+        let has_scan = client_ops(&config, 0).iter().any(dinomo_core::Op::is_scan);
+        assert!(has_scan, "CRUD_SCAN streams must contain scans");
     }
 
     #[test]

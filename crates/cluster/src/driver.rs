@@ -569,6 +569,7 @@ mod tests {
             distribution: KeyDistribution::MODERATE_SKEW,
             seed: 1,
             key_len: 8,
+            max_scan_len: 16,
         }
     }
 

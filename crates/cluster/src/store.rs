@@ -71,6 +71,7 @@ fn to_op(op: &Operation) -> dinomo_core::Op {
         Operation::Update(k, v) => dinomo_core::Op::update(k, v),
         Operation::Insert(k, v) => dinomo_core::Op::insert(k, v),
         Operation::Delete(k) => dinomo_core::Op::delete(k),
+        Operation::Scan(start, n) => dinomo_core::Op::scan(start, *n),
     }
 }
 
@@ -81,6 +82,12 @@ impl KvSession for DinomoSession {
             Operation::Update(k, v) => self.client.update(k, v).map(|()| None),
             Operation::Insert(k, v) => self.client.insert(k, v).map(|()| None),
             Operation::Delete(k) => self.client.delete(k).map(|()| None),
+            // The session interface reports one value per op; the scan
+            // runs in full (fan-out, merge) and reduces to its first pair.
+            Operation::Scan(start, n) => self
+                .client
+                .scan(start, *n)
+                .map(|pairs| pairs.into_iter().next().map(|(_, v)| v)),
         }
     }
 
@@ -159,6 +166,10 @@ impl KvSession for CloverSession {
             Operation::Update(k, v) => self.client.update(k, v).map(|()| None),
             Operation::Insert(k, v) => self.client.insert(k, v).map(|()| None),
             Operation::Delete(k) => self.client.delete(k).map(|()| None),
+            // Clover has no ordered index (the baseline is point-op-only);
+            // a scan degrades to a point read of its start key so mixed
+            // workloads stay runnable. Scan benchmarks target Dinomo only.
+            Operation::Scan(start, _) => self.client.lookup(start),
         }
     }
 }

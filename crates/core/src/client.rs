@@ -88,6 +88,13 @@ impl KvsClient {
                 Reply::Value(v) => v.clone(),
                 _ => None,
             }),
+            Op::Scan { n, .. } => Action::Scan {
+                n: *n,
+                pairs: match reply {
+                    Reply::Scan(pairs) => pairs.clone(),
+                    _ => Vec::new(),
+                },
+            },
         };
         handle.record(op.key(), action, reply.is_ok(), invoked_at);
     }
@@ -191,8 +198,10 @@ impl KvsClient {
         match ops.as_slice() {
             [] => Vec::new(),
             // A singleton batch skips the grouping machinery entirely, so
-            // the per-key wrappers cost the same as a direct call.
-            [op] => {
+            // the per-key wrappers cost the same as a direct call. Scans
+            // are the exception: even alone they need the batched path's
+            // every-node fan-out.
+            [op] if !op.is_scan() => {
                 let invoked_at = self.recorder.as_ref().map(|h| h.invoke());
                 let reply = self.execute_single(op);
                 if let Some(inv) = invoked_at {
@@ -229,6 +238,11 @@ impl KvsClient {
             // lock acquisition. Clusters are small (a handful to dozens of
             // KNs), so a linear-scan group list beats a map.
             let mut groups: Vec<(KnId, Vec<usize>)> = Vec::new();
+            // Scan positions this round: excluded from owner grouping and
+            // fanned out to every ring member below (each member answers
+            // for the keys it owns, so no single owner can serve a range).
+            let mut scans: Vec<usize> = Vec::new();
+            let mut scan_members: Vec<KnId> = Vec::new();
             let routed_version;
             {
                 let cached = self.cached.lock();
@@ -243,6 +257,10 @@ impl KvsClient {
                 // (load still spreads across batches).
                 let mut replica_picks: Vec<(&[u8], Option<KnId>)> = Vec::new();
                 for &i in &pending {
+                    if batch.ops[i].is_scan() {
+                        scans.push(i);
+                        continue;
+                    }
                     let key = batch.ops[i].key();
                     let owner = if cached.is_replicated(key) {
                         match replica_picks.iter().find(|(k, _)| *k == key) {
@@ -264,18 +282,24 @@ impl KvsClient {
                         None => replies[i] = Some(Reply::Error(KvsError::NoNodes)),
                     }
                 }
+                if !scans.is_empty() {
+                    scan_members = global.members().to_vec();
+                }
             }
 
             // Resolve every group's node handle under one registry lock,
             // then dispatch with the lock released — a slow group (pmem
             // flush, injected fabric delay) must not hold up concurrent
             // reconfigurations or other clients' node lookups.
-            let nodes: Vec<Option<Arc<KnNode>>> = {
+            let (nodes, scan_nodes) = {
                 let kns = self.kvs.kns.read();
-                groups
+                let nodes: Vec<Option<Arc<KnNode>>> = groups
                     .iter()
                     .map(|(owner, _)| kns.get(owner).cloned())
-                    .collect()
+                    .collect();
+                let scan_nodes: Vec<Option<Arc<KnNode>>> =
+                    scan_members.iter().map(|id| kns.get(id).cloned()).collect();
+                (nodes, scan_nodes)
             };
             // One batched request per owner node. Each node resolves its
             // group's ownership once (the request carries the metadata
@@ -292,6 +316,31 @@ impl KvsClient {
                     node.submit_batch(&batch, indexes, routed_version, &latch);
                 }
             }
+            // Fan each scan out to every ring member, inline on this
+            // thread while the point-op sub-batches run on the workers.
+            // Every member answers with the pairs for the keys *it* owns
+            // — validated against `routed_version`, so a node whose table
+            // moved on rejects instead of contributing a partial filtered
+            // by a different ring — and the union of the sorted partials
+            // is complete and duplicate-free.
+            for &pos in &scans {
+                let Op::Scan { start, n } = &batch.ops[pos] else {
+                    unreachable!("`scans` holds only scan positions");
+                };
+                if scan_members.is_empty() {
+                    batch.push_scan_partial(pos, Err(KvsError::NoNodes));
+                    continue;
+                }
+                for node in &scan_nodes {
+                    let partial = match node {
+                        Some(node) => node.scan(start, *n, routed_version),
+                        // Present in the routing table but gone from the
+                        // registry: membership moved — refresh and retry.
+                        None => Err(KvsError::NodeFailed),
+                    };
+                    batch.push_scan_partial(pos, partial);
+                }
+            }
             // All sub-batches have written their reply slots once the
             // latch releases; slots are not read before that.
             latch.wait();
@@ -301,9 +350,46 @@ impl KvsClient {
             let mut retry: Vec<usize> = Vec::new();
             let mut saw_routing_error = false;
             let mut saw_busy = false;
+            // Merge each scan's partials. A scan only resolves when every
+            // member contributed: one rejected or missing member means its
+            // share of the key space would be silently absent, so the scan
+            // retries as a whole (after the refresh its rejection asked
+            // for) instead of returning a short result.
+            for &pos in &scans {
+                let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+                let mut fatal: Option<KvsError> = None;
+                let mut busy = false;
+                let mut routing = false;
+                for partial in batch.take_scan_partials(pos) {
+                    match partial {
+                        Ok(part) => pairs.extend(part),
+                        Err(KvsError::Busy) => busy = true,
+                        Err(e) if Self::is_routing_error(&e) => routing = true,
+                        Err(e) => fatal = Some(e),
+                    }
+                }
+                if let Some(e) = fatal {
+                    replies[pos] = Some(Reply::Error(e));
+                } else if routing || busy {
+                    saw_routing_error |= routing;
+                    saw_busy |= busy;
+                    last_was_busy[pos] = busy && !routing;
+                    retry.push(pos);
+                } else {
+                    let Op::Scan { n, .. } = &batch.ops[pos] else {
+                        unreachable!("`scans` holds only scan positions");
+                    };
+                    pairs.sort();
+                    pairs.truncate(*n);
+                    replies[pos] = Some(Reply::Scan(pairs));
+                }
+            }
             for i in pending {
                 if replies[i].is_some() {
                     continue; // resolved as NoNodes during grouping
+                }
+                if batch.ops[i].is_scan() {
+                    continue; // harvested (or queued for retry) above
                 }
                 // SAFETY: every sub-batch of this round counted the latch
                 // down, so no writer is concurrent with these reads.
@@ -394,6 +480,7 @@ impl KvsClient {
                 self.run(key, |kn| kn.put(key, value).map(|()| None))
             }
             Op::Delete { key } => self.run(key, |kn| kn.delete(key).map(|()| None)),
+            Op::Scan { .. } => unreachable!("scans take the batched fan-out path"),
         };
         match result {
             Ok(read) => op.reply_from(read),
@@ -467,6 +554,41 @@ impl KvsClient {
             handle.record(key, Action::Read(observed), result.is_ok(), inv);
         }
         result
+    }
+
+    /// `scan(start, n)`: up to `n` key/value pairs in key order, starting
+    /// at the smallest key `>= start` (fewer when the key space ends
+    /// first).
+    ///
+    /// Scans are served from the ordered secondary index maintained
+    /// beside the DPM's hash index, overlaid with each node's
+    /// acked-but-unmerged writes — a scan sees your own completed writes
+    /// exactly as lookups do. The client fans the request out to every
+    /// member KVS node (each returns the pairs for the keys *it* owns)
+    /// and merges the sorted partials; a member that rejects because
+    /// ownership moved causes a metadata refresh and a clean retry of the
+    /// whole scan, never a silently short result.
+    ///
+    /// ```
+    /// use dinomo_core::Kvs;
+    ///
+    /// let kvs = Kvs::builder().small_for_tests().build().unwrap();
+    /// let client = kvs.client();
+    /// client.multi_put([("user1", "a"), ("user2", "b"), ("user3", "c")]);
+    /// let pairs = client.scan(b"user2", 2).unwrap();
+    /// assert_eq!(
+    ///     pairs,
+    ///     vec![
+    ///         (b"user2".to_vec(), b"b".to_vec()),
+    ///         (b"user3".to_vec(), b"c".to_vec()),
+    ///     ],
+    /// );
+    /// ```
+    pub fn scan(&self, start: &[u8], n: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.execute(vec![Op::scan(start, n)])
+            .pop()
+            .expect("one reply per op")
+            .into_pairs()
     }
 
     /// `delete(key)`.

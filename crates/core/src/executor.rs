@@ -296,6 +296,10 @@ impl ReplySlots {
     }
 }
 
+/// One node's partial answer to a fanned-out scan: the sorted pairs it
+/// contributed, or the error that aborted its part.
+pub(crate) type ScanPartial = Result<Vec<(Vec<u8>, Vec<u8>)>>;
+
 /// Everything a batch's sub-batches share: the operations, their routing
 /// hashes, and the reply slots. One per `KvsClient::execute` call,
 /// `Arc`-shared with every enqueued sub-batch.
@@ -308,6 +312,14 @@ pub(crate) struct BatchShared {
     pub(crate) hashes: Vec<u64>,
     /// One reply slot per op.
     pub(crate) slots: ReplySlots,
+    /// One accumulator per **scan** position (`None` elsewhere). Scans
+    /// fan out to every live node, so — unlike every other op — several
+    /// nodes write results for the same position in the same round; they
+    /// cannot share the single-writer [`ReplySlots`] discipline and push
+    /// their partials here under a lock instead. The dispatching client
+    /// merges the partials after the round's wait and writes the final
+    /// [`crate::Reply::Scan`] itself.
+    pub(crate) scan_parts: Vec<Option<Mutex<Vec<ScanPartial>>>>,
 }
 
 impl BatchShared {
@@ -317,7 +329,36 @@ impl BatchShared {
             .map(|op| dinomo_partition::key_hash(op.key()))
             .collect();
         let slots = ReplySlots::new(ops.len());
-        BatchShared { ops, hashes, slots }
+        let scan_parts = ops
+            .iter()
+            .map(|op| op.is_scan().then(|| Mutex::new(Vec::new())))
+            .collect();
+        BatchShared {
+            ops,
+            hashes,
+            slots,
+            scan_parts,
+        }
+    }
+
+    /// Append one node's partial result for the scan at `pos`.
+    pub(crate) fn push_scan_partial(&self, pos: usize, partial: ScanPartial) {
+        self.scan_parts[pos]
+            .as_ref()
+            .expect("push_scan_partial on a non-scan position")
+            .lock()
+            .push(partial);
+    }
+
+    /// Drain the partials accumulated for the scan at `pos` (between
+    /// rounds: retried scans start from an empty accumulator).
+    pub(crate) fn take_scan_partials(&self, pos: usize) -> Vec<ScanPartial> {
+        std::mem::take(
+            &mut *self.scan_parts[pos]
+                .as_ref()
+                .expect("take_scan_partials on a non-scan position")
+                .lock(),
+        )
     }
 }
 

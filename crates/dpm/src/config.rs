@@ -31,6 +31,13 @@ pub struct GcConfig {
     pub max_pass_bytes: u64,
     /// Maximum victims compacted per pass.
     pub max_segments_per_pass: usize,
+    /// Seal the pass's destination segment at the end of a pass once it is
+    /// at least this full. The destination is reused across passes so
+    /// small passes don't each strand a near-empty segment — but an
+    /// unsealed destination is invisible to victim selection, so without
+    /// this cut-off one mostly-full, never-sealed segment per DPM would
+    /// pin its dead bytes forever.
+    pub destination_seal_fraction: f64,
 }
 
 impl Default for GcConfig {
@@ -44,6 +51,7 @@ impl Default for GcConfig {
             // starves foreground flushes.
             max_pass_bytes: 8 << 20,
             max_segments_per_pass: 8,
+            destination_seal_fraction: 0.5,
         }
     }
 }
@@ -58,6 +66,7 @@ impl GcConfig {
             dead_fraction: 0.05,
             max_pass_bytes: u64::MAX,
             max_segments_per_pass: usize::MAX,
+            destination_seal_fraction: 0.5,
         }
     }
 }

@@ -109,11 +109,34 @@ fn reserve_destination(
     Ok((seg, offset))
 }
 
+/// End-of-pass destination cut-off: once the reused destination segment
+/// is at least `GcConfig::destination_seal_fraction` full, seal it and
+/// clear the slot. Sealed (and already fully merged — relocations account
+/// themselves merged) it becomes an ordinary segment that victim
+/// selection can reclaim once its entries die; left unsealed it would pin
+/// one unreclaimable segment per DPM forever.
+fn seal_filled_destination(inner: &Arc<DpmInner>, gc: &GcConfig) {
+    let mut slot = inner.gc_destination();
+    if let Some(seg) = slot.as_ref() {
+        let threshold = (seg.capacity as f64 * gc.destination_seal_fraction) as u64;
+        if seg.entries_written() > 0 && seg.written() >= threshold {
+            seg.seal();
+            *slot = None;
+        }
+    }
+}
+
 /// Run one compaction pass over the DPM (see the module docs for the
 /// algorithm). Serialized against concurrent passes by
 /// `DpmInner::gc_pass_lock`.
 pub(crate) fn compact_pass(inner: &Arc<DpmInner>, gc: &GcConfig) -> CompactionReport {
     let _pass = inner.lock_gc_pass();
+    let report = compact_pass_locked(inner, gc);
+    seal_filled_destination(inner, gc);
+    report
+}
+
+fn compact_pass_locked(inner: &Arc<DpmInner>, gc: &GcConfig) -> CompactionReport {
     let mut report = CompactionReport::default();
     let mut budget = gc.max_pass_bytes;
 
@@ -234,11 +257,12 @@ pub(crate) fn compact_pass(inner: &Arc<DpmInner>, gc: &GcConfig) -> CompactionRe
                 budget -= entry_len;
                 report.entries_relocated += 1;
                 report.bytes_relocated += entry_len;
-                // Caches holding shortcuts into the victim must drop them
-                // before the segment is freed below (the observer takes
-                // KN shard locks — deliberately outside the registry
-                // critical section).
-                inner.notify_relocated(&entry.key, old_loc);
+                // Swing the ordered index onto the copy, and make caches
+                // holding shortcuts into the victim drop them, before the
+                // segment is freed below (the observer takes KN shard
+                // locks — deliberately outside the registry critical
+                // section).
+                inner.notify_relocated(&entry.key, old_loc, new_loc);
             } else {
                 // Lost to a concurrent put/merge/delete (or a cell was
                 // installed over the entry): the fresh copy is
@@ -649,5 +673,105 @@ mod tests {
         assert!(report.budget_exhausted, "{report:?}");
         assert_eq!(report.entries_relocated, 0);
         assert_eq!(report.segments_compacted, 0);
+    }
+
+    #[test]
+    fn filled_destination_seals_and_becomes_reclaimable() {
+        // The PR 5 standing note: the compactor's destination segment used
+        // to stay unsealed forever, so once every entry relocated into it
+        // died it still could not be selected as a victim — one
+        // unreclaimable segment per DPM. With the end-of-pass cut-off the
+        // destination seals once ≥ `destination_seal_fraction` full and is
+        // reclaimed like any other segment when its entries die.
+        let mut config = gc_config();
+        config.gc.destination_seal_fraction = 0.25;
+        let dpm = Arc::new(DpmNode::new(config).unwrap());
+        let pinned_keys = write_skew_pinned(&dpm, 20);
+        while dpm.compact_once().segments_compacted > 0 {}
+
+        // Kill every relocated entry: overwrite the hot keys the compactor
+        // moved into its destination segments.
+        let mut w = LogWriter::new(Arc::clone(&dpm), 2, nic());
+        for key in &pinned_keys {
+            w.append_put(key, &[0x5A; 64]);
+        }
+        for i in 0..8u32 {
+            w.append_put(format!("cold{i}").as_bytes(), &[0x5A; 512]);
+        }
+        w.flush().unwrap();
+        w.seal_current();
+        dpm.wait_until_merged(2);
+
+        let mut freed = dpm.run_gc() as u64;
+        for _ in 0..8 {
+            freed += dpm.compact_once().segments_compacted;
+        }
+        assert!(
+            freed > 0,
+            "sealed ex-destination segments must be reclaimable: {:?}",
+            dpm.stats()
+        );
+        // All live data (20 hot keys × 64 B + 8 cold keys × 512 B ≈ 6 KiB)
+        // now fits in a handful of 8 KiB segments — nothing stays pinned by
+        // an eternally-unsealed destination.
+        let after = dpm.stats();
+        assert!(
+            after.segment_bytes_allocated <= 5 * (8 << 10),
+            "footprint must shrink to live data: {after:?}"
+        );
+        for key in &pinned_keys {
+            assert_eq!(dpm.local_read(key), Some(vec![0x5A; 64]));
+        }
+    }
+
+    #[test]
+    fn ordered_invariants_hold_after_every_merge_and_gc_pass() {
+        // The ordered index must stay consistent with the hash index and
+        // the segment registry through merges, deletes, relocations and
+        // frees — checked after every round's merge and after every
+        // foreground compaction pass.
+        let dpm = Arc::new(DpmNode::new(gc_config()).unwrap());
+        let mut w = LogWriter::new(Arc::clone(&dpm), 0, nic());
+        let mut live_hot: Vec<String> = Vec::new();
+        for round in 0..12u32 {
+            let hot = format!("hot{round:04}");
+            w.append_put(hot.as_bytes(), &[0xA5; 64]);
+            live_hot.push(hot);
+            for i in 0..8u32 {
+                w.append_put(format!("cold{i}").as_bytes(), &[round as u8; 512]);
+            }
+            if round % 3 == 2 {
+                // Delete the previous round's hot key so the checker also
+                // exercises merge-time ordered removals.
+                let victim = live_hot.remove(live_hot.len() - 2);
+                w.append_delete(victim.as_bytes());
+            }
+            w.flush().unwrap();
+            dpm.wait_until_merged(0);
+            dpm.check_ordered()
+                .unwrap_or_else(|e| panic!("after merge round {round}: {e}"));
+            dpm.compact_once();
+            dpm.check_ordered()
+                .unwrap_or_else(|e| panic!("after GC pass {round}: {e}"));
+        }
+        w.seal_current();
+        dpm.wait_until_merged(0);
+        while dpm.compact_once().segments_compacted > 0 {}
+        let stats = dpm
+            .check_ordered()
+            .unwrap_or_else(|e| panic!("after final compaction: {e}"));
+        // 8 cold keys + the surviving hot keys.
+        assert_eq!(stats.keys, 8 + live_hot.len() as u64);
+
+        // An ordered scan sees exactly the surviving hot keys, in order.
+        let guard = dinomo_pclht::pin();
+        let scanned: Vec<Vec<u8>> = dpm
+            .ordered()
+            .snapshot(&guard)
+            .range_from(b"hot")
+            .map(|(k, _)| k)
+            .collect();
+        let expected: Vec<Vec<u8>> = live_hot.iter().map(|k| k.clone().into_bytes()).collect();
+        assert_eq!(scanned, expected);
     }
 }

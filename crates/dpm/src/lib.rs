@@ -35,6 +35,7 @@ pub mod gc;
 pub mod loc;
 pub mod merge;
 pub mod node;
+pub mod ordered;
 pub mod segment;
 pub mod writer;
 
@@ -44,6 +45,7 @@ pub use entry::{EntryHeader, LogOp};
 pub use gc::{CompactionReport, GC_OWNER_KN};
 pub use loc::PackedLoc;
 pub use node::{DpmNode, DpmStats, LookupResult, RelocationObserver};
+pub use ordered::{OrderedIndex, TreeStats};
 // Re-exported so KVS nodes can pin one epoch guard across a whole batch of
 // index lookups (`DpmNode::{local_lookup_in, remote_read_in}`).
 pub use dinomo_pclht::{pin, Guard};

@@ -6,6 +6,7 @@ use crate::entry::{decode_entry, DecodedEntry};
 use crate::gc::{compact_pass, CompactionReport, Compactor};
 use crate::loc::PackedLoc;
 use crate::merge::{merge_task, MergeEngine, MergeTask};
+use crate::ordered::{OrderedIndex, TreeStats};
 use crate::segment::SegmentState;
 use dinomo_partition::key_hash;
 use dinomo_pclht::{pin, Guard, Pclht};
@@ -114,6 +115,11 @@ pub struct DpmInner {
     /// Observer notified after each successful relocation (see
     /// [`RelocationObserver`]).
     relocation_observer: ObserverSlot,
+    /// Copy-on-write ordered secondary index over the merged key space
+    /// (see [`crate::ordered`]). Maintained by the merge workers after
+    /// each hash-index change and swung by the compactor on relocation;
+    /// never consulted on the point-op path.
+    ordered: OrderedIndex,
     segments_compacted: AtomicU64,
     bytes_relocated: AtomicU64,
     entries_relocated: AtomicU64,
@@ -271,6 +277,10 @@ impl DpmInner {
 
     /// Lock the indirection-cell registry (see the field docs for what the
     /// guard serializes).
+    pub(crate) fn ordered(&self) -> &OrderedIndex {
+        &self.ordered
+    }
+
     pub(crate) fn lock_cell_registry(&self) -> MutexGuard<'_, HashSet<PmAddr>> {
         self.cell_registry.lock()
     }
@@ -331,11 +341,19 @@ impl DpmInner {
         true
     }
 
-    /// Record a successful relocation and notify the observer.
-    pub(crate) fn notify_relocated(&self, key: &[u8], old_loc: PackedLoc) {
+    /// Record a successful relocation: swing the ordered index to the new
+    /// location, then notify the observer. The ordered swing happens
+    /// before the victim segment can be freed (the compactor frees only
+    /// at the end of its pass, through [`DpmInner::free_segment_deferred`]),
+    /// so the current tree generation never points into freed memory; a
+    /// mismatch means a concurrent merge already superseded the entry and
+    /// the newer location must stay.
+    pub(crate) fn notify_relocated(&self, key: &[u8], old_loc: PackedLoc, new_loc: PackedLoc) {
         self.entries_relocated.fetch_add(1, Ordering::Relaxed);
         self.bytes_relocated
             .fetch_add(old_loc.len(), Ordering::Relaxed);
+        let guard = pin();
+        self.ordered.relocate(&guard, key, old_loc, new_loc);
         if let Some(observer) = &*self.relocation_observer.0.read() {
             observer(key, old_loc);
         }
@@ -446,6 +464,7 @@ impl DpmNode {
             gc_pass_lock: Mutex::new(()),
             gc_destination: Mutex::new(None),
             relocation_observer: ObserverSlot::default(),
+            ordered: OrderedIndex::new(),
             segments_compacted: AtomicU64::new(0),
             bytes_relocated: AtomicU64::new(0),
             entries_relocated: AtomicU64::new(0),
@@ -701,6 +720,98 @@ impl DpmNode {
         buf
     }
 
+    // ------------------------------------------------------- ordered index
+
+    /// The copy-on-write ordered secondary index (see [`crate::ordered`]).
+    /// Scans pin an epoch guard, take a [`OrderedIndex::snapshot`], and
+    /// walk it; the guard keeps both the tree generation and every segment
+    /// its locations point into alive.
+    pub fn ordered(&self) -> &OrderedIndex {
+        self.inner.ordered()
+    }
+
+    /// Scan-path value fetch: decode the log entry at a **direct** location
+    /// taken from an ordered-index snapshot and return its value bytes
+    /// (one one-sided read). The caller's guard must be the one the
+    /// snapshot was taken under — it is what keeps the entry's segment
+    /// from being freed and reused.
+    pub fn read_entry_value_in(
+        &self,
+        _guard: &Guard,
+        nic: &Nic,
+        loc: PackedLoc,
+    ) -> Option<Vec<u8>> {
+        nic.one_sided_read(loc.len() as usize);
+        let entry = decode_entry(&self.inner.pool, loc.addr(), loc.len())?;
+        Some(entry.read_value(&self.inner.pool))
+    }
+
+    /// Verify the ordered index against the hash index and the segment
+    /// registry. Meaningful only at a quiescent point (e.g. after
+    /// [`DpmNode::wait_until_all_merged`]): checks the tree's structural
+    /// invariants, that every ordered key resolves in the hash index, that
+    /// direct keys store the same location the hash index does and that
+    /// the location lies in a live segment, and that every hash-indexed
+    /// key appears in the ordered index.
+    pub fn check_ordered(&self) -> Result<TreeStats, String> {
+        let guard = pin();
+        let stats = self.inner.ordered.check_tree(&|key, loc| {
+            let Some(raw) = self.inner.index.get_in(&guard, key_hash(key), |raw| {
+                self.inner.loc_matches_key(raw, key)
+            }) else {
+                return Err(format!("ordered key {key:?} missing from the hash index"));
+            };
+            let indexed = PackedLoc::from_raw(raw);
+            if indexed.is_indirect() {
+                // Shared key: the ordered location is deliberately stale
+                // (scans read through the cell) — nothing to validate.
+                return Ok(());
+            }
+            if indexed != loc {
+                return Err(format!(
+                    "ordered key {key:?} stores {loc:?} but the hash index has {indexed:?}"
+                ));
+            }
+            if !self.value_addr_is_live(loc.addr()) {
+                return Err(format!(
+                    "ordered key {key:?} points into a freed segment: {loc:?}"
+                ));
+            }
+            Ok(())
+        })?;
+        // Reverse containment: every hash-indexed key must have an ordered
+        // entry (shared keys included — they keep their pre-sharing entry).
+        let mut missing: Option<String> = None;
+        self.inner.index.for_each_in(&guard, |_tag, raw| {
+            if missing.is_some() {
+                return;
+            }
+            let loc = PackedLoc::from_raw(raw);
+            let entry_loc = if loc.is_indirect() {
+                match self.inner.indirect_cell_target(loc.addr()) {
+                    Some(t) => t,
+                    None => return,
+                }
+            } else {
+                loc
+            };
+            let Some(entry) = decode_entry(&self.inner.pool, entry_loc.addr(), entry_loc.len())
+            else {
+                return;
+            };
+            if self.inner.ordered.get(&guard, &entry.key).is_none() {
+                missing = Some(format!(
+                    "hash-indexed key {:?} missing from the ordered index",
+                    entry.key
+                ));
+            }
+        });
+        if let Some(msg) = missing {
+            return Err(msg);
+        }
+        Ok(stats)
+    }
+
     // --------------------------------------------------- indirect pointers
 
     /// Install an indirection cell for `key` so its ownership can be shared
@@ -764,15 +875,24 @@ impl DpmNode {
         if !loc.is_indirect() {
             return false;
         }
+        // Re-sync the ordered index with the collapsed state: while the
+        // key was shared, writes published through the cell without index
+        // (or ordered-index) updates, so the ordered entry is stale —
+        // scans read shared keys through the cell, never through the
+        // stored location. From here on the key is direct again and the
+        // ordered location is load-bearing.
+        let guard = pin();
         match self.inner.indirect_cell_live_target(loc.addr()) {
             Some(target) => {
                 self.inner.index.update(tag, |r| r == raw, target.raw());
+                self.inner.ordered.upsert(&guard, key, target);
             }
             None => {
                 // Tombstoned (or already-empty) cell: the key is deleted;
                 // the owned path must see a clean miss. The tombstoned-over
                 // entry was invalidated when the delete published.
                 self.inner.index.remove(tag, |r| r == raw);
+                self.inner.ordered.remove(&guard, key);
             }
         }
         registry.remove(&loc.addr());

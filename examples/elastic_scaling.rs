@@ -29,6 +29,7 @@ fn main() {
         mix: WorkloadMix::WRITE_HEAVY_UPDATE,
         distribution: KeyDistribution::LOW_SKEW,
         seed: 11,
+        max_scan_len: 16,
     };
     // SLO thresholds calibrated to the simulated fabric (see DESIGN.md §6).
     let slo = SloConfig {

@@ -13,16 +13,19 @@ fn workload(mix: WorkloadMix, keys: u64) -> WorkloadConfig {
         mix,
         distribution: KeyDistribution::MODERATE_SKEW,
         seed: 99,
+        max_scan_len: 16,
     }
 }
 
-/// Replay a workload against a map of closures (insert/update/read/delete)
-/// and an in-memory model, checking every read against the model.
-fn run_against_model<I, U, R, D>(
+/// Replay a workload against a map of closures
+/// (insert/update/read/delete/scan) and an in-memory model, checking every
+/// read and scan against the model.
+fn run_against_model<I, U, R, D, S>(
     mut insert: I,
     mut update: U,
     mut read: R,
     mut delete: D,
+    mut scan: S,
     mix: WorkloadMix,
     ops: u64,
 ) where
@@ -30,6 +33,7 @@ fn run_against_model<I, U, R, D>(
     U: FnMut(&[u8], &[u8]),
     R: FnMut(&[u8]) -> Option<Vec<u8>>,
     D: FnMut(&[u8]),
+    S: FnMut(&[u8], usize) -> Vec<(Vec<u8>, Vec<u8>)>,
 {
     let config = workload(mix, 400);
     let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
@@ -56,6 +60,16 @@ fn run_against_model<I, U, R, D>(
                 delete(&k);
                 model.remove(&k);
             }
+            Operation::Scan(start, n) => {
+                let mut expected: Vec<(Vec<u8>, Vec<u8>)> = model
+                    .iter()
+                    .filter(|(k, _)| k.as_slice() >= start.as_slice())
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                expected.sort();
+                expected.truncate(n);
+                assert_eq!(scan(&start, n), expected, "scan mismatch at op {i}");
+            }
         }
     }
     // Final full verification.
@@ -70,6 +84,10 @@ fn dinomo_variants_match_a_model_under_mixed_workloads() {
         for mix in [
             WorkloadMix::WRITE_HEAVY_UPDATE,
             WorkloadMix::READ_MOSTLY_INSERT,
+            // Range scans against the model: the ordered index, the
+            // unmerged-overlay merge and the multi-node fan-out must agree
+            // with a sorted view of a plain map, every time.
+            WorkloadMix::CRUD_SCAN,
         ] {
             let kvs = Kvs::new(KvsConfig::small_for_tests().with_variant(variant)).unwrap();
             let client = kvs.client();
@@ -78,6 +96,7 @@ fn dinomo_variants_match_a_model_under_mixed_workloads() {
                 |k, v| client.update(k, v).unwrap(),
                 |k| client.lookup(k).unwrap(),
                 |k| client.delete(k).unwrap(),
+                |start, n| client.scan(start, n).unwrap(),
                 mix,
                 1_500,
             );
@@ -94,6 +113,7 @@ fn clover_matches_a_model_under_mixed_workloads() {
         |k, v| client.update(k, v).unwrap(),
         |k| client.lookup(k).unwrap(),
         |k| client.delete(k).unwrap(),
+        |_, _| unreachable!("the mix has no scans; Clover has no ordered index"),
         WorkloadMix::WRITE_HEAVY_UPDATE,
         1_500,
     );

@@ -49,6 +49,7 @@ fn driver_churn_keeps_queues_draining() {
                 distribution: KeyDistribution::MODERATE_SKEW,
                 seed: 7,
                 key_len: 8,
+                max_scan_len: 16,
             },
             preload: true,
             key_sample_every: 8,

@@ -315,6 +315,7 @@ fn timeline_reports_compaction_columns() {
                 distribution: KeyDistribution::HIGH_SKEW,
                 seed: 9,
                 key_len: 8,
+                max_scan_len: 16,
             },
             preload: true,
             key_sample_every: 8,
