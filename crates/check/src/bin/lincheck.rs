@@ -13,7 +13,12 @@
 //! (run the DPM log-cleaning compactor — aggressive knobs on tiny
 //! segments — underneath the scenario), `--scan` (mix range scans into
 //! the client streams; the checker decomposes each scan into per-key
-//! snapshot reads).
+//! snapshot reads), `--crash` (mix seeded crash injection into the
+//! churn: KN fail-stop + re-admission and whole-DPM power failures
+//! aimed at the mid-compaction / mid-hand-off / mid-cell-swing windows,
+//! each followed by full recovery; the crash schedule is a pure
+//! function of the seed, so `DINOMO_CHECK_SEED=<seed>` reproduces the
+//! exact same crash instants).
 //!
 //! On failure the process exits non-zero after writing the failing seed
 //! and the full history to `target/check-results/` (uploaded as a CI
@@ -36,6 +41,7 @@ struct Args {
     queue_depth: usize,
     compactor: bool,
     scans: bool,
+    crashes: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
         queue_depth: 2,
         compactor: false,
         scans: false,
+        crashes: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -63,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
             "--queue-depth" => args.queue_depth = parse(&value("--queue-depth")?)?,
             "--gc" => args.compactor = true,
             "--scan" => args.scans = true,
+            "--crash" => args.crashes = true,
             "--no-churn" => {
                 args.membership_churn = false;
                 args.replication_churn = false;
@@ -72,7 +80,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "lincheck [--seed N | --sweep N | --replay N] \
-                     [--ops N] [--clients N] [--queue-depth N] [--gc] [--scan] \
+                     [--ops N] [--clients N] [--queue-depth N] [--gc] [--scan] [--crash] \
                      [--no-churn | --no-membership-churn | --no-replication-churn]"
                 );
                 std::process::exit(0);
@@ -96,6 +104,7 @@ fn config_for(args: &Args, seed: u64) -> CheckConfig {
     config.executor_queue_depth = args.queue_depth.max(1);
     config.compactor = args.compactor;
     config.scans = args.scans;
+    config.crashes = args.crashes;
     config
 }
 
@@ -143,7 +152,8 @@ fn run_once(config: &CheckConfig) -> Option<Box<CheckFailure>> {
                 "seed {} ok: {} ops over {} keys checked in {:.2}s \
                  ({} states, {} churn actions, {} busy rejections, {} error \
                  replies, {} scans, {} segments compacted / {} entries \
-                 relocated)",
+                 relocated, {} kn crashes, {} dpm crashes \
+                 [compaction {}, handoff {}, cell-swing {}])",
                 config.seed,
                 report.stats.ops,
                 report.stats.keys,
@@ -155,6 +165,11 @@ fn run_once(config: &CheckConfig) -> Option<Box<CheckFailure>> {
                 report.run.scan_ops,
                 report.run.segments_compacted,
                 report.run.entries_relocated,
+                report.run.kn_crashes,
+                report.run.dpm_crashes,
+                report.run.crashes_in_compaction,
+                report.run.crashes_in_handoff,
+                report.run.crashes_in_cell_swing,
             );
             None
         }

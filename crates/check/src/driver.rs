@@ -32,7 +32,7 @@
 
 use crate::checker::{check_history_with, CheckError, CheckStats, CheckerConfig};
 use dinomo_core::trace::{Action, HistoryRecorder, OpRecord};
-use dinomo_core::{Kvs, KvsConfig, Op, Reply};
+use dinomo_core::{GcConfig, Kvs, KvsConfig, KvsError, Op, Reply};
 use dinomo_workload::{
     key_for, KeyDistribution, Operation, WorkloadConfig, WorkloadGenerator, WorkloadMix,
 };
@@ -77,6 +77,15 @@ pub struct CheckConfig {
     /// `CRUD`), so range reads race every write, delete, hand-off and
     /// relocation. The checker decomposes each scan into per-key reads.
     pub scans: bool,
+    /// Mix crash injection into the churn script: KN fail-stop +
+    /// re-admission, and whole-DPM power failures aimed (via failpoints)
+    /// at the nastiest windows — mid-compaction, mid-hand-off,
+    /// mid-cell-swing — each followed by the full
+    /// `recover()`/ordered-rebuild/invariant-walk sequence
+    /// ([`Kvs::crash_dpm_and_recover`]). Turns the pool's
+    /// persistence tracking on so `simulate_crash` actually drops
+    /// unpersisted lines.
+    pub crashes: bool,
     /// Checker budget.
     pub checker: CheckerConfig,
 }
@@ -100,6 +109,7 @@ impl CheckConfig {
             preload: true,
             compactor: false,
             scans: false,
+            crashes: false,
             checker: CheckerConfig::default(),
         }
     }
@@ -127,6 +137,34 @@ pub enum ChurnAction {
     /// Sleep for the given milliseconds, letting client traffic run
     /// against the current configuration.
     Pause(u64),
+    /// Fail-stop the newest node and immediately re-admit a replacement
+    /// (skipped at ≤ 2 nodes): the failure-recovery protocol plus a
+    /// hand-off, back to back, under live traffic.
+    CrashKn,
+    /// Simulate a DPM power failure inside the given window, then run the
+    /// full crash/recover sequence ([`Kvs::crash_dpm_and_recover`]).
+    CrashDpm(CrashWindow),
+}
+
+/// Where a [`ChurnAction::CrashDpm`] lands, driven by the DPM failpoints
+/// (see `dinomo_dpm::failpoint`). Each non-quiescent window arms its
+/// point, drives the matching control-plane operation until it fires, and
+/// crashes with the operation abandoned half-way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashWindow {
+    /// Mid-compaction: at least one entry relocated and swung, the rest
+    /// of the victim untouched (`gc.after-relocate`).
+    MidCompaction,
+    /// Mid-hand-off: the §3.5 protocol aborted after close/drain/flush/
+    /// merge but before the table flip (`handoff.before-flip`), leaving
+    /// the moving ranges closed.
+    MidHandoff,
+    /// Between publishing loaded key `key_id`'s indirection cell and
+    /// swinging the index onto it (`cell.before-swing`).
+    MidCellSwing(u64),
+    /// No failpoint: the crash lands between operations (still drops any
+    /// unpersisted pool lines and the ordered index).
+    Quiescent,
 }
 
 /// SplitMix64 — decorrelates the per-purpose seeds derived from the
@@ -146,8 +184,12 @@ pub fn churn_script(config: &CheckConfig) -> Vec<ChurnAction> {
     let mut rng = StdRng::seed_from_u64(mix(config.seed, 0xc4a6));
     let mut script = Vec::with_capacity(config.churn_steps);
     let mut replicated: Vec<u64> = Vec::new();
+    // Widening the roll range only when crashes are on keeps every
+    // pre-existing seed's script bit-for-bit identical with crashes off.
+    let roll_range = if config.crashes { 13 } else { 10 };
+    let mut crash_counter = 0u64;
     for _ in 0..config.churn_steps {
-        let roll = rng.gen_range(0u32..10);
+        let roll = rng.gen_range(0u32..roll_range);
         let action = match roll {
             0 | 1 if config.membership_churn => ChurnAction::AddKn,
             2 if config.membership_churn => ChurnAction::RemoveOldestKn,
@@ -163,6 +205,20 @@ pub fn churn_script(config: &CheckConfig) -> Vec<ChurnAction> {
             6 if config.replication_churn && !replicated.is_empty() => {
                 let idx = rng.gen_range(0..replicated.len());
                 ChurnAction::DereplicateKey(replicated.swap_remove(idx))
+            }
+            10 => ChurnAction::CrashKn,
+            11 | 12 => {
+                // Cycle through the windows so every script with a few
+                // DPM crashes visits all of them (a uniform draw could
+                // miss one at small churn-step counts).
+                let window = match crash_counter % 4 {
+                    0 => CrashWindow::MidCompaction,
+                    1 => CrashWindow::MidHandoff,
+                    2 => CrashWindow::MidCellSwing(rng.gen_range(0..config.keys.clamp(1, 8))),
+                    _ => CrashWindow::Quiescent,
+                };
+                crash_counter += 1;
+                ChurnAction::CrashDpm(window)
             }
             _ => ChurnAction::Pause(rng.gen_range(1u64..4)),
         };
@@ -227,6 +283,19 @@ pub struct ScenarioRun {
     pub scan_ops: usize,
     /// Live KVS nodes at the end.
     pub final_kns: usize,
+    /// KN fail-stop + re-admit crashes applied (0 unless
+    /// `CheckConfig::crashes`).
+    pub kn_crashes: usize,
+    /// DPM power-failure + recovery sequences applied.
+    pub dpm_crashes: usize,
+    /// DPM crashes that landed inside a compaction pass (the
+    /// `gc.after-relocate` failpoint fired).
+    pub crashes_in_compaction: u64,
+    /// DPM crashes that landed mid-hand-off (`handoff.before-flip`).
+    pub crashes_in_handoff: u64,
+    /// DPM crashes that landed between a cell publish and its index swing
+    /// (`cell.before-swing`).
+    pub crashes_in_cell_swing: u64,
 }
 
 /// A failed check, with everything needed to reproduce and report it.
@@ -273,7 +342,23 @@ pub fn run_scenario(config: &CheckConfig) -> ScenarioRun {
         // under the worst interleavings. Small segments make victims
         // plentiful within a short scenario.
         kvs_config.dpm.segment_bytes = 4 << 10;
-        kvs_config.dpm.gc = dinomo_core::GcConfig::aggressive();
+        kvs_config.dpm.gc = GcConfig::aggressive();
+    }
+    if config.crashes {
+        // `simulate_crash` is a no-op unless the pool tracks persistence.
+        kvs_config.dpm.pool.track_persistence = true;
+        // Small segments keep compaction victims plentiful for the
+        // mid-compaction crash window...
+        kvs_config.dpm.segment_bytes = 4 << 10;
+        if !config.compactor {
+            // ...and without the background compactor, aggressive victim
+            // selection lets the crash arm drive passes synchronously
+            // through `compact_once`.
+            kvs_config.dpm.gc = GcConfig {
+                background: false,
+                ..GcConfig::aggressive()
+            };
+        }
     }
     let kvs = Kvs::new(kvs_config).expect("cluster construction");
     let recorder = HistoryRecorder::new();
@@ -356,15 +441,27 @@ pub fn run_scenario(config: &CheckConfig) -> ScenarioRun {
         .iter()
         .filter(|r| r.ok && matches!(r.action, Action::Scan { .. }))
         .count();
+    let failpoints = kvs.dpm().failpoints();
     ScenarioRun {
         history,
-        churn_log,
         error_replies,
         busy_rejections: stats.kns.iter().map(|k| k.busy_rejections).sum(),
         segments_compacted: stats.dpm.segments_compacted,
         entries_relocated: stats.dpm.entries_relocated,
         scan_ops,
         final_kns: kvs.num_kns(),
+        kn_crashes: churn_log
+            .iter()
+            .filter(|l| l.contains("crash-kn: kn"))
+            .count(),
+        dpm_crashes: churn_log
+            .iter()
+            .filter(|l| l.contains("crash-dpm") && l.contains("recovered="))
+            .count(),
+        crashes_in_compaction: failpoints.fired("gc.after-relocate"),
+        crashes_in_handoff: failpoints.fired("handoff.before-flip"),
+        crashes_in_cell_swing: failpoints.fired("cell.before-swing"),
+        churn_log,
     }
 }
 
@@ -421,6 +518,104 @@ fn apply_churn(kvs: &Kvs, action: ChurnAction) -> String {
         ChurnAction::Pause(ms) => {
             std::thread::sleep(Duration::from_millis(ms));
             format!("pause: {ms}ms")
+        }
+        ChurnAction::CrashKn => {
+            if kvs.num_kns() <= 2 {
+                return "crash-kn: skipped (at floor)".into();
+            }
+            let Some(&victim) = kvs.kn_ids().last() else {
+                return "crash-kn: skipped (no nodes)".into();
+            };
+            if let Err(e) = kvs.fail_kn(victim) {
+                return format!("crash-kn: kn {victim} fail failed ({e})");
+            }
+            // Re-admit a replacement immediately: failure recovery and a
+            // §3.5 hand-off back to back, under live traffic.
+            match kvs.add_kn() {
+                Ok(id) => format!("crash-kn: kn {victim} crashed, kn {id} admitted"),
+                Err(e) => format!("crash-kn: kn {victim} crashed, re-admit failed ({e})"),
+            }
+        }
+        ChurnAction::CrashDpm(window) => {
+            let fp = kvs.dpm().failpoints();
+            // Arm the window's failpoint, drive the operation that hits
+            // it, then always disarm: the trigger can miss (no compaction
+            // victim, key already replicated, ...) and a stale armed
+            // point must not fire at some unrelated later instant. A
+            // missed window degrades to a quiescent crash — the crash
+            // still happens, just between operations.
+            let note = match window {
+                CrashWindow::MidCompaction => {
+                    // Fire-detection by counter delta, not by our own
+                    // pass's report: with the background compactor on,
+                    // *its* pass may trip the armed point instead of the
+                    // synchronous one, and that crash lands mid-compaction
+                    // all the same. Retry a few passes — a victim with a
+                    // relocatable live entry may only appear once the
+                    // clients overwrite a bit more — but never spin long.
+                    let before = fp.fired("gc.after-relocate");
+                    fp.arm("gc.after-relocate", 1);
+                    for _ in 0..8 {
+                        if fp.fired("gc.after-relocate") > before {
+                            break;
+                        }
+                        let _ = kvs.dpm().compact_once();
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    fp.disarm("gc.after-relocate");
+                    if fp.fired("gc.after-relocate") > before {
+                        "mid-compaction".to_string()
+                    } else {
+                        "mid-compaction missed (no victim), quiescent".to_string()
+                    }
+                }
+                CrashWindow::MidHandoff => {
+                    let before = fp.fired("handoff.before-flip");
+                    fp.arm("handoff.before-flip", 1);
+                    let result = kvs.add_kn();
+                    fp.disarm("handoff.before-flip");
+                    if fp.fired("handoff.before-flip") > before {
+                        debug_assert!(matches!(result, Err(KvsError::Pmem(_))));
+                        "mid-handoff".to_string()
+                    } else {
+                        "mid-handoff missed, quiescent".to_string()
+                    }
+                }
+                CrashWindow::MidCellSwing(key_id) => {
+                    let key = key_for(key_id, 8);
+                    // An already-replicated key has its cell installed and
+                    // publishes no new one — collapse it first so
+                    // `replicate_key` must run the publish-then-swing
+                    // sequence the armed point interrupts. (Harmless error
+                    // if the key was not replicated.)
+                    let _ = kvs.dereplicate_key(&key);
+                    let before = fp.fired("cell.before-swing");
+                    fp.arm("cell.before-swing", 1);
+                    let result = kvs.replicate_key(&key, 2);
+                    fp.disarm("cell.before-swing");
+                    if fp.fired("cell.before-swing") > before {
+                        debug_assert!(matches!(result, Err(KvsError::Pmem(_))));
+                        format!("mid-cell-swing key {key_id}")
+                    } else {
+                        format!("mid-cell-swing key {key_id} missed, quiescent")
+                    }
+                }
+                CrashWindow::Quiescent => "quiescent".to_string(),
+            };
+            // The crash/recover sequence itself. A failed recovery —
+            // including the quiescent post-recovery invariant walk — is a
+            // correctness bug, not a tolerated outcome: panic, which
+            // propagates through the churn-thread join and fails the run.
+            match kvs.crash_dpm_and_recover() {
+                Ok(r) => format!(
+                    "crash-dpm({note}): recovered={} torn={} rebuilt={} dropped={}",
+                    r.recovery.entries_recovered,
+                    r.recovery.torn_entries,
+                    r.ordered_rebuilt,
+                    r.buffered_discarded,
+                ),
+                Err(e) => panic!("crash-dpm({note}): recovery failed: {e}"),
+            }
         }
     }
 }
@@ -582,6 +777,68 @@ mod tests {
         assert_eq!(client_ops(&config, 0), client_ops(&config, 0));
         let has_scan = client_ops(&config, 0).iter().any(dinomo_core::Op::is_scan);
         assert!(has_scan, "CRUD_SCAN streams must contain scans");
+    }
+
+    #[test]
+    fn crash_script_is_deterministic_and_flag_gated() {
+        let mut config = CheckConfig::from_seed(23);
+        assert!(
+            !churn_script(&config)
+                .iter()
+                .any(|a| matches!(a, ChurnAction::CrashKn | ChurnAction::CrashDpm(_))),
+            "crashes off must keep the script crash-free"
+        );
+        config.crashes = true;
+        let script = churn_script(&config);
+        assert_eq!(script, churn_script(&config), "crash schedule must replay");
+        assert!(script.iter().any(|a| matches!(a, ChurnAction::CrashKn)));
+        let windows: Vec<CrashWindow> = script
+            .iter()
+            .filter_map(|a| match a {
+                ChurnAction::CrashDpm(w) => Some(*w),
+                _ => None,
+            })
+            .collect();
+        // The window cycle guarantees full coverage once a script draws
+        // four DPM crashes.
+        assert!(
+            windows.len() >= 4,
+            "script drew {} DPM crashes",
+            windows.len()
+        );
+        assert!(windows.contains(&CrashWindow::MidCompaction));
+        assert!(windows.contains(&CrashWindow::MidHandoff));
+        assert!(windows
+            .iter()
+            .any(|w| matches!(w, CrashWindow::MidCellSwing(_))));
+        assert!(windows.contains(&CrashWindow::Quiescent));
+    }
+
+    #[test]
+    fn crash_churn_scenario_passes_the_checker() {
+        // The full campaign: KN fail-stop + re-admission and whole-DPM
+        // power failures (aimed at compaction, hand-off and cell-swing
+        // windows via failpoints) interleave with three clients' CRUD
+        // batches and replication churn. Acked writes must survive every
+        // crash — the per-key checker rejects any history where a
+        // recovered read misses one — and every recovery ends with the
+        // quiescent ordered-index invariant walk inside
+        // `crash_dpm_and_recover`.
+        let mut config = CheckConfig::from_seed(CheckConfig::env_seed().unwrap_or(41));
+        config.total_ops = 2_000;
+        config.crashes = true;
+        config.compactor = true;
+        let report = run_and_check(&config).unwrap_or_else(|f| panic!("{f}"));
+        assert!(
+            report.run.dpm_crashes > 0,
+            "scenario must exercise DPM crashes: churn log {:?}",
+            report.run.churn_log
+        );
+        assert!(
+            report.run.kn_crashes > 0,
+            "scenario must exercise KN crashes: churn log {:?}",
+            report.run.churn_log
+        );
     }
 
     #[test]

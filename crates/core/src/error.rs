@@ -31,6 +31,10 @@ pub enum KvsError {
     Pmem(PmemError),
     /// The client retried routing too many times without converging.
     RoutingRetriesExhausted,
+    /// The post-recovery invariant walk (`check_tree`/`check_ordered`)
+    /// failed after a simulated crash: recovery left the indexes
+    /// inconsistent. The payload describes the first violated invariant.
+    RecoveryCheckFailed(String),
 }
 
 impl fmt::Display for KvsError {
@@ -49,6 +53,9 @@ impl fmt::Display for KvsError {
             KvsError::KeyNotFound => write!(f, "key not found"),
             KvsError::Pmem(e) => write!(f, "persistent memory error: {e}"),
             KvsError::RoutingRetriesExhausted => write!(f, "routing retries exhausted"),
+            KvsError::RecoveryCheckFailed(msg) => {
+                write!(f, "post-recovery invariant check failed: {msg}")
+            }
         }
     }
 }

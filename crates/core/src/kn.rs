@@ -1349,6 +1349,28 @@ impl KnNode {
         }
     }
 
+    /// Fail-stop crash semantics for this node's DRAM: everything
+    /// [`KnNode::clear_caches`] drops, plus the log writers'
+    /// buffered-but-unflushed entries — a crash loses the KN's volatile
+    /// state wholesale, flushed or not. Unlike `clear_caches` this needs
+    /// no prior flush/merge: the surviving truth is whatever already
+    /// reached the DPM log. Under `write_batch_ops = 1` (the check
+    /// driver's configuration) every write flushes before it is
+    /// acknowledged, so the discarded entries are exactly the
+    /// never-acknowledged ones. Returns how many buffered entries died.
+    pub fn discard_volatile_state(&self) -> usize {
+        *self.scan_ring.lock() = None;
+        let mut discarded = 0;
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            discarded += s.writer.discard_buffered();
+            s.cache.clear();
+            s.unmerged.clear();
+            s.bloom.clear();
+        }
+        discarded
+    }
+
     /// Drop all local state for a specific key (used when a key becomes
     /// selectively replicated or de-replicated, at which point the DPM —
     /// whose pending logs have been merged — is authoritative for it).

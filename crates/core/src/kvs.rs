@@ -6,8 +6,9 @@ use crate::error::KvsError;
 use crate::kn::KnNode;
 use crate::stats::KvsStats;
 use crate::{KvsClient, Result};
-use dinomo_dpm::{entry::decode_entry, DpmNode, LogWriter, PackedLoc};
+use dinomo_dpm::{entry::decode_entry, DpmNode, LogWriter, PackedLoc, RecoveryReport, TreeStats};
 use dinomo_partition::{KnId, OwnershipTable};
+use dinomo_pmem::PmemError;
 use dinomo_simnet::Nic;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
@@ -179,6 +180,16 @@ impl Kvs {
         // avoids).
         if self.inner.config.variant.requires_data_reshuffle() {
             self.reshuffle_data(&old_table, &new_table)?;
+        }
+
+        // Simulated fail-stop at the nastiest instant of the hand-off:
+        // the moving ranges are closed, drained, flushed and merged, but
+        // the new table has not been installed. Abort here — the affected
+        // nodes stay closed (`Reconfiguring`), exactly as a crashed
+        // controller would leave them, until the crash/recover path
+        // reopens the cluster.
+        if self.inner.dpm.failpoints().hit("handoff.before-flip") {
+            return Err(KvsError::Pmem(PmemError::InjectedFailure));
         }
 
         // Step 4/5: build the new node, install the new mapping, reopen.
@@ -480,6 +491,65 @@ impl Kvs {
         Ok(())
     }
 
+    /// Simulate a cluster-wide power failure centred on the DPM and run
+    /// the full recovery sequence, in-process:
+    ///
+    /// 1. close every KVS node and drain its in-flight requests (their
+    ///    outcomes were decided before the crash instant; requests that
+    ///    arrive after the close reject and their clients see failures —
+    ///    the checker records those as may-have-applied),
+    /// 2. discard each node's volatile state, including
+    ///    buffered-but-unflushed log writes
+    ///    ([`KnNode::discard_volatile_state`]),
+    /// 3. quiesce the merge workers, then drop the DPM pool's
+    ///    written-but-unpersisted lines and the DRAM ordered index
+    ///    ([`DpmNode::simulate_crash`]),
+    /// 4. replay the logs ([`DpmNode::recover`]) and rebuild the ordered
+    ///    index from the recovered hash index
+    ///    ([`DpmNode::rebuild_ordered`]),
+    /// 5. run the quiescent `check_tree`/`check_ordered` invariant walk —
+    ///    a violation surfaces as [`KvsError::RecoveryCheckFailed`] —
+    ///    and reopen every node.
+    ///
+    /// The nodes' identities and the ownership table survive (a real
+    /// restart would rebuild them from the persisted policy metadata —
+    /// see [`Kvs::recover_policy_metadata`]); what this exercises is the
+    /// durability story: every acknowledged write must still be served
+    /// afterwards.
+    pub fn crash_dpm_and_recover(&self) -> Result<DpmCrashReport> {
+        let _reconfig = self.inner.reconfig_lock.lock();
+        let kns: Vec<Arc<KnNode>> = self.inner.kns.read().values().cloned().collect();
+        for kn in &kns {
+            kn.set_reconfiguring(true);
+        }
+        for kn in &kns {
+            kn.drain_in_flight();
+        }
+        let mut buffered_discarded = 0;
+        for kn in &kns {
+            buffered_discarded += kn.discard_volatile_state();
+        }
+        // No merge worker may be mid-entry when the pool lines drop: a
+        // half-observed entry would be neither replayed nor skipped
+        // cleanly. Everything flushed pre-crash is being merged anyway;
+        // waiting just moves that work before the crash instant.
+        self.inner.dpm.wait_until_all_merged();
+        self.inner.dpm.simulate_crash();
+        let recovery = self.inner.dpm.recover();
+        let ordered_rebuilt = self.inner.dpm.rebuild_ordered();
+        let check = self.inner.dpm.check_ordered();
+        for kn in &kns {
+            kn.set_reconfiguring(false);
+        }
+        let tree = check.map_err(KvsError::RecoveryCheckFailed)?;
+        Ok(DpmCrashReport {
+            recovery,
+            ordered_rebuilt,
+            buffered_discarded,
+            tree,
+        })
+    }
+
     /// Persist the ownership/replication metadata to DPM so failed routing
     /// nodes or KNs can rebuild their soft state (§3.5 "Fault tolerance").
     pub fn persist_policy_metadata(&self) -> Result<()> {
@@ -556,6 +626,22 @@ impl Kvs {
             .fetch_add(bytes, Ordering::Relaxed);
         Ok(())
     }
+}
+
+/// What a simulated power failure + recovery did (see
+/// [`Kvs::crash_dpm_and_recover`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpmCrashReport {
+    /// The log-replay outcome: sealed entries re-merged, torn entries
+    /// discarded, index size after.
+    pub recovery: RecoveryReport,
+    /// Keys re-inserted into the rebuilt ordered index.
+    pub ordered_rebuilt: u64,
+    /// Buffered-but-unflushed (never-acknowledged) log entries the
+    /// crashed nodes' DRAM took with it.
+    pub buffered_discarded: usize,
+    /// Statistics of the post-recovery invariant walk.
+    pub tree: TreeStats,
 }
 
 #[cfg(test)]
@@ -938,6 +1024,62 @@ mod tests {
         assert!(new_kn_ops > 0, "new KN never served a request");
         // Dinomo never physically copies data on reconfiguration.
         assert_eq!(kvs.bytes_reshuffled(), 0);
+    }
+
+    #[test]
+    fn mid_handoff_crash_closes_ranges_and_recovery_reopens() {
+        // Abort a §3.5 hand-off after close/drain/flush/merge but before
+        // the table flip (`handoff.before-flip`): no half-admitted node,
+        // no table change, and the moving ranges left closed — exactly
+        // what a crashed controller leaves. `crash_dpm_and_recover` must
+        // then reopen the cluster with every acked write intact, and the
+        // next hand-off must run cleanly.
+        let mut config = KvsConfig {
+            write_batch_ops: 1,
+            ..KvsConfig::small_for_tests()
+        };
+        config.dpm.pool.track_persistence = true;
+        let kvs = Kvs::new(config).unwrap();
+        let client = kvs.client();
+        for i in 0..200u64 {
+            client.insert(&key_for(i, 8), &[4u8; 32]).unwrap();
+        }
+
+        let kns_before = kvs.num_kns();
+        let version_before = kvs.ownership().read().version();
+        kvs.dpm().failpoints().arm("handoff.before-flip", 1);
+        let err = kvs.add_kn().unwrap_err();
+        kvs.dpm().failpoints().disarm("handoff.before-flip");
+        assert!(matches!(err, KvsError::Pmem(_)), "{err:?}");
+        assert_eq!(kvs.num_kns(), kns_before, "no half-admitted node");
+        assert_eq!(
+            kvs.ownership().read().version(),
+            version_before,
+            "the table must not have flipped"
+        );
+        let closed = kvs.kn_ids().iter().any(|&id| {
+            matches!(
+                kvs.kn(id).unwrap().get(&key_for(0, 8)),
+                Err(KvsError::Reconfiguring)
+            )
+        });
+        assert!(closed, "the moving ranges must be left closed");
+
+        let report = kvs.crash_dpm_and_recover().unwrap();
+        assert!(report.ordered_rebuilt >= 200, "{report:?}");
+        for i in 0..200u64 {
+            assert_eq!(
+                client.lookup(&key_for(i, 8)).unwrap(),
+                Some(vec![4u8; 32]),
+                "key {i} lost across mid-hand-off crash"
+            );
+        }
+
+        let new_id = kvs.add_kn().unwrap();
+        assert!(kvs.kn_ids().contains(&new_id));
+        for i in 0..200u64 {
+            assert_eq!(client.lookup(&key_for(i, 8)).unwrap(), Some(vec![4u8; 32]));
+        }
     }
 
     #[test]

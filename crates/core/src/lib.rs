@@ -75,7 +75,7 @@ pub use config::{KvsConfig, Variant};
 // without depending on the dpm crate directly.
 pub use dinomo_dpm::GcConfig;
 pub use error::KvsError;
-pub use kvs::Kvs;
+pub use kvs::{DpmCrashReport, Kvs};
 pub use op::{Op, Reply};
 pub use stats::{KnStats, KvsStats};
 pub use trace::{Action, HistoryRecorder, OpRecord, RecorderHandle};

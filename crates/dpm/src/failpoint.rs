@@ -1,0 +1,146 @@
+//! Instance-scoped failpoints for crash-injection tests.
+//!
+//! A [`FailpointSet`] lives on each [`crate::DpmNode`] (never global state:
+//! tests run in parallel and a process-wide registry would leak armed points
+//! across unrelated DPM instances). Production code calls
+//! [`FailpointSet::hit`] at the instrumented site; the call is a single
+//! relaxed atomic load while no point is armed, so the instrumentation is
+//! free on the hot path.
+//!
+//! Protocol: a test arms a named point with a countdown (`1` = fire on the
+//! next hit), drives the workload, and the instrumented site observes
+//! `hit() == true` exactly once, simulating a fail-stop at that instant —
+//! typically by aborting the surrounding operation with
+//! `PmemError::InjectedFailure` and letting the caller run
+//! `simulate_crash` + `recover`. [`FailpointSet::fired`] reports how many
+//! times a point has tripped so drivers can confirm a crash really landed
+//! inside the intended window.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+#[derive(Debug, Default)]
+struct Point {
+    /// Remaining hits before the point fires; `None` when disarmed.
+    armed: Option<u64>,
+    /// Times this point has fired since the set was created.
+    fired: u64,
+}
+
+/// Named failpoints with per-point countdowns and fire counters.
+#[derive(Debug, Default)]
+pub struct FailpointSet {
+    /// Number of currently-armed points: the hot-path fast gate.
+    armed_count: AtomicU64,
+    points: Mutex<HashMap<&'static str, Point>>,
+}
+
+impl FailpointSet {
+    /// An empty set with nothing armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm `name` to fire on its `countdown`-th upcoming hit
+    /// (`countdown == 1` fires on the very next hit). Re-arming an
+    /// already-armed point replaces its countdown.
+    pub fn arm(&self, name: &'static str, countdown: u64) {
+        assert!(countdown > 0, "failpoint countdown must be >= 1");
+        let mut points = self.points.lock();
+        let point = points.entry(name).or_default();
+        if point.armed.is_none() {
+            self.armed_count.fetch_add(1, Ordering::Relaxed);
+        }
+        point.armed = Some(countdown);
+    }
+
+    /// Disarm `name` without firing it. The fire counter is kept.
+    pub fn disarm(&self, name: &'static str) {
+        let mut points = self.points.lock();
+        if let Some(point) = points.get_mut(name) {
+            if point.armed.take().is_some() {
+                self.armed_count.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Instrumented-site check: decrement `name`'s countdown if armed and
+    /// return `true` when it reaches zero (the point fires and disarms
+    /// itself). Free (one relaxed load) while nothing is armed.
+    pub fn hit(&self, name: &'static str) -> bool {
+        if self.armed_count.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        let mut points = self.points.lock();
+        let Some(point) = points.get_mut(name) else {
+            return false;
+        };
+        match point.armed {
+            Some(1) => {
+                point.armed = None;
+                point.fired += 1;
+                self.armed_count.fetch_sub(1, Ordering::Relaxed);
+                true
+            }
+            Some(n) => {
+                point.armed = Some(n - 1);
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// How many times `name` has fired since this set was created.
+    pub fn fired(&self, name: &'static str) -> u64 {
+        self.points.lock().get(name).map_or(0, |p| p.fired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_points_never_fire() {
+        let fp = FailpointSet::new();
+        for _ in 0..10 {
+            assert!(!fp.hit("gc.after-relocate"));
+        }
+        assert_eq!(fp.fired("gc.after-relocate"), 0);
+    }
+
+    #[test]
+    fn countdown_fires_exactly_once_then_disarms() {
+        let fp = FailpointSet::new();
+        fp.arm("cell.before-swing", 3);
+        assert!(!fp.hit("cell.before-swing"));
+        assert!(!fp.hit("cell.before-swing"));
+        assert!(fp.hit("cell.before-swing"));
+        assert!(!fp.hit("cell.before-swing"));
+        assert_eq!(fp.fired("cell.before-swing"), 1);
+    }
+
+    #[test]
+    fn disarm_keeps_fired_count_and_stops_firing() {
+        let fp = FailpointSet::new();
+        fp.arm("handoff.before-flip", 1);
+        assert!(fp.hit("handoff.before-flip"));
+        fp.arm("handoff.before-flip", 5);
+        fp.disarm("handoff.before-flip");
+        assert!(!fp.hit("handoff.before-flip"));
+        assert_eq!(fp.fired("handoff.before-flip"), 1);
+    }
+
+    #[test]
+    fn points_are_independent() {
+        let fp = FailpointSet::new();
+        fp.arm("a", 1);
+        assert!(!fp.hit("b"));
+        assert!(fp.hit("a"));
+        fp.arm("b", 1);
+        assert!(!fp.hit("a"));
+        assert!(fp.hit("b"));
+    }
+}

@@ -80,6 +80,11 @@ pub struct CompactionReport {
     /// `true` when the pass stopped early because the relocation byte
     /// budget (`GcConfig::max_pass_bytes`) ran out.
     pub budget_exhausted: bool,
+    /// `true` when the pass was cut short by the `gc.after-relocate`
+    /// crash-injection point (see [`crate::failpoint`]): the victim is
+    /// left partially relocated, exactly as a mid-pass power failure
+    /// would.
+    pub crash_injected: bool,
 }
 
 /// Reserve `len` bytes in the compactor's destination segment, rolling
@@ -263,6 +268,14 @@ fn compact_pass_locked(inner: &Arc<DpmInner>, gc: &GcConfig) -> CompactionReport
                 // locks — deliberately outside the registry critical
                 // section).
                 inner.notify_relocated(&entry.key, old_loc, new_loc);
+                // Simulated fail-stop mid-pass: one entry has been copied
+                // and swung, the rest of the victim has not. Stop here and
+                // leave the pass half done — the crash/recover sequence
+                // must cope with exactly this state.
+                if inner.failpoints().hit("gc.after-relocate") {
+                    report.crash_injected = true;
+                    return report;
+                }
             } else {
                 // Lost to a concurrent put/merge/delete (or a cell was
                 // installed over the entry): the fresh copy is
@@ -444,6 +457,71 @@ mod tests {
                 Some(vec![29u8; 512])
             );
         }
+    }
+
+    #[test]
+    fn mid_compaction_crash_recovers_with_partial_relocation() {
+        // Fail-stop right after the compactor copied and swung one live
+        // entry, leaving the victim half-relocated (`gc.after-relocate`).
+        // The relocated copy was persisted before the swing, so after the
+        // crash both copies are on media with the same seq; recovery's
+        // re-merge must serve every key correctly (same-seq arbitration
+        // keeps the indexed copy), the rebuilt ordered index must pass
+        // the structural walk, and a later pass must finish the job.
+        let mut config = gc_config();
+        config.pool.track_persistence = true;
+        let dpm = Arc::new(DpmNode::new(config).unwrap());
+        let pinned_keys = write_skew_pinned(&dpm, 12);
+
+        dpm.failpoints().arm("gc.after-relocate", 1);
+        let report = dpm.compact_once();
+        dpm.failpoints().disarm("gc.after-relocate");
+        assert!(
+            report.crash_injected,
+            "no victim had a live entry to relocate: {report:?}"
+        );
+        assert_eq!(report.entries_relocated, 1);
+        assert_eq!(
+            report.segments_compacted, 0,
+            "the pass must have aborted before freeing the victim"
+        );
+
+        dpm.simulate_crash();
+        let rec = dpm.recover();
+        assert_eq!(rec.torn_entries, 0);
+        dpm.rebuild_ordered();
+        dpm.check_ordered().unwrap();
+
+        for key in &pinned_keys {
+            assert_eq!(
+                dpm.local_read(key),
+                Some(vec![0xA5; 64]),
+                "{} lost across mid-compaction crash",
+                String::from_utf8_lossy(key)
+            );
+        }
+        for i in 0..8u32 {
+            assert_eq!(
+                dpm.local_read(format!("cold{i}").as_bytes()),
+                Some(vec![11u8; 512])
+            );
+        }
+
+        // The interrupted victim is still ordinary state: compaction can
+        // resume and reclaim it after recovery.
+        let mut compacted = 0;
+        for _ in 0..8 {
+            compacted += dpm.compact_once().segments_compacted;
+        }
+        assert!(
+            compacted > 0,
+            "compaction must finish after recovery: {:?}",
+            dpm.stats()
+        );
+        for key in &pinned_keys {
+            assert_eq!(dpm.local_read(key), Some(vec![0xA5; 64]));
+        }
+        dpm.check_ordered().unwrap();
     }
 
     #[test]

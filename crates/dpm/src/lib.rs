@@ -31,6 +31,7 @@
 pub mod bloom;
 pub mod config;
 pub mod entry;
+pub mod failpoint;
 pub mod gc;
 pub mod loc;
 pub mod merge;
@@ -42,9 +43,10 @@ pub mod writer;
 pub use bloom::BloomFilter;
 pub use config::{DpmConfig, GcConfig};
 pub use entry::{EntryHeader, LogOp};
+pub use failpoint::FailpointSet;
 pub use gc::{CompactionReport, GC_OWNER_KN};
 pub use loc::PackedLoc;
-pub use node::{DpmNode, DpmStats, LookupResult, RelocationObserver};
+pub use node::{DpmNode, DpmStats, LookupResult, RecoveryReport, RelocationObserver};
 pub use ordered::{OrderedIndex, TreeStats};
 // Re-exported so KVS nodes can pin one epoch guard across a whole batch of
 // index lookups (`DpmNode::{local_lookup_in, remote_read_in}`).

@@ -111,6 +111,29 @@ pub(crate) fn merge_task(inner: &DpmInner, task: &MergeTask) {
     inner.stats_entries_merged(merged_entries);
 }
 
+/// Re-apply one sealed entry during a recovery scan: the merge worker's
+/// application logic without the merged-counter bump — the caller floors
+/// the segment's counters once per segment with
+/// [`SegmentState::record_merged_at_least`], because a recovered entry
+/// was usually merged before the crash and re-adding its bytes would let
+/// `merged` outrun `written` (masking post-recovery appends as already
+/// merged).
+pub(crate) fn apply_recovered_entry(
+    inner: &DpmInner,
+    segment: &Arc<SegmentState>,
+    guard: &dinomo_pclht::Guard,
+    offset: u64,
+    entry: &crate::entry::DecodedEntry,
+) {
+    let task = MergeTask {
+        segment: Arc::clone(segment),
+        start: offset,
+        len: entry.total_len,
+    };
+    let addr = segment.base.offset(offset);
+    apply_entry(inner, &task, guard, addr, entry);
+}
+
 fn apply_entry(
     inner: &DpmInner,
     task: &MergeTask,

@@ -3,9 +3,10 @@
 
 use crate::config::DpmConfig;
 use crate::entry::{decode_entry, DecodedEntry};
+use crate::failpoint::FailpointSet;
 use crate::gc::{compact_pass, CompactionReport, Compactor};
 use crate::loc::PackedLoc;
-use crate::merge::{merge_task, MergeEngine, MergeTask};
+use crate::merge::{apply_recovered_entry, MergeEngine, MergeTask};
 use crate::ordered::{OrderedIndex, TreeStats};
 use crate::segment::SegmentState;
 use dinomo_partition::key_hash;
@@ -132,6 +133,9 @@ pub struct DpmInner {
     merged_tombstone_count: AtomicU64,
     metadata: Mutex<HashMap<String, Vec<u8>>>,
     metadata_region: Mutex<Vec<(PmAddr, u64)>>,
+    /// Crash-injection points (armed only by tests and the check driver;
+    /// a relaxed-load no-op otherwise — see [`crate::failpoint`]).
+    failpoints: FailpointSet,
 }
 
 impl DpmInner {
@@ -283,6 +287,11 @@ impl DpmInner {
 
     pub(crate) fn lock_cell_registry(&self) -> MutexGuard<'_, HashSet<PmAddr>> {
         self.cell_registry.lock()
+    }
+
+    /// This node's crash-injection points.
+    pub(crate) fn failpoints(&self) -> &FailpointSet {
+        &self.failpoints
     }
 
     /// Serialize compaction passes.
@@ -472,6 +481,7 @@ impl DpmNode {
             merged_tombstone_count: AtomicU64::new(0),
             metadata: Mutex::new(HashMap::new()),
             metadata_region: Mutex::new(Vec::new()),
+            failpoints: FailpointSet::new(),
         });
         let merge = MergeEngine::start(Arc::clone(&inner), config.merge_threads);
         let gc = config
@@ -842,6 +852,14 @@ impl DpmNode {
         self.inner.pool.write_u64(cell.offset(8), 0);
         self.inner.pool.persist(cell, 16);
         self.inner.pool.drain();
+        if self.inner.failpoints.hit("cell.before-swing") {
+            // Simulated fail-stop between publishing the cell and swinging
+            // the index onto it: the cell is durable but unreachable, so
+            // recovery-wise it never existed. Free it here (the in-process
+            // stand-in for a recovery-time cell sweep) and abort.
+            self.inner.pool.free(cell, 16);
+            return Err(PmemError::InjectedFailure);
+        }
         let new_raw = PackedLoc::indirect(cell, 16).raw();
         self.inner.index.update(tag, |r| r == raw, new_raw);
         self.inner.indirect_cells.fetch_add(1, Ordering::Relaxed);
@@ -1102,6 +1120,66 @@ impl DpmNode {
 
     // ------------------------------------------------------------ recovery
 
+    /// This node's crash-injection points (see [`crate::failpoint`]). The
+    /// check driver arms a point, drives the workload until it fires, then
+    /// runs the crash/recover sequence.
+    pub fn failpoints(&self) -> &FailpointSet {
+        self.inner.failpoints()
+    }
+
+    /// Simulate a DPM power failure: drop every written-but-unpersisted
+    /// cache line in the pool (see [`PmemPool::simulate_crash`]; a no-op
+    /// unless the pool tracks persistence) and clear the DRAM-resident
+    /// ordered index, which does not survive power loss. Callers must
+    /// quiesce the merge workers first ([`DpmNode::wait_until_all_merged`])
+    /// — a merge mid-flight through the crash would observe half-dropped
+    /// state — and follow with [`DpmNode::recover`] +
+    /// [`DpmNode::rebuild_ordered`].
+    ///
+    /// The segment registry and the soft metadata maps live in this
+    /// process's DRAM and survive; they stand in for the state a real
+    /// restart would rebuild from the persisted metadata region.
+    pub fn simulate_crash(&self) {
+        // Exclude collectors and cell swings for the duration: both walk
+        // pool bytes the crash is about to rewrite.
+        let _pass = self.inner.lock_gc_pass();
+        let _registry = self.inner.lock_cell_registry();
+        self.inner.pool.simulate_crash();
+        let guard = pin();
+        self.inner.ordered.clear(&guard);
+    }
+
+    /// Rebuild the DRAM ordered index from the persistent hash index after
+    /// a crash (the recovery path promised by the ordered-index module
+    /// docs). Walks every hash-indexed entry and re-inserts its key:
+    /// direct locations as-is; indirect keys under the entry their cell
+    /// identifies (matching what [`DpmNode::check_ordered`] validates —
+    /// scans read shared keys through the cell, so the stored location
+    /// only pins key membership). Returns the number of keys inserted.
+    pub fn rebuild_ordered(&self) -> u64 {
+        let guard = pin();
+        self.inner.ordered.clear(&guard);
+        let mut inserted = 0u64;
+        self.inner.index.for_each_in(&guard, |_tag, raw| {
+            let loc = PackedLoc::from_raw(raw);
+            let entry_loc = if loc.is_indirect() {
+                match self.inner.indirect_cell_target(loc.addr()) {
+                    Some(t) => t,
+                    None => return,
+                }
+            } else {
+                loc
+            };
+            let Some(entry) = decode_entry(&self.inner.pool, entry_loc.addr(), entry_loc.len())
+            else {
+                return;
+            };
+            self.inner.ordered.upsert(&guard, &entry.key, entry_loc);
+            inserted += 1;
+        });
+        inserted
+    }
+
     /// Re-scan every live segment and merge any sealed entry the index does
     /// not yet reflect.  Torn (unsealed) entries are counted and skipped.
     /// Used after a simulated DPM power failure and after KN failures to
@@ -1114,24 +1192,23 @@ impl DpmNode {
                 continue;
             }
             // Scan the whole written region; merging is idempotent.
+            let guard = pin();
             let mut offset = 0u64;
             let written = seg.written();
+            let mut merged_floor_bytes = 0u64;
+            let mut merged_floor_entries = 0u64;
             while offset < written {
                 let addr = seg.base.offset(offset);
                 match decode_entry(&self.inner.pool, addr, written - offset) {
                     Some(e) if e.sealed => {
-                        let task = MergeTask {
-                            segment: Arc::clone(&seg),
-                            start: offset,
-                            len: e.total_len,
-                        };
-                        merge_task(&self.inner, &task);
+                        apply_recovered_entry(&self.inner, &seg, &guard, offset, &e);
                         // New appends after recovery must order after every
                         // recovered entry.
                         self.inner
                             .next_seq
                             .fetch_max(e.header.seq, Ordering::Relaxed);
                         report.entries_recovered += 1;
+                        merged_floor_entries += 1;
                         offset += e.total_len;
                     }
                     Some(e) => {
@@ -1140,7 +1217,14 @@ impl DpmNode {
                     }
                     None => break,
                 }
+                merged_floor_bytes = offset;
             }
+            // Everything the scan just processed is reflected in the index
+            // (torn entries hold no committed data, matching `merge_task`,
+            // which counts the bytes it skips at a torn entry as merged), so
+            // floor — never re-add: the scan runs again on double recovery —
+            // the merged counters up to the scanned extent.
+            seg.record_merged_at_least(merged_floor_bytes, merged_floor_entries);
         }
         report.index_len_after = self.inner.index.len();
         report
@@ -1518,5 +1602,156 @@ mod tests {
             }
         }
         assert_eq!(dpm.stats().index_len, 400);
+    }
+
+    fn crash_dpm() -> Arc<DpmNode> {
+        let mut config = DpmConfig::small_for_tests();
+        // `simulate_crash` is a no-op unless the pool tracks persistence.
+        config.pool.track_persistence = true;
+        Arc::new(DpmNode::new(config).unwrap())
+    }
+
+    #[test]
+    fn cell_swing_crash_leaves_key_direct_and_recoverable() {
+        // Fail-stop between publishing an indirection cell and swinging
+        // the index onto it: the durable-but-unreachable cell must be as
+        // if it never existed — the key stays direct, survives the crash,
+        // and a later replication installs a fresh cell cleanly.
+        let dpm = crash_dpm();
+        let mut w = LogWriter::new(Arc::clone(&dpm), 0, nic());
+        w.append_put(b"hot", b"v1");
+        w.flush().unwrap();
+        dpm.wait_until_merged(0);
+
+        dpm.failpoints().arm("cell.before-swing", 1);
+        let err = dpm.make_indirect(b"hot").unwrap_err();
+        dpm.failpoints().disarm("cell.before-swing");
+        assert_eq!(err, PmemError::InjectedFailure);
+        assert_eq!(dpm.failpoints().fired("cell.before-swing"), 1);
+        assert_eq!(dpm.indirect_cell_of(b"hot"), None, "the swing never ran");
+
+        dpm.simulate_crash();
+        let report = dpm.recover();
+        assert_eq!(report.torn_entries, 0);
+        assert!(dpm.rebuild_ordered() >= 1);
+        dpm.check_ordered().unwrap();
+        assert_eq!(dpm.local_read(b"hot"), Some(b"v1".to_vec()));
+
+        // And the abandoned attempt must not block a clean install.
+        let cell = dpm.make_indirect(b"hot").unwrap().unwrap();
+        assert_eq!(dpm.indirect_cell_of(b"hot"), Some(cell));
+        assert_eq!(dpm.local_read(b"hot"), Some(b"v1".to_vec()));
+    }
+
+    #[test]
+    fn double_recovery_is_a_no_op_and_keeps_accounting_honest() {
+        // `recover()` must be idempotent — and, crucially, its re-merge
+        // must not inflate segment merged-counters past `written`: an
+        // owner appending to its still-open segment after recovery would
+        // then look already-merged to `wait_until_merged` before the new
+        // batch's merge actually applied (an acked write invisible at the
+        // next reconfiguration's step 3).
+        let dpm = crash_dpm();
+        let mut w = LogWriter::new(Arc::clone(&dpm), 0, nic());
+        for i in 0..30u32 {
+            w.append_put(format!("key{i:02}").as_bytes(), &[5u8; 64]);
+        }
+        w.flush().unwrap();
+        dpm.wait_until_merged(0);
+
+        dpm.simulate_crash();
+        let first = dpm.recover();
+        let rebuilt_first = dpm.rebuild_ordered();
+        dpm.check_ordered().unwrap();
+        let second = dpm.recover();
+        assert_eq!(first, second, "second recovery must change nothing");
+        assert_eq!(dpm.rebuild_ordered(), rebuilt_first);
+        dpm.check_ordered().unwrap();
+        assert_eq!(dpm.local_read(b"key07"), Some(vec![5u8; 64]));
+
+        // Post-recovery appends to the same (never sealed) segment must
+        // still be seen as unmerged until their merge applies.
+        w.append_put(b"key07", b"after-crash");
+        w.flush().unwrap();
+        dpm.wait_until_merged(0);
+        assert_eq!(dpm.local_read(b"key07"), Some(b"after-crash".to_vec()));
+        assert_eq!(dpm.unmerged_segments(0), 0);
+    }
+
+    #[test]
+    fn recovery_skips_torn_tail_without_replaying_it() {
+        // A power failure mid-append leaves a torn tail: the entry's body
+        // made it to media but the trailing seal word's cache line never
+        // persisted. Recovery must count it, not replay it.
+        let dpm = crash_dpm();
+        let mut w = LogWriter::new(Arc::clone(&dpm), 0, nic());
+        w.append_put(b"durable", b"v1");
+        w.flush().unwrap();
+        dpm.wait_until_merged(0);
+
+        // Hand-craft the torn append in a fresh segment: write the full
+        // entry, persist every cache line *before* the seal word's, then
+        // crash — `simulate_crash` destroys the seal's dirty line.
+        let seg = dpm.inner.allocate_segment_inner(1).unwrap();
+        let mut buf = Vec::new();
+        crate::entry::encode_entry(&mut buf, b"torn-key", &[9u8; 96], crate::LogOp::Put, 999);
+        let offset = seg.record_append(buf.len() as u64, 1);
+        let addr = seg.base.offset(offset);
+        dpm.inner.pool.write_bytes(addr, &buf);
+        let seal_addr = addr.offset(buf.len() as u64 - crate::entry::SEAL_BYTES);
+        let seal_line_start = seal_addr.0 / 64 * 64;
+        assert!(
+            seal_line_start > addr.0,
+            "entry sized so the seal gets its own line"
+        );
+        dpm.inner.pool.persist(addr, seal_line_start - addr.0);
+        dpm.inner.pool.drain();
+
+        dpm.simulate_crash();
+        let report = dpm.recover();
+        assert_eq!(report.torn_entries, 1);
+        assert_eq!(
+            dpm.local_read(b"torn-key"),
+            None,
+            "a torn entry holds no committed data and must not replay"
+        );
+        assert_eq!(dpm.local_read(b"durable"), Some(b"v1".to_vec()));
+        dpm.rebuild_ordered();
+        dpm.check_ordered().unwrap();
+    }
+
+    #[test]
+    fn ordered_rebuild_matches_pre_crash_scan() {
+        // The DRAM ordered index dies with a crash; the rebuild from the
+        // persistent PCLHT must reproduce exactly the pre-crash key
+        // sequence (including a shared key served through its cell) and
+        // pass the structural walk.
+        let dpm = crash_dpm();
+        let mut w = LogWriter::new(Arc::clone(&dpm), 0, nic());
+        for i in 0..40u32 {
+            w.append_put(format!("key{i:02}").as_bytes(), &[3u8; 32]);
+        }
+        w.flush().unwrap();
+        dpm.wait_until_merged(0);
+        dpm.make_indirect(b"key05").unwrap().unwrap();
+
+        let scan_keys = |dpm: &DpmNode| -> Vec<Vec<u8>> {
+            let guard = pin();
+            dpm.ordered()
+                .snapshot(&guard)
+                .range_from(b"")
+                .map(|(key, _)| key.to_vec())
+                .collect()
+        };
+        let before = scan_keys(&dpm);
+        assert_eq!(before.len(), 40);
+
+        dpm.simulate_crash();
+        dpm.recover();
+        assert_eq!(dpm.rebuild_ordered(), 40);
+        let tree = dpm.check_ordered().unwrap();
+        assert_eq!(tree.keys, 40);
+        assert_eq!(scan_keys(&dpm), before, "rebuilt scan order must match");
+        assert_eq!(dpm.local_read(b"key05"), Some(vec![3u8; 32]));
     }
 }

@@ -273,6 +273,25 @@ impl OrderedIndex {
         }
     }
 
+    /// Drop every key: retire the whole current generation and publish an
+    /// empty tree. This is the crash path — the ordered index is DRAM-only
+    /// and does not survive a power failure, so a simulated crash clears
+    /// it and recovery rebuilds it from the persistent hash index
+    /// ([`crate::DpmNode::rebuild_ordered`]).
+    pub fn clear(&self, guard: &Guard) {
+        let _w = self.write_lock.lock();
+        let root = self.root.load(Ordering::Acquire);
+        self.len.store(0, Ordering::Relaxed);
+        if root.is_null() {
+            return;
+        }
+        let mut retired: Retired = Vec::new();
+        // SAFETY: the write lock keeps the current generation from being
+        // retired by anyone else while we collect it.
+        unsafe { collect_rec(root, &mut retired) };
+        self.publish(guard, std::ptr::null_mut(), retired);
+    }
+
     /// Swap in `new_root` and retire the replaced generation's nodes.
     fn publish(&self, guard: &Guard, new_root: *mut Node, retired: Retired) {
         self.root.store(new_root, Ordering::Release);
@@ -639,6 +658,22 @@ unsafe fn drop_rec(node: *const Node) {
             drop_rec(c);
         }
     }
+}
+
+/// Collect every node of the subtree rooted at `node` into `retired`, for
+/// whole-tree retirement by [`OrderedIndex::clear`].
+///
+/// # Safety
+///
+/// `node` must belong to the current generation and the caller must hold
+/// the write lock (so no node is retired concurrently).
+unsafe fn collect_rec(node: *const Node, retired: &mut Retired) {
+    if let Node::Internal { children, .. } = &*node {
+        for &c in children {
+            collect_rec(c, retired);
+        }
+    }
+    retired.push(node);
 }
 
 /// The recursive invariant walker behind [`OrderedIndex::check_tree`].

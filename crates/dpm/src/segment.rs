@@ -141,6 +141,18 @@ impl SegmentState {
         self.entries_merged.fetch_add(entries, Ordering::AcqRel);
     }
 
+    /// Raise the merged counters to *at least* the given values — the
+    /// recovery scan's accounting. Recovery replays entries that were
+    /// typically merged before the crash; adding their bytes again (as
+    /// [`SegmentState::record_merged`] would) lets `merged` outrun
+    /// `written`, and an owner appending to this segment after recovery
+    /// would then look already-merged to `wait_until_merged` before its
+    /// batch's merge actually applied.
+    pub fn record_merged_at_least(&self, bytes: u64, entries: u64) {
+        self.merged.fetch_max(bytes, Ordering::AcqRel);
+        self.entries_merged.fetch_max(entries, Ordering::AcqRel);
+    }
+
     /// Record that the `len`-byte entry at segment `offset` became invalid
     /// (superseded, deleted, or a tombstone). Idempotent: re-reporting the
     /// same entry advances neither the entry nor the byte counter.
@@ -227,6 +239,32 @@ mod tests {
         assert!(s.mark_freed());
         assert!(!s.mark_freed(), "double free must be detected");
         assert!(!s.is_reclaimable(), "already freed");
+    }
+
+    #[test]
+    fn recovery_accounting_floors_and_never_outruns_written() {
+        // A recovery scan replays entries that were already merged; its
+        // accounting must floor the counters, never re-add — otherwise
+        // `merged` outruns `written` and appends after recovery look
+        // already-merged before their merge applies.
+        let s = SegmentState::new(1, 0, PmAddr(0), 1024);
+        s.record_append(100, 2);
+        s.record_merged(100, 2);
+        // Two recovery scans (double recovery) change nothing.
+        s.record_merged_at_least(100, 2);
+        s.record_merged_at_least(100, 2);
+        assert_eq!(s.merged(), 100);
+        assert_eq!(s.entries_merged(), 2);
+        // A post-recovery append is visible as unmerged again.
+        s.record_append(60, 1);
+        assert!(!s.is_fully_merged());
+        s.record_merged(60, 1);
+        assert!(s.is_fully_merged());
+        // On a never-merged segment the floor does the whole job.
+        let cold = SegmentState::new(2, 0, PmAddr(4096), 1024);
+        cold.record_append(80, 1);
+        cold.record_merged_at_least(80, 1);
+        assert!(cold.is_fully_merged());
     }
 
     #[test]

@@ -187,4 +187,16 @@ impl LogWriter {
             seg.seal();
         }
     }
+
+    /// Drop everything buffered but not yet flushed — the crash path. A
+    /// buffered write lives only in KN DRAM (nothing has been sent to the
+    /// log), so a fail-stop discards it; since a write is acknowledged
+    /// only after [`LogWriter::flush`] returns, no acknowledged write is
+    /// ever lost this way. Returns how many entries were discarded.
+    pub fn discard_buffered(&mut self) -> usize {
+        let discarded = self.pending.len();
+        self.buffer.clear();
+        self.pending.clear();
+        discarded
+    }
 }
