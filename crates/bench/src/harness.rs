@@ -658,6 +658,117 @@ pub fn median(samples: &[f64]) -> f64 {
     sorted[sorted.len() / 2]
 }
 
+// ---------------------------------------------- whole-system saturation
+
+/// Build the cluster the `saturation_bench` drives: 4 KVS nodes × 4 shard
+/// workers with the batched executor on, cache-less reads (every op pays
+/// its fabric round trips), **sleeping** fabric delays so client threads
+/// overlap their waits the way real KN workers overlap RDMA completions
+/// (and so thread scaling is observable even on a single-core host), the
+/// aggressive background compactor live, and `replicated` hot keys
+/// selectively replicated so the shared-path indirection-cell machinery
+/// runs under the measured load. What the thread sweep then exposes is
+/// exactly the store's residual serialization: any global lock on the
+/// read-validation, cell-swing or reclamation paths shows up as a flat
+/// throughput curve.
+pub fn saturation_cluster(num_keys: u64, replicated: u64) -> Kvs {
+    use dinomo_cache::CacheKind;
+    use dinomo_dpm::GcConfig;
+    use dinomo_simnet::DelayMode;
+    use dinomo_workload::key_for;
+
+    let kvs = Kvs::builder()
+        .initial_kns(4)
+        .threads_per_kn(4)
+        .cache_kind(CacheKind::None)
+        .cache_bytes_per_kn(1 << 20)
+        .write_batch_ops(8)
+        .executor_queue_depth(64)
+        .fabric(FabricConfig {
+            delay: DelayMode::sleeping(),
+            ..FabricConfig::default()
+        })
+        .dpm(DpmConfig {
+            // Aggressive background compaction must ride inside the
+            // DpmConfig literal: a later `.dpm(..)` builder call replaces
+            // the whole DPM config, including any earlier `.gc(..)`.
+            gc: GcConfig::aggressive(),
+            pool: PmemConfig::with_capacity(256 << 20),
+            // Small segments so the measured overwrite stream seals (and
+            // the aggressive compactor reclaims) segments *during* the
+            // sweep — the bench must catch collector-vs-foreground
+            // serialization, not run against an idle cleaner.
+            segment_bytes: 128 << 10,
+            merge_threads: 2,
+            index: PclhtConfig::for_capacity(num_keys as usize * 2),
+            ..DpmConfig::default()
+        })
+        .build()
+        .expect("building the saturation cluster failed");
+    let client = kvs.client();
+    let pairs: Vec<_> = (0..num_keys)
+        .map(|i| (key_for(i, 8), vec![1u8; 128]))
+        .collect();
+    for chunk in pairs.chunks(256) {
+        client.multi_put(chunk.iter().map(|(k, v)| (k.clone(), v.clone())));
+    }
+    kvs.quiesce().unwrap();
+    for i in 0..replicated.min(num_keys) {
+        kvs.replicate_key(&key_for(i, 8), 2)
+            .expect("replicating a hot key failed");
+    }
+    kvs
+}
+
+/// One closed-loop saturation round: `threads` client threads each issue
+/// `ops_per_thread` per-op requests (1 overwrite per 4 lookups, so the
+/// compactor has dead bytes to clean throughout) against strided key
+/// streams that all pass through the replicated hot keys. Returns the
+/// aggregate throughput in ops/second. `Busy` backpressure is retried —
+/// a rejected op must not masquerade as a completed one.
+pub fn measure_saturation_throughput(
+    kvs: &Kvs,
+    threads: usize,
+    num_keys: u64,
+    ops_per_thread: u64,
+) -> f64 {
+    use dinomo_workload::key_for;
+    use std::time::Instant;
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let client = kvs.client();
+                scope.spawn(move || {
+                    let mut key = (t as u64).wrapping_mul(7919) % num_keys;
+                    for i in 0..ops_per_thread {
+                        key = (key + 31) % num_keys;
+                        let bytes = key_for(key, 8);
+                        if i % 4 == 3 {
+                            let mut tries = 0;
+                            while client.update(&bytes, &[2u8; 128]).is_err() {
+                                tries += 1;
+                                assert!(tries < 1000, "update of key {key} kept failing");
+                            }
+                        } else {
+                            let mut tries = 0;
+                            while client.lookup(&bytes).is_err() {
+                                tries += 1;
+                                assert!(tries < 1000, "lookup of key {key} kept failing");
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    (threads as u64 * ops_per_thread) as f64 / start.elapsed().as_secs_f64()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

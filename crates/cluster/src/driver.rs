@@ -159,6 +159,16 @@ pub struct TimelineRow {
     /// divided by live bytes (0.0 while the store is empty). The
     /// compactor's job is keeping this bounded under skewed overwrites.
     pub space_amplification: f64,
+    /// Indirection-cell swings that lost a race during the epoch (see
+    /// `DpmStats::cell_registry_waits`). The cell-contention signal:
+    /// rising values mean hot shared keys are serializing on their cells.
+    pub cell_registry_waits: u64,
+    /// Epoch-shim garbage bags sealed into the global buckets during the
+    /// epoch (`crossbeam::epoch::stats`). Each seal is one short global
+    /// lock acquisition — the only cross-thread serialization left in the
+    /// reclamation scheme — so this is the future-cliff counter for
+    /// memory reclamation.
+    pub epoch_bag_flushes: u64,
     /// Human-readable record of events and policy actions this epoch.
     pub actions: Vec<String>,
 }
@@ -246,6 +256,7 @@ impl SimulationDriver {
         let mut replicated: HashMap<Vec<u8>, usize> = HashMap::new();
         let mut epochs_since_action = usize::MAX / 2;
         let mut prev_stats = self.store.stats();
+        let mut prev_bag_flushes = crossbeam::epoch::stats().bag_flushes;
         let epoch = Duration::from_millis(self.config.epoch_ms);
         let start = Instant::now();
 
@@ -301,6 +312,16 @@ impl SimulationDriver {
                 .dpm
                 .bytes_relocated
                 .saturating_sub(prev_stats.dpm.bytes_relocated);
+            let cell_registry_waits = stats
+                .dpm
+                .cell_registry_waits
+                .saturating_sub(prev_stats.dpm.cell_registry_waits);
+            // Process-global (the epoch shim is shared by every store in
+            // this process), but experiments run one store at a time, so
+            // the per-epoch delta is attributable to this run.
+            let epoch_stats = crossbeam::epoch::stats();
+            let epoch_bag_flushes = epoch_stats.bag_flushes.saturating_sub(prev_bag_flushes);
+            prev_bag_flushes = epoch_stats.bag_flushes;
             let space_amplification = if stats.dpm.live_bytes == 0 {
                 0.0
             } else {
@@ -365,6 +386,8 @@ impl SimulationDriver {
                 segments_compacted,
                 bytes_relocated,
                 space_amplification,
+                cell_registry_waits,
+                epoch_bag_flushes,
                 actions,
             });
         }

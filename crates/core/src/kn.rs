@@ -409,7 +409,7 @@ impl KnNode {
                 // run under the caller's epoch pin, and the compactor
                 // defers the pool free past every pinned guard, so a
                 // location that validates here cannot be reused mid-read.
-                if self.dpm.value_addr_is_live(PmAddr(loc.addr)) {
+                if self.dpm.value_addr_is_live_in(guard, PmAddr(loc.addr)) {
                     let value = self.dpm.read_value_at(&self.nic, PmAddr(loc.addr), loc.len);
                     shard.cache.admit_value(key, &value, loc);
                     return Ok(Some(value));
@@ -431,7 +431,7 @@ impl KnNode {
                     // compactor has since freed (its entry was merged, or
                     // it would not have been relocated — the index is
                     // authoritative for it).
-                    if self.dpm.value_addr_is_live(addr) {
+                    if self.dpm.value_addr_is_live_in(guard, addr) {
                         let value = self.dpm.read_value_at(&self.nic, addr, len);
                         let loc = ValueLoc { addr: addr.0, len };
                         shard.cache.admit_value(key, &value, loc);
@@ -568,7 +568,7 @@ impl KnNode {
                             // a since-freed segment is fully merged and
                             // relocated — the (fresher) tree location
                             // serves the key instead.
-                            if self.dpm.value_addr_is_live(*addr) {
+                            if self.dpm.value_addr_is_live_in(&guard, *addr) {
                                 let value = self.dpm.read_value_at(&self.nic, *addr, *len);
                                 overlay.insert(key.clone(), Some(value));
                             }

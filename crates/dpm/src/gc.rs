@@ -14,9 +14,12 @@
 //!    long-lived).
 //! 2. **Pinning** — a segment any indirection cell references (live target
 //!    *or* the tombstoned-over entry a cell keeps for key identity) is
-//!    skipped entirely; the pin set is snapshotted, and the victim
-//!    processed, under the cell registry lock so no cell can be installed
-//!    over an entry mid-relocation (see `DpmInner::cell_registry`).
+//!    skipped entirely. The reference is the segment's own pin count
+//!    (`SegmentState::cell_pins`, incremented by a swing *before* it
+//!    publishes the reference), so the check is one atomic load per
+//!    victim — no global registry, no lock. A cell installed over an
+//!    entry mid-relocation loses the per-entry index CAS race below and
+//!    retries against the relocated location.
 //! 3. **Relocation** — each live entry's bytes are copied *verbatim*
 //!    (same key, value, op and — critically — the same global sequence
 //!    number, so merge-engine staleness arbitration is unaffected) into
@@ -41,6 +44,66 @@
 //! relocating at most `GcConfig::max_pass_bytes` — the byte-rate throttle
 //! that keeps cleaning from competing with foreground flush bandwidth.
 //! Tests drive the same pass synchronously via `DpmNode::compact_once`.
+//!
+//! # Reader guard contract
+//!
+//! The compactor frees victim segments *while readers run*. What makes
+//! that safe is a two-part contract every reader must follow:
+//!
+//! * **Resolve, validate and read under one epoch pin.** A raw address
+//!   obtained from the index (or a cached shortcut) is only meaningful
+//!   relative to the [`Guard`](crate::Guard) that was live when it was
+//!   resolved. Freed segment memory is returned to the pool via a
+//!   deferred drop, so it cannot be reused while any guard from an
+//!   earlier epoch is still pinned — a reader never observes recycled
+//!   bytes.
+//! * **Validate stale shortcuts, don't trust them.** The guard keeps the
+//!   *bytes* alive, not the *location* current: a relocation can swing
+//!   the index at any moment. [`DpmNode::value_addr_is_live_in`](crate::DpmNode::value_addr_is_live_in)
+//!   (one epoch-protected binary search, no lock) is the check a reader
+//!   runs before using a cached address; a `false` answer means re-look
+//!   the key up, under the same guard.
+//!
+//! ```
+//! use dinomo_dpm::{pin, DpmConfig, DpmNode, GcConfig, LogWriter};
+//! use dinomo_simnet::{FabricConfig, Nic};
+//! use std::sync::Arc;
+//!
+//! let mut config = DpmConfig::small_for_tests();
+//! config.segment_bytes = 8 << 10;
+//! config.gc = GcConfig { background: false, dead_fraction: 0.25, ..GcConfig::aggressive() };
+//! let dpm = Arc::new(DpmNode::new(config).unwrap());
+//!
+//! // Skew-pinned log: every segment keeps one live key ("hot...") inside
+//! // repeatedly-overwritten filler, the shape only the compactor reclaims.
+//! let mut w = LogWriter::new(Arc::clone(&dpm), 0, Nic::new(FabricConfig::default()));
+//! for round in 0..6u32 {
+//!     w.append_put(format!("hot{round}").as_bytes(), &[0xA5; 64]);
+//!     for i in 0..8u32 {
+//!         w.append_put(format!("cold{i}").as_bytes(), &[round as u8; 512]);
+//!     }
+//!     w.flush().unwrap();
+//! }
+//! w.seal_current();
+//! dpm.wait_until_merged(0);
+//!
+//! // Resolve an address under a pin; it is valid for this guard's lifetime.
+//! let guard = pin();
+//! let loc = dpm.local_lookup_in(&guard, b"hot0").expect("merged");
+//! assert!(dpm.value_addr_is_live_in(&guard, loc.addr()));
+//!
+//! // Compaction relocates the hot keys and frees their old segments. The
+//! // pool memory behind `loc` is *deferred*, not recycled — but the
+//! // address is now stale, and the liveness check says so:
+//! while dpm.compact_once().segments_compacted > 0 {}
+//! assert!(!dpm.value_addr_is_live_in(&guard, loc.addr()));
+//!
+//! // The recovery move is a fresh lookup under the same guard: the key
+//! // is still served, from its relocated home.
+//! let relocated = dpm.local_lookup_in(&guard, b"hot0").expect("still indexed");
+//! assert_ne!(relocated.addr(), loc.addr());
+//! drop(guard); // now the old segment's bytes may actually be reused
+//! ```
 
 use crate::config::GcConfig;
 use crate::entry::decode_entry;
@@ -175,19 +238,12 @@ fn compact_pass_locked(inner: &Arc<DpmInner>, gc: &GcConfig) -> CompactionReport
         // `run_gc` takes the pass lock too, so no other collector can
         // free a victim while this pass scans it; the freed re-check is
         // belt and braces.
-        {
-            let registry = inner.lock_cell_registry();
-            if victim.is_freed() {
-                continue;
-            }
-            let pinned = inner.pinned_entry_addrs(&registry);
-            if pinned
-                .iter()
-                .any(|&a| victim.contains(dinomo_pmem::PmAddr(a)))
-            {
-                report.segments_skipped_pinned += 1;
-                continue;
-            }
+        if victim.is_freed() {
+            continue;
+        }
+        if victim.cell_pins() > 0 {
+            report.segments_skipped_pinned += 1;
+            continue;
         }
 
         let pool = inner.pool();
@@ -246,17 +302,15 @@ fn compact_pass_locked(inner: &Arc<DpmInner>, gc: &GcConfig) -> CompactionReport
             // merged (and can later be selected as victims themselves).
             dst.record_merged(entry_len, 1);
             let new_loc = PackedLoc::direct(new_addr, entry_len);
-            // Per-entry registry critical section: just the conditional
-            // index swing. It serializes with `make_indirect`'s
-            // read-then-install window (a cell must snapshot either the
-            // victim entry *before* this CAS or the relocated copy after
-            // it, never a half-relocated state) while keeping shared-key
-            // writes — which also take the registry — stalled for at most
-            // one entry's CAS instead of a whole victim's copy loop.
-            let swung = {
-                let _registry = inner.lock_cell_registry();
-                index.cas_value(tag, old_loc.raw(), new_loc.raw())
-            };
+            // The conditional index swing is the whole synchronization:
+            // `make_indirect` pins the victim's segment and then swings the
+            // index conditioned on the exact location it read, so a cell
+            // install either lands *before* this CAS (this CAS fails — the
+            // index now holds the indirect location) or loses its own
+            // update (the index holds `new_loc`) and retries against the
+            // relocated copy. No half-relocated state is observable, and
+            // shared-key writes never stall behind the copy loop.
+            let swung = index.cas_value(tag, old_loc.raw(), new_loc.raw());
             if swung {
                 victim.record_invalidated(offset, entry_len);
                 budget -= entry_len;
@@ -287,14 +341,12 @@ fn compact_pass_locked(inner: &Arc<DpmInner>, gc: &GcConfig) -> CompactionReport
             offset += entry_len;
         }
 
-        // Free under a fresh pin snapshot: a cell may have been installed
+        // Free under a fresh pin read: a cell may have been installed
         // over (or tombstoned onto) one of the victim's entries while the
-        // scan ran entry by entry.
-        let registry = inner.lock_cell_registry();
-        let pinned = inner.pinned_entry_addrs(&registry);
-        if !pinned
-            .iter()
-            .any(|&a| victim.contains(dinomo_pmem::PmAddr(a)))
+        // scan ran entry by entry. A swing pins before it publishes, so a
+        // zero count here means any concurrent install will fail its index
+        // CAS (the entry is invalid/relocated) and withdraw its pin.
+        if victim.cell_pins() == 0
             && victim.is_reclaimable()
             && inner.free_segment_deferred(&victim)
         {

@@ -9,15 +9,23 @@ use crate::loc::PackedLoc;
 use crate::merge::{apply_recovered_entry, MergeEngine, MergeTask};
 use crate::ordered::{OrderedIndex, TreeStats};
 use crate::segment::SegmentState;
+use crossbeam::epoch::{Atomic, Owned};
 use dinomo_partition::key_hash;
 use dinomo_pclht::{pin, Guard, Pclht};
 use dinomo_pmem::{PmAddr, PmemError, PmemPool};
 use dinomo_simnet::Nic;
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Lock-free lookup table from pool address to live segment: `(base, end,
+/// segment)` triples sorted by base. Readers binary-search it under their
+/// existing epoch pin; writers rebuild and swap it (epoch-retiring the old
+/// table) under the segment-registry write lock on every allocate/free —
+/// both rare next to the per-read validations it serves.
+type SegTable = Vec<(u64, u64, Arc<SegmentState>)>;
 
 /// Callback invoked after the compactor relocates a key's log entry: the
 /// key and the entry's **old** location. KVS-node caches hold shortcuts
@@ -79,6 +87,19 @@ pub struct DpmStats {
     pub live_bytes: u64,
     /// Total capacity of the currently allocated (non-freed) segments.
     pub segment_bytes_allocated: u64,
+    /// Cell-swing operations (cell installs, shared-path publishes,
+    /// `cas_indirect`) that lost a race to a concurrent swing, relocation
+    /// or merge and had to retry or abandon. This is the contention signal
+    /// that used to hide inside the global cell-registry mutex: a rising
+    /// rate under load means hot shared keys are serializing on their
+    /// cells.
+    pub cell_registry_waits: u64,
+}
+
+/// Guard returned by [`DpmNode::pause_collectors`]: collector passes are
+/// excluded while it lives.
+pub struct CollectorPause<'a> {
+    _guard: MutexGuard<'a, ()>,
 }
 
 /// State shared between the [`DpmNode`] facade and the merge workers.
@@ -99,13 +120,16 @@ pub struct DpmInner {
     entries_merged: AtomicU64,
     segments_freed: AtomicU64,
     indirect_cells: AtomicU64,
-    /// Registry of installed indirection cells. The lock is held across
-    /// cell installation/removal *and* across each compaction victim's
-    /// pin-set snapshot + relocation, so the compactor can never swing an
-    /// index entry out from under a cell being installed over it (or free
-    /// a segment a freshly-tombstoned cell still references for key
-    /// identity).
-    cell_registry: Mutex<HashSet<PmAddr>>,
+    /// Lock-free address → segment lookup (see [`SegTable`]). The
+    /// authoritative registry stays in `segments`; this is the read-path
+    /// projection of it, rebuilt on every allocate/free.
+    seg_table: Atomic<SegTable>,
+    /// Cell-swing races (see [`DpmStats::cell_registry_waits`]). Cell
+    /// swings themselves are lock-free: a swing pins its target's segment
+    /// (`SegmentState::pin_cell`) before the cell/index CAS, so collectors
+    /// check one per-segment counter instead of serializing every swing
+    /// on a global registry mutex.
+    cell_swing_waits: AtomicU64,
     /// Serializes compaction passes (background thread vs. the synchronous
     /// `compact_once` test hook).
     gc_pass_lock: Mutex<()>,
@@ -252,11 +276,90 @@ impl DpmInner {
 
     /// Mark the entry at `loc` invalid in its segment's accounting
     /// (idempotent per entry — see `SegmentState::record_invalidated`).
+    /// Lock-free: resolves the segment through the epoch-protected lookup
+    /// table (this runs on every overwrite the merge engine applies).
     pub(crate) fn invalidate_entry(&self, loc: PackedLoc) {
-        let segments = self.segments.read();
-        if let Some(seg) = segments.iter().find(|s| s.contains(loc.addr())) {
+        let guard = pin();
+        if let Some(seg) = self.segment_at(&guard, loc.addr()) {
             seg.record_invalidated(loc.addr().0 - seg.base.0, loc.len());
         }
+    }
+
+    /// Resolve `addr` to the live segment containing it, without any lock:
+    /// binary search over the epoch-protected [`SegTable`]. The reference
+    /// is valid for the guard's lifetime; the segment may still be marked
+    /// freed concurrently — callers that care re-check
+    /// [`SegmentState::is_freed`].
+    pub(crate) fn segment_at<'g>(
+        &self,
+        guard: &'g Guard,
+        addr: PmAddr,
+    ) -> Option<&'g Arc<SegmentState>> {
+        let table = self.seg_table.load(Ordering::SeqCst, guard);
+        // SAFETY: the table is only replaced via `publish_seg_table`, which
+        // retires the old vector through the epoch scheme; loading under
+        // `guard` keeps this snapshot alive.
+        let entries = unsafe { table.deref() };
+        let i = entries.partition_point(|e| e.1 <= addr.0);
+        let e = entries.get(i)?;
+        (e.0 <= addr.0 && addr.0 < e.1).then_some(&e.2)
+    }
+
+    /// Rebuild and swap the lock-free segment lookup table. Must be called
+    /// with the `segments` write lock held (allocate/free paths), which
+    /// serializes rebuilds; the superseded table is epoch-retired so
+    /// in-flight readers finish against their snapshot.
+    fn publish_seg_table(&self, segments: &[Arc<SegmentState>]) {
+        let mut entries: SegTable = segments
+            .iter()
+            .map(|s| (s.base.0, s.base.0 + s.capacity, Arc::clone(s)))
+            .collect();
+        entries.sort_unstable_by_key(|e| e.0);
+        let guard = pin();
+        let old = self
+            .seg_table
+            .swap(Owned::new(entries), Ordering::SeqCst, &guard);
+        // SAFETY: `old` was just unlinked by the swap and is never
+        // re-published; readers still traversing it are epoch-pinned.
+        unsafe { guard.defer_destroy(old) };
+    }
+
+    /// Pin `addr`'s segment against relocation and free (a cell is about
+    /// to reference an entry in it). Pins **before** validating: the
+    /// freed re-check after the increment means a collector either sees
+    /// the pin at its free-time check or this returns `None` and the
+    /// caller retries against fresh index state. `None` when the address
+    /// no longer lies in a live segment.
+    pub(crate) fn pin_live_segment_at(
+        &self,
+        guard: &Guard,
+        addr: PmAddr,
+    ) -> Option<Arc<SegmentState>> {
+        let seg = self.segment_at(guard, addr)?;
+        seg.pin_cell();
+        if seg.is_freed() {
+            seg.unpin_cell();
+            return None;
+        }
+        Some(Arc::clone(seg))
+    }
+
+    /// Release the cell pin on the segment containing `addr` (the cell
+    /// swung away from, or dismantled its reference to, an entry there).
+    /// Pinned segments are never freed, so the lookup cannot miss while
+    /// the pin is held.
+    pub(crate) fn unpin_segment_at(&self, guard: &Guard, addr: PmAddr) {
+        if let Some(seg) = self.segment_at(guard, addr) {
+            seg.unpin_cell();
+        } else {
+            debug_assert!(false, "unpin of {addr:?} found no live segment");
+        }
+    }
+
+    /// Count a cell swing that lost a race and retried or abandoned (see
+    /// [`DpmStats::cell_registry_waits`]).
+    pub(crate) fn record_cell_wait(&self) {
+        self.cell_swing_waits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshot of the live segment list.
@@ -275,18 +378,15 @@ impl DpmInner {
         let base = self.pool.alloc(self.config.segment_bytes)?;
         let id = self.next_segment_id.fetch_add(1, Ordering::Relaxed);
         let seg = Arc::new(SegmentState::new(id, kn, base, self.config.segment_bytes));
-        self.segments.write().push(Arc::clone(&seg));
+        let mut segments = self.segments.write();
+        segments.push(Arc::clone(&seg));
+        self.publish_seg_table(&segments);
         Ok(seg)
     }
 
-    /// Lock the indirection-cell registry (see the field docs for what the
-    /// guard serializes).
+    /// The copy-on-write ordered secondary index.
     pub(crate) fn ordered(&self) -> &OrderedIndex {
         &self.ordered
-    }
-
-    pub(crate) fn lock_cell_registry(&self) -> MutexGuard<'_, HashSet<PmAddr>> {
-        self.cell_registry.lock()
     }
 
     /// This node's crash-injection points.
@@ -304,24 +404,6 @@ impl DpmInner {
         self.gc_destination.lock()
     }
 
-    /// The entry addresses every installed indirection cell currently
-    /// references — live targets *and* tombstoned-over entries, whose
-    /// address a cell keeps for key identity until dereplication
-    /// dismantles it. Entries in this set must be neither relocated nor
-    /// freed. Call with the registry guard held so cell installs/removals
-    /// cannot interleave with the snapshot's use.
-    pub(crate) fn pinned_entry_addrs(&self, registry: &HashSet<PmAddr>) -> HashSet<u64> {
-        registry
-            .iter()
-            .filter_map(|cell| {
-                let raw = self.pool.read_u64(*cell);
-                // `PackedLoc::addr` masks the tombstone (indirect) bit, so
-                // this is the key-identity target either way.
-                (raw != 0).then(|| PackedLoc::from_raw(raw).addr().0)
-            })
-            .collect()
-    }
-
     /// Free a segment's pool bytes once every epoch guard pinned at call
     /// time has dropped, and drop it from the registry now. Readers
     /// resolve a location and decode the entry under one epoch pin, so
@@ -333,19 +415,27 @@ impl DpmInner {
         if !seg.mark_freed() {
             return false;
         }
-        self.segments.write().retain(|s| s.id != seg.id);
+        {
+            let mut segments = self.segments.write();
+            segments.retain(|s| s.id != seg.id);
+            self.publish_seg_table(&segments);
+        }
         let pool = Arc::clone(&self.pool);
         let base = seg.base;
         let capacity = seg.capacity;
         let guard = pin();
         // SAFETY: the segment is unreachable from the index (every entry is
-        // invalid) and unreferenced by any indirection cell (pin set); the
-        // freed flag above diverts shortcut validation. Only readers pinned
-        // before this call can still hold raw addresses into it, and the
-        // epoch scheme delays the closure past their unpin.
+        // invalid) and unreferenced by any indirection cell (cell-pin count
+        // is zero); the freed flag above diverts shortcut validation. Only
+        // readers pinned before this call can still hold raw addresses into
+        // it, and the epoch scheme delays the closure past their unpin.
         unsafe {
             guard.defer_unchecked(move || pool.free(base, capacity));
         }
+        // Seal this thread's garbage bag immediately: segment frees must
+        // reach the global buckets on their own, not ride on this thread's
+        // future pin cadence (it may be a short-lived compactor worker).
+        guard.flush();
         self.segments_freed.fetch_add(1, Ordering::Relaxed);
         true
     }
@@ -469,7 +559,8 @@ impl DpmNode {
             entries_merged: AtomicU64::new(0),
             segments_freed: AtomicU64::new(0),
             indirect_cells: AtomicU64::new(0),
-            cell_registry: Mutex::new(HashSet::new()),
+            seg_table: Atomic::new(Vec::new()),
+            cell_swing_waits: AtomicU64::new(0),
             gc_pass_lock: Mutex::new(()),
             gc_destination: Mutex::new(None),
             relocation_observer: ObserverSlot::default(),
@@ -541,6 +632,7 @@ impl DpmNode {
             entries_relocated: self.inner.entries_relocated.load(Ordering::Relaxed),
             live_bytes,
             segment_bytes_allocated,
+            cell_registry_waits: self.inner.cell_swing_waits.load(Ordering::Relaxed),
         }
     }
 
@@ -556,12 +648,23 @@ impl DpmNode {
     /// this under an epoch pin: the compactor sets the freed flag *before*
     /// deferring the pool free, so a reader that passes the check while
     /// pinned can never observe the bytes being reused.
+    ///
+    /// O(1): one binary search over the epoch-protected segment table plus
+    /// one freed-bit load — no lock, no scan (this runs on every
+    /// shortcut-cache hit). Pins internally; callers already holding a
+    /// guard should use [`DpmNode::value_addr_is_live_in`].
     pub fn value_addr_is_live(&self, addr: PmAddr) -> bool {
+        let guard = pin();
+        self.value_addr_is_live_in(&guard, addr)
+    }
+
+    /// [`DpmNode::value_addr_is_live`] under a caller-held epoch pin. The
+    /// guard must be the same one protecting the subsequent value read:
+    /// the liveness answer only holds as long as that pin does.
+    pub fn value_addr_is_live_in(&self, guard: &Guard, addr: PmAddr) -> bool {
         self.inner
-            .segments
-            .read()
-            .iter()
-            .any(|s| s.contains(addr) && !s.is_freed())
+            .segment_at(guard, addr)
+            .is_some_and(|s| !s.is_freed())
     }
 
     /// Number of segments of `kn` that are not yet fully merged.
@@ -827,44 +930,67 @@ impl DpmNode {
     /// Install an indirection cell for `key` so its ownership can be shared
     /// across KNs.  Returns the cell address (or `None` if the key does not
     /// exist yet).  Idempotent: an already-shared key returns its cell.
+    ///
+    /// Lock-free against the compactor: the target entry's segment is
+    /// pinned ([`SegmentState::pin_cell`]) *before* the index swing, and
+    /// the swing CAS only succeeds against the exact location the pin was
+    /// taken for. If the compactor relocated the entry in between, the CAS
+    /// fails, the pin is released, and the install retries against the
+    /// fresh index state.
     pub fn make_indirect(&self, key: &[u8]) -> Result<Option<PmAddr>, PmemError> {
-        // The registry guard spans the index read *and* the swing to the
-        // indirect location: the compactor relocates entries under the same
-        // lock, so the entry the new cell snapshots cannot move (which
-        // would strand an uninstalled cell) between the read and the
-        // update, and the cell is pinned before any later pass can select
-        // its target's segment.
-        let mut registry = self.inner.lock_cell_registry();
         let tag = key_hash(key);
-        let Some(raw) = self
-            .inner
-            .index
-            .get(tag, |raw| self.inner.loc_matches_key(raw, key))
-        else {
-            return Ok(None);
-        };
-        let loc = PackedLoc::from_raw(raw);
-        if loc.is_indirect() {
-            return Ok(Some(loc.addr()));
-        }
-        let cell = self.inner.pool.alloc(16)?;
-        self.inner.pool.write_u64(cell, loc.raw());
-        self.inner.pool.write_u64(cell.offset(8), 0);
-        self.inner.pool.persist(cell, 16);
-        self.inner.pool.drain();
-        if self.inner.failpoints.hit("cell.before-swing") {
-            // Simulated fail-stop between publishing the cell and swinging
-            // the index onto it: the cell is durable but unreachable, so
-            // recovery-wise it never existed. Free it here (the in-process
-            // stand-in for a recovery-time cell sweep) and abort.
+        let guard = pin();
+        loop {
+            let Some(raw) = self
+                .inner
+                .index
+                .get(tag, |raw| self.inner.loc_matches_key(raw, key))
+            else {
+                return Ok(None);
+            };
+            let loc = PackedLoc::from_raw(raw);
+            if loc.is_indirect() {
+                return Ok(Some(loc.addr()));
+            }
+            // Pin the entry's segment so the compactor can neither relocate
+            // the entry nor free the segment while the cell references it.
+            let Some(target_seg) = self.inner.pin_live_segment_at(&guard, loc.addr()) else {
+                // The entry moved (its old segment is gone): the index now
+                // holds the relocated location — retry against it.
+                self.inner.record_cell_wait();
+                continue;
+            };
+            let cell = self.inner.pool.alloc(16)?;
+            self.inner.pool.write_u64(cell, loc.raw());
+            self.inner.pool.write_u64(cell.offset(8), 0);
+            self.inner.pool.persist(cell, 16);
+            self.inner.pool.drain();
+            if self.inner.failpoints.hit("cell.before-swing") {
+                // Simulated fail-stop between publishing the cell and
+                // swinging the index onto it: the cell is durable but
+                // unreachable, so recovery-wise it never existed. Free it
+                // here (the in-process stand-in for a recovery-time cell
+                // sweep) and abort.
+                self.inner.pool.free(cell, 16);
+                target_seg.unpin_cell();
+                return Err(PmemError::InjectedFailure);
+            }
+            let new_raw = PackedLoc::indirect(cell, 16).raw();
+            if self
+                .inner
+                .index
+                .update(tag, |r| r == raw, new_raw)
+                .is_some()
+            {
+                self.inner.indirect_cells.fetch_add(1, Ordering::Relaxed);
+                return Ok(Some(cell));
+            }
+            // Lost the swing race (concurrent merge or relocation changed
+            // the location): undo and retry.
+            target_seg.unpin_cell();
             self.inner.pool.free(cell, 16);
-            return Err(PmemError::InjectedFailure);
+            self.inner.record_cell_wait();
         }
-        let new_raw = PackedLoc::indirect(cell, 16).raw();
-        self.inner.index.update(tag, |r| r == raw, new_raw);
-        self.inner.indirect_cells.fetch_add(1, Ordering::Relaxed);
-        registry.insert(cell);
-        Ok(Some(cell))
     }
 
     /// Remove the indirection for `key`: a cell publishing a live value
@@ -875,12 +1001,11 @@ impl DpmNode {
     /// shared put and be discarded. Returns `true` if the key was
     /// indirect.
     pub fn remove_indirect(&self, key: &[u8]) -> bool {
-        // Same serialization against the compactor as `make_indirect`: the
-        // cell leaves the registry in the same critical section that
-        // collapses it, so a concurrent pass either still sees the pin or
-        // sees the collapsed (direct) index state — never a half-dismantled
-        // cell.
-        let mut registry = self.inner.lock_cell_registry();
+        // No global serialization: dereplication runs with the key's owner
+        // KNs closed and drained (see the cluster layer), so no concurrent
+        // swing targets this cell. The compactor never relocates entries a
+        // pinned cell references, and the pin is released only after the
+        // cell is collapsed back to a direct (or removed) index state.
         let tag = key_hash(key);
         let Some(raw) = self
             .inner
@@ -893,6 +1018,12 @@ impl DpmNode {
         if !loc.is_indirect() {
             return false;
         }
+        // The cell's key-identity target — live or tombstoned-over — is the
+        // address whose segment holds this cell's pin.
+        let pinned_addr = self
+            .inner
+            .indirect_cell_target(loc.addr())
+            .map(|t| t.addr());
         // Re-sync the ordered index with the collapsed state: while the
         // key was shared, writes published through the cell without index
         // (or ordered-index) updates, so the ordered entry is stale —
@@ -913,8 +1044,10 @@ impl DpmNode {
                 self.inner.ordered.remove(&guard, key);
             }
         }
-        registry.remove(&loc.addr());
         self.inner.release_indirect_cell(loc.addr());
+        if let Some(addr) = pinned_addr {
+            self.inner.unpin_segment_at(&guard, addr);
+        }
         true
     }
 
@@ -936,6 +1069,11 @@ impl DpmNode {
     /// Atomically swing an indirection cell from `old` to `new` with a
     /// one-sided CAS (1 RT).  On success the superseded entry is invalidated
     /// for GC purposes.
+    ///
+    /// Pin transfer (see [`DpmNode::make_indirect`]): `new`'s segment is
+    /// pinned before the CAS so the compactor cannot move the entry the
+    /// cell is about to reference; on success the pin the cell held on
+    /// `old`'s segment is released, on failure the speculative pin is.
     pub fn cas_indirect(
         &self,
         nic: &Nic,
@@ -943,17 +1081,27 @@ impl DpmNode {
         old: PackedLoc,
         new: PackedLoc,
     ) -> Result<(), PackedLoc> {
-        // Serialized against the compactor like every cell swing (see
-        // `publish_shared_put` for the hazard).
-        let _registry = self.inner.lock_cell_registry();
+        let guard = pin();
+        let Some(new_seg) = self.inner.pin_live_segment_at(&guard, new.addr()) else {
+            // `new` was already relocated out from under us (its entry is
+            // superseded); report the current cell state as a CAS miss.
+            self.inner.record_cell_wait();
+            nic.one_sided_read(8);
+            return Err(PackedLoc::from_raw(self.inner.pool.read_u64(cell)));
+        };
         nic.one_sided_cas();
         match self.inner.pool.cas_u64(cell, old.raw(), new.raw()) {
             Ok(_) => {
                 self.inner.pool.persist(cell, 8);
                 self.inner.invalidate_entry(old);
+                self.inner.unpin_segment_at(&guard, old.addr());
                 Ok(())
             }
-            Err(actual) => Err(PackedLoc::from_raw(actual)),
+            Err(actual) => {
+                new_seg.unpin_cell();
+                self.inner.record_cell_wait();
+                Err(PackedLoc::from_raw(actual))
+            }
         }
     }
 
@@ -977,16 +1125,19 @@ impl DpmNode {
         new: PackedLoc,
         new_seq: u64,
     ) -> bool {
-        // Every cell swing holds the registry lock: the compactor's pin
-        // set is a snapshot of cell targets, valid only while no cell can
-        // move. Without this, a publish delayed past its entry's merge
-        // (which invalidated the entry as "cell never pointed here") could
-        // swing the cell onto an entry whose all-dead segment GC frees
-        // concurrently — the cell would then reference freed bytes. Under
-        // the lock the swing either precedes the snapshot (the target is
-        // pinned) or follows the whole victim (and sees the relocated
-        // index state); either way the referenced bytes stay live.
-        let _registry = self.inner.lock_cell_registry();
+        // Pin `new`'s segment for the duration of the publish attempt so a
+        // delayed publish cannot swing the cell onto an entry whose
+        // all-dead segment GC frees concurrently (the entry's merge may
+        // have invalidated it as "cell never pointed here"). A pin failure
+        // means the segment was already freed — only possible when the
+        // entry was invalidated because newer state superseded `new_seq`,
+        // so the publish is stale and abandons.
+        let guard = pin();
+        let Some(new_seg) = self.inner.pin_live_segment_at(&guard, new.addr()) else {
+            self.inner.record_cell_wait();
+            self.inner.invalidate_entry(new);
+            return false;
+        };
         loop {
             nic.one_sided_read(8);
             let raw = self.inner.pool.read_u64(cell);
@@ -995,6 +1146,7 @@ impl DpmNode {
                 // merge left it valid pending this swing (see the merge
                 // engine's shared-put arm); mark it dead so its segment
                 // can reclaim.
+                new_seg.unpin_cell();
                 self.inner.invalidate_entry(new);
                 return false;
             }
@@ -1008,12 +1160,17 @@ impl DpmNode {
             if published_seq >= Some(new_seq) {
                 // Lost the publish race to newer state: abandoned, never
                 // referenced — invalidate it (see above).
+                new_seg.unpin_cell();
                 self.inner.invalidate_entry(new);
                 return false;
             }
             nic.one_sided_cas();
             if self.inner.pool.cas_u64(cell, raw, new.raw()).is_ok() {
                 self.inner.pool.persist(cell, 8);
+                // Transfer the cell's pin: it now references `new`, not the
+                // predecessor (`PackedLoc::addr` masks the tombstone bit,
+                // so this is the key-identity address either way).
+                self.inner.unpin_segment_at(&guard, old.addr());
                 // A tombstoned predecessor was already invalidated by the
                 // delete that marked it.
                 if !old.is_indirect() {
@@ -1021,6 +1178,7 @@ impl DpmNode {
                 }
                 return true;
             }
+            self.inner.record_cell_wait();
         }
     }
 
@@ -1036,9 +1194,10 @@ impl DpmNode {
     /// Seq-monotonic like [`DpmNode::publish_shared_put`]: a delete older
     /// than the currently published state is a no-op.
     pub fn publish_shared_delete(&self, nic: &Nic, cell: PmAddr, del_seq: u64) {
-        // Serialized against the compactor like every cell swing (see
-        // `publish_shared_put`).
-        let _registry = self.inner.lock_cell_registry();
+        // Pin-neutral: the tombstone swing keeps the cell's key-identity
+        // target address (only the tombstone bit changes), so the pin the
+        // cell holds on that segment carries over untouched and no
+        // compactor coordination is needed beyond it.
         loop {
             nic.one_sided_read(8);
             let raw = self.inner.pool.read_u64(cell);
@@ -1071,6 +1230,7 @@ impl DpmNode {
                 self.inner.invalidate_entry(loc);
                 return;
             }
+            self.inner.record_cell_wait();
         }
     }
 
@@ -1083,27 +1243,28 @@ impl DpmNode {
     /// when fully invalidated: a *tombstoned* cell keeps the dead entry's
     /// address for key identity until dereplication dismantles it, and
     /// freeing (then reusing) those bytes would make the cell resolve to
-    /// garbage. The pin set is snapshotted — and the frees performed —
-    /// under the cell registry lock so no cell can be installed over a
-    /// segment mid-reclaim.
+    /// garbage. Cell references show up as the segment's own pin count
+    /// ([`SegmentState::cell_pins`]), checked again immediately before the
+    /// free: a swing pins its target's segment *before* publishing the
+    /// reference, so a segment observed unpinned here either stays
+    /// unreferenced or the racing swing's CAS fails (its entry was
+    /// invalid) and the speculative pin is withdrawn.
     pub fn run_gc(&self) -> usize {
         // Serialized with compaction passes: `compact_pass` scans victim
-        // bytes between registry critical sections, so no other collector
-        // may free a segment out from under it.
+        // bytes across its pass, so no other collector may free a segment
+        // out from under it.
         let _pass = self.inner.lock_gc_pass();
-        let registry = self.inner.lock_cell_registry();
-        let pinned = self.inner.pinned_entry_addrs(&registry);
         let reclaimable: Vec<Arc<SegmentState>> = {
             let segments = self.inner.segments.read();
             segments
                 .iter()
-                .filter(|s| s.is_reclaimable() && !pinned.iter().any(|&a| s.contains(PmAddr(a))))
+                .filter(|s| s.is_reclaimable() && s.cell_pins() == 0)
                 .cloned()
                 .collect()
         };
         let mut freed = 0;
         for seg in reclaimable {
-            if self.inner.free_segment_deferred(&seg) {
+            if seg.cell_pins() == 0 && self.inner.free_segment_deferred(&seg) {
                 freed += 1;
             }
         }
@@ -1140,13 +1301,32 @@ impl DpmNode {
     /// process's DRAM and survive; they stand in for the state a real
     /// restart would rebuild from the persisted metadata region.
     pub fn simulate_crash(&self) {
-        // Exclude collectors and cell swings for the duration: both walk
-        // pool bytes the crash is about to rewrite.
-        let _pass = self.inner.lock_gc_pass();
-        let _registry = self.inner.lock_cell_registry();
+        // Collector exclusion is the caller's job: a crash driver running
+        // with the background compactor live must bracket the whole
+        // crash → recover → invariant-check sequence in
+        // [`DpmNode::pause_collectors`] — a pass walks pool bytes the
+        // crash is about to rewrite, and a pass concurrent with the
+        // post-recovery check can be observed between its hash-index
+        // swing and the ordered-index swing. Cell swings need no explicit
+        // exclusion — the crash driver (`crash_dpm_and_recover` in the
+        // cluster layer) closes and drains every KN before calling this,
+        // so no swing is in flight.
         self.inner.pool.simulate_crash();
         let guard = pin();
         self.inner.ordered.clear(&guard);
+    }
+
+    /// Block until any in-flight collector pass completes and exclude all
+    /// further passes (background compactor, [`DpmNode::run_gc`],
+    /// [`DpmNode::compact_once`]) while the returned guard lives. Crash
+    /// drivers hold this across [`DpmNode::simulate_crash`], recovery and
+    /// the invariant walk: a relocation swings the hash index and the
+    /// ordered index in two steps, and a checker between the steps would
+    /// report a phantom mismatch.
+    pub fn pause_collectors(&self) -> CollectorPause<'_> {
+        CollectorPause {
+            _guard: self.inner.lock_gc_pass(),
+        }
     }
 
     /// Rebuild the DRAM ordered index from the persistent hash index after

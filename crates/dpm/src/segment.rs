@@ -50,6 +50,14 @@ pub struct SegmentState {
     sealed: AtomicBool,
     /// Freed by the garbage collector.
     freed: AtomicBool,
+    /// Number of indirection cells whose current target (live entry or the
+    /// tombstoned-over entry a cell keeps for key identity) lies in this
+    /// segment. A cell swing pins the *new* target's segment before the
+    /// CAS and unpins the old target's segment after it, so collectors
+    /// only need this one counter — not a global registry walk — to know
+    /// whether a segment is cell-referenced. A segment with `cell_pins()
+    /// > 0` must be neither relocated nor freed.
+    cell_pins: AtomicU64,
 }
 
 impl SegmentState {
@@ -69,7 +77,28 @@ impl SegmentState {
             invalid_offsets: Mutex::new(HashSet::new()),
             sealed: AtomicBool::new(false),
             freed: AtomicBool::new(false),
+            cell_pins: AtomicU64::new(0),
         }
+    }
+
+    /// Record that an indirection cell now references an entry in this
+    /// segment. Callers pin **before** publishing the reference (the cell
+    /// write / index swing), so any collector that observes the published
+    /// reference also observes the pin.
+    pub fn pin_cell(&self) {
+        self.cell_pins.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Release one cell pin (the cell swung its target elsewhere, or was
+    /// dismantled). Callers unpin **after** the reference is retracted.
+    pub fn unpin_cell(&self) {
+        let prev = self.cell_pins.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "cell pin underflow on segment {}", self.id);
+    }
+
+    /// Number of indirection cells currently referencing this segment.
+    pub fn cell_pins(&self) -> u64 {
+        self.cell_pins.load(Ordering::SeqCst)
     }
 
     /// Bytes written so far.

@@ -15,26 +15,73 @@
 //!   [`pin`] publishes `(current global epoch, active)` into the record,
 //!   then re-reads the global epoch and retries until the published epoch is
 //!   the current one, so a participant is never pinned at a stale epoch.
-//! * Retiring garbage ([`Guard::defer_destroy`]) tags it with the global
-//!   epoch observed at retirement.
+//! * Retiring garbage ([`Guard::defer_destroy`]) pushes the destructor into
+//!   the retiring thread's *local bag* — no lock, no shared cache line.
+//! * When a bag fills up (or on [`Guard::flush`], an amortized fraction of
+//!   pins, or thread exit) it is *sealed* with the global epoch observed at
+//!   that moment and pushed into one of a small array of global epoch
+//!   buckets. Only this seal step takes a lock.
 //! * The global epoch advances only when every *active* participant is
-//!   pinned at the current epoch; garbage tagged `e` is dropped once the
-//!   global epoch reaches `e + 2`.
+//!   pinned at the current epoch; a sealed bag tagged `e` is dropped once
+//!   the global epoch reaches `e + 2`.
 //!
 //! Safety sketch: a reader pinned at epoch `p` can only hold pointers whose
-//! retirement happened after its pin, i.e. tagged `e >= p`. While that
-//! reader stays pinned the global epoch can advance at most once (to
-//! `p + 1`), and freeing its pointers would need `e + 2 <= p + 1` — a
-//! contradiction. So nothing a pinned guard can reference is ever freed.
+//! retirement happened after its pin. A bag's seal epoch is read *after*
+//! every retirement it contains (the epoch is monotone), so each item's
+//! retirement epoch is `<=` the bag's seal epoch and every such pointer is
+//! tagged `e >= p` or later. While that reader stays pinned the global epoch
+//! can advance at most once (to `p + 1`), and freeing its pointers would
+//! need `e + 2 <= p + 1` — a contradiction. So nothing a pinned guard can
+//! reference is ever freed. Tagging at seal time instead of retirement time
+//! only ever *delays* a free, never accelerates one.
 //!
-//! Unlike upstream, garbage lives in one global queue behind a mutex and
-//! collection is attempted on retirement, on [`Guard::flush`], and on an
-//! amortized fraction of pins. That keeps `pin`/unpin itself down to two
+//! This is the real crossbeam-epoch design (thread-local bags, tag-based
+//! epoch buckets) rather than the single mutex-guarded global queue the
+//! first version of this shim used: the retire path is now lock-free until
+//! a bag seals, so concurrent writers retiring bucket arrays — or the DPM
+//! compactor retiring whole log segments on every pass — no longer
+//! serialize on one global mutex. `pin`/unpin itself stays at two
 //! uncontended atomic stores plus two loads of the global epoch — the
 //! property the lock-free read paths built on this module rely on.
+//!
+//! # What a pin protects (and what it does not)
+//!
+//! A [`Guard`] keeps every allocation retired *after* the pin alive for the
+//! guard's lifetime. It does **not** freeze logical state: a reader holding
+//! a guard can still observe a bucket array that has been superseded or a
+//! log segment whose freed-bit has been set — the guard only guarantees the
+//! *memory* stays mapped and valid to read. Validity checks (generation
+//! counters, freed-bits, seal words) remain the reader's job:
+//!
+//! ```
+//! use crossbeam::epoch::{self, Atomic, Owned};
+//! use std::sync::atomic::Ordering;
+//!
+//! let slot = Atomic::new(vec![1u8, 2, 3]);
+//!
+//! let guard = epoch::pin();
+//! let snapshot = slot.load(Ordering::SeqCst, &guard);
+//!
+//! // A writer replaces the value and retires the old allocation...
+//! let old = slot.swap(Owned::new(vec![4u8, 5]), Ordering::SeqCst, &guard);
+//! unsafe { guard.defer_destroy(old) };
+//!
+//! // ...but our snapshot, loaded under the guard, is still safe to read:
+//! // the destructor cannot run while this guard is live.
+//! assert_eq!(unsafe { snapshot.deref() }, &[1, 2, 3]);
+//! drop(guard);
+//!
+//! // After the guard drops and the epoch advances twice, collection frees
+//! // the retired value (drop the live one explicitly at the end).
+//! for _ in 0..16 {
+//!     epoch::pin().flush();
+//! }
+//! let unprotected = unsafe { epoch::unprotected() };
+//! let last = slot.load(Ordering::SeqCst, unprotected);
+//! drop(unsafe { last.into_owned() });
+//! ```
 
-use std::cell::Cell;
-use std::collections::VecDeque;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
@@ -48,6 +95,18 @@ const ACTIVE: u64 = 1;
 /// Attempt a collection every this many pins (amortizes the registry scan).
 const PINS_BETWEEN_COLLECT: u32 = 128;
 
+/// A thread's local bag seals into a global bucket at this many items.
+///
+/// Kept small: a bag can hold closures that own large resources (the DPM
+/// defers whole-segment frees through this module), and an unsealed bag is
+/// invisible to every other thread's collection attempts.
+const MAX_BAG_LEN: usize = 32;
+
+/// Number of global epoch buckets sealed bags are distributed over
+/// (indexed by `seal_epoch % BUCKETS`), so concurrent sealers and the
+/// collector do not all contend on a single queue lock.
+const BUCKETS: usize = 4;
+
 // ---------------------------------------------------------------- globals
 
 /// One registered thread. `state` is `(epoch << 1) | ACTIVE` while pinned
@@ -56,7 +115,7 @@ struct Participant {
     state: AtomicU64,
 }
 
-/// A retired allocation's destructor, tagged with its retirement epoch.
+/// A retired allocation's destructor.
 ///
 /// The closure only ever runs once, on whichever thread triggers the
 /// collection; `Send` is asserted because the pointee was unlinked before
@@ -65,10 +124,28 @@ struct Deferred(Box<dyn FnOnce()>);
 
 unsafe impl Send for Deferred {}
 
+/// A thread-local garbage bag sealed with the global epoch observed at the
+/// moment it was pushed into a global bucket. Every destructor inside was
+/// retired at an epoch `<=` the seal epoch, so the bag as a whole is safe
+/// to drop once the global epoch reaches `epoch + 2`.
+struct SealedBag {
+    epoch: u64,
+    items: Vec<Deferred>,
+}
+
 struct GlobalState {
     epoch: AtomicU64,
     participants: Mutex<Vec<Arc<Participant>>>,
-    garbage: Mutex<VecDeque<(u64, Deferred)>>,
+    /// Sealed bags, spread over a few buckets by seal epoch. Each bag
+    /// carries its own epoch tag, so collection never depends on any
+    /// ordering invariant within a bucket.
+    buckets: [Mutex<Vec<SealedBag>>; BUCKETS],
+    /// Cumulative count of bags sealed into the global buckets — the only
+    /// lock acquisitions on the retire path. Exposed through [`stats`] so
+    /// contention trends are visible to the cluster timeline.
+    bag_flushes: AtomicU64,
+    /// Cumulative count of destructors actually run by collection.
+    items_collected: AtomicU64,
 }
 
 fn global() -> &'static GlobalState {
@@ -76,8 +153,42 @@ fn global() -> &'static GlobalState {
     GLOBAL.get_or_init(|| GlobalState {
         epoch: AtomicU64::new(0),
         participants: Mutex::new(Vec::new()),
-        garbage: Mutex::new(VecDeque::new()),
+        buckets: [
+            Mutex::new(Vec::new()),
+            Mutex::new(Vec::new()),
+            Mutex::new(Vec::new()),
+            Mutex::new(Vec::new()),
+        ],
+        bag_flushes: AtomicU64::new(0),
+        items_collected: AtomicU64::new(0),
     })
+}
+
+/// Counters exposed by the reclamation scheme, cumulative for the process.
+///
+/// `bag_flushes` counts sealed bags pushed into the global buckets (the
+/// only mutex acquisitions retirement ever takes); `items_collected` counts
+/// destructors run. A `bag_flushes` rate that approaches the retirement
+/// rate means bags are sealing near-empty (e.g. explicit flushes on every
+/// operation) and the lock-free buffering is being defeated.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Sealed bags pushed into the global epoch buckets.
+    pub bag_flushes: u64,
+    /// Deferred destructors run by collection.
+    pub items_collected: u64,
+    /// Current global epoch.
+    pub global_epoch: u64,
+}
+
+/// Snapshot the shim's reclamation counters (see [`EpochStats`]).
+pub fn stats() -> EpochStats {
+    let g = global();
+    EpochStats {
+        bag_flushes: g.bag_flushes.load(Ordering::Relaxed),
+        items_collected: g.items_collected.load(Ordering::Relaxed),
+        global_epoch: g.epoch.load(Ordering::Relaxed),
+    }
 }
 
 /// Advance the global epoch if every active participant is pinned at it.
@@ -97,25 +208,34 @@ fn try_advance(g: &GlobalState) {
         .compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::SeqCst);
 }
 
-/// Attempt an epoch advance, then run every destructor that is now safe
-/// (retirement epoch at least two behind the global epoch). Destructors run
-/// outside the queue lock so they may themselves pin or retire.
+/// Attempt an epoch advance, then run the destructors of every sealed bag
+/// that is now safe (seal epoch at least two behind the global epoch).
+/// Destructors run outside the bucket locks so they may themselves pin or
+/// retire.
 fn collect(g: &GlobalState) {
     try_advance(g);
     let epoch = g.epoch.load(Ordering::SeqCst);
     let mut ready = Vec::new();
-    {
-        let mut garbage = g.garbage.lock().unwrap();
-        while let Some((e, _)) = garbage.front() {
-            if e + 2 <= epoch {
-                ready.push(garbage.pop_front().unwrap().1);
+    for bucket in &g.buckets {
+        let mut bags = bucket.lock().unwrap();
+        let mut i = 0;
+        while i < bags.len() {
+            if bags[i].epoch + 2 <= epoch {
+                ready.push(bags.swap_remove(i));
             } else {
-                break;
+                i += 1;
             }
         }
     }
-    for d in ready {
-        (d.0)();
+    let mut ran = 0u64;
+    for bag in ready {
+        for d in bag.items {
+            (d.0)();
+            ran += 1;
+        }
+    }
+    if ran > 0 {
+        g.items_collected.fetch_add(ran, Ordering::Relaxed);
     }
 }
 
@@ -127,9 +247,37 @@ struct Local {
     participant: Arc<Participant>,
     pin_count: Cell<u64>,
     pins_until_collect: Cell<u32>,
+    /// This thread's unsealed garbage. Pushed to without any lock; sealed
+    /// into a global bucket on overflow, flush, amortized pins, and thread
+    /// exit. The `RefCell` borrow is never held across a destructor or a
+    /// collection (both may re-enter `defer_unchecked` on this thread).
+    bag: RefCell<Vec<Deferred>>,
 }
 
-/// Owns the thread's registry entry; dropping it (thread exit) unregisters.
+impl Local {
+    /// Seal this thread's bag into a global epoch bucket. Returns `true` if
+    /// there was anything to seal.
+    fn seal_bag(&self, g: &GlobalState) -> bool {
+        let items = std::mem::take(&mut *self.bag.borrow_mut());
+        if items.is_empty() {
+            return false;
+        }
+        // Read the seal epoch *after* taking the items: the epoch is
+        // monotone, so it is `>=` every item's retirement epoch and the
+        // two-epoch rule applied to the seal epoch is conservative.
+        let epoch = g.epoch.load(Ordering::SeqCst);
+        g.buckets[(epoch as usize) % BUCKETS]
+            .lock()
+            .unwrap()
+            .push(SealedBag { epoch, items });
+        g.bag_flushes.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+}
+
+/// Owns the thread's registry entry; dropping it (thread exit) unregisters
+/// the participant and seals any garbage left in the local bag, so a worker
+/// that retires and exits mid-epoch never strands its garbage.
 struct LocalHandle {
     local: Local,
 }
@@ -149,6 +297,7 @@ impl LocalHandle {
                 participant,
                 pin_count: Cell::new(0),
                 pins_until_collect: Cell::new(PINS_BETWEEN_COLLECT),
+                bag: RefCell::new(Vec::new()),
             },
         }
     }
@@ -156,12 +305,19 @@ impl LocalHandle {
 
 impl Drop for LocalHandle {
     fn drop(&mut self) {
+        // Unregister first so a collection triggered below (or by anyone
+        // else) no longer waits on this thread to advance the epoch.
         let target = Arc::as_ptr(&self.local.participant);
-        global()
-            .participants
+        let g = global();
+        g.participants
             .lock()
             .unwrap()
             .retain(|p| Arc::as_ptr(p) != target);
+        // Hand the exiting thread's garbage to the global buckets and give
+        // collection a chance to run it if it is already safe.
+        if self.local.seal_bag(g) {
+            collect(g);
+        }
     }
 }
 
@@ -207,6 +363,7 @@ pub fn pin() -> Guard {
         let left = local.pins_until_collect.get();
         if left == 0 {
             local.pins_until_collect.set(PINS_BETWEEN_COLLECT);
+            local.seal_bag(g);
             collect(g);
         } else {
             local.pins_until_collect.set(left - 1);
@@ -250,6 +407,13 @@ impl Guard {
 
     /// Defer an arbitrary closure until the retirement epoch is safely past.
     ///
+    /// The closure goes into the calling thread's local bag without taking
+    /// any lock; the bag seals into a global epoch bucket on overflow, on
+    /// [`Guard::flush`], on an amortized fraction of pins, or when the
+    /// thread exits. Callers retiring large resources (the DPM's deferred
+    /// segment frees) should [`Guard::flush`] afterwards so reclamation is
+    /// not at the mercy of this thread's future pin cadence.
+    ///
     /// # Safety
     ///
     /// Same unlinked-before-retire contract as [`Guard::defer_destroy`];
@@ -261,22 +425,29 @@ impl Guard {
             f();
             return;
         }
-        let g = global();
-        {
-            // Read the epoch *under* the queue lock so the queue stays
-            // monotone in retirement epoch — `collect`'s front-only scan
-            // would otherwise strand an already-reclaimable entry behind a
-            // later-tagged one pushed by a faster thread.
-            let mut garbage = g.garbage.lock().unwrap();
-            let epoch = g.epoch.load(Ordering::SeqCst);
-            garbage.push_back((epoch, Deferred(Box::new(f))));
+        let local = &*self.local;
+        let overflow = {
+            let mut bag = local.bag.borrow_mut();
+            bag.push(Deferred(Box::new(f)));
+            bag.len() >= MAX_BAG_LEN
+        };
+        if overflow {
+            let g = global();
+            local.seal_bag(g);
+            collect(g);
         }
-        collect(g);
     }
 
-    /// Attempt an epoch advance and run any destructors that became safe.
+    /// Seal the calling thread's garbage bag into the global buckets, then
+    /// attempt an epoch advance and run any destructors that became safe.
     pub fn flush(&self) {
-        collect(global());
+        let g = global();
+        if !self.local.is_null() {
+            // SAFETY: a non-null guard was created by `pin()` on this
+            // thread and `Guard` is `!Send`, so the `Local` is alive.
+            unsafe { (*self.local).seal_bag(g) };
+        }
+        collect(g);
     }
 }
 
@@ -611,5 +782,62 @@ mod tests {
         let last = slot.load(Ordering::SeqCst, unprotected);
         drop(unsafe { last.into_owned() });
         assert_eq!(drops.load(Ordering::SeqCst), 401);
+    }
+
+    #[test]
+    fn exiting_thread_seals_its_bag_and_strands_nothing() {
+        // A worker that retires garbage — including closures standing in
+        // for deferred segment frees — and exits *without ever flushing*
+        // must not strand anything: `LocalHandle::drop` seals the bag into
+        // the global buckets where any other thread's collection finds it.
+        let drops = Arc::new(AtomicU64::new(0));
+        const RETIRED: u64 = 7; // deliberately < MAX_BAG_LEN: no overflow seal
+        assert!((RETIRED as usize) < MAX_BAG_LEN);
+        {
+            let drops = Arc::clone(&drops);
+            std::thread::spawn(move || {
+                let g = pin();
+                for _ in 0..RETIRED {
+                    let counter = DropCounter(Arc::clone(&drops));
+                    unsafe { g.defer_unchecked(move || drop(counter)) };
+                }
+                // Exit while still mid-epoch: no flush, no overflow.
+            })
+            .join()
+            .unwrap();
+        }
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            0,
+            "nothing may free before the epoch advances twice"
+        );
+        drain_until(|| drops.load(Ordering::SeqCst) == RETIRED);
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            RETIRED,
+            "retired == freed after drain: exit seal must not strand garbage"
+        );
+    }
+
+    #[test]
+    fn bag_overflow_seals_without_explicit_flush() {
+        // Retiring past MAX_BAG_LEN on a live thread seals the bag into
+        // the global buckets even though the thread never calls flush().
+        let drops = Arc::new(AtomicU64::new(0));
+        let n = (MAX_BAG_LEN * 3) as u64;
+        {
+            let g = pin();
+            for _ in 0..n {
+                let counter = DropCounter(Arc::clone(&drops));
+                unsafe { g.defer_unchecked(move || drop(counter)) };
+            }
+        }
+        let flushed_before = stats().bag_flushes;
+        assert!(flushed_before > 0, "overflow must have sealed bags");
+        drain_until(|| drops.load(Ordering::SeqCst) >= n - MAX_BAG_LEN as u64);
+        // The unsealed remainder (< MAX_BAG_LEN items) seals on flush.
+        pin().flush();
+        drain_until(|| drops.load(Ordering::SeqCst) == n);
+        assert_eq!(drops.load(Ordering::SeqCst), n);
     }
 }
