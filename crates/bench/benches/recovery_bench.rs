@@ -15,7 +15,7 @@
 //! perf job.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dinomo_bench::harness::write_bench_record;
+use dinomo_bench::harness::{median, write_bench_record};
 use dinomo_core::{Kvs, Op, Reply};
 use dinomo_dpm::DpmConfig;
 use dinomo_pclht::PclhtConfig;
@@ -96,11 +96,6 @@ fn timed_crash(kvs: &Kvs, keys: u64) -> (f64, u64) {
     (elapsed_ms, report.recovery.entries_recovered)
 }
 
-fn median(samples: &mut [f64]) -> f64 {
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    samples[samples.len() / 2]
-}
-
 fn bench_recovery(c: &mut Criterion) {
     let mut record: Vec<(String, f64)> = Vec::new();
     let mut largest_median = 0.0f64;
@@ -115,7 +110,7 @@ fn bench_recovery(c: &mut Criterion) {
             samples.push(ms);
             entries = n;
         }
-        let med = median(&mut samples);
+        let med = median(&samples);
         largest_median = med; // SCALES ascends; the last value wins.
         println!(
             "recovery_bench: {keys} keys ({live_mb:.2} MiB live, {entries} \

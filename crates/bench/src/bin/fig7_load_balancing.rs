@@ -122,6 +122,7 @@ fn main() {
                 preload: true,
                 key_sample_every: 4,
                 batch_size: 1,
+                ..DriverConfig::default()
             },
         )
         .with_policy(PolicyEngine::new(slo));

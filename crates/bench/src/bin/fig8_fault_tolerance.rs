@@ -108,6 +108,7 @@ fn main() {
                 preload: true,
                 key_sample_every: 8,
                 batch_size: 1,
+                ..DriverConfig::default()
             },
         );
         let rows = driver.run(&events);

@@ -12,11 +12,46 @@ use serde::Serialize;
 use std::path::PathBuf;
 
 /// Experiment scale factor from `DINOMO_SCALE` (default 1.0).
+///
+/// A malformed value is **not** silently ignored: a typo'd CI variable
+/// would otherwise quietly benchmark the wrong scale and the perf
+/// trajectory would compare apples to oranges. Interactive runs get a
+/// loud stderr warning and the 1.0 default; under `CI=1` it panics so
+/// the job fails instead.
 pub fn scale() -> f64 {
-    std::env::var("DINOMO_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0)
+    let raw = match std::env::var("DINOMO_SCALE") {
+        Ok(raw) => raw,
+        Err(_) => return 1.0,
+    };
+    match parse_scale(&raw) {
+        Ok(scale) => scale,
+        Err(why) => {
+            let in_ci = std::env::var("CI").is_ok_and(|v| v == "1" || v == "true");
+            if in_ci {
+                panic!("DINOMO_SCALE={raw:?} is invalid ({why}); refusing to bench at a default scale under CI");
+            }
+            eprintln!(
+                "WARNING: DINOMO_SCALE={raw:?} is invalid ({why}); falling back to scale 1.0"
+            );
+            1.0
+        }
+    }
+}
+
+/// Parse a `DINOMO_SCALE` value. Split out of [`scale`] so the
+/// validation is unit-testable without mutating the process environment
+/// (concurrent `set_var` during tests is UB on glibc).
+pub fn parse_scale(raw: &str) -> Result<f64, String> {
+    let scale: f64 = raw
+        .trim()
+        .parse()
+        .map_err(|e| format!("not a number: {e}"))?;
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err(format!(
+            "scale must be a finite positive number, got {scale}"
+        ));
+    }
+    Ok(scale)
 }
 
 /// The shared artifact directory, `<workspace>/target/bench-results`,
@@ -651,11 +686,32 @@ pub fn measure_kn_batch_throughput(
     (batches * batch as u64) as f64 / start.elapsed().as_secs_f64()
 }
 
-/// Median of a set of measurements (sorts a copy).
+/// Median of a set of measurements (sorts a copy). Total over any input:
+/// NaN samples (a division by a zero elapsed time upstream) are dropped
+/// rather than poisoning the comparator, even-length inputs return the
+/// midpoint of the two middle elements rather than the upper one, and an
+/// empty set returns 0.0 with a stderr warning instead of indexing out of
+/// bounds.
 pub fn median(samples: &[f64]) -> f64 {
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    sorted[sorted.len() / 2]
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|s| !s.is_nan()).collect();
+    if sorted.len() < samples.len() {
+        eprintln!(
+            "WARNING: median() dropped {} NaN sample(s) of {}",
+            samples.len() - sorted.len(),
+            samples.len()
+        );
+    }
+    if sorted.is_empty() {
+        eprintln!("WARNING: median() of an empty sample set; reporting 0.0");
+        return 0.0;
+    }
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
 }
 
 // ---------------------------------------------- whole-system saturation
@@ -837,5 +893,32 @@ mod tests {
             clover
         );
         assert!(dinomo.rts_per_op < clover.rts_per_op);
+    }
+
+    #[test]
+    fn median_is_total_over_empty_nan_and_even_inputs() {
+        // Empty: 0.0 (with a warning), not an out-of-bounds panic.
+        assert_eq!(median(&[]), 0.0);
+        // NaN: filtered, not a comparator panic.
+        assert_eq!(median(&[f64::NAN, 3.0, 1.0, f64::NAN, 2.0]), 2.0);
+        assert_eq!(median(&[f64::NAN]), 0.0);
+        // Even length: midpoint of the two middles, not the upper one.
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        // Odd length: the middle element.
+        assert_eq!(median(&[30.0, 10.0, 20.0]), 20.0);
+    }
+
+    #[test]
+    fn parse_scale_accepts_numbers_and_rejects_garbage() {
+        assert_eq!(parse_scale("1.0"), Ok(1.0));
+        assert_eq!(parse_scale(" 2.5 "), Ok(2.5));
+        assert_eq!(parse_scale("0.1"), Ok(0.1));
+        assert!(parse_scale("fast").is_err());
+        assert!(parse_scale("").is_err());
+        assert!(parse_scale("1.o").is_err());
+        assert!(parse_scale("0").is_err(), "zero scale is meaningless");
+        assert!(parse_scale("-1").is_err());
+        assert!(parse_scale("inf").is_err());
+        assert!(parse_scale("NaN").is_err());
     }
 }

@@ -1,0 +1,96 @@
+//! Latency histograms for the bench crate.
+//!
+//! The histogram itself is [`dinomo_core::LogHistogram`] — it lives in
+//! `dinomo-core` so the cluster driver's per-epoch timeline can use the
+//! same buckets — re-exported here with the bench-facing summary type the
+//! open-loop driver and `openloop_bench` report from.
+//!
+//! Design (HDR-histogram style, no external deps): values bucket into 64
+//! linear sub-buckets per power-of-two octave, giving ≤1/64 (~1.6 %)
+//! relative error over the full `u64` range at a fixed ~30 KiB per
+//! histogram. Recording is O(1); percentile queries scan the fixed bucket
+//! array. Histograms merge bucket-wise, so per-worker recording needs no
+//! locks.
+
+pub use dinomo_core::LogHistogram;
+
+use serde::Serialize;
+
+/// Millisecond percentile summary of a latency histogram recorded in
+/// nanoseconds — the row shape `openloop_bench` and the timeline report.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LatencySummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+    /// Median latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile latency in milliseconds.
+    pub p999_ms: f64,
+    /// Maximum recorded latency in milliseconds.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarize a histogram whose samples are nanoseconds.
+    pub fn from_nanos(hist: &LogHistogram) -> Self {
+        const MS: f64 = 1e6;
+        LatencySummary {
+            count: hist.count(),
+            mean_ms: hist.mean() / MS,
+            p50_ms: hist.value_at_quantile(0.50) as f64 / MS,
+            p99_ms: hist.value_at_quantile(0.99) as f64 / MS,
+            p999_ms: hist.value_at_quantile(0.999) as f64 / MS,
+            max_ms: hist.max() as f64 / MS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinomo_workload::session_seed;
+
+    #[test]
+    fn summary_tracks_a_sorted_vector_oracle() {
+        // Pseudorandom nanosecond samples spanning ~1 µs – ~100 ms,
+        // deterministic via the workload crate's seed mixer.
+        let samples: Vec<u64> = (0..40_000u32)
+            .map(|i| 1_000 + session_seed(0xACE, i) % 100_000_000)
+            .collect();
+        let mut hist = LogHistogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let summary = LatencySummary::from_nanos(&hist);
+
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let oracle = |q: f64| {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1] as f64 / 1e6
+        };
+
+        assert_eq!(summary.count, 40_000);
+        // The histogram may only overshoot, and by at most one part in 64
+        // (one sub-bucket) — never undershoot the true percentile.
+        for (got, q) in [
+            (summary.p50_ms, 0.50),
+            (summary.p99_ms, 0.99),
+            (summary.p999_ms, 0.999),
+        ] {
+            let want = oracle(q);
+            assert!(
+                got >= want && got <= want * (1.0 + 1.0 / 64.0) + 1e-6,
+                "q={q}: histogram {got} ms vs oracle {want} ms"
+            );
+        }
+        let true_max = *sorted.last().unwrap() as f64 / 1e6;
+        assert!((summary.max_ms - true_max).abs() < 1e-9);
+        let true_mean = sorted.iter().map(|&s| s as f64).sum::<f64>() / sorted.len() as f64 / 1e6;
+        assert!((summary.mean_ms / true_mean - 1.0).abs() < 0.02);
+    }
+}

@@ -23,9 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod hist;
+pub mod openloop;
 
 pub use harness::{
     bench_results_dir, calibrated_cost_model, kn_scaling_cluster, measure_batch_amortization,
-    measure_kn_batch_throughput, measure_point, median, scale, write_bench_record, write_json,
-    BatchPoint, BenchMetric, BenchRecord, MeasuredPoint, SystemKind,
+    measure_kn_batch_throughput, measure_point, median, parse_scale, scale, write_bench_record,
+    write_json, BatchPoint, BenchMetric, BenchRecord, MeasuredPoint, SystemKind,
 };
+pub use hist::{LatencySummary, LogHistogram};
+pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopPlan, OpenLoopReport};

@@ -1,0 +1,123 @@
+//! Regression tests for the open-loop driver's measurement honesty.
+//!
+//! The coordinated-omission test is the reason the driver exists: a
+//! server that stalls once must show the stall in percentiles measured
+//! from *scheduled arrival* (every operation queued behind the stall was
+//! delayed, and a real open-loop client population would have felt it),
+//! and must largely hide it in percentiles measured from *send time*
+//! (only the one in-flight operation looks slow — the closed-loop lie).
+
+use dinomo_bench::openloop::{run_open_loop, OpenLoopConfig, OpenLoopPlan};
+use dinomo_workload::{arrival_schedule, ArrivalProcess, Operation};
+use std::time::Duration;
+
+/// Same seed ⇒ byte-identical schedule and op stream; different seed ⇒
+/// a different schedule. (The unit tests cover the pieces; this pins the
+/// end-to-end property the replayability story depends on.)
+#[test]
+fn open_loop_plans_are_deterministic_from_the_seed() {
+    let cfg = OpenLoopConfig {
+        total_ops: 4_000,
+        ..OpenLoopConfig::default()
+    };
+    let a = OpenLoopPlan::new(cfg);
+    let b = OpenLoopPlan::new(cfg);
+    assert_eq!(a.arrivals_ns, b.arrivals_ns);
+    assert_eq!(a.session_of, b.session_of);
+    assert!((0..4_000).all(|i| a.op(i) == b.op(i)));
+    assert_eq!(
+        a.arrivals_ns,
+        arrival_schedule(cfg.process, cfg.offered_rate, cfg.total_ops, cfg.seed),
+        "the plan must replay the workload crate's schedule verbatim"
+    );
+    let c = OpenLoopPlan::new(OpenLoopConfig { seed: 1, ..cfg });
+    assert_ne!(a.arrivals_ns, c.arrivals_ns);
+}
+
+/// A deliberately stalled executor must inflate p99 measured from
+/// scheduled arrival and must NOT inflate p99 measured from send time.
+#[test]
+fn stalled_server_inflates_scheduled_p99_but_not_send_p99() {
+    const RATE: f64 = 5_000.0;
+    const OPS: u64 = 2_000;
+    const STALL_AT: u64 = 500;
+    const STALL: Duration = Duration::from_millis(50);
+
+    // Fixed-rate arrivals and one worker: the op order is the schedule
+    // order, so the stall lands at a known point with a known backlog.
+    let plan = OpenLoopPlan::new(OpenLoopConfig {
+        process: ArrivalProcess::FixedRate,
+        offered_rate: RATE,
+        total_ops: OPS,
+        sessions: 100,
+        workers: 1,
+        ..OpenLoopConfig::default()
+    });
+    let report = run_open_loop(&plan, |_worker| {
+        let mut issued = 0u64;
+        move |_op: Operation| {
+            issued += 1;
+            if issued == STALL_AT {
+                std::thread::sleep(STALL);
+            }
+        }
+    });
+    assert_eq!(report.ops, OPS);
+
+    let sched = report.scheduled_summary();
+    let send = report.send_summary();
+
+    // The 50 ms stall at 5 kops/s queues ~250 arrivals (12.5 % of the
+    // run) behind it with scheduled-arrival delays ramping up to ~50 ms,
+    // so the honest p99 must sit deep inside the stall.
+    assert!(
+        sched.p99_ms >= 10.0,
+        "scheduled-arrival p99 must feel the backlog: {sched:?}"
+    );
+    // Send-time measurement sees one slow op out of 2000 (0.05 %), far
+    // under the 1 % tail: its p99 stays at no-op-executor latency.
+    assert!(
+        send.p99_ms <= 5.0,
+        "send-time p99 should hide the stall: {send:?}"
+    );
+    assert!(
+        sched.p99_ms >= 5.0 * send.p99_ms,
+        "the two measurements must visibly diverge: scheduled {:.3} ms vs send {:.3} ms",
+        sched.p99_ms,
+        send.p99_ms
+    );
+    // Only the stalled op itself is slow from send time — it is the max.
+    assert!(send.max_ms >= 45.0, "{send:?}");
+    // SLO attainment from scheduled arrival sees the whole backlog.
+    let attainment = report.slo_attainment(Duration::from_millis(10));
+    assert!(
+        (0.80..=0.995).contains(&attainment),
+        "roughly the backlogged tail should miss a 10 ms SLO: {attainment}"
+    );
+}
+
+/// Without a stall the two measurements agree — the divergence above is
+/// the stall's doing, not a driver artifact.
+#[test]
+fn unstalled_server_keeps_both_measurements_close() {
+    let plan = OpenLoopPlan::new(OpenLoopConfig {
+        process: ArrivalProcess::FixedRate,
+        offered_rate: 5_000.0,
+        total_ops: 2_000,
+        sessions: 100,
+        workers: 1,
+        ..OpenLoopConfig::default()
+    });
+    let report = run_open_loop(&plan, |_worker| {
+        move |op: Operation| {
+            std::hint::black_box(&op);
+        }
+    });
+    let sched = report.scheduled_summary();
+    assert!(
+        sched.p99_ms < 10.0,
+        "no stall, no backlog: scheduled p99 stays small: {sched:?}"
+    );
+    assert!(report.achieved_rate > 0.9 * report.offered_rate);
+    assert!(report.slo_attainment(Duration::from_millis(10)) > 0.99);
+}

@@ -8,6 +8,7 @@
 
 use crate::policy::{EpochObservation, PolicyAction, PolicyEngine};
 use crate::store::ElasticKvs;
+use dinomo_core::LogHistogram;
 use dinomo_workload::{KeyDistribution, WorkloadConfig, WorkloadGenerator, WorkloadMix};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
@@ -38,6 +39,13 @@ pub struct DriverConfig {
     /// ([`crate::KvSession::execute_batch`]), amortizing per-request
     /// overhead as the paper's KNs amortize per-write overhead.
     pub batch_size: usize,
+    /// Per-op latency objective, milliseconds: each epoch reports the
+    /// fraction of operations at or under it
+    /// ([`TimelineRow::slo_attainment`]).
+    pub slo_ms: f64,
+    /// Ceilings on the per-epoch contention counters; a run that exceeds
+    /// them panics after the clients drain (see [`ContentionLimits`]).
+    pub contention: ContentionLimits,
 }
 
 impl Default for DriverConfig {
@@ -51,8 +59,52 @@ impl Default for DriverConfig {
             preload: true,
             key_sample_every: 8,
             batch_size: 1,
+            slo_ms: 20.0,
+            contention: ContentionLimits::default(),
         }
     }
+}
+
+/// Scenario-configurable ceilings on the contention counters the timeline
+/// surfaces ([`TimelineRow::cell_registry_waits`] /
+/// [`TimelineRow::epoch_bag_flushes`]). The columns exist precisely to
+/// catch serialization creeping back into the swing/reclamation paths —
+/// but a column nobody asserts on just scrolls past. With a limit set, an
+/// epoch that exceeds it records the violation in the row's `actions` and
+/// fails the scenario once the clients have drained; `None` (the default)
+/// leaves that counter unchecked.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContentionLimits {
+    /// Maximum indirection-cell swing races tolerated in any one epoch.
+    pub max_cell_registry_waits_per_epoch: Option<u64>,
+    /// Maximum epoch-shim bag flushes tolerated in any one epoch.
+    pub max_epoch_bag_flushes_per_epoch: Option<u64>,
+}
+
+/// Evaluate `limits` over a finished timeline; one human-readable
+/// violation string per offending epoch and counter. Pure, so scenarios
+/// can also run it over saved timelines.
+pub fn check_contention(rows: &[TimelineRow], limits: ContentionLimits) -> Vec<String> {
+    let mut violations = Vec::new();
+    for row in rows {
+        if let Some(max) = limits.max_cell_registry_waits_per_epoch {
+            if row.cell_registry_waits > max {
+                violations.push(format!(
+                    "epoch {}: {} cell-registry waits exceed the limit of {max}",
+                    row.epoch, row.cell_registry_waits
+                ));
+            }
+        }
+        if let Some(max) = limits.max_epoch_bag_flushes_per_epoch {
+            if row.epoch_bag_flushes > max {
+                violations.push(format!(
+                    "epoch {}: {} epoch-bag flushes exceed the limit of {max}",
+                    row.epoch, row.epoch_bag_flushes
+                ));
+            }
+        }
+    }
+    violations
 }
 
 /// A change the experiment script applies at the start of an epoch.
@@ -133,8 +185,15 @@ pub struct TimelineRow {
     pub throughput: f64,
     /// Mean latency over the epoch, milliseconds.
     pub avg_latency_ms: f64,
+    /// Median latency over the epoch, milliseconds.
+    pub p50_latency_ms: f64,
     /// 99th-percentile latency over the epoch, milliseconds.
     pub p99_latency_ms: f64,
+    /// 99.9th-percentile latency over the epoch, milliseconds.
+    pub p999_latency_ms: f64,
+    /// Fraction of the epoch's operations at or under
+    /// [`DriverConfig::slo_ms`] (1.0 for an idle epoch).
+    pub slo_attainment: f64,
     /// Live KVS nodes at the end of the epoch.
     pub num_nodes: usize,
     /// Normalised standard deviation of per-node load during the epoch.
@@ -175,7 +234,10 @@ pub struct TimelineRow {
 
 #[derive(Debug, Default)]
 struct EpochSamples {
-    latencies_ns: Vec<u64>,
+    /// Per-op latencies, log-bucketed (≤1.6 % relative error) — fixed
+    /// size however many ops an epoch completes, unlike the sample
+    /// vector it replaced, and queryable at any percentile.
+    latency: LogHistogram,
     key_counts: HashMap<Vec<u8>, u64>,
     errors: u64,
 }
@@ -274,7 +336,13 @@ impl SimulationDriver {
 
             // Epoch statistics.
             let stats = self.store.stats();
-            let (avg_ms, p99_ms) = latency_stats(&samples.latencies_ns);
+            let (avg_ms, p50_ms, p99_ms, p999_ms) = latency_stats(&samples.latency);
+            let slo_attainment = if samples.latency.is_empty() {
+                1.0
+            } else {
+                let slo_ns = (self.config.slo_ms.max(0.0) * 1e6) as u64;
+                samples.latency.count_at_or_below(slo_ns) as f64 / samples.latency.count() as f64
+            };
             let ops = ops_after - ops_before;
             let elapsed_epoch = epoch.as_secs_f64();
             let node_ids = self.store.node_ids();
@@ -377,7 +445,10 @@ impl SimulationDriver {
                 ops,
                 throughput: ops as f64 / elapsed_epoch,
                 avg_latency_ms: avg_ms,
+                p50_latency_ms: p50_ms,
                 p99_latency_ms: p99_ms,
+                p999_latency_ms: p999_ms,
+                slo_attainment,
                 num_nodes: node_ids.len(),
                 load_imbalance,
                 active_clients: shared.active_clients.load(Ordering::Relaxed),
@@ -395,6 +466,22 @@ impl SimulationDriver {
         shared.stop.store(true, Ordering::Release);
         for h in handles {
             let _ = h.join();
+        }
+
+        // Contention gate (after the clients drain, so a violation can't
+        // leak running threads): a breached ceiling fails the scenario
+        // loudly instead of scrolling past as a column.
+        let violations = check_contention(&rows, self.config.contention);
+        if !violations.is_empty() {
+            if let Some(last) = rows.last_mut() {
+                last.actions
+                    .extend(violations.iter().map(|v| format!("contention limit: {v}")));
+            }
+            panic!(
+                "contention limits exceeded ({} violation(s)):\n  {}",
+                violations.len(),
+                violations.join("\n  ")
+            );
         }
         rows
     }
@@ -559,23 +646,27 @@ fn flush_samples(
         return;
     }
     let mut samples = shared.samples.lock();
-    samples.latencies_ns.append(latencies);
+    for l in latencies.drain(..) {
+        samples.latency.record(l);
+    }
     for k in keys.drain(..) {
         *samples.key_counts.entry(k).or_insert(0) += 1;
     }
     samples.errors += std::mem::take(errors);
 }
 
-fn latency_stats(latencies_ns: &[u64]) -> (f64, f64) {
-    if latencies_ns.is_empty() {
-        return (0.0, 0.0);
+/// `(mean, p50, p99, p999)` in milliseconds over an epoch's latency
+/// histogram — all zeros for an idle epoch.
+fn latency_stats(hist: &LogHistogram) -> (f64, f64, f64, f64) {
+    if hist.is_empty() {
+        return (0.0, 0.0, 0.0, 0.0);
     }
-    let mut sorted = latencies_ns.to_vec();
-    sorted.sort_unstable();
-    let avg = sorted.iter().sum::<u64>() as f64 / sorted.len() as f64 / 1e6;
-    let p99_idx = ((sorted.len() as f64 * 0.99).ceil() as usize).saturating_sub(1);
-    let p99 = sorted[p99_idx.min(sorted.len() - 1)] as f64 / 1e6;
-    (avg, p99)
+    (
+        hist.mean() / 1e6,
+        hist.value_at_quantile(0.50) as f64 / 1e6,
+        hist.value_at_quantile(0.99) as f64 / 1e6,
+        hist.value_at_quantile(0.999) as f64 / 1e6,
+    )
 }
 
 #[cfg(test)]
@@ -610,6 +701,7 @@ mod tests {
                 preload: true,
                 key_sample_every: 4,
                 batch_size: 1,
+                ..DriverConfig::default()
             },
         );
         let rows = driver.run(&[]);
@@ -620,6 +712,81 @@ mod tests {
         );
         assert!(rows.iter().all(|r| r.num_nodes == 2));
         assert!(rows.iter().any(|r| r.avg_latency_ms > 0.0));
+        // The histogram-backed percentile columns are populated and
+        // ordered, and SLO attainment is a fraction.
+        for r in rows.iter().filter(|r| r.ops > 0) {
+            assert!(r.p50_latency_ms > 0.0, "{r:?}");
+            assert!(r.p50_latency_ms <= r.p99_latency_ms, "{r:?}");
+            assert!(r.p99_latency_ms <= r.p999_latency_ms, "{r:?}");
+            assert!((0.0..=1.0).contains(&r.slo_attainment), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn check_contention_flags_only_exceeded_limits() {
+        let mut row = TimelineRow {
+            epoch: 3,
+            seconds: 0.1,
+            ops: 10,
+            throughput: 100.0,
+            avg_latency_ms: 1.0,
+            p50_latency_ms: 1.0,
+            p99_latency_ms: 2.0,
+            p999_latency_ms: 3.0,
+            slo_attainment: 1.0,
+            num_nodes: 2,
+            load_imbalance: 0.0,
+            active_clients: 1,
+            replicated_keys: 0,
+            busy_rejections: 0,
+            segments_compacted: 0,
+            bytes_relocated: 0,
+            space_amplification: 1.0,
+            cell_registry_waits: 40,
+            epoch_bag_flushes: 7,
+            actions: Vec::new(),
+        };
+        // Defaults check nothing.
+        assert!(
+            check_contention(std::slice::from_ref(&row), ContentionLimits::default()).is_empty()
+        );
+        let limits = ContentionLimits {
+            max_cell_registry_waits_per_epoch: Some(40),
+            max_epoch_bag_flushes_per_epoch: Some(6),
+        };
+        // At the limit passes; above it is one violation naming the epoch.
+        let violations = check_contention(std::slice::from_ref(&row), limits);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("epoch 3") && violations[0].contains("bag flushes"));
+        row.cell_registry_waits = 41;
+        assert_eq!(
+            check_contention(std::slice::from_ref(&row), limits).len(),
+            2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "contention limits exceeded")]
+    fn zero_contention_limit_fails_a_churning_run() {
+        let kvs = Arc::new(Kvs::new(KvsConfig::small_for_tests()).unwrap());
+        let driver = SimulationDriver::new(
+            kvs,
+            DriverConfig {
+                epoch_ms: 30,
+                total_epochs: 3,
+                max_clients: 2,
+                initial_clients: 2,
+                workload: small_workload(),
+                // A write-heavy run always retires garbage, so a ceiling
+                // of zero bag flushes must trip the gate.
+                contention: ContentionLimits {
+                    max_epoch_bag_flushes_per_epoch: Some(0),
+                    ..ContentionLimits::default()
+                },
+                ..DriverConfig::default()
+            },
+        );
+        driver.run(&[]);
     }
 
     #[test]
@@ -636,6 +803,7 @@ mod tests {
                 preload: true,
                 key_sample_every: 4,
                 batch_size: 16,
+                ..DriverConfig::default()
             },
         );
         let rows = driver.run(&[]);
@@ -659,6 +827,7 @@ mod tests {
                 preload: true,
                 key_sample_every: 4,
                 batch_size: 1,
+                ..DriverConfig::default()
             },
         );
         let events = vec![
@@ -716,6 +885,7 @@ mod tests {
                 preload: true,
                 key_sample_every: 4,
                 batch_size: 8,
+                ..DriverConfig::default()
             },
         );
         let rows = driver.run(&events);
@@ -746,6 +916,7 @@ mod tests {
                 preload: true,
                 key_sample_every: 4,
                 batch_size: 1,
+                ..DriverConfig::default()
             },
         )
         .with_policy(PolicyEngine::new(slo));

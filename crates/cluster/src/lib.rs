@@ -26,7 +26,8 @@ pub mod policy;
 pub mod store;
 
 pub use driver::{
-    random_churn_script, DriverConfig, EventKind, ScriptedEvent, SimulationDriver, TimelineRow,
+    check_contention, random_churn_script, ContentionLimits, DriverConfig, EventKind,
+    ScriptedEvent, SimulationDriver, TimelineRow,
 };
 pub use policy::{EpochObservation, PolicyAction, PolicyEngine, SloConfig};
 pub use store::{ElasticKvs, KvSession};

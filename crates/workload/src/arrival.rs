@@ -1,0 +1,143 @@
+//! Arrival-rate schedules for open-loop load generation.
+//!
+//! A closed-loop client issues its next request when the previous one
+//! returns, so a slow server *slows the load down* and latency percentiles
+//! hide behind client count (coordinated omission). An open-loop driver
+//! instead fixes the *offered* arrival rate up front: this module turns
+//! `(process, rate, seed)` into the deterministic schedule of arrival
+//! times the driver then replays, measuring each operation's latency from
+//! its **scheduled** arrival — queueing delay included — no matter how
+//! late the system actually got to it.
+//!
+//! The schedule is a pure function of its arguments: the same seed yields
+//! a byte-identical schedule, which is what makes open-loop runs
+//! replayable the same way the linearizability checker's scenarios are.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How inter-arrival gaps are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Evenly spaced arrivals (inter-arrival time exactly `1/rate`): the
+    /// best case for the server, isolating service-time tails from
+    /// arrival burstiness.
+    FixedRate,
+    /// Poisson arrivals (exponential inter-arrival times with mean
+    /// `1/rate`): the open-system model the paper's latency-vs-load
+    /// figures assume, with the natural burstiness that makes queues
+    /// form below saturation.
+    Poisson,
+}
+
+/// Generate the arrival schedule: `n` monotone non-decreasing arrival
+/// offsets in nanoseconds from the run's start, targeting `rate_ops_per_sec`
+/// offered load. Deterministic: a pure function of
+/// `(process, rate_ops_per_sec, n, seed)` (the seed only matters for
+/// [`ArrivalProcess::Poisson`]).
+pub fn arrival_schedule(
+    process: ArrivalProcess,
+    rate_ops_per_sec: f64,
+    n: u64,
+    seed: u64,
+) -> Vec<u64> {
+    assert!(
+        rate_ops_per_sec.is_finite() && rate_ops_per_sec > 0.0,
+        "offered rate must be a positive number of ops/sec"
+    );
+    let mean_gap_ns = 1e9 / rate_ops_per_sec;
+    let mut schedule = Vec::with_capacity(n as usize);
+    match process {
+        ArrivalProcess::FixedRate => {
+            // Accumulate in f64 and round per arrival so the schedule
+            // tracks the ideal line without integer-truncation drift.
+            for i in 0..n {
+                schedule.push((i as f64 * mean_gap_ns) as u64);
+            }
+        }
+        ArrivalProcess::Poisson => {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xA661_4A11u64.rotate_left(17));
+            let mut clock_ns = 0.0f64;
+            for _ in 0..n {
+                let u: f64 = rng.gen();
+                // Inverse-CDF exponential draw; 1-u is in (0, 1], so the
+                // log argument is never zero.
+                clock_ns += -(1.0 - u).ln() * mean_gap_ns;
+                schedule.push(clock_ns as u64);
+            }
+        }
+    }
+    schedule
+}
+
+/// Derive the per-session seed for simulated client session `session` of a
+/// workload seeded with `base_seed`. Open-loop drivers multiplex tens of
+/// thousands of sessions onto a few worker threads; each session's op
+/// stream must be (a) independent of the others and (b) reproducible from
+/// `(base_seed, session)` alone.
+pub fn session_seed(base_seed: u64, session: u32) -> u64 {
+    // SplitMix64 over (base ^ session) — cheap, and adjacent session ids
+    // land in unrelated parts of the stream space.
+    let mut z = base_seed ^ ((session as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_pure_functions_of_their_seed() {
+        for process in [ArrivalProcess::FixedRate, ArrivalProcess::Poisson] {
+            let a = arrival_schedule(process, 10_000.0, 5_000, 7);
+            let b = arrival_schedule(process, 10_000.0, 5_000, 7);
+            assert_eq!(a, b, "{process:?} schedule not deterministic");
+        }
+        let a = arrival_schedule(ArrivalProcess::Poisson, 10_000.0, 5_000, 7);
+        let c = arrival_schedule(ArrivalProcess::Poisson, 10_000.0, 5_000, 8);
+        assert_ne!(a, c, "different seeds should draw different gaps");
+    }
+
+    #[test]
+    fn schedules_are_monotone_and_hit_the_offered_rate() {
+        for process in [ArrivalProcess::FixedRate, ArrivalProcess::Poisson] {
+            let rate = 50_000.0;
+            let n = 100_000u64;
+            let s = arrival_schedule(process, rate, n, 3);
+            assert_eq!(s.len(), n as usize);
+            assert!(s.windows(2).all(|w| w[0] <= w[1]), "{process:?} not sorted");
+            // The span of n arrivals at `rate` ops/s is ~(n-1)/rate; the
+            // Poisson span concentrates tightly around it at this n.
+            let span_s = (*s.last().unwrap() - s[0]) as f64 / 1e9;
+            let ideal = (n - 1) as f64 / rate;
+            assert!(
+                (span_s / ideal - 1.0).abs() < 0.05,
+                "{process:?} span {span_s:.3}s vs ideal {ideal:.3}s"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_rate_is_evenly_spaced_and_poisson_is_not() {
+        let fixed = arrival_schedule(ArrivalProcess::FixedRate, 1_000.0, 100, 1);
+        let gaps: Vec<u64> = fixed.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(gaps.iter().all(|&g| (999_999..=1_000_001).contains(&g)));
+
+        let poisson = arrival_schedule(ArrivalProcess::Poisson, 1_000.0, 1_000, 1);
+        let pgaps: Vec<u64> = poisson.windows(2).map(|w| w[1] - w[0]).collect();
+        let distinct: std::collections::HashSet<u64> = pgaps.iter().copied().collect();
+        assert!(distinct.len() > 900, "poisson gaps should be spread out");
+    }
+
+    #[test]
+    fn session_seeds_are_distinct_and_stable() {
+        let a = session_seed(42, 0);
+        assert_eq!(a, session_seed(42, 0));
+        let seeds: std::collections::HashSet<u64> =
+            (0..10_000u32).map(|s| session_seed(42, s)).collect();
+        assert_eq!(seeds.len(), 10_000, "session seeds must not collide");
+        assert_ne!(session_seed(42, 5), session_seed(43, 5));
+    }
+}

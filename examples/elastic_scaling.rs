@@ -53,6 +53,7 @@ fn main() {
             preload: true,
             key_sample_every: 8,
             batch_size: 1,
+            ..DriverConfig::default()
         },
     )
     .with_policy(PolicyEngine::new(slo));

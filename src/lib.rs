@@ -60,7 +60,8 @@ pub use dinomo_workload as workload;
 
 pub use dinomo_clover::{CloverConfig, CloverKvs};
 pub use dinomo_cluster::{
-    DriverConfig, ElasticKvs, EventKind, PolicyEngine, ScriptedEvent, SimulationDriver, SloConfig,
+    ContentionLimits, DriverConfig, ElasticKvs, EventKind, PolicyEngine, ScriptedEvent,
+    SimulationDriver, SloConfig,
 };
 pub use dinomo_core::{
     Kvs, KvsBuilder, KvsClient, KvsConfig, KvsError, KvsStats, Op, Reply, Variant,

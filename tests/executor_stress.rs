@@ -16,7 +16,9 @@
 //!   actually exercised (visible in the node stats) and yet every batch
 //!   still completes with correct replies through the client's retry loop.
 
-use dinomo::cluster::{DriverConfig, ElasticKvs, EventKind, ScriptedEvent, SimulationDriver};
+use dinomo::cluster::{
+    ContentionLimits, DriverConfig, ElasticKvs, EventKind, ScriptedEvent, SimulationDriver,
+};
 use dinomo::workload::{KeyDistribution, WorkloadConfig, WorkloadMix};
 use dinomo::{Kvs, KvsConfig, Op, Reply, Variant};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -54,6 +56,16 @@ fn driver_churn_keeps_queues_draining() {
             preload: true,
             key_sample_every: 8,
             batch_size: 16,
+            // Contention ceilings on the churn scenario: generous enough
+            // for healthy runs (these counters sit orders of magnitude
+            // lower today), tight enough that a global-lock regression on
+            // the cell-swing or reclamation paths fails the test instead
+            // of scrolling past as a column.
+            contention: ContentionLimits {
+                max_cell_registry_waits_per_epoch: Some(100_000),
+                max_epoch_bag_flushes_per_epoch: Some(100_000),
+            },
+            ..DriverConfig::default()
         },
     );
     let events = vec![

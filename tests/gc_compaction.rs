@@ -320,6 +320,7 @@ fn timeline_reports_compaction_columns() {
             preload: true,
             key_sample_every: 8,
             batch_size: 8,
+            ..DriverConfig::default()
         },
     );
     let rows = driver.run(&[ScriptedEvent {
