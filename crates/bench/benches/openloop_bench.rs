@@ -16,6 +16,7 @@
 //! the latency-vs-load curve must show.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use dinomo_bench::breakdown::{fmt_ns, print_profile_rows, profile_baseline, profile_since};
 use dinomo_bench::harness::{
     measure_saturation_throughput, saturation_cluster, write_bench_record, write_json,
 };
@@ -174,6 +175,29 @@ fn bench_openloop(c: &mut Criterion) {
             k.p99_ms
         ),
         None => println!("knee: none found — every swept rate violated the SLO"),
+    }
+
+    // Profile the knee: re-run the knee rate over a windowed registry
+    // baseline and print where the time goes — which lifecycle stage or
+    // lock a client's p99 is actually made of at the highest rate the
+    // cluster still delivers within SLO.
+    if let Some(k) = &knee {
+        let registry = kvs.metrics();
+        let base = profile_baseline(&registry);
+        run_rate(&kvs, k.offered_ops_per_sec);
+        let profile = profile_since(&registry, &base);
+        println!(
+            "\nstage/lock profile at the knee ({:.0} ops/s offered):",
+            k.offered_ops_per_sec
+        );
+        print_profile_rows("knee", &profile);
+        if let Some(dom) = profile.first() {
+            println!(
+                "knee dominant stage/lock: {} (p99 {})",
+                dom.name,
+                fmt_ns(dom.summary.p99_ns as f64)
+            );
+        }
     }
 
     // Full curve for EXPERIMENTS.md plus flat medians for the CI

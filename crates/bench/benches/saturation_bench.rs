@@ -15,7 +15,19 @@
 //! scaling is then limited only by real serialization inside the store
 //! (locks, CAS retries, the merge path), not by host core count.
 
+//!
+//! With `--breakdown` (or `SAT_BREAKDOWN=1`) the bench instead profiles
+//! the run: at 1, 8 and 16 client threads it isolates the per-stage and
+//! per-lock time recorded by the metrics registry during the measured
+//! window, prints the tables, names the dominant stage/lock at 16
+//! threads — the data-backed answer to "what is the next scaling
+//! ceiling" — and writes the registry snapshot to
+//! `target/bench-results/metrics_snapshot.json`.
+
 use criterion::{criterion_group, criterion_main, Criterion};
+use dinomo_bench::breakdown::{
+    print_profile_rows, profile_baseline, profile_since, write_metrics_snapshot,
+};
 use dinomo_bench::harness::{
     measure_saturation_throughput, median, saturation_cluster, write_bench_record,
 };
@@ -57,12 +69,59 @@ fn speedup_at(sweep: &[(usize, f64)], threads: usize) -> f64 {
     }
 }
 
+const BREAKDOWN_SWEEP: [usize; 3] = [1, 8, 16];
+
+/// `true` when the profiling mode was requested (Criterion's shim passes
+/// unrecognized flags through untouched).
+fn breakdown_mode() -> bool {
+    std::env::args().any(|a| a == "--breakdown")
+        || std::env::var_os("SAT_BREAKDOWN").is_some_and(|v| v != "0")
+}
+
+/// Profile the saturation workload: per-stage / per-lock time at each
+/// thread count (windowed, so preload and other thread counts don't
+/// contaminate the tables), verdict at 16 threads, JSON snapshot.
+fn run_breakdown(kvs: &dinomo_core::Kvs) {
+    let registry = kvs.metrics();
+    let mut verdict: Option<(dinomo_bench::ProfileRow, f64)> = None;
+    for &threads in &BREAKDOWN_SWEEP {
+        let base = profile_baseline(&registry);
+        let tput = measure_saturation_throughput(kvs, threads, KEYS, OPS_PER_THREAD);
+        let rows = profile_since(&registry, &base);
+        println!("\nbreakdown at {threads} threads: {tput:.0} ops/s aggregate");
+        print_profile_rows(&format!("{threads} threads"), &rows);
+        if threads == BREAKDOWN_SWEEP[BREAKDOWN_SWEEP.len() - 1] {
+            let total: f64 = rows.iter().map(|r| r.total_ns()).sum();
+            verdict = rows
+                .into_iter()
+                .next()
+                .map(|dom| (dom, if total > 0.0 { total } else { 1.0 }));
+        }
+    }
+    match verdict {
+        Some((dom, total)) => println!(
+            "\nverdict: at 16 threads the dominant stage/lock is {} \
+             ({:.1}% of accounted stage/lock time, p99 {})",
+            dom.name,
+            100.0 * dom.total_ns() / total,
+            dinomo_bench::breakdown::fmt_ns(dom.summary.p99_ns as f64),
+        ),
+        None => println!("\nverdict: no stage/lock samples recorded at 16 threads"),
+    }
+    write_metrics_snapshot(&registry.snapshot());
+}
+
 fn bench_saturation(c: &mut Criterion) {
     let kvs = saturation_cluster(KEYS, REPLICATED);
 
     // Warm-up: one full-width round so first-touch costs (lazy index
     // buckets, compactor destination segments) land outside the sweep.
     measure_saturation_throughput(&kvs, GATE_THREADS, KEYS, OPS_PER_THREAD);
+
+    if breakdown_mode() {
+        run_breakdown(&kvs);
+        return;
+    }
 
     let mut group = c.benchmark_group("saturation");
     group.sample_size(10);

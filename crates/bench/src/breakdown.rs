@@ -1,0 +1,252 @@
+//! Per-stage / per-lock time breakdowns from a metrics snapshot.
+//!
+//! The registry in `dinomo_obs` accumulates request-lifecycle stage
+//! histograms (`stage_*`) and lock-wait histograms (`lock_wait_*`); this
+//! module turns one [`Snapshot`] into the profile tables the saturation
+//! and open-loop benches print, and names the **dominant** row — the
+//! stage or lock with the most accumulated time, i.e. the data-backed
+//! answer to "what is the next scaling ceiling".
+
+use std::cmp::Ordering;
+
+use dinomo_obs::{HistogramSummary, LogHistogram, Registry, Snapshot};
+
+use crate::harness::bench_results_dir;
+
+/// One row of a stage/lock profile table.
+#[derive(Debug, Clone)]
+pub struct ProfileRow {
+    /// Metric name (`stage_shard_execute_ns`, `lock_wait_ordered_root_ns`, ...).
+    pub name: String,
+    /// Merged quantile summary for that histogram.
+    pub summary: HistogramSummary,
+}
+
+impl ProfileRow {
+    /// Accumulated time — the dominance metric.
+    pub fn total_ns(&self) -> f64 {
+        self.summary.total_ns()
+    }
+}
+
+/// The stage and lock-wait rows of a snapshot with at least one sample,
+/// sorted by accumulated time, largest first.
+pub fn profile_rows(snap: &Snapshot) -> Vec<ProfileRow> {
+    let mut rows: Vec<ProfileRow> = snap
+        .histograms
+        .iter()
+        .filter(|(name, s)| {
+            (name.starts_with("stage_") || name.starts_with("lock_wait_")) && s.count > 0
+        })
+        .map(|(name, s)| ProfileRow {
+            name: name.clone(),
+            summary: *s,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.total_ns()
+            .partial_cmp(&a.total_ns())
+            .unwrap_or(Ordering::Equal)
+    });
+    rows
+}
+
+/// The stage or lock with the most accumulated time, if any samples
+/// landed at all.
+pub fn dominant_row(snap: &Snapshot) -> Option<ProfileRow> {
+    profile_rows(snap).into_iter().next()
+}
+
+/// Cumulative stage/lock histograms captured before a measurement, so
+/// the measurement's own contribution can be isolated afterwards with
+/// [`profile_since`]. Registry histograms are process-lifetime
+/// cumulative; without the baseline, preload and warm-up traffic would
+/// drown the measured window.
+pub struct ProfileBaseline {
+    hists: Vec<(String, LogHistogram)>,
+}
+
+/// Capture the current cumulative stage/lock histograms of a registry.
+pub fn profile_baseline(registry: &Registry) -> ProfileBaseline {
+    let snap = registry.snapshot();
+    let hists = snap
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.starts_with("stage_") || name.starts_with("lock_wait_"))
+        .map(|(name, _)| (name.clone(), registry.histogram(name).merged()))
+        .collect();
+    ProfileBaseline { hists }
+}
+
+/// The stage/lock rows accumulated **since** `base` was captured —
+/// exact windowed counts and quantiles via bucket-wise histogram
+/// subtraction — sorted by total time, largest first. Histograms
+/// created after the baseline count from zero.
+pub fn profile_since(registry: &Registry, base: &ProfileBaseline) -> Vec<ProfileRow> {
+    let snap = registry.snapshot();
+    let mut rows: Vec<ProfileRow> = snap
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.starts_with("stage_") || name.starts_with("lock_wait_"))
+        .filter_map(|(name, _)| {
+            let now = registry.histogram(name).merged();
+            let window = match base.hists.iter().find(|(n, _)| n == name) {
+                Some((_, then)) => now.diff(then),
+                None => now,
+            };
+            (!window.is_empty()).then(|| ProfileRow {
+                name: name.clone(),
+                summary: HistogramSummary::of(&window),
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.total_ns()
+            .partial_cmp(&a.total_ns())
+            .unwrap_or(Ordering::Equal)
+    });
+    rows
+}
+
+/// Print a windowed profile table (see [`print_profile`] for the
+/// format), returning the rows so callers can reuse the ordering.
+pub fn print_profile_rows(header: &str, rows: &[ProfileRow]) {
+    if rows.is_empty() {
+        println!("profile [{header}]: no stage/lock samples recorded");
+        return;
+    }
+    let grand_total: f64 = rows.iter().map(ProfileRow::total_ns).sum();
+    println!(
+        "profile [{header}] {:<28} {:>9} {:>10} {:>10} {:>10} {:>6}",
+        "stage/lock", "count", "p50", "p99", "total", "share"
+    );
+    for row in rows {
+        let share = if grand_total > 0.0 {
+            100.0 * row.total_ns() / grand_total
+        } else {
+            0.0
+        };
+        println!(
+            "profile [{header}] {:<28} {:>9} {:>10} {:>10} {:>10} {share:>5.1}%",
+            row.name,
+            row.summary.count,
+            fmt_ns(row.summary.p50_ns as f64),
+            fmt_ns(row.summary.p99_ns as f64),
+            fmt_ns(row.total_ns()),
+        );
+    }
+}
+
+/// Print a profile table for one snapshot: every stage/lock row with
+/// samples, sorted by total time, with each row's share of the summed
+/// stage/lock time. `header` names the measurement the snapshot covers
+/// (e.g. "16 threads").
+pub fn print_profile(header: &str, snap: &Snapshot) {
+    print_profile_rows(header, &profile_rows(snap));
+}
+
+/// Render nanoseconds with a human-scale unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.1}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Write the snapshot's JSON export to
+/// `target/bench-results/metrics_snapshot.json`, where `bench_summary`
+/// folds it into `BENCH_RESULTS.json` beside the bench medians.
+pub fn write_metrics_snapshot(snap: &Snapshot) {
+    let dir = bench_results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("metrics_snapshot.json");
+    match std::fs::write(&path, snap.to_json()) {
+        Ok(()) => println!("[artifact] {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinomo_obs::{LockId, Registry, Stage};
+
+    #[test]
+    fn rows_sort_by_total_time_and_skip_empty() {
+        let reg = Registry::new();
+        // 10 slow shard executions dominate 100 fast queue waits.
+        let slow = reg.stage(Stage::ShardExecute);
+        for _ in 0..10 {
+            slow.record(1_000_000);
+        }
+        let fast = reg.stage(Stage::QueueWait);
+        for _ in 0..100 {
+            fast.record(1_000);
+        }
+        // Registered but never recorded: must not appear.
+        let _empty = reg.lock_wait(LockId::Reconfig);
+
+        let snap = reg.snapshot();
+        let rows = profile_rows(&snap);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, Stage::ShardExecute.metric_name());
+        assert_eq!(rows[1].name, Stage::QueueWait.metric_name());
+        let dom = dominant_row(&snap).unwrap();
+        assert_eq!(dom.name, Stage::ShardExecute.metric_name());
+        assert!(dom.total_ns() >= 9.0 * 1e6);
+    }
+
+    #[test]
+    fn profile_since_isolates_the_measured_window() {
+        let reg = Registry::new();
+        let h = reg.stage(Stage::DpmLookup);
+        // "Preload" traffic: slow, would dominate a cumulative profile.
+        for _ in 0..1_000 {
+            h.record(10_000_000);
+        }
+        let base = profile_baseline(&reg);
+        // The measured window: fast, plus a lock that first appears now.
+        for _ in 0..50 {
+            h.record(2_000);
+        }
+        let lock = reg.lock_wait(LockId::MergeEngine);
+        lock.record(500);
+
+        let rows = profile_since(&reg, &base);
+        assert_eq!(rows.len(), 2);
+        let lookup = rows
+            .iter()
+            .find(|r| r.name == Stage::DpmLookup.metric_name())
+            .unwrap();
+        assert_eq!(lookup.summary.count, 50);
+        assert!(
+            lookup.summary.p99_ns < 10_000,
+            "window p99 {} contaminated by preload",
+            lookup.summary.p99_ns
+        );
+        let merge = rows
+            .iter()
+            .find(|r| r.name == LockId::MergeEngine.metric_name())
+            .unwrap();
+        assert_eq!(merge.summary.count, 1);
+    }
+
+    #[test]
+    fn empty_snapshot_has_no_dominant_row() {
+        let reg = Registry::new();
+        assert!(dominant_row(&reg.snapshot()).is_none());
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(500.0), "500ns");
+        assert_eq!(fmt_ns(1_500.0), "1.5us");
+        assert_eq!(fmt_ns(2_500_000.0), "2.5ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.00s");
+    }
+}

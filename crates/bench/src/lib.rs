@@ -22,10 +22,15 @@
 
 #![warn(missing_docs)]
 
+pub mod breakdown;
 pub mod harness;
 pub mod hist;
 pub mod openloop;
 
+pub use breakdown::{
+    dominant_row, print_profile, print_profile_rows, profile_baseline, profile_rows, profile_since,
+    write_metrics_snapshot, ProfileBaseline, ProfileRow,
+};
 pub use harness::{
     bench_results_dir, calibrated_cost_model, kn_scaling_cluster, measure_batch_amortization,
     measure_kn_batch_throughput, measure_point, median, parse_scale, scale, write_bench_record,

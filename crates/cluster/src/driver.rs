@@ -318,6 +318,12 @@ impl SimulationDriver {
         let mut replicated: HashMap<Vec<u8>, usize> = HashMap::new();
         let mut epochs_since_action = usize::MAX / 2;
         let mut prev_stats = self.store.stats();
+        // Counters migrated onto the metrics registry (busy rejections,
+        // cell-registry waits, epoch bag flushes) read as generic
+        // per-epoch snapshot deltas; stores without a registry (Clover)
+        // fall back to per-node stats and the process-global epoch shim.
+        let metrics = self.store.metrics();
+        let mut prev_snap = metrics.as_ref().map(|r| r.snapshot());
         let mut prev_bag_flushes = crossbeam::epoch::stats().bag_flushes;
         let epoch = Duration::from_millis(self.config.epoch_ms);
         let start = Instant::now();
@@ -359,19 +365,6 @@ impl SimulationDriver {
                     (kn.id, kn.since(&before).occupancy(epoch.as_nanos() as u64))
                 })
                 .collect();
-            let busy_rejections = stats
-                .kns
-                .iter()
-                .map(|kn| {
-                    let before = prev_stats
-                        .kns
-                        .iter()
-                        .find(|p| p.id == kn.id)
-                        .map(|p| p.busy_rejections)
-                        .unwrap_or(0);
-                    kn.busy_rejections.saturating_sub(before)
-                })
-                .sum();
             let segments_compacted = stats
                 .dpm
                 .segments_compacted
@@ -380,16 +373,48 @@ impl SimulationDriver {
                 .dpm
                 .bytes_relocated
                 .saturating_sub(prev_stats.dpm.bytes_relocated);
-            let cell_registry_waits = stats
-                .dpm
-                .cell_registry_waits
-                .saturating_sub(prev_stats.dpm.cell_registry_waits);
-            // Process-global (the epoch shim is shared by every store in
-            // this process), but experiments run one store at a time, so
-            // the per-epoch delta is attributable to this run.
-            let epoch_stats = crossbeam::epoch::stats();
-            let epoch_bag_flushes = epoch_stats.bag_flushes.saturating_sub(prev_bag_flushes);
-            prev_bag_flushes = epoch_stats.bag_flushes;
+            let (busy_rejections, cell_registry_waits, epoch_bag_flushes) =
+                match (&metrics, &mut prev_snap) {
+                    (Some(registry), Some(prev)) => {
+                        // One snapshot serves every migrated counter; the
+                        // row fields keep their names.
+                        let snap = registry.snapshot();
+                        let deltas = (
+                            snap.counter_delta(prev, "kn_busy_rejections"),
+                            snap.counter_delta(prev, "dpm_cell_registry_waits"),
+                            snap.counter_delta(prev, "epoch_bag_flushes"),
+                        );
+                        *prev = snap;
+                        deltas
+                    }
+                    _ => {
+                        let busy = stats
+                            .kns
+                            .iter()
+                            .map(|kn| {
+                                let before = prev_stats
+                                    .kns
+                                    .iter()
+                                    .find(|p| p.id == kn.id)
+                                    .map(|p| p.busy_rejections)
+                                    .unwrap_or(0);
+                                kn.busy_rejections.saturating_sub(before)
+                            })
+                            .sum();
+                        let cell = stats
+                            .dpm
+                            .cell_registry_waits
+                            .saturating_sub(prev_stats.dpm.cell_registry_waits);
+                        // Process-global (the epoch shim is shared by every
+                        // store in this process), but experiments run one
+                        // store at a time, so the per-epoch delta is
+                        // attributable to this run.
+                        let epoch_stats = crossbeam::epoch::stats();
+                        let flushes = epoch_stats.bag_flushes.saturating_sub(prev_bag_flushes);
+                        prev_bag_flushes = epoch_stats.bag_flushes;
+                        (busy, cell, flushes)
+                    }
+                };
             let space_amplification = if stats.dpm.live_bytes == 0 {
                 0.0
             } else {

@@ -56,6 +56,13 @@ pub trait ElasticKvs: Send + Sync {
     /// Flush buffered writes / run background maintenance (called between
     /// epochs by the driver).
     fn maintenance(&self);
+
+    /// The store's metrics registry, if it has one (the driver reads
+    /// migrated counters — busy rejections, cell-registry waits, epoch
+    /// bag flushes — as generic per-epoch snapshot deltas from it).
+    fn metrics(&self) -> Option<std::sync::Arc<dinomo_obs::Registry>> {
+        None
+    }
 }
 
 // ------------------------------------------------------------------ Dinomo
@@ -150,6 +157,10 @@ impl ElasticKvs for Kvs {
     fn maintenance(&self) {
         let _ = self.flush_all();
         self.dpm().run_gc();
+    }
+
+    fn metrics(&self) -> Option<std::sync::Arc<dinomo_obs::Registry>> {
+        Some(Kvs::metrics(self))
     }
 }
 

@@ -51,16 +51,25 @@ pub struct KvsClient {
     /// History-recording hook for the linearizability checker; `None`
     /// (the default) costs one branch per request and nothing else.
     recorder: Option<RecorderHandle>,
+    /// `stage_client_dispatch_ns` — per round: grouping, routing, and
+    /// sub-batch submission (including inline work) up to the latch wait.
+    stage_dispatch: dinomo_obs::Histogram,
+    /// `stage_reply_ns` — per round: reply harvest after the latch.
+    stage_reply: dinomo_obs::Histogram,
 }
 
 impl KvsClient {
     pub(crate) fn new(kvs: Arc<KvsInner>) -> Self {
         let cached = kvs.ownership.read().clone();
+        let stage_dispatch = kvs.metrics.stage(dinomo_obs::Stage::ClientDispatch);
+        let stage_reply = kvs.metrics.stage(dinomo_obs::Stage::Reply);
         KvsClient {
             kvs,
             cached: Mutex::new(cached),
             replica_rr: AtomicUsize::new(0),
             recorder: None,
+            stage_dispatch,
+            stage_reply,
         }
     }
 
@@ -234,6 +243,11 @@ impl KvsClient {
             if pending.is_empty() {
                 break;
             }
+            // Stage accounting for this round: grouping/routing/submission
+            // bills to `stage_client_dispatch_ns`, the post-latch harvest
+            // to `stage_reply_ns`; the latch wait in between is covered by
+            // the worker-side queue-wait and shard-execute stages.
+            let dispatch_clock = dinomo_obs::stage_clock();
             // Group the pending ops by owner under one routing-metadata
             // lock acquisition. Clusters are small (a handful to dozens of
             // KNs), so a linear-scan group list beats a map.
@@ -341,9 +355,11 @@ impl KvsClient {
                     batch.push_scan_partial(pos, partial);
                 }
             }
+            dinomo_obs::record_since(&self.stage_dispatch, dispatch_clock);
             // All sub-batches have written their reply slots once the
             // latch releases; slots are not read before that.
             latch.wait();
+            let reply_clock = dinomo_obs::stage_clock();
 
             // Harvest results; routing rejections, backpressure and
             // unanswered slots (node disappeared mid-route) are retried.
@@ -414,6 +430,7 @@ impl KvsClient {
                 }
             }
 
+            dinomo_obs::record_since(&self.stage_reply, reply_clock);
             pending = retry;
             if !pending.is_empty() {
                 if saw_routing_error {

@@ -80,6 +80,10 @@ pub(crate) struct SubBatch {
     /// against; execution rejects if the table has moved on since (see
     /// [`KnNode::run_queued_sub_batch`]).
     resolved_version: u64,
+    /// When the dispatching client pushed this task (None with
+    /// observability disabled); the worker bills the gap to
+    /// `stage_queue_wait_ns` at dequeue.
+    enqueued_at: Option<Instant>,
 }
 
 impl std::fmt::Debug for SubBatch {
@@ -101,7 +105,9 @@ impl SubBatch {
             positions,
             latch,
             resolved_version,
+            enqueued_at,
         } = self;
+        dinomo_obs::record_since(&node.metrics.queue_wait, enqueued_at);
         // Count down even if execution panics, so the dispatching client
         // never deadlocks on the latch.
         let _done = DoneGuard(&latch);
@@ -145,6 +151,29 @@ fn worker_loop(queue: Arc<BoundedQueue<SubBatch>>) {
     }
 }
 
+/// Registry handles the node's hot paths record through (resolved once
+/// at construction; see `docs/OBSERVABILITY.md`).
+#[derive(Debug)]
+struct KnMetrics {
+    /// `kn_busy_rejections` — cluster-wide aggregate of bounded-queue
+    /// rejections (the per-node count stays in [`KnNode::stats`]).
+    busy_rejections: dinomo_obs::Counter,
+    /// `stage_queue_wait_ns` — sub-batch time in an executor queue.
+    queue_wait: dinomo_obs::Histogram,
+    /// `stage_shard_execute_ns` — sub-batch execution on a shard.
+    shard_execute: dinomo_obs::Histogram,
+}
+
+impl KnMetrics {
+    fn new(registry: &dinomo_obs::Registry) -> Self {
+        KnMetrics {
+            busy_rejections: registry.counter("kn_busy_rejections"),
+            queue_wait: registry.stage(dinomo_obs::Stage::QueueWait),
+            shard_execute: registry.stage(dinomo_obs::Stage::ShardExecute),
+        }
+    }
+}
+
 /// A KVS node.
 #[derive(Debug)]
 pub struct KnNode {
@@ -178,15 +207,18 @@ pub struct KnNode {
     sub_batches: AtomicU64,
     busy_rejections: AtomicU64,
     busy_ns: AtomicU64,
+    metrics: KnMetrics,
 }
 
 impl KnNode {
-    /// Build a KVS node and its shards.
+    /// Build a KVS node and its shards, recording into `registry` (the
+    /// cluster-wide metrics registry owned by the `Kvs`).
     pub fn new(
         id: KnId,
         config: &KvsConfig,
         dpm: Arc<DpmNode>,
         ownership: Arc<RwLock<OwnershipTable>>,
+        registry: &dinomo_obs::Registry,
     ) -> Self {
         let nic = Nic::new(config.fabric);
         let shards = (0..config.threads_per_kn.max(1))
@@ -243,6 +275,7 @@ impl KnNode {
             sub_batches: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
             busy_ns: AtomicU64::new(0),
+            metrics: KnMetrics::new(registry),
         }
     }
 
@@ -360,6 +393,17 @@ impl KnNode {
         &self.shards[thread as usize % self.shards.len()]
     }
 
+    /// Lock a shard for a per-op request, billing the wait to the
+    /// queue-wait stage — on the per-op path the shard mutex *is* the
+    /// queue: client threads that route to the same shard serialize
+    /// here, exactly as the executor path's sub-batches wait in the
+    /// shard worker's queue.
+    fn lock_shard_for_op(&self, thread: u32) -> parking_lot::MutexGuard<'_, Shard> {
+        self.metrics
+            .queue_wait
+            .time(|| self.shard_for(thread).lock())
+    }
+
     fn is_replicated(&self, key: &[u8]) -> bool {
         self.variant.supports_selective_replication() && self.ownership.read().is_replicated(key)
     }
@@ -384,7 +428,7 @@ impl KnNode {
     }
 
     fn get_owned(&self, key: &[u8], thread: u32) -> Result<Option<Vec<u8>>> {
-        let mut shard = self.shard_for(thread).lock();
+        let mut shard = self.lock_shard_for_op(thread);
         self.get_in_shard(&mut shard, key, &dinomo_dpm::pin())
     }
 
@@ -678,7 +722,7 @@ impl KnNode {
     }
 
     fn put_owned(&self, key: &[u8], value: &[u8], thread: u32) -> Result<()> {
-        let mut shard = self.shard_for(thread).lock();
+        let mut shard = self.lock_shard_for_op(thread);
         Self::put_in_shard(&mut shard, key, value);
         self.flush_if_due(&mut shard)
     }
@@ -716,7 +760,7 @@ impl KnNode {
     /// Update of a selectively-replicated key: log the value, then CAS the
     /// indirection cell to the new entry.
     fn put_shared(&self, key: &[u8], value: &[u8], thread: u32) -> Result<()> {
-        let mut shard = self.shard_for(thread).lock();
+        let mut shard = self.lock_shard_for_op(thread);
         shard.cache.invalidate(key);
         let seq = shard.writer.append_put(key, value);
         let commits = shard.writer.flush()?;
@@ -748,7 +792,7 @@ impl KnNode {
     /// flushed and merged. The merge engine later removes the index entry
     /// and releases the cell.
     fn delete_shared(&self, key: &[u8], thread: u32) -> Result<()> {
-        let mut shard = self.shard_for(thread).lock();
+        let mut shard = self.lock_shard_for_op(thread);
         let seq = Self::delete_in_shard(&mut shard, key);
         let flushed = self.flush_if_due(&mut shard);
         drop(shard);
@@ -767,7 +811,7 @@ impl KnNode {
         let result = if self.is_replicated(key) {
             self.delete_shared(key, thread)
         } else {
-            let mut shard = self.shard_for(thread).lock();
+            let mut shard = self.lock_shard_for_op(thread);
             Self::delete_in_shard(&mut shard, key);
             self.flush_if_due(&mut shard)
         };
@@ -963,6 +1007,7 @@ impl KnNode {
                         positions: list,
                         latch: Arc::clone(latch),
                         resolved_version,
+                        enqueued_at: dinomo_obs::stage_clock(),
                     };
                     match executor.queues[shard_idx as usize].try_push(task) {
                         Ok(()) => {
@@ -972,6 +1017,7 @@ impl KnNode {
                             // Bounded-queue backpressure: hand the shard's
                             // positions back to the client as Busy.
                             self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                            self.metrics.busy_rejections.inc();
                             for &pos in &task.positions {
                                 unsafe { slots.set(pos, Err(KvsError::Busy)) };
                             }
@@ -1116,6 +1162,20 @@ impl KnNode {
     /// node-level counters (workers per task, inline paths once per
     /// group).
     fn run_shard_sub_batch_core(
+        &self,
+        shard_idx: u32,
+        ops: &[Op],
+        positions: impl Iterator<Item = usize> + Clone,
+        set: &mut impl FnMut(usize, OpResult),
+    ) -> (u64, u64) {
+        self.metrics
+            .shard_execute
+            .time(|| self.run_shard_sub_batch_untimed(shard_idx, ops, positions, set))
+    }
+
+    /// [`KnNode::run_shard_sub_batch_core`] without the
+    /// `stage_shard_execute_ns` accounting.
+    fn run_shard_sub_batch_untimed(
         &self,
         shard_idx: u32,
         ops: &[Op],
@@ -1487,6 +1547,7 @@ mod tests {
             // The table moved on (e.g. an add_kn completed) while this
             // task sat in the queue.
             resolved_version: current.wrapping_sub(1),
+            enqueued_at: None,
         };
         node.executor.as_ref().unwrap().queues[0]
             .try_push(task)
@@ -1512,6 +1573,7 @@ mod tests {
             positions: vec![0],
             latch: Arc::clone(&latch),
             resolved_version: current,
+            enqueued_at: None,
         };
         node.executor.as_ref().unwrap().queues[0]
             .try_push(task)
@@ -1556,6 +1618,7 @@ mod tests {
                 positions: vec![0],
                 latch: Arc::clone(&wedge_latch),
                 resolved_version: version,
+                enqueued_at: None,
             })
             .unwrap_or_else(|_| panic!("wedge enqueue failed"));
         // Give the worker a beat to pop the task and block on the lock,
@@ -1573,6 +1636,7 @@ mod tests {
                 positions: vec![0],
                 latch: Arc::clone(&filler_latch),
                 resolved_version: version,
+                enqueued_at: None,
             })
             .unwrap_or_else(|_| panic!("filler enqueue failed"));
 
@@ -1625,6 +1689,7 @@ mod tests {
                 positions: vec![0],
                 latch: Arc::clone(&wedge_latch),
                 resolved_version: version,
+                enqueued_at: None,
             })
             .unwrap_or_else(|_| panic!("wedge enqueue failed"));
         std::thread::sleep(std::time::Duration::from_millis(20));
@@ -1639,6 +1704,7 @@ mod tests {
                 positions: vec![0],
                 latch: Arc::clone(&filler_latch),
                 resolved_version: version,
+                enqueued_at: None,
             })
             .unwrap_or_else(|_| panic!("filler enqueue failed"));
 

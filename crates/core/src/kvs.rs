@@ -40,15 +40,35 @@ pub(crate) struct KvsInner {
     /// compactor's cell snapshots riding on the DPM cell-registry lock)
     /// the serialization is explicit.
     reconfig_lock: Mutex<()>,
+    /// Acquisition wait on `reconfig_lock` (`lock_wait_reconfig_ns`).
+    reconfig_wait: dinomo_obs::Histogram,
+    /// The cluster-wide metrics registry: shared by the DPM, every KN,
+    /// and the clients, snapshotted by benches and the cluster driver.
+    pub(crate) metrics: Arc<dinomo_obs::Registry>,
     next_kn_id: AtomicU32,
     reconfigurations: AtomicU64,
     bytes_reshuffled: AtomicU64,
 }
 
+impl KvsInner {
+    /// Take the control-plane lock, billing the wait to
+    /// `lock_wait_reconfig_ns`.
+    pub(crate) fn lock_reconfig(&self) -> parking_lot::MutexGuard<'_, ()> {
+        self.reconfig_wait.time(|| self.reconfig_lock.lock())
+    }
+}
+
 impl Kvs {
     /// Build a cluster with `config.initial_kns` KVS nodes.
     pub fn new(config: KvsConfig) -> Result<Self> {
-        let dpm = Arc::new(DpmNode::new(config.dpm)?);
+        let metrics = dinomo_obs::Registry::new_shared();
+        // The epoch shim's reclamation stats are process-global; bridge
+        // them so snapshots (and the cluster driver's per-epoch deltas)
+        // see bag flushes next to the native counters.
+        metrics.register_external("epoch_bag_flushes", || {
+            dinomo_dpm::epoch_stats().bag_flushes
+        });
+        let dpm = Arc::new(DpmNode::with_metrics(config.dpm, Arc::clone(&metrics))?);
         let ownership = Arc::new(RwLock::new(OwnershipTable::new(
             config.ring_vnodes,
             config.threads_per_kn as u32,
@@ -59,6 +79,8 @@ impl Kvs {
             ownership,
             kns: RwLock::new(BTreeMap::new()),
             reconfig_lock: Mutex::new(()),
+            reconfig_wait: metrics.lock_wait(dinomo_obs::LockId::Reconfig),
+            metrics,
             next_kn_id: AtomicU32::new(0),
             reconfigurations: AtomicU64::new(0),
             bytes_reshuffled: AtomicU64::new(0),
@@ -131,12 +153,18 @@ impl Kvs {
         self.inner.bytes_reshuffled.load(Ordering::Relaxed)
     }
 
+    /// The cluster-wide metrics registry (stage histograms, lock-wait
+    /// profiles, migrated counters — see `docs/OBSERVABILITY.md`).
+    pub fn metrics(&self) -> Arc<dinomo_obs::Registry> {
+        Arc::clone(&self.inner.metrics)
+    }
+
     // ----------------------------------------------------- reconfiguration
 
     /// Add a KVS node and repartition ownership onto it (§3.5 steps 1–7).
     /// Returns the new node's id.
     pub fn add_kn(&self) -> Result<KnId> {
-        let _reconfig = self.inner.reconfig_lock.lock();
+        let _reconfig = self.inner.lock_reconfig();
         let new_id = self.inner.next_kn_id.fetch_add(1, Ordering::Relaxed);
         let old_table = self.inner.ownership.read().clone();
         let mut new_table = old_table.clone();
@@ -198,6 +226,7 @@ impl Kvs {
             &self.inner.config,
             Arc::clone(&self.inner.dpm),
             Arc::clone(&self.inner.ownership),
+            &self.inner.metrics,
         ));
         self.inner.kns.write().insert(new_id, node);
         *self.inner.ownership.write() = new_table;
@@ -305,7 +334,7 @@ impl Kvs {
     /// Remove an (under-utilized) KVS node, handing its ranges to the rest of
     /// the cluster.
     pub fn remove_kn(&self, id: KnId) -> Result<()> {
-        let _reconfig = self.inner.reconfig_lock.lock();
+        let _reconfig = self.inner.lock_reconfig();
         let node = self.kn(id).ok_or(KvsError::NoNodes)?;
         if self.num_kns() <= 1 {
             return Err(KvsError::NoNodes);
@@ -337,7 +366,7 @@ impl Kvs {
     /// merge the failed node's pending logs, repartition ownership among the
     /// alive nodes, and (for shared-nothing variants) reshuffle its data.
     pub fn fail_kn(&self, id: KnId) -> Result<()> {
-        let _reconfig = self.inner.reconfig_lock.lock();
+        let _reconfig = self.inner.lock_reconfig();
         let node = self.kn(id).ok_or(KvsError::NoNodes)?;
         node.fail();
         let old_table = self.inner.ownership.read().clone();
@@ -373,7 +402,7 @@ impl Kvs {
     /// acked-write loss that persists until the next write (found by the
     /// `dinomo-check` history checker under replication churn).
     pub fn replicate_key(&self, key: &[u8], factor: usize) -> Result<Vec<KnId>> {
-        let _reconfig = self.inner.reconfig_lock.lock();
+        let _reconfig = self.inner.lock_reconfig();
         if !self.inner.config.variant.supports_selective_replication() {
             return Err(KvsError::Reconfiguring);
         }
@@ -433,7 +462,7 @@ impl Kvs {
     /// cell could be invisible to owned-path readers until its merge
     /// caught up.
     pub fn dereplicate_key(&self, key: &[u8]) -> Result<()> {
-        let _reconfig = self.inner.reconfig_lock.lock();
+        let _reconfig = self.inner.lock_reconfig();
         let owner_nodes: Vec<Arc<KnNode>> = {
             let table = self.inner.ownership.read();
             let owners = table.owners(key);
@@ -517,7 +546,7 @@ impl Kvs {
     /// durability story: every acknowledged write must still be served
     /// afterwards.
     pub fn crash_dpm_and_recover(&self) -> Result<DpmCrashReport> {
-        let _reconfig = self.inner.reconfig_lock.lock();
+        let _reconfig = self.inner.lock_reconfig();
         let kns: Vec<Arc<KnNode>> = self.inner.kns.read().values().cloned().collect();
         for kn in &kns {
             kn.set_reconfiguring(true);

@@ -51,5 +51,9 @@ pub use ordered::{OrderedIndex, TreeStats};
 // Re-exported so KVS nodes can pin one epoch guard across a whole batch of
 // index lookups (`DpmNode::{local_lookup_in, remote_read_in}`).
 pub use dinomo_pclht::{pin, Guard};
+// The epoch shim's process-global reclamation stats, re-exported so the
+// core layer can bridge them into its metrics registry without its own
+// crossbeam dependency.
+pub use crossbeam::epoch::stats as epoch_stats;
 pub use segment::SegmentState;
 pub use writer::{CommittedWrite, LogWriter};

@@ -10,6 +10,7 @@ use crate::merge::{apply_recovered_entry, MergeEngine, MergeTask};
 use crate::ordered::{OrderedIndex, TreeStats};
 use crate::segment::SegmentState;
 use crossbeam::epoch::{Atomic, Owned};
+use dinomo_obs::{LockId, Registry, Stage};
 use dinomo_partition::key_hash;
 use dinomo_pclht::{pin, Guard, Pclht};
 use dinomo_pmem::{PmAddr, PmemError, PmemPool};
@@ -45,6 +46,39 @@ impl std::fmt::Debug for ObserverSlot {
         f.debug_tuple("ObserverSlot")
             .field(&self.0.read().is_some())
             .finish()
+    }
+}
+
+/// Metric handles resolved once against the node's registry so the hot
+/// paths never touch the registry's name map.
+#[derive(Debug)]
+pub(crate) struct DpmMetrics {
+    pub(crate) registry: Arc<Registry>,
+    /// `dpm_cell_registry_waits` — cell swings that lost a race.
+    pub(crate) cell_swing_waits: dinomo_obs::Counter,
+    /// `lock_wait_segment_table_ns` — segment-registry write lock.
+    pub(crate) seg_table_wait: dinomo_obs::Histogram,
+    /// `lock_wait_merge_engine_ns` — merge hand-off mutex.
+    pub(crate) merge_engine_wait: dinomo_obs::Histogram,
+    /// `stage_flush_wait_ns` — writer stalled for merge slack.
+    pub(crate) stage_flush_wait: dinomo_obs::Histogram,
+    /// `stage_merge_wait_ns` — caller drained the merge engine.
+    pub(crate) stage_merge_wait: dinomo_obs::Histogram,
+    /// `stage_dpm_lookup_ns` — the remote (KN cache-miss) read path.
+    pub(crate) stage_dpm_lookup: dinomo_obs::Histogram,
+}
+
+impl DpmMetrics {
+    fn new(registry: Arc<Registry>) -> Self {
+        DpmMetrics {
+            cell_swing_waits: registry.counter("dpm_cell_registry_waits"),
+            seg_table_wait: registry.lock_wait(LockId::SegmentTable),
+            merge_engine_wait: registry.lock_wait(LockId::MergeEngine),
+            stage_flush_wait: registry.stage(Stage::FlushWait),
+            stage_merge_wait: registry.stage(Stage::MergeWait),
+            stage_dpm_lookup: registry.stage(Stage::DpmLookup),
+            registry,
+        }
     }
 }
 
@@ -124,12 +158,12 @@ pub struct DpmInner {
     /// authoritative registry stays in `segments`; this is the read-path
     /// projection of it, rebuilt on every allocate/free.
     seg_table: Atomic<SegTable>,
-    /// Cell-swing races (see [`DpmStats::cell_registry_waits`]). Cell
-    /// swings themselves are lock-free: a swing pins its target's segment
-    /// (`SegmentState::pin_cell`) before the cell/index CAS, so collectors
-    /// check one per-segment counter instead of serializing every swing
-    /// on a global registry mutex.
-    cell_swing_waits: AtomicU64,
+    /// Metric handles over this node's registry (see [`DpmMetrics`];
+    /// cell-swing races land in `metrics.cell_swing_waits` — swings are
+    /// lock-free, a swing pins its target's segment before the cell/index
+    /// CAS, so collectors check one per-segment counter instead of
+    /// serializing every swing on a global registry mutex).
+    metrics: DpmMetrics,
     /// Serializes compaction passes (background thread vs. the synchronous
     /// `compact_once` test hook).
     gc_pass_lock: Mutex<()>,
@@ -359,7 +393,7 @@ impl DpmInner {
     /// Count a cell swing that lost a race and retried or abandoned (see
     /// [`DpmStats::cell_registry_waits`]).
     pub(crate) fn record_cell_wait(&self) {
-        self.cell_swing_waits.fetch_add(1, Ordering::Relaxed);
+        self.metrics.cell_swing_waits.inc();
     }
 
     /// Snapshot of the live segment list.
@@ -378,7 +412,7 @@ impl DpmInner {
         let base = self.pool.alloc(self.config.segment_bytes)?;
         let id = self.next_segment_id.fetch_add(1, Ordering::Relaxed);
         let seg = Arc::new(SegmentState::new(id, kn, base, self.config.segment_bytes));
-        let mut segments = self.segments.write();
+        let mut segments = self.metrics.seg_table_wait.time(|| self.segments.write());
         segments.push(Arc::clone(&seg));
         self.publish_seg_table(&segments);
         Ok(seg)
@@ -416,7 +450,7 @@ impl DpmInner {
             return false;
         }
         {
-            let mut segments = self.segments.write();
+            let mut segments = self.metrics.seg_table_wait.time(|| self.segments.write());
             segments.retain(|s| s.id != seg.id);
             self.publish_seg_table(&segments);
         }
@@ -544,10 +578,19 @@ pub struct DpmNode {
 
 impl DpmNode {
     /// Create a DPM node (allocating its pool and index, and spawning the
-    /// merge workers).
+    /// merge workers) with a private metrics registry.
     pub fn new(config: DpmConfig) -> Result<Self, PmemError> {
+        Self::with_metrics(config, Registry::new_shared())
+    }
+
+    /// [`DpmNode::new`], recording into a caller-supplied registry (the
+    /// KVS shares one registry between its client/KN layers and the DPM).
+    pub fn with_metrics(config: DpmConfig, registry: Arc<Registry>) -> Result<Self, PmemError> {
         let pool = Arc::new(PmemPool::new(config.pool));
         let index = Pclht::new(Arc::clone(&pool), config.index)?;
+        let metrics = DpmMetrics::new(registry);
+        let ordered =
+            OrderedIndex::with_lock_profile(metrics.registry.lock_wait(LockId::OrderedRoot));
         let inner = Arc::new(DpmInner {
             config,
             pool,
@@ -560,11 +603,11 @@ impl DpmNode {
             segments_freed: AtomicU64::new(0),
             indirect_cells: AtomicU64::new(0),
             seg_table: Atomic::new(Vec::new()),
-            cell_swing_waits: AtomicU64::new(0),
+            metrics,
             gc_pass_lock: Mutex::new(()),
             gc_destination: Mutex::new(None),
             relocation_observer: ObserverSlot::default(),
-            ordered: OrderedIndex::new(),
+            ordered,
             segments_compacted: AtomicU64::new(0),
             bytes_relocated: AtomicU64::new(0),
             entries_relocated: AtomicU64::new(0),
@@ -632,8 +675,13 @@ impl DpmNode {
             entries_relocated: self.inner.entries_relocated.load(Ordering::Relaxed),
             live_bytes,
             segment_bytes_allocated,
-            cell_registry_waits: self.inner.cell_swing_waits.load(Ordering::Relaxed),
+            cell_registry_waits: self.inner.metrics.cell_swing_waits.value(),
         }
+    }
+
+    /// The metrics registry this node records into.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.inner.metrics.registry
     }
 
     // ---------------------------------------------------------------- logs
@@ -681,26 +729,30 @@ impl DpmNode {
     /// Block while `kn` has at least `unmerged_segment_threshold` sealed but
     /// unmerged segments (the paper's write-path back-pressure).
     pub fn wait_for_merge_slack(&self, kn: u32) {
-        let threshold = self.inner.config.unmerged_segment_threshold.max(1);
-        let mut guard = self.inner.merge_sync.0.lock();
-        while self.inner.unmerged_sealed_segments(kn) >= threshold {
-            self.inner
-                .merge_sync
-                .1
-                .wait_for(&mut guard, Duration::from_millis(50));
-        }
+        self.inner.metrics.stage_flush_wait.time(|| {
+            let threshold = self.inner.config.unmerged_segment_threshold.max(1);
+            let mut guard = self.inner.merge_sync.0.lock();
+            while self.inner.unmerged_sealed_segments(kn) >= threshold {
+                self.inner
+                    .merge_sync
+                    .1
+                    .wait_for(&mut guard, Duration::from_millis(50));
+            }
+        })
     }
 
     /// Block until every segment of `kn` is fully merged (used before
     /// reconfiguration and during failure handling, §3.5).
     pub fn wait_until_merged(&self, kn: u32) {
-        let mut guard = self.inner.merge_sync.0.lock();
-        while self.inner.unmerged_segments(kn) > 0 {
-            self.inner
-                .merge_sync
-                .1
-                .wait_for(&mut guard, Duration::from_millis(50));
-        }
+        self.inner.metrics.stage_merge_wait.time(|| {
+            let mut guard = self.inner.merge_sync.0.lock();
+            while self.inner.unmerged_segments(kn) > 0 {
+                self.inner
+                    .merge_sync
+                    .1
+                    .wait_for(&mut guard, Duration::from_millis(50));
+            }
+        })
     }
 
     /// Block until every segment of every KN is fully merged.
@@ -719,7 +771,12 @@ impl DpmNode {
 
     /// Queue a committed byte range for asynchronous merging.
     pub(crate) fn submit_merge_batch(&self, segment: &Arc<SegmentState>, start: u64, len: u64) {
-        self.merge.lock().submit(MergeTask {
+        let engine = self
+            .inner
+            .metrics
+            .merge_engine_wait
+            .time(|| self.merge.lock());
+        engine.submit(MergeTask {
             segment: Arc::clone(segment),
             start,
             len,
@@ -771,6 +828,13 @@ impl DpmNode {
     /// [`DpmNode::remote_read`] under a caller-supplied epoch guard — the
     /// KN batch path pins once per batch instead of once per miss.
     pub fn remote_read_in(&self, guard: &Guard, nic: &Nic, key: &[u8]) -> LookupResult {
+        self.inner
+            .metrics
+            .stage_dpm_lookup
+            .time(|| self.remote_read_in_untimed(guard, nic, key))
+    }
+
+    fn remote_read_in_untimed(&self, guard: &Guard, nic: &Nic, key: &[u8]) -> LookupResult {
         let (raw, mut rts) = self
             .inner
             .index
@@ -1062,8 +1126,13 @@ impl DpmNode {
     /// tombstone**, so shared readers observe an acknowledged delete
     /// immediately.
     pub fn remote_read_indirect(&self, nic: &Nic, cell: PmAddr) -> Option<PackedLoc> {
-        nic.one_sided_read(8);
-        self.inner.indirect_cell_live_target(cell)
+        // Billed to the lookup stage: for a shared key this read is the
+        // index traversal (cell → entry), the replicated-read analogue of
+        // [`DpmNode::remote_read_in`].
+        self.inner.metrics.stage_dpm_lookup.time(|| {
+            nic.one_sided_read(8);
+            self.inner.indirect_cell_live_target(cell)
+        })
     }
 
     /// Atomically swing an indirection cell from `old` to `new` with a

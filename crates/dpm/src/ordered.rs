@@ -120,6 +120,10 @@ pub struct OrderedIndex {
     root: AtomicPtr<Node>,
     /// Serializes writers (merge workers, the compactor, cell teardown).
     write_lock: Mutex<()>,
+    /// Acquisition wait on `write_lock` (`lock_wait_ordered_root_ns`) —
+    /// registry-backed when the owning DPM node has a metrics registry,
+    /// detached otherwise.
+    write_wait: dinomo_obs::Histogram,
     /// Live key count (maintained by writers; racy reads are fine — it is
     /// a statistic, not a correctness input).
     len: AtomicU64,
@@ -140,13 +144,27 @@ impl Default for OrderedIndex {
 }
 
 impl OrderedIndex {
-    /// An empty index.
+    /// An empty index with a detached (unregistered) wait histogram.
     pub fn new() -> Self {
+        Self::with_lock_profile(dinomo_obs::Histogram::detached())
+    }
+
+    /// An empty index whose writer-lock wait times record into `wait`
+    /// (the DPM node passes its registry's
+    /// [`dinomo_obs::LockId::OrderedRoot`] histogram here).
+    pub fn with_lock_profile(wait: dinomo_obs::Histogram) -> Self {
         OrderedIndex {
             root: AtomicPtr::new(std::ptr::null_mut()),
             write_lock: Mutex::new(()),
+            write_wait: wait,
             len: AtomicU64::new(0),
         }
+    }
+
+    /// Acquire the single-writer lock, billing the wait to the
+    /// `lock_wait_ordered_root_ns` histogram.
+    fn lock_write(&self) -> parking_lot::MutexGuard<'_, ()> {
+        self.write_wait.time(|| self.write_lock.lock())
     }
 
     /// Live keys in the index.
@@ -163,7 +181,7 @@ impl OrderedIndex {
     /// already present. The guard is the merge worker's existing pin; the
     /// replaced path nodes are retired through it.
     pub fn upsert(&self, guard: &Guard, key: &[u8], loc: PackedLoc) {
-        let _w = self.write_lock.lock();
+        let _w = self.lock_write();
         let root = self.root.load(Ordering::Acquire);
         let mut retired: Retired = Vec::new();
         let (new_root, inserted) = if root.is_null() {
@@ -195,7 +213,7 @@ impl OrderedIndex {
 
     /// Remove `key`; returns `true` if it was present.
     pub fn remove(&self, guard: &Guard, key: &[u8]) -> bool {
-        let _w = self.write_lock.lock();
+        let _w = self.lock_write();
         let root = self.root.load(Ordering::Acquire);
         if root.is_null() {
             return false;
@@ -234,7 +252,7 @@ impl OrderedIndex {
     /// location (a concurrent merge already superseded the entry; the
     /// newer location must win).
     pub fn relocate(&self, guard: &Guard, key: &[u8], old: PackedLoc, new: PackedLoc) -> bool {
-        let _w = self.write_lock.lock();
+        let _w = self.lock_write();
         let root = self.root.load(Ordering::Acquire);
         if root.is_null() {
             return false;
@@ -279,7 +297,7 @@ impl OrderedIndex {
     /// it and recovery rebuilds it from the persistent hash index
     /// ([`crate::DpmNode::rebuild_ordered`]).
     pub fn clear(&self, guard: &Guard) {
-        let _w = self.write_lock.lock();
+        let _w = self.lock_write();
         let root = self.root.load(Ordering::Acquire);
         self.len.store(0, Ordering::Relaxed);
         if root.is_null() {
@@ -317,7 +335,7 @@ impl OrderedIndex {
     /// Runs under the write lock so the walked generation is the current
     /// one and cannot be retired mid-walk.
     pub fn check_tree(&self, validate: &LocValidator) -> Result<TreeStats, String> {
-        let _w = self.write_lock.lock();
+        let _w = self.lock_write();
         let root = self.root.load(Ordering::Acquire);
         let mut stats = TreeStats::default();
         if root.is_null() {
